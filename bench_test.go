@@ -1,0 +1,256 @@
+package scpm
+
+// One benchmark per table and figure of the paper's evaluation (§4),
+// plus ablations. Each benchmark runs the corresponding experiment of
+// internal/experiments at a reduced scale so `go test -bench=.` stays
+// laptop-friendly; cmd/scpm-bench runs the full-scale sweeps.
+//
+// Custom metrics reported alongside ns/op:
+//
+//	sets/op        attribute sets emitted
+//	speedup        naive time / SCPM-DFS time (fig8 benches)
+//	max/sim        analytical bound looseness (fig4/7/9 benches)
+
+import (
+	"testing"
+
+	"github.com/scpm/scpm/internal/experiments"
+)
+
+// benchScale trades fidelity for wall-clock time in `go test -bench=.`
+// on the three case-study datasets. SmallDBLP always runs at its tuned
+// scale: its σmin/min_size defaults are calibrated there, and shrinking
+// it further would distort the Figure-8 speedups it exists to measure.
+const benchScale = 0.5
+
+func loadB(b *testing.B, name string) *experiments.Dataset {
+	b.Helper()
+	scale := benchScale
+	if name == "smalldblp" {
+		scale = 1.0
+	}
+	d, err := experiments.Load(name, scale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func BenchmarkTable1ExampleGraph(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Match {
+			b.Fatal("Table 1 mismatch")
+		}
+	}
+}
+
+func benchTopSets(b *testing.B, dataset string) {
+	d := loadB(b, dataset)
+	b.ResetTimer()
+	var sets int
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TopSets(d, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sets = r.Sets
+	}
+	b.ReportMetric(float64(sets), "sets/op")
+}
+
+func BenchmarkTable2DBLPTopSets(b *testing.B)     { benchTopSets(b, "dblp") }
+func BenchmarkTable3LastFmTopSets(b *testing.B)   { benchTopSets(b, "lastfm") }
+func BenchmarkTable4CiteSeerTopSets(b *testing.B) { benchTopSets(b, "citeseer") }
+
+func benchExpected(b *testing.B, dataset string, frac float64) {
+	d := loadB(b, dataset)
+	sigmas := experiments.DefaultSigmas(d.Graph.NumVertices(), frac, 6)
+	b.ResetTimer()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExpectedCurve(d, sigmas, 25, 99)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.BoundHolds {
+			b.Fatal("analytical bound violated")
+		}
+		last := r.Points[len(r.Points)-1]
+		if last.SimMean > 0 {
+			ratio = last.MaxExp / last.SimMean
+		}
+	}
+	b.ReportMetric(ratio, "max/sim")
+}
+
+func BenchmarkFigure4DBLPExpected(b *testing.B)     { benchExpected(b, "dblp", 0.10) }
+func BenchmarkFigure7LastFmExpected(b *testing.B)   { benchExpected(b, "lastfm", 0.37) }
+func BenchmarkFigure9CiteSeerExpected(b *testing.B) { benchExpected(b, "citeseer", 0.10) }
+
+// benchPerfPanel runs one Figure-8 panel at a single representative
+// parameter point per sub-benchmark, reporting the naive/DFS speedup.
+func benchPerfPanel(b *testing.B, varying string, values []float64) {
+	d := loadB(b, "smalldblp")
+	for _, v := range values {
+		v := v
+		b.Run(benchName(varying, v), func(b *testing.B) {
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.Perf(d, varying, []float64{v}, true, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p := r.Points[0]
+				if p.DFS > 0 {
+					speedup = float64(p.Naive) / float64(p.DFS)
+				}
+			}
+			b.ReportMetric(speedup, "speedup")
+		})
+	}
+}
+
+func benchName(varying string, v float64) string {
+	return varying + "=" + trimFloat(v)
+}
+
+func trimFloat(v float64) string {
+	s := make([]byte, 0, 8)
+	if v < 0 {
+		s = append(s, '-')
+		v = -v
+	}
+	whole := int64(v)
+	s = appendInt(s, whole)
+	frac := v - float64(whole)
+	if frac > 1e-9 {
+		s = append(s, '.')
+		s = appendInt(s, int64(frac*100+0.5))
+	}
+	return string(s)
+}
+
+func appendInt(s []byte, v int64) []byte {
+	if v == 0 {
+		return append(s, '0')
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(s, buf[i:]...)
+}
+
+func BenchmarkFigure8aRuntimeVsGamma(b *testing.B) {
+	benchPerfPanel(b, "gamma", []float64{0.5, 0.8})
+}
+
+func BenchmarkFigure8bRuntimeVsMinSize(b *testing.B) {
+	d := loadB(b, "smalldblp")
+	base := experiments.PerfBase(d)
+	benchPerfPanel(b, "min_size", []float64{float64(base.MinSize), float64(base.MinSize + 2)})
+}
+
+func BenchmarkFigure8cRuntimeVsSigmaMin(b *testing.B) {
+	d := loadB(b, "smalldblp")
+	base := experiments.PerfBase(d)
+	benchPerfPanel(b, "sigma_min", []float64{float64(base.SigmaMin), float64(base.SigmaMin * 2)})
+}
+
+func BenchmarkFigure8dRuntimeVsEpsMin(b *testing.B) {
+	benchPerfPanel(b, "eps_min", []float64{0.1, 0.25})
+}
+
+func BenchmarkFigure8eRuntimeVsDeltaMin(b *testing.B) {
+	benchPerfPanel(b, "delta_min", []float64{10, 50})
+}
+
+func BenchmarkFigure8fRuntimeVsK(b *testing.B) {
+	benchPerfPanel(b, "k", []float64{1, 16})
+}
+
+func benchSensitivityPanel(b *testing.B, varying string, values []float64) {
+	d := loadB(b, "smalldblp")
+	b.ResetTimer()
+	var avgEps float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Sensitivity(d, varying, values)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avgEps = r.Points[len(r.Points)-1].GlobalEps
+	}
+	b.ReportMetric(avgEps, "avg_eps")
+}
+
+func BenchmarkFigure10aSensitivityGamma(b *testing.B) {
+	benchSensitivityPanel(b, "gamma", []float64{0.5, 0.7, 1.0})
+}
+
+func BenchmarkFigure10bSensitivityMinSize(b *testing.B) {
+	d := loadB(b, "smalldblp")
+	base := d.Params()
+	benchSensitivityPanel(b, "min_size",
+		[]float64{float64(base.MinSize), float64(base.MinSize + 2)})
+}
+
+func BenchmarkFigure10cSensitivitySigmaMin(b *testing.B) {
+	d := loadB(b, "smalldblp")
+	base := d.Params()
+	benchSensitivityPanel(b, "sigma_min",
+		[]float64{float64(base.SigmaMin), float64(base.SigmaMin * 2)})
+}
+
+// Ablation benches: each design choice toggled off, one sub-benchmark
+// per variant (E10).
+func BenchmarkAblationSCPMVariants(b *testing.B) {
+	d := loadB(b, "smalldblp")
+	variants := []struct {
+		name string
+		mod  func(p *Params)
+	}{
+		{"full-dfs", func(p *Params) {}},
+		{"bfs", func(p *Params) { p.Order = BFS }},
+		{"no-vertex-pruning", func(p *Params) { p.DisableVertexPruning = true }},
+		{"no-set-pruning", func(p *Params) { p.DisableSetPruning = true }},
+		{"no-lookahead", func(p *Params) { p.DisableLookahead = true }},
+		{"no-diameter", func(p *Params) { p.DisableDiameterPruning = true }},
+		{"no-jumps", func(p *Params) { p.DisableJumps = true }},
+		{"parallel-4", func(p *Params) { p.Parallelism = 4 }},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			p := experiments.PerfBase(d)
+			v.mod(&p)
+			var sets int
+			for i := 0; i < b.N; i++ {
+				res, err := Mine(d.Graph, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sets = len(res.Sets)
+			}
+			b.ReportMetric(float64(sets), "sets/op")
+		})
+	}
+}
+
+// BenchmarkNaiveBaseline measures the §3.1 baseline on its own so the
+// naive-vs-SCPM gap is visible in the -bench output.
+func BenchmarkNaiveBaseline(b *testing.B) {
+	d := loadB(b, "smalldblp")
+	p := experiments.PerfBase(d)
+	for i := 0; i < b.N; i++ {
+		if _, err := MineNaive(d.Graph, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

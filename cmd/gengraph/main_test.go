@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	scpm "github.com/scpm/scpm"
+)
+
+func runGen(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestGenerateProfile(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "g")
+	code, out, errOut := runGen(t, "-profile", "smalldblp", "-scale", "0.2", "-out", prefix)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "generated SmallDBLP") {
+		t.Fatalf("output: %s", out)
+	}
+	af, err := os.Open(prefix + ".attrs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer af.Close()
+	ef, err := os.Open(prefix + ".edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ef.Close()
+	g, err := scpm.ReadDataset(af, ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() == 0 || g.NumEdges() == 0 {
+		t.Fatalf("degenerate graph: %v", g)
+	}
+}
+
+func TestGenerateCustom(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "c")
+	code, out, errOut := runGen(t,
+		"-vertices", "300", "-communities", "5", "-areas", "2",
+		"-csize-min", "5", "-csize-max", "8", "-out", prefix, "-seed", "9")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "300 vertices") {
+		t.Fatalf("output: %s", out)
+	}
+}
+
+func TestGenerateDeterministicFiles(t *testing.T) {
+	dir := t.TempDir()
+	run1 := filepath.Join(dir, "a")
+	run2 := filepath.Join(dir, "b")
+	for _, prefix := range []string{run1, run2} {
+		if code, _, e := runGen(t, "-profile", "smalldblp", "-scale", "0.15", "-out", prefix); code != 0 {
+			t.Fatalf("exit %d: %s", code, e)
+		}
+	}
+	for _, suffix := range []string{".attrs", ".edges"} {
+		b1, err := os.ReadFile(run1 + suffix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := os.ReadFile(run2 + suffix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("%s differs between identical runs", suffix)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if code, _, _ := runGen(t, "-profile", "nope"); code == 0 {
+		t.Fatal("unknown profile accepted")
+	}
+	if code, _, _ := runGen(t, "-vertices", "0"); code == 0 {
+		t.Fatal("invalid config accepted")
+	}
+	if code, _, _ := runGen(t, "-profile", "smalldblp", "-out", "/nonexistent/dir/x"); code == 0 {
+		t.Fatal("unwritable output accepted")
+	}
+}

@@ -1,0 +1,156 @@
+// Command scpm-bench regenerates the paper's tables and figures on the
+// synthetic stand-in datasets (see DESIGN.md §4 for the experiment
+// index).
+//
+// Usage:
+//
+//	scpm-bench -exp all            # every experiment (E1..E10)
+//	scpm-bench -exp table2         # one experiment
+//	scpm-bench -exp fig8 -repeats 5
+//
+// Experiments: table1, table2 (DBLP), table3 (LastFm), table4
+// (CiteSeer), fig4, fig7, fig9 (expected ε curves), fig8 (performance),
+// fig10 (sensitivity), ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/scpm/scpm/internal/experiments"
+)
+
+func main() {
+	os.Exit(runMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func runMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("scpm-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp     = fs.String("exp", "all", "experiment id (table1..table4, fig4, fig7, fig8, fig9, fig10, ablation, all)")
+		scale   = fs.Float64("scale", 1.0, "dataset scale factor")
+		repeats = fs.Int("repeats", 3, "timing repetitions for fig8 (best-of)")
+		samples = fs.Int("samples", 100, "simulation samples per support value for fig4/7/9")
+		naive   = fs.Bool("naive", true, "include the naive baseline in fig8")
+		topN    = fs.Int("top", 10, "rows per ranking block in table2-4")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	run := func(id string) error {
+		switch id {
+		case "table1":
+			r, err := experiments.Table1()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, r.Format())
+		case "table2", "table3", "table4":
+			name := map[string]string{"table2": "dblp", "table3": "lastfm", "table4": "citeseer"}[id]
+			d, err := experiments.Load(name, *scale)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, "E"+id[len(id)-1:]+" / "+paperName(id))
+			fmt.Fprintln(stdout, d.Summary())
+			r, err := experiments.TopSets(d, *topN)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, r.Format())
+		case "fig4", "fig7", "fig9":
+			name := map[string]string{"fig4": "dblp", "fig7": "lastfm", "fig9": "citeseer"}[id]
+			frac := 0.10
+			if name == "lastfm" {
+				frac = 0.37
+			}
+			d, err := experiments.Load(name, *scale)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, paperName(id))
+			sigmas := experiments.DefaultSigmas(d.Graph.NumVertices(), frac, 8)
+			r, err := experiments.ExpectedCurve(d, sigmas, *samples, 99)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, r.Format())
+		case "fig8":
+			d, err := experiments.Load("smalldblp", *scale)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, "Figure 8 — performance evaluation on "+d.Summary())
+			sweeps := experiments.DefaultPerfSweeps(d)
+			for _, panel := range experiments.PerfPanels {
+				r, err := experiments.Perf(d, panel, sweeps[panel], *naive, *repeats)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(stdout, r.Format())
+			}
+		case "fig10":
+			d, err := experiments.Load("smalldblp", *scale)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, "Figure 10 — parameter sensitivity on "+d.Summary())
+			sweeps := experiments.DefaultSensitivitySweeps(d)
+			for _, panel := range experiments.SensitivityPanels {
+				r, err := experiments.Sensitivity(d, panel, sweeps[panel])
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(stdout, r.Format())
+			}
+		case "ablation":
+			d, err := experiments.Load("smalldblp", *scale)
+			if err != nil {
+				return err
+			}
+			r, err := experiments.Ablation(d)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, r.Format())
+		default:
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		return nil
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"table1", "table2", "table3", "table4",
+			"fig4", "fig7", "fig9", "fig8", "fig10", "ablation"}
+	}
+	for _, id := range ids {
+		if err := run(id); err != nil {
+			fmt.Fprintln(stderr, "scpm-bench:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func paperName(id string) string {
+	switch id {
+	case "table2":
+		return "Table 2 — DBLP top attribute sets"
+	case "table3":
+		return "Table 3 — LastFm top attribute sets"
+	case "table4":
+		return "Table 4 — CiteSeer top attribute sets"
+	case "fig4":
+		return "Figure 4 — DBLP expected structural correlation"
+	case "fig7":
+		return "Figure 7 — LastFm expected structural correlation"
+	case "fig9":
+		return "Figure 9 — CiteSeer expected structural correlation"
+	}
+	return id
+}

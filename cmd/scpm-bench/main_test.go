@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runBench(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := runMain(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestBenchTable1(t *testing.T) {
+	code, out, errOut := runBench(t, "-exp", "table1")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "matches Table 1 of the paper exactly") {
+		t.Fatalf("verdict missing:\n%s", out)
+	}
+}
+
+func TestBenchTable2Scaled(t *testing.T) {
+	code, out, errOut := runBench(t, "-exp", "table2", "-scale", "0.15", "-top", "3")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"Table 2", "top σ", "top ε", "top δlb"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBenchFig4Scaled(t *testing.T) {
+	code, out, errOut := runBench(t, "-exp", "fig4", "-scale", "0.15", "-samples", "10")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "bound holds (max ≥ sim): true") {
+		t.Fatalf("bound claim missing:\n%s", out)
+	}
+}
+
+func TestBenchFig8Scaled(t *testing.T) {
+	code, out, errOut := runBench(t, "-exp", "fig8", "-scale", "0.15", "-repeats", "1", "-naive=false")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "runtime vs gamma") || !strings.Contains(out, "runtime vs k") {
+		t.Fatalf("panels missing:\n%s", out)
+	}
+}
+
+func TestBenchFig10Scaled(t *testing.T) {
+	code, out, errOut := runBench(t, "-exp", "fig10", "-scale", "0.15")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "sensitivity vs gamma") {
+		t.Fatalf("panel missing:\n%s", out)
+	}
+}
+
+func TestBenchAblationScaled(t *testing.T) {
+	code, out, errOut := runBench(t, "-exp", "ablation", "-scale", "0.15")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "no set pruning") {
+		t.Fatalf("variants missing:\n%s", out)
+	}
+}
+
+func TestBenchUnknownExperiment(t *testing.T) {
+	if code, _, _ := runBench(t, "-exp", "table99"); code == 0 {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestPaperNames(t *testing.T) {
+	for _, id := range []string{"table2", "table3", "table4", "fig4", "fig7", "fig9"} {
+		if paperName(id) == id {
+			t.Errorf("no paper name for %s", id)
+		}
+	}
+	if paperName("zzz") != "zzz" {
+		t.Error("fallback broken")
+	}
+}

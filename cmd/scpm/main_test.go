@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	scpm "github.com/scpm/scpm"
+)
+
+// writeExampleDataset materializes the paper's Figure-1 graph to disk.
+func writeExampleDataset(t *testing.T) (attrs, edges string) {
+	t.Helper()
+	dir := t.TempDir()
+	attrs = filepath.Join(dir, "g.attrs")
+	edges = filepath.Join(dir, "g.edges")
+	af, err := os.Create(attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, err := os.Create(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scpm.WriteDataset(scpm.PaperExample(), af, ef); err != nil {
+		t.Fatal(err)
+	}
+	af.Close()
+	ef.Close()
+	return attrs, edges
+}
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCLIMinesTable1(t *testing.T) {
+	attrs, edges := writeExampleDataset(t)
+	code, out, errOut := runCLI(t,
+		"-attrs", attrs, "-edges", edges,
+		"-sigma", "3", "-gamma", "0.6", "-minsize", "4", "-eps", "0.5", "-k", "10")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"{A} σ=11 ε=0.818", "{B} σ=6 ε=1.000", "{A B} σ=6 ε=1.000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "Q=") != 7 {
+		t.Fatalf("expected 7 patterns:\n%s", out)
+	}
+}
+
+func TestCLINaiveAgrees(t *testing.T) {
+	attrs, edges := writeExampleDataset(t)
+	_, scpmOut, _ := runCLI(t,
+		"-attrs", attrs, "-edges", edges,
+		"-sigma", "3", "-gamma", "0.6", "-minsize", "4", "-eps", "0.5", "-k", "10")
+	code, naiveOut, errOut := runCLI(t,
+		"-attrs", attrs, "-edges", edges, "-algo", "naive",
+		"-sigma", "3", "-gamma", "0.6", "-minsize", "4", "-eps", "0.5", "-k", "10")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	// strip the timing line before comparing
+	strip := func(s string) string {
+		lines := strings.Split(s, "\n")
+		var keep []string
+		for _, l := range lines {
+			if strings.Contains(l, "attribute sets,") {
+				continue
+			}
+			keep = append(keep, l)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(scpmOut) != strip(naiveOut) {
+		t.Fatalf("algorithms disagree:\n%s\nvs\n%s", scpmOut, naiveOut)
+	}
+}
+
+func TestCLIRankMode(t *testing.T) {
+	attrs, edges := writeExampleDataset(t)
+	code, out, _ := runCLI(t,
+		"-attrs", attrs, "-edges", edges,
+		"-sigma", "3", "-gamma", "0.6", "-minsize", "4", "-rank", "2")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"top 2 by σ", "top 2 by ε", "top 2 by δ"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIExports(t *testing.T) {
+	attrs, edges := writeExampleDataset(t)
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "out.json")
+	csvPrefix := filepath.Join(dir, "out")
+	code, _, errOut := runCLI(t,
+		"-attrs", attrs, "-edges", edges,
+		"-sigma", "3", "-gamma", "0.6", "-minsize", "4", "-eps", "0.5",
+		"-json", jsonPath, "-csv", csvPrefix, "-quiet")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, p := range []string{jsonPath, csvPrefix + "-sets.csv", csvPrefix + "-patterns.csv"} {
+		st, err := os.Stat(p)
+		if err != nil || st.Size() == 0 {
+			t.Fatalf("export %s missing or empty: %v", p, err)
+		}
+	}
+}
+
+func TestCLIBFSAndSimModel(t *testing.T) {
+	attrs, edges := writeExampleDataset(t)
+	code, out, errOut := runCLI(t,
+		"-attrs", attrs, "-edges", edges,
+		"-sigma", "3", "-gamma", "0.6", "-minsize", "4",
+		"-order", "bfs", "-model", "sim:10:7", "-quiet")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "attribute sets") {
+		t.Fatalf("no result summary:\n%s", out)
+	}
+}
+
+func TestCLIAllPatterns(t *testing.T) {
+	attrs, edges := writeExampleDataset(t)
+	code, out, _ := runCLI(t,
+		"-attrs", attrs, "-edges", edges,
+		"-sigma", "3", "-gamma", "0.6", "-minsize", "4", "-eps", "0.5",
+		"-all-patterns")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Count(out, "Q=") != 7 {
+		t.Fatalf("SCORP mode should report all 7 patterns:\n%s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	attrs, edges := writeExampleDataset(t)
+	cases := [][]string{
+		{},                // missing files
+		{"-attrs", attrs}, // missing edges
+		{"-attrs", "/nope", "-edges", edges},
+		{"-attrs", attrs, "-edges", edges, "-order", "zigzag"},
+		{"-attrs", attrs, "-edges", edges, "-algo", "magic"},
+		{"-attrs", attrs, "-edges", edges, "-model", "bogus"},
+		{"-attrs", attrs, "-edges", edges, "-gamma", "7"},
+	}
+	for i, args := range cases {
+		if code, _, _ := runCLI(t, args...); code == 0 {
+			t.Errorf("case %d: expected failure for %v", i, args)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package bitset implements a dense bitset over non-negative integers.
+//
+// It is the core substrate shared by the vertical itemset miner (tidsets),
+// the induced-subgraph machinery (membership tests) and the quasi-clique
+// coverage search (covered-vertex sets). Only the operations those callers
+// need are provided; all of them run in O(words) or better.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity dense bitset. The zero value is an empty set of
+// capacity zero; use New to create a set able to hold values in [0, n).
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set with capacity for values in [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative capacity %d", n))
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromSlice returns a set of capacity n containing every value of vs.
+func FromSlice(n int, vs []int32) *Set {
+	s := New(n)
+	for _, v := range vs {
+		s.Add(int(v))
+	}
+	return s
+}
+
+// Len returns the capacity of the set (the n passed to New).
+func (s *Set) Len() int { return s.n }
+
+// Add inserts i into the set. It panics if i is out of range.
+func (s *Set) Add(i int) {
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove deletes i from the set. It panics if i is out of range.
+func (s *Set) Remove(i int) {
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Contains reports whether i is in the set.
+func (s *Set) Contains(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// IsEmpty reports whether the set has no elements.
+func (s *Set) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes all elements, keeping capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns a copy of s.
+func (s *Set) Clone() *Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return &Set{words: w, n: s.n}
+}
+
+// CopyFrom overwrites s with the contents of o. The sets must have the
+// same capacity.
+func (s *Set) CopyFrom(o *Set) {
+	s.mustMatch(o)
+	copy(s.words, o.words)
+}
+
+func (s *Set) mustMatch(o *Set) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d vs %d", s.n, o.n))
+	}
+}
+
+// IntersectWith replaces s with s ∩ o.
+func (s *Set) IntersectWith(o *Set) {
+	s.mustMatch(o)
+	for i := range s.words {
+		s.words[i] &= o.words[i]
+	}
+}
+
+// UnionWith replaces s with s ∪ o.
+func (s *Set) UnionWith(o *Set) {
+	s.mustMatch(o)
+	for i := range s.words {
+		s.words[i] |= o.words[i]
+	}
+}
+
+// DifferenceWith replaces s with s \ o.
+func (s *Set) DifferenceWith(o *Set) {
+	s.mustMatch(o)
+	for i := range s.words {
+		s.words[i] &^= o.words[i]
+	}
+}
+
+// Intersect returns a new set s ∩ o.
+func (s *Set) Intersect(o *Set) *Set {
+	r := s.Clone()
+	r.IntersectWith(o)
+	return r
+}
+
+// Union returns a new set s ∪ o.
+func (s *Set) Union(o *Set) *Set {
+	r := s.Clone()
+	r.UnionWith(o)
+	return r
+}
+
+// IntersectionCount returns |s ∩ o| without allocating.
+func (s *Set) IntersectionCount(o *Set) int {
+	s.mustMatch(o)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & o.words[i])
+	}
+	return c
+}
+
+// ContainsAll reports whether o ⊆ s.
+func (s *Set) ContainsAll(o *Set) bool {
+	s.mustMatch(o)
+	for i, w := range o.words {
+		if w&^s.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and o contain exactly the same elements.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every element in ascending order. If fn returns
+// false the iteration stops early.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// AppendTo appends the elements of s in ascending order to dst and
+// returns the extended slice.
+func (s *Set) AppendTo(dst []int32) []int32 {
+	s.ForEach(func(i int) bool {
+		dst = append(dst, int32(i))
+		return true
+	})
+	return dst
+}
+
+// Slice returns the elements of s in ascending order.
+func (s *Set) Slice() []int32 {
+	return s.AppendTo(make([]int32, 0, s.Count()))
+}
+
+// NextSet returns the smallest element ≥ i, or -1 if none exists.
+func (s *Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> uint(i%wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// String renders the set as "{a, b, c}" for debugging.
+func (s *Set) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&sb, "%d", i)
+		return true
+	})
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,234 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if !s.IsEmpty() {
+		t.Fatal("new set should be empty")
+	}
+	for _, v := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		s.Add(v)
+		if !s.Contains(v) {
+			t.Fatalf("Contains(%d) = false after Add", v)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("Contains(64) after Remove")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	s.Clear()
+	if !s.IsEmpty() {
+		t.Fatal("set not empty after Clear")
+	}
+}
+
+func TestContainsOutOfRange(t *testing.T) {
+	s := New(10)
+	if s.Contains(-1) || s.Contains(10) || s.Contains(1000) {
+		t.Fatal("Contains should be false out of range")
+	}
+}
+
+func TestFromSliceAndSlice(t *testing.T) {
+	in := []int32{9, 3, 3, 0, 7}
+	s := FromSlice(10, in)
+	got := s.Slice()
+	want := []int32{0, 3, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Slice = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	s := FromSlice(200, []int32{5, 64, 130, 199})
+	cases := []struct{ in, want int }{
+		{0, 5}, {5, 5}, {6, 64}, {64, 64}, {65, 130},
+		{131, 199}, {199, 199}, {-3, 5},
+	}
+	for _, c := range cases {
+		if got := s.NextSet(c.in); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	if got := s.NextSet(200); got != -1 {
+		t.Errorf("NextSet(200) = %d, want -1", got)
+	}
+	empty := New(100)
+	if got := empty.NextSet(0); got != -1 {
+		t.Errorf("NextSet on empty = %d, want -1", got)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := FromSlice(10, []int32{1, 4})
+	if got := s.String(); got != "{1, 4}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(4).String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+// refSet is a map-based reference used by the property tests.
+type refSet map[int]bool
+
+func refFromBytes(n int, bs []byte) (*Set, refSet) {
+	s := New(n)
+	r := refSet{}
+	for _, b := range bs {
+		v := int(b) % n
+		s.Add(v)
+		r[v] = true
+	}
+	return s, r
+}
+
+func (r refSet) slice() []int {
+	out := make([]int, 0, len(r))
+	for v := range r {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestQuickAgainstMapReference(t *testing.T) {
+	const n = 300
+	f := func(as, bs []byte) bool {
+		sa, ra := refFromBytes(n, as)
+		sb, rb := refFromBytes(n, bs)
+
+		inter := sa.Intersect(sb)
+		union := sa.Union(sb)
+		diff := sa.Clone()
+		diff.DifferenceWith(sb)
+
+		for v := 0; v < n; v++ {
+			if inter.Contains(v) != (ra[v] && rb[v]) {
+				return false
+			}
+			if union.Contains(v) != (ra[v] || rb[v]) {
+				return false
+			}
+			if diff.Contains(v) != (ra[v] && !rb[v]) {
+				return false
+			}
+		}
+		if sa.IntersectionCount(sb) != inter.Count() {
+			return false
+		}
+		if sa.ContainsAll(inter) != true {
+			return false
+		}
+		if union.ContainsAll(sa) != true {
+			return false
+		}
+		if len(ra) != sa.Count() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickForEachOrder(t *testing.T) {
+	const n = 500
+	f := func(vals []uint16) bool {
+		s := New(n)
+		for _, v := range vals {
+			s.Add(int(v) % n)
+		}
+		prev := -1
+		ok := true
+		s.ForEach(func(i int) bool {
+			if i <= prev {
+				ok = false
+				return false
+			}
+			prev = i
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromSlice(100, []int32{1, 2, 3, 4})
+	seen := 0
+	s.ForEach(func(i int) bool {
+		seen++
+		return seen < 2
+	})
+	if seen != 2 {
+		t.Fatalf("early stop visited %d, want 2", seen)
+	}
+}
+
+func TestEqualAndCopyFrom(t *testing.T) {
+	a := FromSlice(100, []int32{1, 50, 99})
+	b := New(100)
+	if a.Equal(b) {
+		t.Fatal("different sets compare equal")
+	}
+	b.CopyFrom(a)
+	if !a.Equal(b) {
+		t.Fatal("CopyFrom result not equal")
+	}
+	if a.Equal(New(50)) {
+		t.Fatal("sets of different capacity compare equal")
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on capacity mismatch")
+		}
+	}()
+	New(10).IntersectWith(New(20))
+}
+
+func TestNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative capacity")
+		}
+	}()
+	New(-1)
+}
+
+func BenchmarkIntersectionCount(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 1 << 16
+	x, y := New(n), New(n)
+	for i := 0; i < n/4; i++ {
+		x.Add(rng.Intn(n))
+		y.Add(rng.Intn(n))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.IntersectionCount(y)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/scpm/scpm/internal/graph"
+)
+
+// jsonResult is the export schema: attribute sets and patterns with
+// names resolved, so the file is self-contained.
+type jsonResult struct {
+	Sets     []jsonSet     `json:"sets"`
+	Patterns []jsonPattern `json:"patterns"`
+	Stats    jsonStats     `json:"stats"`
+}
+
+type jsonSet struct {
+	Attrs   []string `json:"attrs"`
+	Support int      `json:"support"`
+	Epsilon float64  `json:"epsilon"`
+	ExpEps  float64  `json:"expected_epsilon"`
+	// Delta is serialized as a string so +Inf survives JSON.
+	Delta   string `json:"delta"`
+	Covered int    `json:"covered"`
+}
+
+type jsonPattern struct {
+	Attrs       []string `json:"attrs"`
+	Vertices    []string `json:"vertices"`
+	Size        int      `json:"size"`
+	Density     float64  `json:"density"`
+	EdgeDensity float64  `json:"edge_density"`
+	Edges       int      `json:"edges"`
+}
+
+type jsonStats struct {
+	SetsEvaluated   int64  `json:"sets_evaluated"`
+	SetsEmitted     int64  `json:"sets_emitted"`
+	PatternsEmitted int64  `json:"patterns_emitted"`
+	DurationMS      int64  `json:"duration_ms"`
+	Duration        string `json:"duration"`
+}
+
+// WriteJSON serializes the result (with vertex labels resolved via g)
+// as indented JSON.
+func (r *Result) WriteJSON(w io.Writer, g *graph.Graph) error {
+	out := jsonResult{
+		Stats: jsonStats{
+			SetsEvaluated:   r.Stats.SetsEvaluated,
+			SetsEmitted:     r.Stats.SetsEmitted,
+			PatternsEmitted: r.Stats.PatternsEmitted,
+			DurationMS:      r.Stats.Duration.Milliseconds(),
+			Duration:        r.Stats.Duration.String(),
+		},
+	}
+	for _, s := range r.Sets {
+		out.Sets = append(out.Sets, jsonSet{
+			Attrs:   s.Names,
+			Support: s.Support,
+			Epsilon: s.Epsilon,
+			ExpEps:  s.ExpEps,
+			Delta:   formatDelta(s.Delta),
+			Covered: s.Covered,
+		})
+	}
+	for _, p := range r.Patterns {
+		out.Patterns = append(out.Patterns, jsonPattern{
+			Attrs:       p.Names,
+			Vertices:    p.VertexNames(g),
+			Size:        p.Size(),
+			Density:     p.Density(),
+			EdgeDensity: p.EdgeDensity(),
+			Edges:       p.Edges,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteSetsCSV writes the attribute-set table as CSV with the columns
+// of the paper's case-study tables: attrs, support, epsilon,
+// expected_epsilon, delta, covered.
+func (r *Result) WriteSetsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"attrs", "support", "epsilon", "expected_epsilon", "delta", "covered"}); err != nil {
+		return err
+	}
+	for _, s := range r.Sets {
+		rec := []string{
+			strings.Join(s.Names, " "),
+			strconv.Itoa(s.Support),
+			strconv.FormatFloat(s.Epsilon, 'g', -1, 64),
+			strconv.FormatFloat(s.ExpEps, 'g', -1, 64),
+			formatDelta(s.Delta),
+			strconv.Itoa(s.Covered),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePatternsCSV writes the pattern table as CSV: attrs, vertices,
+// size, density, edge_density.
+func (r *Result) WritePatternsCSV(w io.Writer, g *graph.Graph) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"attrs", "vertices", "size", "density", "edge_density"}); err != nil {
+		return err
+	}
+	for _, p := range r.Patterns {
+		rec := []string{
+			strings.Join(p.Names, " "),
+			strings.Join(p.VertexNames(g), " "),
+			strconv.Itoa(p.Size()),
+			strconv.FormatFloat(p.Density(), 'g', -1, 64),
+			strconv.FormatFloat(p.EdgeDensity(), 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatDelta(d float64) string {
+	if math.IsInf(d, 1) {
+		return "inf"
+	}
+	return strconv.FormatFloat(d, 'g', -1, 64)
+}

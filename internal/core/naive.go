@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"github.com/scpm/scpm/internal/graph"
+	"github.com/scpm/scpm/internal/itemset"
+	"github.com/scpm/scpm/internal/quasiclique"
+)
+
+// MineNaive runs the naive algorithm of §3.1: Eclat enumerates every
+// frequent attribute set, and for each induced graph the complete set of
+// maximal quasi-cliques is mined. It produces the same output as Mine
+// (modulo run statistics) and serves as the performance baseline of the
+// paper's Figure 8.
+func MineNaive(g *graph.Graph, p Params) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	model := p.model(g)
+	qp := p.QuasiCliqueParams()
+	opts := p.qcOptions()
+
+	db := itemset.NewDatabase(g.NumVertices())
+	for a := int32(0); a < int32(g.NumAttributes()); a++ {
+		if err := db.AddItem(a, g.AttrMembers(a)); err != nil {
+			return nil, err
+		}
+	}
+	em := &itemset.Miner{MinSupport: p.SigmaMin, MaxLen: p.MaxAttrs}
+
+	res := &Result{}
+	var mineErr error
+	err := em.Mine(db, func(s itemset.Itemset) bool {
+		res.Stats.SetsEvaluated++
+		sub := g.InducedByMembers(s.Tids)
+		pats, err := quasiclique.EnumerateMaximal(quasiclique.NewGraph(sub.Adj), qp, opts)
+		if err != nil {
+			mineErr = err
+			return false
+		}
+		covered := make(map[int32]bool)
+		for _, q := range pats {
+			for _, lv := range q.Vertices {
+				covered[sub.Orig[lv]] = true
+			}
+		}
+		sigma := s.Support()
+		eps := 0.0
+		if sigma > 0 {
+			eps = float64(len(covered)) / float64(sigma)
+		}
+		expEps := model.Exp(sigma)
+		delta := normalizeDelta(eps, expEps)
+		if eps < p.EpsMin || delta < p.DeltaMin || len(s.Items) < p.minAttrs() {
+			return true
+		}
+		attrs := append([]int32(nil), s.Items...)
+		sort.Slice(attrs, func(i, j int) bool { return attrs[i] < attrs[j] })
+		res.Sets = append(res.Sets, AttributeSet{
+			Attrs:   attrs,
+			Names:   g.AttrSetNames(attrs),
+			Support: sigma,
+			Epsilon: eps,
+			ExpEps:  expEps,
+			Delta:   delta,
+			Covered: len(covered),
+		})
+		res.Stats.SetsEmitted++
+		if p.K > 0 || p.AllPatterns {
+			top := pats
+			if !p.AllPatterns && len(top) > p.K {
+				top = top[:p.K]
+			}
+			names := g.AttrSetNames(attrs)
+			for _, q := range top {
+				verts := make([]int32, len(q.Vertices))
+				for j, lv := range q.Vertices {
+					verts[j] = sub.Orig[lv]
+				}
+				res.Patterns = append(res.Patterns, Pattern{
+					Attrs:    attrs,
+					Names:    names,
+					Vertices: verts,
+					MinDeg:   q.MinDeg,
+					Edges:    q.Edges,
+				})
+				res.Stats.PatternsEmitted++
+			}
+		}
+		return true
+	})
+	if mineErr != nil {
+		return nil, mineErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	sortResult(res)
+	res.Stats.Duration = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,126 @@
+// Package core implements structural correlation pattern mining: the
+// SCPM algorithm (Algorithms 2–3 of the paper, with the pruning rules of
+// Theorems 3–5 and the BFS/DFS coverage search of §3.2.2) and the naive
+// baseline of §3.1 (Eclat × full quasi-clique enumeration).
+package core
+
+import (
+	"fmt"
+
+	"github.com/scpm/scpm/internal/graph"
+	"github.com/scpm/scpm/internal/nullmodel"
+	"github.com/scpm/scpm/internal/quasiclique"
+)
+
+// Params configures a mining run. The zero value is invalid; fill in at
+// least SigmaMin, Gamma, MinSize and K.
+type Params struct {
+	// SigmaMin is the minimum attribute-set support σmin (≥ 1).
+	SigmaMin int
+	// Gamma is the quasi-clique density threshold γmin ∈ (0, 1].
+	Gamma float64
+	// MinSize is the minimum quasi-clique size min_size (≥ 2).
+	MinSize int
+	// EpsMin is the minimum structural correlation εmin ∈ [0, 1].
+	EpsMin float64
+	// DeltaMin is the minimum normalized structural correlation δmin
+	// (≥ 0; 0 disables δ filtering and Theorem-5 pruning).
+	DeltaMin float64
+	// K is the number of top patterns reported per attribute set
+	// (size-first, density tie-break). 0 reports attribute sets only.
+	K int
+	// AllPatterns switches to SCORP-style mining (Silva et al., MLG
+	// 2010 — the paper's predecessor algorithm): the complete set of
+	// maximal quasi-cliques is reported for every qualifying attribute
+	// set and K is ignored. Substantially more expensive than top-k.
+	AllPatterns bool
+	// MinAttrs reports only attribute sets with at least this many
+	// attributes (the paper's case studies use 2 for DBLP). 0 means 1.
+	MinAttrs int
+	// MaxAttrs bounds the attribute-set size; 0 means unbounded.
+	MaxAttrs int
+	// Order selects the quasi-clique search strategy (SCPM-DFS or
+	// SCPM-BFS in the paper's performance study).
+	Order quasiclique.SearchOrder
+	// Parallelism is the number of worker goroutines mining top-level
+	// attribute subtrees; values ≤ 1 mean sequential.
+	Parallelism int
+	// Model supplies εexp for normalization. nil uses the analytical
+	// upper bound (δlb); plug a *nullmodel.Simulation for δsim.
+	Model nullmodel.Model
+
+	// SearchBudget bounds the number of quasi-clique search nodes per
+	// induced graph (0 = unbounded); exceeded budgets abort with
+	// quasiclique.ErrBudget.
+	SearchBudget int64
+
+	// Ablation switches (all false in normal operation).
+	//
+	// DisableVertexPruning turns off the Theorem-3 restriction of the
+	// coverage search to the parents' covered sets.
+	DisableVertexPruning bool
+	// DisableSetPruning turns off the Theorem-4/5 attribute-set
+	// pruning, so every frequent set is extended.
+	DisableSetPruning bool
+	// DisableLookahead, DisableDiameterPruning and DisableJumps are
+	// forwarded to the quasi-clique engine.
+	DisableLookahead       bool
+	DisableDiameterPruning bool
+	DisableJumps           bool
+}
+
+// Validate checks parameter ranges.
+func (p Params) Validate() error {
+	if p.SigmaMin < 1 {
+		return fmt.Errorf("core: SigmaMin must be ≥ 1, got %d", p.SigmaMin)
+	}
+	if err := p.QuasiCliqueParams().Validate(); err != nil {
+		return err
+	}
+	if p.EpsMin < 0 || p.EpsMin > 1 {
+		return fmt.Errorf("core: EpsMin %v outside [0,1]", p.EpsMin)
+	}
+	if p.DeltaMin < 0 {
+		return fmt.Errorf("core: DeltaMin %v negative", p.DeltaMin)
+	}
+	if p.K < 0 {
+		return fmt.Errorf("core: K %d negative", p.K)
+	}
+	if p.MinAttrs < 0 || p.MaxAttrs < 0 {
+		return fmt.Errorf("core: negative attribute-set size bound")
+	}
+	if p.MaxAttrs > 0 && p.minAttrs() > p.MaxAttrs {
+		return fmt.Errorf("core: MinAttrs %d exceeds MaxAttrs %d", p.MinAttrs, p.MaxAttrs)
+	}
+	return nil
+}
+
+// QuasiCliqueParams returns the embedded quasi-clique definition.
+func (p Params) QuasiCliqueParams() quasiclique.Params {
+	return quasiclique.Params{Gamma: p.Gamma, MinSize: p.MinSize}
+}
+
+func (p Params) minAttrs() int {
+	if p.MinAttrs <= 0 {
+		return 1
+	}
+	return p.MinAttrs
+}
+
+func (p Params) qcOptions() quasiclique.Options {
+	return quasiclique.Options{
+		Order:                  p.Order,
+		DisableLookahead:       p.DisableLookahead,
+		DisableDiameterPruning: p.DisableDiameterPruning,
+		DisableJumps:           p.DisableJumps,
+		MaxNodes:               p.SearchBudget,
+	}
+}
+
+// model resolves the null model, defaulting to the analytical bound.
+func (p Params) model(g *graph.Graph) nullmodel.Model {
+	if p.Model != nil {
+		return p.Model
+	}
+	return nullmodel.NewAnalytical(g, p.QuasiCliqueParams())
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Ranking selects the ordering criterion of TopSets.
+type Ranking int
+
+const (
+	// BySupport ranks by σ descending (first column block of Tables
+	// 2–4).
+	BySupport Ranking = iota
+	// ByEpsilon ranks by ε descending (second block).
+	ByEpsilon
+	// ByDelta ranks by δ descending (third block).
+	ByDelta
+)
+
+// String names the ranking for table headers.
+func (r Ranking) String() string {
+	switch r {
+	case BySupport:
+		return "σ"
+	case ByEpsilon:
+		return "ε"
+	default:
+		return "δ"
+	}
+}
+
+// TopSets returns the n best attribute sets under the given ranking,
+// breaking ties by the other metrics and finally canonically. Infinite
+// δ values rank first under ByDelta (they arise when εexp underflows).
+func TopSets(sets []AttributeSet, r Ranking, n int) []AttributeSet {
+	out := append([]AttributeSet(nil), sets...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		switch r {
+		case BySupport:
+			if a.Support != b.Support {
+				return a.Support > b.Support
+			}
+		case ByEpsilon:
+			if a.Epsilon != b.Epsilon {
+				return a.Epsilon > b.Epsilon
+			}
+		case ByDelta:
+			if a.Delta != b.Delta {
+				return greaterWithInf(a.Delta, b.Delta)
+			}
+		}
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		return lessAttrs(a.Attrs, b.Attrs)
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+func greaterWithInf(a, b float64) bool {
+	if math.IsInf(a, 1) {
+		return !math.IsInf(b, 1)
+	}
+	if math.IsInf(b, 1) {
+		return false
+	}
+	return a > b
+}
+
+// FormatSetsTable renders attribute sets as an aligned text table with
+// the σ/ε/δ columns of the paper's case-study tables.
+func FormatSetsTable(sets []AttributeSet) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-42s %8s %8s %12s\n", "S", "σ", "ε", "δ")
+	for _, s := range sets {
+		fmt.Fprintf(&sb, "%-42s %8d %8.3f %12.4g\n",
+			strings.Join(s.Names, " "), s.Support, s.Epsilon, s.Delta)
+	}
+	return sb.String()
+}
+
+// FormatPatternsTable renders patterns like Table 1.
+func FormatPatternsTable(pats []Pattern) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-52s %6s %6s\n", "pattern", "size", "γ")
+	for _, p := range pats {
+		fmt.Fprintf(&sb, "({%s},%v) %*d %6.2f\n",
+			strings.Join(p.Names, ","), p.Vertices,
+			52-len(patternPrefix(p))+6, p.Size(), p.Density())
+	}
+	return sb.String()
+}
+
+func patternPrefix(p Pattern) string {
+	return fmt.Sprintf("({%s},%v)", strings.Join(p.Names, ","), p.Vertices)
+}

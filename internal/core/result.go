@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/scpm/scpm/internal/graph"
+)
+
+// AttributeSet is one mined attribute set with its correlation metrics.
+type AttributeSet struct {
+	// Attrs are the attribute ids, ascending.
+	Attrs []int32
+	// Names are the attribute names, aligned with Attrs.
+	Names []string
+	// Support is σ(S) = |V(S)|.
+	Support int
+	// Epsilon is the structural correlation ε(S) = |K_S|/|V(S)|.
+	Epsilon float64
+	// ExpEps is εexp(σ(S)) under the run's null model.
+	ExpEps float64
+	// Delta is the normalized structural correlation ε/εexp (math.Inf
+	// when εexp underflows to 0 while ε > 0).
+	Delta float64
+	// Covered is |K_S|, the number of vertices inside quasi-cliques.
+	Covered int
+}
+
+// Key renders the attribute set canonically ("a,b,c") for map joins.
+func (s AttributeSet) Key() string { return strings.Join(s.Names, ",") }
+
+// String renders the set like the paper's tables.
+func (s AttributeSet) String() string {
+	return fmt.Sprintf("{%s} σ=%d ε=%.3f δ=%.3g", strings.Join(s.Names, " "), s.Support, s.Epsilon, s.Delta)
+}
+
+// Pattern is a structural correlation pattern (S, Q): a quasi-clique Q
+// of the graph induced by attribute set S.
+type Pattern struct {
+	// Attrs and Names identify S (ascending ids).
+	Attrs []int32
+	Names []string
+	// Vertices are Q's members as parent-graph vertex ids, ascending.
+	Vertices []int32
+	// MinDeg is the minimum internal degree of Q.
+	MinDeg int
+	// Edges is the number of internal edges of Q.
+	Edges int
+}
+
+// Size returns |Q|.
+func (p Pattern) Size() int { return len(p.Vertices) }
+
+// Density returns min_v deg_Q(v)/(|Q|−1) — the γ column of Table 1.
+func (p Pattern) Density() float64 {
+	if len(p.Vertices) <= 1 {
+		return 0
+	}
+	return float64(p.MinDeg) / float64(len(p.Vertices)-1)
+}
+
+// EdgeDensity returns 2|E_Q|/(|Q|(|Q|−1)).
+func (p Pattern) EdgeDensity() float64 {
+	s := len(p.Vertices)
+	if s <= 1 {
+		return 0
+	}
+	return 2 * float64(p.Edges) / float64(s*(s-1))
+}
+
+// VertexNames resolves Q's members to their labels in g.
+func (p Pattern) VertexNames(g *graph.Graph) []string {
+	out := make([]string, len(p.Vertices))
+	for i, v := range p.Vertices {
+		out[i] = g.VertexName(v)
+	}
+	return out
+}
+
+// String renders the pattern like the paper's Table 1 rows.
+func (p Pattern) String() string {
+	return fmt.Sprintf("({%s},%v) size=%d γ=%.2f",
+		strings.Join(p.Names, ","), p.Vertices, p.Size(), p.Density())
+}
+
+// Stats aggregates run counters.
+type Stats struct {
+	// SetsEvaluated counts attribute sets whose ε was computed.
+	SetsEvaluated int64
+	// SetsEmitted counts attribute sets passing all output thresholds.
+	SetsEmitted int64
+	// PatternsEmitted counts (S, Q) pairs reported.
+	PatternsEmitted int64
+	// Duration is the wall-clock mining time.
+	Duration time.Duration
+}
+
+// Result is the output of a mining run, canonically sorted (attribute
+// sets by size then lexicographic ids; patterns grouped per set, larger
+// and denser first).
+type Result struct {
+	Sets     []AttributeSet
+	Patterns []Pattern
+	Stats    Stats
+}
+
+// SetByNames finds an attribute set result by its names (any order),
+// or nil.
+func (r *Result) SetByNames(names ...string) *AttributeSet {
+	want := append([]string(nil), names...)
+	sort.Strings(want)
+	for i := range r.Sets {
+		got := append([]string(nil), r.Sets[i].Names...)
+		sort.Strings(got)
+		if len(got) != len(want) {
+			continue
+		}
+		match := true
+		for j := range got {
+			if got[j] != want[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return &r.Sets[i]
+		}
+	}
+	return nil
+}
+
+// PatternsOf returns the patterns mined for the given attribute ids.
+func (r *Result) PatternsOf(attrs []int32) []Pattern {
+	key := attrKey(attrs)
+	var out []Pattern
+	for _, p := range r.Patterns {
+		if attrKey(p.Attrs) == key {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func attrKey(attrs []int32) string {
+	var sb strings.Builder
+	for _, a := range attrs {
+		fmt.Fprintf(&sb, "%d,", a)
+	}
+	return sb.String()
+}
+
+// sortResult puts sets and patterns in canonical order.
+func sortResult(r *Result) {
+	sort.Slice(r.Sets, func(i, j int) bool {
+		return lessAttrs(r.Sets[i].Attrs, r.Sets[j].Attrs)
+	})
+	sort.Slice(r.Patterns, func(i, j int) bool {
+		a, b := r.Patterns[i], r.Patterns[j]
+		if c := compareAttrSlices(a.Attrs, b.Attrs); c != 0 {
+			return c < 0
+		}
+		if a.Size() != b.Size() {
+			return a.Size() > b.Size()
+		}
+		da, db := a.Density(), b.Density()
+		if da != db {
+			return da > db
+		}
+		return lessVertices(a.Vertices, b.Vertices)
+	})
+}
+
+func lessAttrs(a, b []int32) bool { return compareAttrSlices(a, b) < 0 }
+
+func compareAttrSlices(a, b []int32) int {
+	if len(a) != len(b) {
+		return len(a) - len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return int(a[i]) - int(b[i])
+		}
+	}
+	return 0
+}
+
+func lessVertices(a, b []int32) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// normalizeDelta computes δ = ε/εexp with the documented conventions.
+func normalizeDelta(eps, exp float64) float64 {
+	switch {
+	case exp > 0:
+		return eps / exp
+	case eps > 0:
+		return math.Inf(1)
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/scpm/scpm/internal/bitset"
+	"github.com/scpm/scpm/internal/graph"
+	"github.com/scpm/scpm/internal/nullmodel"
+	"github.com/scpm/scpm/internal/quasiclique"
+)
+
+// Mine runs the SCPM algorithm (Algorithm 2) on g and returns the
+// attribute sets satisfying σmin/εmin/δmin together with the top-k
+// structural correlation patterns of each.
+func Mine(g *graph.Graph, p Params) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	m := &miner{
+		g:      g,
+		p:      p,
+		qp:     p.QuasiCliqueParams(),
+		qcOpts: p.qcOptions(),
+		model:  p.model(g),
+	}
+	// Theorem 5's pruning bound needs εexp(σmin) once.
+	m.expSigmaMin = m.model.Exp(p.SigmaMin)
+
+	// Level 1 (Algorithm 2 lines 3–15): evaluate every frequent
+	// attribute. These evaluations are independent, so they parallelize
+	// directly.
+	singles := m.frequentSingles()
+	level1 := make([]evalOutcome, len(singles))
+	if err := m.forEach(len(singles), func(i int) error {
+		a := singles[i]
+		members := g.AttrMembers(a)
+		out, err := m.evaluate([]int32{a}, members, members)
+		if err != nil {
+			return err
+		}
+		level1[i] = out
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	var survivors []classItem
+	for _, out := range level1 {
+		m.collect(res, out)
+		if out.survive {
+			survivors = append(survivors, out.item)
+		}
+	}
+
+	// Extension ordering: ascending support keeps intermediate tidsets
+	// small (standard Eclat heuristic); ids break ties for determinism.
+	sort.Slice(survivors, func(i, j int) bool {
+		si, sj := survivors[i].members.Count(), survivors[j].members.Count()
+		if si != sj {
+			return si < sj
+		}
+		return survivors[i].attrs[0] < survivors[j].attrs[0]
+	})
+
+	// enumerate-patterns (Algorithm 3): each top-level subtree is
+	// independent given its right-sibling list, so subtrees parallelize.
+	buckets := make([]*Result, len(survivors))
+	if err := m.forEach(len(survivors), func(i int) error {
+		buckets[i] = &Result{}
+		return m.extendSubtree(survivors[i], survivors[i+1:], buckets[i])
+	}); err != nil {
+		return nil, err
+	}
+	for _, b := range buckets {
+		res.Sets = append(res.Sets, b.Sets...)
+		res.Patterns = append(res.Patterns, b.Patterns...)
+		res.Stats.SetsEvaluated += b.Stats.SetsEvaluated
+		res.Stats.SetsEmitted += b.Stats.SetsEmitted
+		res.Stats.PatternsEmitted += b.Stats.PatternsEmitted
+	}
+	res.Stats.SetsEvaluated += int64(len(level1))
+	sortResult(res)
+	res.Stats.Duration = time.Since(start)
+	return res, nil
+}
+
+// miner carries the immutable run state shared by all workers.
+type miner struct {
+	g           *graph.Graph
+	p           Params
+	qp          quasiclique.Params
+	qcOpts      quasiclique.Options
+	model       nullmodel.Model
+	expSigmaMin float64
+}
+
+// classItem is a node of the attribute-set search tree: the set, its
+// member vertices and its covered set K_S (Theorem 3 hands K_S down to
+// restrict the children's quasi-clique searches).
+type classItem struct {
+	attrs   []int32
+	members *bitset.Set
+	covered *bitset.Set
+}
+
+// evalOutcome couples an evaluated item with its bucket contributions.
+type evalOutcome struct {
+	item    classItem
+	survive bool
+	set     *AttributeSet
+	pats    []Pattern
+}
+
+// frequentSingles returns the attribute ids with support ≥ σmin,
+// ascending.
+func (m *miner) frequentSingles() []int32 {
+	var out []int32
+	for a := int32(0); a < int32(m.g.NumAttributes()); a++ {
+		if m.g.AttrSupport(a) >= m.p.SigmaMin {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// forEach runs fn(0..n-1) either sequentially or on the configured
+// worker pool, propagating the first error.
+func (m *miner) forEach(n int, fn func(i int) error) error {
+	workers := m.p.Parallelism
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+		rerr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if rerr != nil || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if rerr == nil {
+						rerr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return rerr
+}
+
+// extendSubtree explores all attribute sets extending item with
+// attributes from its right-sibling list (Algorithm 3), collecting
+// emissions into out.
+func (m *miner) extendSubtree(item classItem, siblings []classItem, out *Result) error {
+	if m.p.MaxAttrs > 0 && len(item.attrs) >= m.p.MaxAttrs {
+		return nil
+	}
+	var children []classItem
+	for _, sib := range siblings {
+		members := item.members.Intersect(sib.members)
+		if members.Count() < m.p.SigmaMin {
+			continue
+		}
+		attrs := append(append([]int32(nil), item.attrs...), sib.attrs[len(sib.attrs)-1])
+		// Theorem 3: quasi-cliques of G(S) lie inside both parents'
+		// covered sets, so the search may be restricted to their
+		// intersection.
+		candidates := members
+		if !m.p.DisableVertexPruning {
+			candidates = item.covered.Intersect(sib.covered)
+		}
+		res, err := m.evaluate(attrs, members, candidates)
+		if err != nil {
+			return err
+		}
+		out.Stats.SetsEvaluated++
+		m.collect(out, res)
+		if res.survive {
+			children = append(children, res.item)
+		}
+	}
+	for i := range children {
+		if err := m.extendSubtree(children[i], children[i+1:], out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evaluate computes ε(S) and δ(S) for one attribute set, decides
+// emission and survival, and mines the top-k patterns when S qualifies.
+//
+//   - members is V(S);
+//   - candidates ⊆ members restricts the coverage search (Theorem 3).
+func (m *miner) evaluate(attrs []int32, members, candidates *bitset.Set) (evalOutcome, error) {
+	sigma := members.Count()
+	sub := m.g.InducedByMembers(candidates)
+	cov, err := quasiclique.Coverage(quasiclique.NewGraph(sub.Adj), m.qp, m.qcOpts)
+	if err != nil {
+		return evalOutcome{}, err
+	}
+	covered := bitset.New(m.g.NumVertices())
+	cov.Covered.ForEach(func(local int) bool {
+		covered.Add(int(sub.Orig[local]))
+		return true
+	})
+	nCov := covered.Count()
+	eps := 0.0
+	if sigma > 0 {
+		eps = float64(nCov) / float64(sigma)
+	}
+	expEps := m.model.Exp(sigma)
+	delta := normalizeDelta(eps, expEps)
+
+	out := evalOutcome{item: classItem{attrs: attrs, members: members, covered: covered}}
+
+	// Theorem 4 (ε) and Theorem 5 (δ) survival bounds: a superset S'
+	// has ε(S')·σ(S') ≤ ε(S)·σ(S) = |K_S|, so S is extended only when
+	// |K_S| could still satisfy both output thresholds at support σmin.
+	if m.p.DisableSetPruning {
+		out.survive = true
+	} else {
+		kMass := float64(nCov)
+		out.survive = kMass >= m.p.EpsMin*float64(m.p.SigmaMin) &&
+			kMass >= m.p.DeltaMin*m.expSigmaMin*float64(m.p.SigmaMin)
+	}
+
+	if eps >= m.p.EpsMin && delta >= m.p.DeltaMin && len(attrs) >= m.p.minAttrs() {
+		sorted := append([]int32(nil), attrs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		out.set = &AttributeSet{
+			Attrs:   sorted,
+			Names:   m.g.AttrSetNames(sorted),
+			Support: sigma,
+			Epsilon: eps,
+			ExpEps:  expEps,
+			Delta:   delta,
+			Covered: nCov,
+		}
+		if (m.p.K > 0 || m.p.AllPatterns) && nCov > 0 {
+			pats, err := m.topPatterns(sorted, covered)
+			if err != nil {
+				return evalOutcome{}, err
+			}
+			out.pats = pats
+		}
+	}
+	return out, nil
+}
+
+// topPatterns mines the top-k quasi-cliques of G(S) — or, in SCORP
+// mode, all of them. Since every quasi-clique lives inside K_S, the
+// search runs on the covered set.
+func (m *miner) topPatterns(attrs []int32, covered *bitset.Set) ([]Pattern, error) {
+	sub := m.g.InducedByMembers(covered)
+	var top []quasiclique.Pattern
+	var err error
+	if m.p.AllPatterns {
+		top, err = quasiclique.EnumerateMaximal(quasiclique.NewGraph(sub.Adj), m.qp, m.qcOpts)
+	} else {
+		top, err = quasiclique.TopK(quasiclique.NewGraph(sub.Adj), m.qp, m.p.K, m.qcOpts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := m.g.AttrSetNames(attrs)
+	out := make([]Pattern, len(top))
+	for i, q := range top {
+		verts := make([]int32, len(q.Vertices))
+		for j, lv := range q.Vertices {
+			verts[j] = sub.Orig[lv]
+		}
+		out[i] = Pattern{
+			Attrs:    attrs,
+			Names:    names,
+			Vertices: verts,
+			MinDeg:   q.MinDeg,
+			Edges:    q.Edges,
+		}
+	}
+	return out, nil
+}
+
+// collect moves an outcome's emissions into a result bucket.
+func (m *miner) collect(res *Result, out evalOutcome) {
+	if out.set == nil {
+		return
+	}
+	res.Sets = append(res.Sets, *out.set)
+	res.Stats.SetsEmitted++
+	res.Patterns = append(res.Patterns, out.pats...)
+	res.Stats.PatternsEmitted += int64(len(out.pats))
+}

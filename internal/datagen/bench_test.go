@@ -1,0 +1,32 @@
+package datagen
+
+import "testing"
+
+func BenchmarkGenerateSmall(b *testing.B) {
+	c := smallConfig(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Generate(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateSmallDBLPProfile(b *testing.B) {
+	c := SmallDBLP(1).Config
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Generate(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkZipfSampler(b *testing.B) {
+	z := newZipfSampler(0.6, 5000)
+	rng := newRng(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.sample(rng)
+	}
+}

@@ -1,0 +1,361 @@
+// Package datagen generates synthetic attributed graphs that stand in
+// for the paper's DBLP, LastFm and CiteSeer crawls (see DESIGN.md §3 for
+// the substitution rationale). A generated graph is the superposition of
+//
+//   - a Chung–Lu background with power-law expected degrees (the heavy
+//     tail real co-authorship/friendship/citation graphs exhibit);
+//   - planted communities: dense Erdős–Rényi blocks over disjoint vertex
+//     groups, standing in for research groups / friend circles;
+//   - Zipf-popular background attributes (the "base/system/paper" head
+//     terms with high support and no structural correlation);
+//   - per-community topic attribute sets adopted by most members and
+//     sprinkled over random outsiders — these are the attribute sets
+//     that genuinely induce dense subgraphs, i.e. what SCPM should find.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"github.com/scpm/scpm/internal/graph"
+)
+
+// Config parameterizes one synthetic dataset.
+type Config struct {
+	// Name labels the dataset in reports.
+	Name string
+	// Seed drives all randomness; equal configs generate equal graphs.
+	Seed int64
+
+	// NumVertices is |V|.
+	NumVertices int
+
+	// AvgDegree is the target mean degree of the Chung–Lu background.
+	AvgDegree float64
+	// DegreeExponent is the power-law exponent of the expected degree
+	// sequence (> 2; real graphs sit around 2.1–3).
+	DegreeExponent float64
+	// MaxDegreeFactor caps hub expected degrees at this multiple of
+	// AvgDegree (0 = default 6). Without the cap Chung–Lu graphs grow a
+	// dense "rich club" of hubs that real collaboration/friendship
+	// graphs lack — and whose near-critical density makes quasi-clique
+	// refutation blow up.
+	MaxDegreeFactor float64
+
+	// VocabSize is the number of background attributes.
+	VocabSize int
+	// AttrsPerVertex is the mean number of background attributes per
+	// vertex (Poisson distributed).
+	AttrsPerVertex float64
+	// ZipfS is the Zipf exponent of background attribute popularity
+	// (> 0; larger = more skewed head). Values below 1 give the flat
+	// heads real term distributions show once the vocabulary is large
+	// relative to the corpus.
+	ZipfS float64
+	// PhraseProb is the probability that a drawn background attribute
+	// brings its phrase sibling along (words 2k and 2k+1 pair up).
+	// This models title/abstract bigrams — the reason generic pairs
+	// like "base system" have huge support in the paper's DBLP table —
+	// without it, independent draws make every pair support ≈ σ1·σ2/n.
+	PhraseProb float64
+
+	// NumCommunities is the number of planted communities.
+	NumCommunities int
+	// CommunitySizeMin/Max bound the (uniform) community sizes.
+	CommunitySizeMin int
+	CommunitySizeMax int
+	// IntraProb is the edge probability inside a community.
+	IntraProb float64
+	// TopicAttrs is the number of dedicated topic attributes per
+	// area (the attribute set that "explains" the area's communities).
+	TopicAttrs int
+	// NumAreas is the number of distinct topic attribute sets; the
+	// communities share them round-robin (several research groups work
+	// on the same topic). 0 means one area per community.
+	NumAreas int
+	// TopicAdoption is the probability that a member carries each of
+	// its community's topic attributes.
+	TopicAdoption float64
+	// TopicNoise scales how many random outsiders also carry a topic
+	// attribute: ⌈TopicNoise·size⌉ per community per attribute. This is
+	// what keeps topic support above σmin without those vertices being
+	// densely connected.
+	TopicNoise float64
+	// SparseFrac is the fraction of communities planted *without* the
+	// dense intra edges: their members carry the topic attributes but
+	// stay at background density, which drags ε(topic set) below 1 the
+	// way real datasets do.
+	SparseFrac float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.NumVertices < 1:
+		return fmt.Errorf("datagen: NumVertices %d < 1", c.NumVertices)
+	case c.AvgDegree < 0:
+		return fmt.Errorf("datagen: negative AvgDegree")
+	case c.AvgDegree > 0 && c.DegreeExponent <= 2:
+		return fmt.Errorf("datagen: DegreeExponent must be > 2, got %v", c.DegreeExponent)
+	case c.VocabSize < 0 || c.AttrsPerVertex < 0:
+		return fmt.Errorf("datagen: negative attribute config")
+	case c.VocabSize > 0 && c.AttrsPerVertex > 0 && c.ZipfS <= 0:
+		return fmt.Errorf("datagen: ZipfS must be > 0, got %v", c.ZipfS)
+	case c.NumCommunities < 0:
+		return fmt.Errorf("datagen: negative NumCommunities")
+	case c.NumCommunities > 0 && (c.CommunitySizeMin < 2 || c.CommunitySizeMax < c.CommunitySizeMin):
+		return fmt.Errorf("datagen: bad community size range [%d,%d]",
+			c.CommunitySizeMin, c.CommunitySizeMax)
+	case c.IntraProb < 0 || c.IntraProb > 1:
+		return fmt.Errorf("datagen: IntraProb %v outside [0,1]", c.IntraProb)
+	case c.TopicAdoption < 0 || c.TopicAdoption > 1:
+		return fmt.Errorf("datagen: TopicAdoption %v outside [0,1]", c.TopicAdoption)
+	case c.TopicNoise < 0:
+		return fmt.Errorf("datagen: negative TopicNoise")
+	case c.PhraseProb < 0 || c.PhraseProb > 1:
+		return fmt.Errorf("datagen: PhraseProb %v outside [0,1]", c.PhraseProb)
+	case c.NumAreas < 0:
+		return fmt.Errorf("datagen: negative NumAreas")
+	case c.SparseFrac < 0 || c.SparseFrac > 1:
+		return fmt.Errorf("datagen: SparseFrac %v outside [0,1]", c.SparseFrac)
+	case c.NumCommunities*c.CommunitySizeMax > c.NumVertices:
+		return fmt.Errorf("datagen: communities need up to %d vertices, graph has %d",
+			c.NumCommunities*c.CommunitySizeMax, c.NumVertices)
+	}
+	return nil
+}
+
+// GroundTruth records what was planted, for evaluation.
+type GroundTruth struct {
+	// Communities holds the member vertex ids of each community.
+	Communities [][]int32
+	// Topics holds the topic attribute names of each community,
+	// aligned with Communities (communities of one area share them).
+	Topics [][]string
+	// Dense flags communities that received intra edges.
+	Dense []bool
+	// Areas holds the distinct topic attribute sets.
+	Areas [][]string
+}
+
+// Generate builds the dataset. The same Config always yields the same
+// graph.
+func Generate(c Config) (*graph.Graph, *GroundTruth, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	n := c.NumVertices
+
+	// --- communities: disjoint chunks of a random permutation
+	perm := rng.Perm(n)
+	gt := &GroundTruth{}
+	next := 0
+	for ci := 0; ci < c.NumCommunities; ci++ {
+		size := c.CommunitySizeMin
+		if c.CommunitySizeMax > c.CommunitySizeMin {
+			size += rng.Intn(c.CommunitySizeMax - c.CommunitySizeMin + 1)
+		}
+		members := make([]int32, size)
+		for i := 0; i < size; i++ {
+			members[i] = int32(perm[next])
+			next++
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		gt.Communities = append(gt.Communities, members)
+	}
+
+	// --- attributes
+	b := graph.NewBuilder()
+	vertexAttrs := make([][]int32, n)
+
+	if c.VocabSize > 0 && c.AttrsPerVertex > 0 {
+		zipf := newZipfSampler(c.ZipfS, c.VocabSize)
+		for v := 0; v < n; v++ {
+			k := poisson(rng, c.AttrsPerVertex)
+			for i := 0; i < k; i++ {
+				w := zipf.sample(rng)
+				vertexAttrs[v] = append(vertexAttrs[v], b.InternAttr("w"+strconv.Itoa(w)))
+				if c.PhraseProb > 0 && rng.Float64() < c.PhraseProb {
+					sib := w ^ 1
+					if sib < c.VocabSize {
+						vertexAttrs[v] = append(vertexAttrs[v], b.InternAttr("w"+strconv.Itoa(sib)))
+					}
+				}
+			}
+		}
+	}
+	numAreas := c.NumAreas
+	if numAreas == 0 || numAreas > c.NumCommunities {
+		numAreas = c.NumCommunities
+	}
+	for ai := 0; ai < numAreas; ai++ {
+		var names []string
+		for t := 0; t < c.TopicAttrs; t++ {
+			names = append(names, "topic"+strconv.Itoa(ai)+"_"+strconv.Itoa(t))
+		}
+		gt.Areas = append(gt.Areas, names)
+	}
+	for ci, members := range gt.Communities {
+		var names []string
+		if numAreas > 0 {
+			names = gt.Areas[ci%numAreas]
+		}
+		for _, name := range names {
+			a := b.InternAttr(name)
+			for _, v := range members {
+				if rng.Float64() < c.TopicAdoption {
+					vertexAttrs[v] = append(vertexAttrs[v], a)
+				}
+			}
+			// sprinkle the topic over random outsiders so its support
+			// is not a perfect community indicator
+			noise := int(math.Ceil(c.TopicNoise * float64(len(members))))
+			for i := 0; i < noise; i++ {
+				vertexAttrs[rng.Intn(n)] = append(vertexAttrs[rng.Intn(n)], a)
+			}
+		}
+		gt.Topics = append(gt.Topics, names)
+		gt.Dense = append(gt.Dense, rng.Float64() >= c.SparseFrac)
+	}
+
+	for v := 0; v < n; v++ {
+		if _, err := b.AddVertexAttrIDs("v"+strconv.Itoa(v), vertexAttrs[v]); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// --- background edges (Chung–Lu)
+	if c.AvgDegree > 0 && n > 1 {
+		maxFactor := c.MaxDegreeFactor
+		if maxFactor <= 0 {
+			maxFactor = 6
+		}
+		addChungLuEdges(b, rng, n, c.AvgDegree, c.DegreeExponent, maxFactor*c.AvgDegree)
+	}
+
+	// --- community edges (dense communities only)
+	for ci, members := range gt.Communities {
+		if !gt.Dense[ci] {
+			continue
+		}
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				if rng.Float64() < c.IntraProb {
+					if err := b.AddEdge(members[i], members[j]); err != nil {
+						return nil, nil, err
+					}
+				}
+			}
+		}
+	}
+
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, gt, nil
+}
+
+// addChungLuEdges samples ~n·avg/2 edges with endpoint probability
+// proportional to power-law weights (truncated at wmax), approximating
+// a scale-free background without a dense hub core.
+func addChungLuEdges(b *graph.Builder, rng *rand.Rand, n int, avg, alpha, wmax float64) {
+	// Pareto weights with mean `avg`: wmin·(α−1)/(α−2) = avg.
+	wmin := avg * (alpha - 2) / (alpha - 1)
+	weights := make([]float64, n)
+	total := 0.0
+	for i := range weights {
+		w := wmin * math.Pow(1-rng.Float64(), -1/(alpha-1))
+		if w > wmax {
+			w = wmax
+		}
+		weights[i] = w
+		total += w
+	}
+	cum := make([]float64, n)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		cum[i] = acc
+	}
+	pick := func() int32 {
+		x := rng.Float64() * total
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return int32(lo)
+	}
+	m := int(float64(n) * avg / 2)
+	for i := 0; i < m; i++ {
+		u, v := pick(), pick()
+		if u == v {
+			continue
+		}
+		// Builder dedups parallel edges at Build time.
+		if err := b.AddEdge(u, v); err != nil {
+			panic(err) // unreachable: endpoints are always in range
+		}
+	}
+}
+
+// zipfSampler draws ranks 0..n−1 with P(k) ∝ 1/(k+1)^s for any s > 0
+// (math/rand's Zipf requires s > 1, which is too head-heavy for term
+// distributions over vocabularies large relative to the corpus).
+type zipfSampler struct {
+	cum []float64
+}
+
+func newZipfSampler(s float64, n int) *zipfSampler {
+	cum := make([]float64, n)
+	acc := 0.0
+	for k := 0; k < n; k++ {
+		acc += math.Pow(float64(k+1), -s)
+		cum[k] = acc
+	}
+	return &zipfSampler{cum: cum}
+}
+
+func (z *zipfSampler) sample(rng *rand.Rand) int {
+	x := rng.Float64() * z.cum[len(z.cum)-1]
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// poisson draws from Poisson(lambda) via Knuth's method (fine for the
+// small means used here).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k // guard against pathological lambdas
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/scpm/scpm/internal/core"
+)
+
+func smallConfig(seed int64) Config {
+	return Config{
+		Name:             "test",
+		Seed:             seed,
+		NumVertices:      600,
+		AvgDegree:        4,
+		DegreeExponent:   2.4,
+		VocabSize:        150,
+		AttrsPerVertex:   4,
+		ZipfS:            1.5,
+		NumCommunities:   12,
+		CommunitySizeMin: 6,
+		CommunitySizeMax: 10,
+		IntraProb:        0.8,
+		TopicAttrs:       2,
+		NumAreas:         4,
+		TopicAdoption:    0.9,
+		TopicNoise:       0.5,
+		SparseFrac:       0.25,
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	base := smallConfig(1)
+	mutations := []func(*Config){
+		func(c *Config) { c.NumVertices = 0 },
+		func(c *Config) { c.AvgDegree = -1 },
+		func(c *Config) { c.DegreeExponent = 2.0 },
+		func(c *Config) { c.ZipfS = 0 },
+		func(c *Config) { c.NumCommunities = -1 },
+		func(c *Config) { c.CommunitySizeMin = 1 },
+		func(c *Config) { c.CommunitySizeMax = 2 },
+		func(c *Config) { c.IntraProb = 1.5 },
+		func(c *Config) { c.TopicAdoption = -0.1 },
+		func(c *Config) { c.TopicNoise = -1 },
+		func(c *Config) { c.NumAreas = -2 },
+		func(c *Config) { c.SparseFrac = 2 },
+		func(c *Config) { c.NumCommunities = 200 }, // needs > NumVertices
+	}
+	for i, mut := range mutations {
+		c := base
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted: %+v", i, c)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("base config rejected: %v", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g1, gt1, err := Generate(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, gt2, err := Generate(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumVertices() != g2.NumVertices() || g1.NumEdges() != g2.NumEdges() ||
+		g1.NumAttributes() != g2.NumAttributes() {
+		t.Fatalf("same seed produced different graphs: %v vs %v", g1, g2)
+	}
+	for v := int32(0); v < int32(g1.NumVertices()); v++ {
+		if g1.Degree(v) != g2.Degree(v) {
+			t.Fatalf("vertex %d degree differs", v)
+		}
+	}
+	if len(gt1.Communities) != len(gt2.Communities) {
+		t.Fatal("ground truth differs")
+	}
+	g3, _, err := Generate(smallConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.NumEdges() == g1.NumEdges() && g3.NumAttributes() == g1.NumAttributes() {
+		t.Log("warning: different seed produced same shape (possible, unlikely)")
+	}
+}
+
+func TestGeneratedShape(t *testing.T) {
+	c := smallConfig(42)
+	g, gt, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != c.NumVertices {
+		t.Fatalf("|V| = %d", g.NumVertices())
+	}
+	// average degree should be within a factor ~2 of the target plus
+	// community edges
+	avg := g.AvgDegree()
+	if avg < c.AvgDegree/2 || avg > c.AvgDegree*3 {
+		t.Fatalf("avg degree %v far from target %v", avg, c.AvgDegree)
+	}
+	if len(gt.Communities) != c.NumCommunities {
+		t.Fatalf("communities = %d", len(gt.Communities))
+	}
+	if len(gt.Areas) != c.NumAreas {
+		t.Fatalf("areas = %d", len(gt.Areas))
+	}
+	// communities must be disjoint and within size bounds
+	seen := map[int32]bool{}
+	for ci, members := range gt.Communities {
+		if len(members) < c.CommunitySizeMin || len(members) > c.CommunitySizeMax {
+			t.Fatalf("community %d size %d outside [%d,%d]",
+				ci, len(members), c.CommunitySizeMin, c.CommunitySizeMax)
+		}
+		for _, v := range members {
+			if seen[v] {
+				t.Fatalf("vertex %d in two communities", v)
+			}
+			seen[v] = true
+		}
+	}
+	// topic attributes must exist with plausible support
+	for ci, names := range gt.Topics {
+		for _, name := range names {
+			id, ok := g.AttrID(name)
+			if !ok {
+				t.Fatalf("topic attr %s missing", name)
+			}
+			if g.AttrSupport(id) < len(gt.Communities[ci])/3 {
+				t.Fatalf("topic %s support %d suspiciously low", name, g.AttrSupport(id))
+			}
+		}
+	}
+	// dense flags populated
+	if len(gt.Dense) != c.NumCommunities {
+		t.Fatal("dense flags missing")
+	}
+}
+
+func TestDenseCommunitiesAreDenser(t *testing.T) {
+	c := smallConfig(99)
+	c.SparseFrac = 0.5
+	g, gt, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseSum, denseN, sparseSum, sparseN := 0.0, 0, 0.0, 0
+	for ci, members := range gt.Communities {
+		sub := g.InducedByVertices(members)
+		s := len(members)
+		density := 2 * float64(sub.NumEdges()) / float64(s*(s-1))
+		if gt.Dense[ci] {
+			denseSum += density
+			denseN++
+		} else {
+			sparseSum += density
+			sparseN++
+		}
+	}
+	if denseN == 0 || sparseN == 0 {
+		t.Skip("degenerate split")
+	}
+	if denseSum/float64(denseN) < 3*sparseSum/float64(sparseN) {
+		t.Fatalf("dense avg %v not ≫ sparse avg %v",
+			denseSum/float64(denseN), sparseSum/float64(sparseN))
+	}
+}
+
+func TestZipfHeadIsPopularButUncorrelated(t *testing.T) {
+	c := smallConfig(5)
+	g, _, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// background word w0 should have much higher support than topics
+	w0, ok := g.AttrID("w0")
+	if !ok {
+		t.Fatal("w0 missing")
+	}
+	t0, ok := g.AttrID("topic0_0")
+	if !ok {
+		t.Fatal("topic0_0 missing")
+	}
+	if g.AttrSupport(w0) < 2*g.AttrSupport(t0) {
+		t.Fatalf("head word support %d vs topic %d — Zipf head too weak",
+			g.AttrSupport(w0), g.AttrSupport(t0))
+	}
+}
+
+// TestTopicsAreRecovered is the key integration test: SCPM must surface
+// the planted topic sets with high ε, and the Zipf head words with low ε.
+func TestTopicsAreRecovered(t *testing.T) {
+	c := smallConfig(11)
+	g, gt, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Mine(g, core.Params{
+		SigmaMin: 8,
+		Gamma:    0.5,
+		MinSize:  4,
+		K:        1,
+		MaxAttrs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	var topicEps, headEps float64
+	for _, area := range gt.Areas {
+		if s := res.SetByNames(area...); s != nil && s.Epsilon > 0 {
+			found++
+			topicEps += s.Epsilon
+		}
+	}
+	if found < len(gt.Areas)/2 {
+		t.Fatalf("only %d/%d planted topic sets recovered", found, len(gt.Areas))
+	}
+	topicEps /= float64(found)
+	if w := res.SetByNames("w0"); w != nil {
+		headEps = w.Epsilon
+	}
+	if topicEps <= headEps {
+		t.Fatalf("topic ε %v not above head-word ε %v", topicEps, headEps)
+	}
+}
+
+func TestProfilesValidate(t *testing.T) {
+	for _, pr := range []Profile{
+		SynthDBLP(1), SynthLastFm(1), SynthCiteSeer(1), SmallDBLP(1),
+		SynthDBLP(0.1), SynthLastFm(0.1), SynthCiteSeer(0.1), SmallDBLP(0.1),
+	} {
+		if err := pr.Config.Validate(); err != nil {
+			t.Errorf("%s: %v", pr.Config.Name, err)
+		}
+		if pr.SigmaMin < 1 || pr.MinSize < 2 || pr.Gamma <= 0 {
+			t.Errorf("%s: bad mining params", pr.Config.Name)
+		}
+	}
+}
+
+func TestProfileGenerationSmallScale(t *testing.T) {
+	for _, pr := range []Profile{
+		SynthDBLP(0.08), SynthLastFm(0.08), SynthCiteSeer(0.08), SmallDBLP(0.15),
+	} {
+		g, gt, err := Generate(pr.Config)
+		if err != nil {
+			t.Fatalf("%s: %v", pr.Config.Name, err)
+		}
+		if g.NumVertices() == 0 || g.NumEdges() == 0 || g.NumAttributes() == 0 {
+			t.Fatalf("%s: degenerate graph %v", pr.Config.Name, g)
+		}
+		if len(gt.Communities) == 0 {
+			t.Fatalf("%s: no communities", pr.Config.Name)
+		}
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	rngLike := struct{ mean float64 }{3.0}
+	_ = rngLike
+	// mean of many draws should approximate lambda
+	sum := 0
+	const trials = 20000
+	rng := newRng(123)
+	for i := 0; i < trials; i++ {
+		sum += poisson(rng, 3.0)
+	}
+	mean := float64(sum) / trials
+	if math.Abs(mean-3.0) > 0.1 {
+		t.Fatalf("poisson mean = %v, want ≈3", mean)
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Fatal("non-positive lambda should give 0")
+	}
+}
+
+func TestQuickGenerateAlwaysBuilds(t *testing.T) {
+	f := func(seed int64) bool {
+		c := smallConfig(seed)
+		c.NumVertices = 200
+		c.NumCommunities = 5
+		g, gt, err := Generate(c)
+		if err != nil || g == nil || gt == nil {
+			return false
+		}
+		// no self loops, symmetric adjacency
+		for v := int32(0); v < int32(g.NumVertices()); v++ {
+			for _, u := range g.Neighbors(v) {
+				if u == v || !g.HasEdge(u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newRng is a tiny helper for tests.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

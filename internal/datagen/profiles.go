@@ -1,0 +1,157 @@
+package datagen
+
+import "math"
+
+// Profile couples a generator Config with the mining parameters the
+// experiment harness uses on it — the paper's per-dataset settings,
+// scaled to the synthetic sizes (DESIGN.md §3 documents the scaling).
+type Profile struct {
+	Config   Config
+	SigmaMin int
+	Gamma    float64
+	MinSize  int
+	// MinAttrs mirrors the paper's "attribute sets of size at least 2"
+	// filter for the DBLP case study.
+	MinAttrs int
+}
+
+// scaleInt scales a count, keeping at least min.
+func scaleInt(base int, scale float64, min int) int {
+	v := int(math.Round(float64(base) * scale))
+	if v < min {
+		return min
+	}
+	return v
+}
+
+// SynthDBLP approximates the DBLP co-authorship graph of §4.1.1
+// (108,030 vertices / 276,658 edges / 23,285 title-term attributes;
+// σmin=400, min_size=10, γmin=0.5, sets ≥ 2 attributes) at roughly 1/15
+// size by default (scale=1 → ~7,200 vertices). min_size shrinks with
+// the community sizes.
+func SynthDBLP(scale float64) Profile {
+	return Profile{
+		Config: Config{
+			Name:             "SynthDBLP",
+			Seed:             1201,
+			NumVertices:      scaleInt(7200, scale, 400),
+			AvgDegree:        5.1,
+			DegreeExponent:   2.3,
+			VocabSize:        scaleInt(1550, scale, 120),
+			AttrsPerVertex:   6,
+			ZipfS:            0.55,
+			PhraseProb:       0.35,
+			NumCommunities:   scaleInt(260, scale, 16),
+			CommunitySizeMin: 8,
+			CommunitySizeMax: 18,
+			IntraProb:        0.70,
+			TopicAttrs:       2,
+			NumAreas:         scaleInt(40, scale, 4),
+			TopicAdoption:    0.85,
+			TopicNoise:       1.0,
+			SparseFrac:       0.40,
+		},
+		SigmaMin: scaleInt(27, scale, 5),
+		Gamma:    0.5,
+		MinSize:  5,
+		MinAttrs: 2,
+	}
+}
+
+// SynthLastFm approximates the LastFm friendship graph of §4.1.2
+// (272,412 vertices / 350,239 edges / 3.93M artist attributes;
+// σmin=27,000 ≈ 10% of the users, min_size=5, γmin=0.5). Artists have
+// enormous supports driven by popularity, while the correlation signal
+// comes from small dense friend circles — hence the large TopicNoise.
+func SynthLastFm(scale float64) Profile {
+	return Profile{
+		Config: Config{
+			Name:             "SynthLastFm",
+			Seed:             1202,
+			NumVertices:      scaleInt(6000, scale, 400),
+			AvgDegree:        2.6,
+			DegreeExponent:   2.6,
+			VocabSize:        scaleInt(12000, scale, 400),
+			AttrsPerVertex:   25,
+			ZipfS:            0.75,
+			NumCommunities:   scaleInt(120, scale, 10),
+			CommunitySizeMin: 6,
+			CommunitySizeMax: 16,
+			IntraProb:        0.80,
+			TopicAttrs:       2,
+			NumAreas:         scaleInt(24, scale, 4),
+			TopicAdoption:    0.90,
+			TopicNoise:       9,
+			SparseFrac:       0.35,
+		},
+		SigmaMin: scaleInt(300, scale, 20),
+		Gamma:    0.5,
+		MinSize:  5,
+		MinAttrs: 1,
+	}
+}
+
+// SynthCiteSeer approximates the CiteSeerX citation graph of §4.1.3
+// (294,104 vertices / 782,147 edges / 206,430 abstract-term attributes;
+// σmin=2,000, min_size=5, γmin=0.5).
+func SynthCiteSeer(scale float64) Profile {
+	return Profile{
+		Config: Config{
+			Name:             "SynthCiteSeer",
+			Seed:             1203,
+			NumVertices:      scaleInt(7350, scale, 400),
+			AvgDegree:        5.3,
+			DegreeExponent:   2.2,
+			VocabSize:        scaleInt(5200, scale, 250),
+			AttrsPerVertex:   9,
+			ZipfS:            0.72,
+			PhraseProb:       0.30,
+			NumCommunities:   scaleInt(150, scale, 12),
+			CommunitySizeMin: 6,
+			CommunitySizeMax: 13,
+			IntraProb:        0.75,
+			TopicAttrs:       2,
+			NumAreas:         scaleInt(16, scale, 4),
+			TopicAdoption:    0.90,
+			TopicNoise:       2.0,
+			SparseFrac:       0.35,
+		},
+		SigmaMin: scaleInt(50, scale, 8),
+		Gamma:    0.5,
+		MinSize:  5,
+		MinAttrs: 2,
+	}
+}
+
+// SmallDBLP approximates the SmallDBLP performance dataset of §4.2
+// (32,908 vertices / 82,376 edges / 11,192 attributes; defaults
+// γmin=0.5, min_size=11, σmin=100, εmin=0.1, δmin=1, k=5) at ~1/14
+// size. The harness scales min_size to 5 and σmin to 12 accordingly.
+func SmallDBLP(scale float64) Profile {
+	return Profile{
+		Config: Config{
+			Name:             "SmallDBLP",
+			Seed:             1204,
+			NumVertices:      scaleInt(2400, scale, 300),
+			AvgDegree:        5.0,
+			DegreeExponent:   2.3,
+			VocabSize:        scaleInt(800, scale, 80),
+			AttrsPerVertex:   5,
+			ZipfS:            0.50,
+			PhraseProb:       0.35,
+			NumCommunities:   scaleInt(100, scale, 8),
+			CommunitySizeMin: 6,
+			CommunitySizeMax: 12,
+			IntraProb:        0.75,
+			TopicAttrs:       2,
+			NumAreas:         scaleInt(25, scale, 3),
+			TopicAdoption:    0.85,
+			TopicNoise:       1.0,
+			SparseFrac:       0.35,
+		},
+		SigmaMin: scaleInt(12, scale, 4),
+		Gamma:    0.5,
+		MinSize:  5,
+		MinAttrs: 1,
+	}
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/scpm/scpm/internal/core"
+	"github.com/scpm/scpm/internal/quasiclique"
+)
+
+// AblationPoint measures one SCPM variant.
+type AblationPoint struct {
+	Variant       string
+	Duration      time.Duration
+	SetsEvaluated int64
+	SetsEmitted   int64
+}
+
+// AblationResult is experiment E10: the contribution of each design
+// choice DESIGN.md calls out, measured by toggling it off.
+type AblationResult struct {
+	Dataset string
+	Points  []AblationPoint
+}
+
+// ablationVariants enumerates the toggles.
+var ablationVariants = []struct {
+	name string
+	mod  func(*core.Params)
+}{
+	{"scpm-dfs (full)", func(p *core.Params) {}},
+	{"scpm-bfs", func(p *core.Params) { p.Order = quasiclique.BFS }},
+	{"no vertex pruning (Thm 3)", func(p *core.Params) { p.DisableVertexPruning = true }},
+	{"no set pruning (Thms 4-5)", func(p *core.Params) { p.DisableSetPruning = true }},
+	{"no lookahead", func(p *core.Params) { p.DisableLookahead = true }},
+	{"no diameter pruning", func(p *core.Params) { p.DisableDiameterPruning = true }},
+	{"no forced-vertex jumps", func(p *core.Params) { p.DisableJumps = true }},
+	{"parallel x4", func(p *core.Params) { p.Parallelism = 4 }},
+}
+
+// Ablation runs every SCPM variant on the dataset with the Figure-8
+// default parameters and reports runtimes (best of three, to suppress
+// GC noise) and evaluation counts. All variants produce identical
+// output (verified by the core tests); only cost differs.
+func Ablation(d *Dataset) (*AblationResult, error) {
+	out := &AblationResult{Dataset: d.Name}
+	for _, v := range ablationVariants {
+		p := PerfBase(d)
+		v.mod(&p)
+		var best time.Duration
+		var res *core.Result
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			r, err := core.Mine(d.Graph, p)
+			if err != nil {
+				return nil, err
+			}
+			if el := time.Since(start); res == nil || el < best {
+				best, res = el, r
+			}
+		}
+		out.Points = append(out.Points, AblationPoint{
+			Variant:       v.name,
+			Duration:      best,
+			SetsEvaluated: res.Stats.SetsEvaluated,
+			SetsEmitted:   res.Stats.SetsEmitted,
+		})
+	}
+	return out, nil
+}
+
+// Format renders the ablation table.
+func (r *AblationResult) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — SCPM ablation (E10)\n", r.Dataset)
+	fmt.Fprintf(&sb, "%-28s %12s %10s %10s\n", "variant", "runtime", "evaluated", "emitted")
+	for _, p := range r.Points {
+		fmt.Fprintf(&sb, "%-28s %12s %10d %10d\n",
+			p.Variant, fmtDur(p.Duration), p.SetsEvaluated, p.SetsEmitted)
+	}
+	return sb.String()
+}

@@ -1,0 +1,77 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4) on the synthetic stand-in datasets. Each experiment
+// returns structured data plus a formatted text table; cmd/scpm-bench
+// prints them and the root bench_test.go wraps them in benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/scpm/scpm/internal/core"
+	"github.com/scpm/scpm/internal/datagen"
+	"github.com/scpm/scpm/internal/graph"
+)
+
+// Dataset is a generated graph with its profile and ground truth.
+type Dataset struct {
+	Name    string
+	Profile datagen.Profile
+	Graph   *graph.Graph
+	Truth   *datagen.GroundTruth
+}
+
+// Params returns the dataset's default mining parameters (the paper's
+// per-dataset settings, scaled).
+func (d *Dataset) Params() core.Params {
+	return core.Params{
+		SigmaMin: d.Profile.SigmaMin,
+		Gamma:    d.Profile.Gamma,
+		MinSize:  d.Profile.MinSize,
+		MinAttrs: d.Profile.MinAttrs,
+		K:        5,
+	}
+}
+
+var (
+	dsMu    sync.Mutex
+	dsCache = map[string]*Dataset{}
+)
+
+// Load generates (or returns the cached) dataset for a profile at the
+// given scale. Generation is deterministic, so caching is safe.
+func Load(name string, scale float64) (*Dataset, error) {
+	key := fmt.Sprintf("%s@%g", name, scale)
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	if d, ok := dsCache[key]; ok {
+		return d, nil
+	}
+	var prof datagen.Profile
+	switch name {
+	case "dblp":
+		prof = datagen.SynthDBLP(scale)
+	case "lastfm":
+		prof = datagen.SynthLastFm(scale)
+	case "citeseer":
+		prof = datagen.SynthCiteSeer(scale)
+	case "smalldblp":
+		prof = datagen.SmallDBLP(scale)
+	default:
+		return nil, fmt.Errorf("experiments: unknown dataset %q (want dblp, lastfm, citeseer or smalldblp)", name)
+	}
+	g, gt, err := datagen.Generate(prof.Config)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dataset{Name: prof.Config.Name, Profile: prof, Graph: g, Truth: gt}
+	dsCache[key] = d
+	return d, nil
+}
+
+// Summary describes the dataset like the paper's dataset paragraphs.
+func (d *Dataset) Summary() string {
+	return fmt.Sprintf("%s: %d vertices, %d edges, %d attributes (σmin=%d, γmin=%g, min_size=%d)",
+		d.Name, d.Graph.NumVertices(), d.Graph.NumEdges(), d.Graph.NumAttributes(),
+		d.Profile.SigmaMin, d.Profile.Gamma, d.Profile.MinSize)
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/scpm/scpm/internal/core"
+	"github.com/scpm/scpm/internal/quasiclique"
+)
+
+// PerfPoint is one x-value of a Figure-8 panel: wall-clock runtimes of
+// the three algorithms.
+type PerfPoint struct {
+	X     float64
+	Naive time.Duration
+	BFS   time.Duration
+	DFS   time.Duration
+	// Sets is the number of attribute sets SCPM-DFS emitted (sanity
+	// signal that the sweep actually changes the workload).
+	Sets int
+}
+
+// PerfResult is one panel of Figure 8 (runtime vs one parameter).
+type PerfResult struct {
+	Dataset string
+	Varying string
+	Points  []PerfPoint
+	// SkippedNaive is set when the naive baseline was disabled.
+	SkippedNaive bool
+}
+
+// PerfBase returns the paper's §4.2 default parameters scaled to the
+// SmallDBLP profile: γmin=0.5, min_size (scaled 11→profile), σmin
+// (scaled 100→profile), εmin=0.1, δmin=1, k=5.
+func PerfBase(d *Dataset) core.Params {
+	p := d.Params()
+	p.EpsMin = 0.1
+	p.DeltaMin = 1
+	p.K = 5
+	p.MinAttrs = 1
+	p.MaxAttrs = 4
+	return p
+}
+
+// applyVarying sets one swept parameter.
+func applyVarying(p core.Params, varying string, v float64) (core.Params, error) {
+	switch varying {
+	case "gamma":
+		p.Gamma = v
+	case "min_size":
+		p.MinSize = int(v)
+	case "sigma_min":
+		p.SigmaMin = int(v)
+	case "eps_min":
+		p.EpsMin = v
+	case "delta_min":
+		p.DeltaMin = v
+	case "k":
+		p.K = int(v)
+	default:
+		return p, fmt.Errorf("experiments: unknown perf parameter %q", varying)
+	}
+	return p, nil
+}
+
+// Perf runs one Figure-8 panel: for each value of the varying parameter
+// it times Naive, SCPM-BFS and SCPM-DFS (the naive baseline can be
+// skipped for quick runs). Each timing is the best of `repeats` runs
+// (≥ 1) to suppress GC noise.
+func Perf(d *Dataset, varying string, values []float64, withNaive bool, repeats int) (*PerfResult, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	out := &PerfResult{Dataset: d.Name, Varying: varying, SkippedNaive: !withNaive}
+	for _, v := range values {
+		p, err := applyVarying(PerfBase(d), varying, v)
+		if err != nil {
+			return nil, err
+		}
+		pt := PerfPoint{X: v}
+
+		p.Order = quasiclique.DFS
+		var res *core.Result
+		pt.DFS, res, err = bestOf(repeats, func() (*core.Result, error) { return core.Mine(d.Graph, p) })
+		if err != nil {
+			return nil, err
+		}
+		pt.Sets = len(res.Sets)
+
+		p.Order = quasiclique.BFS
+		pt.BFS, _, err = bestOf(repeats, func() (*core.Result, error) { return core.Mine(d.Graph, p) })
+		if err != nil {
+			return nil, err
+		}
+
+		if withNaive {
+			pt.Naive, _, err = bestOf(repeats, func() (*core.Result, error) { return core.MineNaive(d.Graph, p) })
+			if err != nil {
+				return nil, err
+			}
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// bestOf times fn n times and returns the fastest run.
+func bestOf(n int, fn func() (*core.Result, error)) (time.Duration, *core.Result, error) {
+	var best time.Duration
+	var res *core.Result
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		r, err := fn()
+		if err != nil {
+			return 0, nil, err
+		}
+		d := time.Since(start)
+		if res == nil || d < best {
+			best, res = d, r
+		}
+	}
+	return best, res, nil
+}
+
+// Format renders the panel as a text table with speedup columns.
+func (r *PerfResult) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — runtime vs %s\n", r.Dataset, r.Varying)
+	fmt.Fprintf(&sb, "%10s %12s %12s %12s %10s %6s\n",
+		r.Varying, "Naive", "SCPM-BFS", "SCPM-DFS", "speedup", "sets")
+	for _, p := range r.Points {
+		speedup := "-"
+		naive := "-"
+		if !r.SkippedNaive {
+			naive = fmtDur(p.Naive)
+			if p.DFS > 0 {
+				speedup = fmt.Sprintf("%.1fx", float64(p.Naive)/float64(p.DFS))
+			}
+		}
+		fmt.Fprintf(&sb, "%10.3g %12s %12s %12s %10s %6d\n",
+			p.X, naive, fmtDur(p.BFS), fmtDur(p.DFS), speedup, p.Sets)
+	}
+	return sb.String()
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(10 * time.Microsecond).String()
+}
+
+// DefaultPerfSweeps returns the paper's Figure-8 sweeps scaled to the
+// synthetic SmallDBLP (min_size 11–15 → 4–8, σmin 150–350 → 15–35).
+func DefaultPerfSweeps(d *Dataset) map[string][]float64 {
+	base := PerfBase(d)
+	return map[string][]float64{
+		"gamma":     {0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+		"min_size":  {float64(base.MinSize - 1), float64(base.MinSize), float64(base.MinSize + 1), float64(base.MinSize + 2), float64(base.MinSize + 3)},
+		"sigma_min": {float64(base.SigmaMin), float64(base.SigmaMin) * 1.5, float64(base.SigmaMin) * 2, float64(base.SigmaMin) * 2.5, float64(base.SigmaMin) * 3},
+		"eps_min":   {0.10, 0.15, 0.20, 0.25},
+		"delta_min": {10, 20, 30, 40, 50},
+		"k":         {1, 2, 4, 8, 16},
+	}
+}
+
+// PerfPanels lists the panels in the paper's order (Figure 8a–8f).
+var PerfPanels = []string{"gamma", "min_size", "sigma_min", "eps_min", "delta_min", "k"}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/scpm/scpm/internal/core"
+)
+
+// SensitivityPoint is one x-value of a Figure-10 panel: the average ε
+// and δ over the complete output ("global") and over the top-10% sets.
+type SensitivityPoint struct {
+	X           float64
+	GlobalEps   float64
+	TopEps      float64
+	GlobalDelta float64
+	TopDelta    float64
+	Sets        int
+}
+
+// SensitivityResult is one panel of Figure 10.
+type SensitivityResult struct {
+	Dataset string
+	Varying string
+	Points  []SensitivityPoint
+}
+
+// Sensitivity runs one Figure-10 panel: for each parameter value it
+// mines the complete output (εmin = δmin = 0, K = 0) and averages ε and
+// δ globally and over the top 10% (ranked by the respective metric,
+// following §4.3). Infinite δ values (εexp underflow) are excluded from
+// the averages.
+func Sensitivity(d *Dataset, varying string, values []float64) (*SensitivityResult, error) {
+	out := &SensitivityResult{Dataset: d.Name, Varying: varying}
+	for _, v := range values {
+		base := d.Params()
+		base.EpsMin = 0
+		base.DeltaMin = 0
+		base.K = 0
+		base.MinAttrs = 1
+		base.MaxAttrs = 4
+		p, err := applyVarying(base, varying, v)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Mine(d.Graph, p)
+		if err != nil {
+			return nil, err
+		}
+		pt := SensitivityPoint{X: v, Sets: len(res.Sets)}
+		pt.GlobalEps, pt.TopEps = avgAndTop(res.Sets, func(s core.AttributeSet) float64 { return s.Epsilon })
+		pt.GlobalDelta, pt.TopDelta = avgAndTop(res.Sets, func(s core.AttributeSet) float64 { return s.Delta })
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// avgAndTop returns the mean of metric over all sets and over the top
+// 10% (at least one set), skipping non-finite values.
+func avgAndTop(sets []core.AttributeSet, metric func(core.AttributeSet) float64) (global, top float64) {
+	var vals []float64
+	for _, s := range sets {
+		if v := metric(s); !math.IsInf(v, 0) && !math.IsNaN(v) {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	global = sum / float64(len(vals))
+	nTop := len(vals) / 10
+	if nTop < 1 {
+		nTop = 1
+	}
+	sumTop := 0.0
+	for _, v := range vals[:nTop] {
+		sumTop += v
+	}
+	return global, sumTop / float64(nTop)
+}
+
+// Format renders the panel.
+func (r *SensitivityResult) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — parameter sensitivity vs %s\n", r.Dataset, r.Varying)
+	fmt.Fprintf(&sb, "%10s %12s %12s %14s %14s %6s\n",
+		r.Varying, "avg ε", "top10%% ε", "avg δ", "top10%% δ", "sets")
+	for _, p := range r.Points {
+		fmt.Fprintf(&sb, "%10.3g %12.4f %12.4f %14.5g %14.5g %6d\n",
+			p.X, p.GlobalEps, p.TopEps, p.GlobalDelta, p.TopDelta, p.Sets)
+	}
+	return sb.String()
+}
+
+// DefaultSensitivitySweeps returns the Figure-10 sweeps (γmin,
+// min_size, σmin) scaled to the dataset profile.
+func DefaultSensitivitySweeps(d *Dataset) map[string][]float64 {
+	base := d.Params()
+	return map[string][]float64{
+		"gamma":     {0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+		"min_size":  {float64(base.MinSize - 1), float64(base.MinSize), float64(base.MinSize + 1), float64(base.MinSize + 2), float64(base.MinSize + 3)},
+		"sigma_min": {float64(base.SigmaMin), float64(base.SigmaMin) * 1.5, float64(base.SigmaMin) * 2, float64(base.SigmaMin) * 2.5, float64(base.SigmaMin) * 3},
+	}
+}
+
+// SensitivityPanels lists the panels in the paper's order (Figure 10).
+var SensitivityPanels = []string{"gamma", "min_size", "sigma_min"}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/scpm/scpm/internal/core"
+	"github.com/scpm/scpm/internal/graph"
+)
+
+// Table1Result is experiment E1: the worked example of §2.1.2. The
+// paper's Table 1 lists seven patterns; this experiment mines the
+// Figure-1 graph and reports them next to the expected rows.
+type Table1Result struct {
+	Result *core.Result
+	Graph  *graph.Graph
+	// Match reports whether the mined output equals Table 1 exactly.
+	Match bool
+	// Mismatches lists any deviations (empty on success).
+	Mismatches []string
+}
+
+// table1Expected holds the paper's Table 1 rows: attribute set,
+// vertex names, size, γ, σ and ε.
+var table1Expected = []struct {
+	attrs   string
+	verts   string
+	size    int
+	gamma   float64
+	sigma   int
+	epsilon float64
+}{
+	{"A", "6 7 8 9 10 11", 6, 0.60, 11, 0.82},
+	{"A", "3 4 5 6", 4, 1.00, 11, 0.82},
+	{"A", "3 4 6 7", 4, 0.67, 11, 0.82},
+	{"A", "3 5 6 7", 4, 0.67, 11, 0.82},
+	{"A", "3 6 7 8", 4, 0.67, 11, 0.82},
+	{"B", "6 7 8 9 10 11", 6, 0.60, 6, 1.00},
+	{"A,B", "6 7 8 9 10 11", 6, 0.60, 6, 1.00},
+}
+
+// Table1 runs E1 with the paper's parameters (σmin=3, γmin=0.6,
+// min_size=4, εmin=0.5).
+func Table1() (*Table1Result, error) {
+	g := graph.PaperExample()
+	res, err := core.Mine(g, core.Params{
+		SigmaMin: 3,
+		Gamma:    0.6,
+		MinSize:  4,
+		EpsMin:   0.5,
+		K:        10,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Table1Result{Result: res, Graph: g, Match: true}
+
+	got := map[string]core.Pattern{}
+	for _, p := range res.Patterns {
+		key := strings.Join(p.Names, ",") + "|" + strings.Join(p.VertexNames(g), " ")
+		got[key] = p
+	}
+	if len(res.Patterns) != len(table1Expected) {
+		out.Match = false
+		out.Mismatches = append(out.Mismatches,
+			fmt.Sprintf("pattern count %d, want %d", len(res.Patterns), len(table1Expected)))
+	}
+	for _, want := range table1Expected {
+		p, ok := got[want.attrs+"|"+want.verts]
+		if !ok {
+			out.Match = false
+			out.Mismatches = append(out.Mismatches,
+				fmt.Sprintf("missing pattern ({%s},{%s})", want.attrs, want.verts))
+			continue
+		}
+		if p.Size() != want.size {
+			out.Match = false
+			out.Mismatches = append(out.Mismatches,
+				fmt.Sprintf("({%s},{%s}): size %d, want %d", want.attrs, want.verts, p.Size(), want.size))
+		}
+		if diff := p.Density() - want.gamma; diff > 0.005 || diff < -0.005 {
+			out.Match = false
+			out.Mismatches = append(out.Mismatches,
+				fmt.Sprintf("({%s},{%s}): γ %.2f, want %.2f", want.attrs, want.verts, p.Density(), want.gamma))
+		}
+	}
+	return out, nil
+}
+
+// Format renders the experiment like the paper's Table 1 with a
+// paper-vs-measured verdict line.
+func (r *Table1Result) Format() string {
+	var sb strings.Builder
+	sb.WriteString("E1 / Table 1 — patterns from the Figure-1 example graph\n")
+	sb.WriteString(fmt.Sprintf("%-34s %5s %6s %4s %6s\n", "pattern", "size", "γ", "σ", "ε"))
+	for _, p := range r.Result.Patterns {
+		set := r.Result.SetByNames(p.Names...)
+		sb.WriteString(fmt.Sprintf("({%s},{%s}) %*d %6.2f %4d %6.2f\n",
+			strings.Join(p.Names, ","), strings.Join(p.VertexNames(r.Graph), " "),
+			34-2-len(strings.Join(p.Names, ","))-len(strings.Join(p.VertexNames(r.Graph), " "))-4+5,
+			p.Size(), p.Density(), set.Support, set.Epsilon))
+	}
+	if r.Match {
+		sb.WriteString("verdict: matches Table 1 of the paper exactly\n")
+	} else {
+		sb.WriteString("verdict: MISMATCH\n")
+		for _, m := range r.Mismatches {
+			sb.WriteString("  " + m + "\n")
+		}
+	}
+	return sb.String()
+}

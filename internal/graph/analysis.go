@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/scpm/scpm/internal/bitset"
+)
+
+// ConnectedComponents returns the vertex sets of G's connected
+// components, largest first (ties by smallest member).
+func (g *Graph) ConnectedComponents() [][]int32 {
+	n := g.NumVertices()
+	seen := bitset.New(n)
+	var comps [][]int32
+	var stack []int32
+	for s := 0; s < n; s++ {
+		if seen.Contains(s) {
+			continue
+		}
+		seen.Add(s)
+		stack = append(stack[:0], int32(s))
+		var comp []int32
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, u := range g.adj[v] {
+				if !seen.Contains(int(u)) {
+					seen.Add(int(u))
+					stack = append(stack, u)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if len(comps[i]) != len(comps[j]) {
+			return len(comps[i]) > len(comps[j])
+		}
+		return comps[i][0] < comps[j][0]
+	})
+	return comps
+}
+
+// LocalClustering returns the local clustering coefficient of v: the
+// fraction of pairs of v's neighbors that are themselves adjacent.
+// Vertices of degree < 2 have coefficient 0.
+func (g *Graph) LocalClustering(v int32) float64 {
+	nbrs := g.adj[v]
+	d := len(nbrs)
+	if d < 2 {
+		return 0
+	}
+	links := 0
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			if g.HasEdge(nbrs[i], nbrs[j]) {
+				links++
+			}
+		}
+	}
+	return 2 * float64(links) / float64(d*(d-1))
+}
+
+// AvgClustering returns the mean local clustering coefficient over all
+// vertices (degree-<2 vertices contribute 0, the common convention).
+func (g *Graph) AvgClustering() float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	s := 0.0
+	for v := int32(0); v < int32(n); v++ {
+		s += g.LocalClustering(v)
+	}
+	return s / float64(n)
+}
+
+// Triangles returns the number of triangles in G.
+func (g *Graph) Triangles() int64 {
+	var t int64
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		nbrs := g.adj[v]
+		for i := 0; i < len(nbrs); i++ {
+			if nbrs[i] < v {
+				continue
+			}
+			for j := i + 1; j < len(nbrs); j++ {
+				if g.HasEdge(nbrs[i], nbrs[j]) {
+					t++
+				}
+			}
+		}
+	}
+	return t
+}
+
+// Summary describes G's shape for dataset reports.
+type Summary struct {
+	Vertices      int
+	Edges         int
+	Attributes    int
+	AvgDegree     float64
+	MaxDegree     int
+	Components    int
+	LargestComp   int
+	AvgClustering float64
+	// TopAttrSupports holds the supports of the most frequent
+	// attributes, descending.
+	TopAttrSupports []int
+}
+
+// Summarize computes a Summary (topAttrs bounds the support list).
+func Summarize(g *Graph, topAttrs int) Summary {
+	comps := g.ConnectedComponents()
+	largest := 0
+	if len(comps) > 0 {
+		largest = len(comps[0])
+	}
+	sups := make([]int, g.NumAttributes())
+	for a := range sups {
+		sups[a] = g.AttrSupport(int32(a))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sups)))
+	if len(sups) > topAttrs {
+		sups = sups[:topAttrs]
+	}
+	return Summary{
+		Vertices:        g.NumVertices(),
+		Edges:           g.NumEdges(),
+		Attributes:      g.NumAttributes(),
+		AvgDegree:       g.AvgDegree(),
+		MaxDegree:       g.MaxDegree(),
+		Components:      len(comps),
+		LargestComp:     largest,
+		AvgClustering:   g.AvgClustering(),
+		TopAttrSupports: sups,
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("|V|=%d |E|=%d |A|=%d avg_deg=%.2f max_deg=%d comps=%d (largest %d) clustering=%.3f",
+		s.Vertices, s.Edges, s.Attributes, s.AvgDegree, s.MaxDegree,
+		s.Components, s.LargestComp, s.AvgClustering)
+}

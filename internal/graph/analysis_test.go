@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func buildTrianglePlusEdge(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		if _, err := b.AddVertex(n, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// triangle a-b-c, separate edge d-e
+	for _, e := range [][2]int32{{0, 1}, {1, 2}, {0, 2}, {3, 4}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return mustBuild(t, b)
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := buildTrianglePlusEdge(t)
+	comps := g.ConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("components = %v", comps)
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 2 {
+		t.Fatalf("sizes: %v", comps)
+	}
+	if comps[0][0] != 0 || comps[1][0] != 3 {
+		t.Fatalf("members: %v", comps)
+	}
+}
+
+func TestClusteringAndTriangles(t *testing.T) {
+	g := buildTrianglePlusEdge(t)
+	if got := g.LocalClustering(0); got != 1 {
+		t.Fatalf("triangle vertex clustering = %v", got)
+	}
+	if got := g.LocalClustering(3); got != 0 {
+		t.Fatalf("degree-1 vertex clustering = %v", got)
+	}
+	if got := g.Triangles(); got != 1 {
+		t.Fatalf("triangles = %d", got)
+	}
+	want := 3.0 / 5.0
+	if got := g.AvgClustering(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("avg clustering = %v, want %v", got, want)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := buildTrianglePlusEdge(t)
+	s := Summarize(g, 3)
+	if s.Vertices != 5 || s.Edges != 4 || s.Attributes != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Components != 2 || s.LargestComp != 3 {
+		t.Fatalf("components: %+v", s)
+	}
+	if len(s.TopAttrSupports) != 1 || s.TopAttrSupports[0] != 5 {
+		t.Fatalf("supports: %v", s.TopAttrSupports)
+	}
+	if s.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	g := mustBuild(t, NewBuilder())
+	s := Summarize(g, 5)
+	if s.Vertices != 0 || s.Components != 0 || s.LargestComp != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if g.AvgClustering() != 0 {
+		t.Fatal("empty clustering")
+	}
+}
+
+func TestQuickComponentsPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 40, 0.05)
+		comps := g.ConnectedComponents()
+		seen := map[int32]int{}
+		total := 0
+		for _, comp := range comps {
+			total += len(comp)
+			for _, v := range comp {
+				seen[v]++
+			}
+		}
+		if total != g.NumVertices() || len(seen) != g.NumVertices() {
+			return false
+		}
+		// edges never cross components
+		compOf := map[int32]int{}
+		for ci, comp := range comps {
+			for _, v := range comp {
+				compOf[v] = ci
+			}
+		}
+		for v := int32(0); v < int32(g.NumVertices()); v++ {
+			for _, u := range g.Neighbors(v) {
+				if compOf[v] != compOf[u] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTrianglesConsistentWithClustering(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 25, 0.2)
+		// sum over v of (links among neighbors) = 3 * triangles
+		var sum int64
+		for v := int32(0); v < int32(g.NumVertices()); v++ {
+			nbrs := g.Neighbors(v)
+			for i := 0; i < len(nbrs); i++ {
+				for j := i + 1; j < len(nbrs); j++ {
+					if g.HasEdge(nbrs[i], nbrs[j]) {
+						sum++
+					}
+				}
+			}
+		}
+		return sum == 3*g.Triangles()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

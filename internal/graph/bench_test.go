@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+func benchAttrGraph(b *testing.B, n int) *Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(11))
+	bl := NewBuilder()
+	attrs := make([]string, 40)
+	for i := range attrs {
+		attrs[i] = "a" + strconv.Itoa(i)
+	}
+	for v := 0; v < n; v++ {
+		var va []string
+		for _, a := range attrs[:10] {
+			if rng.Float64() < 0.3 {
+				va = append(va, a)
+			}
+		}
+		if _, err := bl.AddVertex("v"+strconv.Itoa(v), va...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m := n * 3
+	for i := 0; i < m; i++ {
+		u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if u != v {
+			if err := bl.AddEdge(u, v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	g, err := bl.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = benchAttrGraph(b, 2000)
+	}
+}
+
+func BenchmarkInducedByAttrs(b *testing.B) {
+	g := benchAttrGraph(b, 5000)
+	a0, _ := g.AttrID("a0")
+	a1, _ := g.AttrID("a1")
+	S := []int32{a0, a1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.InducedByAttrs(S)
+	}
+}
+
+func BenchmarkMembers(b *testing.B) {
+	g := benchAttrGraph(b, 5000)
+	a0, _ := g.AttrID("a0")
+	a1, _ := g.AttrID("a1")
+	S := []int32{a0, a1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Members(S)
+	}
+}
+
+func BenchmarkHasEdge(b *testing.B) {
+	g := benchAttrGraph(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.HasEdge(int32(i%5000), int32((i*7)%5000))
+	}
+}
+
+func BenchmarkConnectedComponents(b *testing.B) {
+	g := benchAttrGraph(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.ConnectedComponents()
+	}
+}
+
+func BenchmarkAvgClustering(b *testing.B) {
+	g := benchAttrGraph(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.AvgClustering()
+	}
+}

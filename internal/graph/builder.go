@@ -1,0 +1,171 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/scpm/scpm/internal/bitset"
+)
+
+// Builder accumulates vertices, attributes and edges and produces an
+// immutable Graph. It deduplicates parallel edges and rejects self-loops
+// and dangling endpoints.
+type Builder struct {
+	attrIndex   map[string]int32
+	attrNames   []string
+	nameIndex   map[string]int32
+	vertexNames []string
+	vertexAttrs [][]int32
+	edges       [][2]int32
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		attrIndex: make(map[string]int32),
+		nameIndex: make(map[string]int32),
+	}
+}
+
+// NumVertices returns the number of vertices added so far.
+func (b *Builder) NumVertices() int { return len(b.vertexNames) }
+
+// InternAttr returns the id for the named attribute, creating it on
+// first use.
+func (b *Builder) InternAttr(name string) int32 {
+	if id, ok := b.attrIndex[name]; ok {
+		return id
+	}
+	id := int32(len(b.attrNames))
+	b.attrIndex[name] = id
+	b.attrNames = append(b.attrNames, name)
+	return id
+}
+
+// AddVertex adds a vertex with the given unique name and attribute
+// names, returning its id. Adding the same name twice is an error.
+func (b *Builder) AddVertex(name string, attrs ...string) (int32, error) {
+	ids := make([]int32, len(attrs))
+	for i, a := range attrs {
+		ids[i] = b.InternAttr(a)
+	}
+	return b.AddVertexAttrIDs(name, ids)
+}
+
+// AddVertexAttrIDs adds a vertex whose attributes are given as
+// previously interned ids. It deduplicates the attribute list.
+func (b *Builder) AddVertexAttrIDs(name string, attrIDs []int32) (int32, error) {
+	if _, dup := b.nameIndex[name]; dup {
+		return -1, fmt.Errorf("graph: duplicate vertex %q", name)
+	}
+	for _, a := range attrIDs {
+		if a < 0 || int(a) >= len(b.attrNames) {
+			return -1, fmt.Errorf("graph: vertex %q references unknown attribute id %d", name, a)
+		}
+	}
+	id := int32(len(b.vertexNames))
+	b.nameIndex[name] = id
+	b.vertexNames = append(b.vertexNames, name)
+	b.vertexAttrs = append(b.vertexAttrs, dedupSorted(attrIDs))
+	return id, nil
+}
+
+// EnsureVertex returns the id of the named vertex, creating an
+// attribute-less vertex when it does not exist yet.
+func (b *Builder) EnsureVertex(name string) int32 {
+	if id, ok := b.nameIndex[name]; ok {
+		return id
+	}
+	id, _ := b.AddVertexAttrIDs(name, nil)
+	return id
+}
+
+// AddEdge records the undirected edge {u, v}. Self-loops and
+// out-of-range endpoints are errors; parallel edges are deduplicated at
+// Build time.
+func (b *Builder) AddEdge(u, v int32) error {
+	n := int32(len(b.vertexNames))
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop on vertex %d", u)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, [2]int32{u, v})
+	return nil
+}
+
+// AddEdgeByName records the undirected edge between two named vertices,
+// creating missing endpoints as attribute-less vertices.
+func (b *Builder) AddEdgeByName(a, c string) error {
+	return b.AddEdge(b.EnsureVertex(a), b.EnsureVertex(c))
+}
+
+// Build finalizes the graph: adjacency lists are sorted, parallel edges
+// removed and the vertical attribute index constructed. The Builder can
+// keep accumulating afterwards (Build copies what it needs).
+func (b *Builder) Build() (*Graph, error) {
+	n := len(b.vertexNames)
+	adj := make([][]int32, n)
+	for _, e := range b.edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	m := 0
+	for v := range adj {
+		adj[v] = dedupSorted(adj[v])
+		m += len(adj[v])
+	}
+
+	attrMembers := make([]*bitset.Set, len(b.attrNames))
+	for a := range attrMembers {
+		attrMembers[a] = bitset.New(n)
+	}
+	vattrs := make([][]int32, n)
+	for v := range vattrs {
+		vattrs[v] = append([]int32(nil), b.vertexAttrs[v]...)
+		for _, a := range vattrs[v] {
+			attrMembers[a].Add(v)
+		}
+	}
+
+	attrIndex := make(map[string]int32, len(b.attrNames))
+	for name, id := range b.attrIndex {
+		attrIndex[name] = id
+	}
+	nameIndex := make(map[string]int32, n)
+	for name, id := range b.nameIndex {
+		nameIndex[name] = id
+	}
+
+	return &Graph{
+		adj:         adj,
+		vertexAttrs: vattrs,
+		attrNames:   append([]string(nil), b.attrNames...),
+		attrIndex:   attrIndex,
+		vertexNames: append([]string(nil), b.vertexNames...),
+		nameIndex:   nameIndex,
+		numEdges:    m / 2,
+		attrMembers: attrMembers,
+	}, nil
+}
+
+// dedupSorted returns a sorted copy of xs with duplicates removed.
+func dedupSorted(xs []int32) []int32 {
+	if len(xs) == 0 {
+		return nil
+	}
+	out := append([]int32(nil), xs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[i-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}

@@ -1,0 +1,60 @@
+package graph
+
+// PaperExample returns the 11-vertex attributed graph of Figure 1 of the
+// paper, used throughout the tests and the quickstart example. Vertex
+// names are "1".."11" and attributes "A".."E"; the edge set is
+// reconstructed so that the mining output matches Table 1 exactly under
+// σmin=3, γmin=0.6, min_size=4, εmin=0.5:
+//
+//	ε({A}) = 9/11, ε({C}) = 0, ε({A,B}) = 1, and the seven patterns of
+//	Table 1 are precisely the maximal quasi-cliques of the induced
+//	graphs.
+func PaperExample() *Graph {
+	b := NewBuilder()
+	attrs := map[string][]string{
+		"1":  {"A", "C"},
+		"2":  {"A"},
+		"3":  {"A", "C", "D"},
+		"4":  {"A", "D"},
+		"5":  {"A", "E"},
+		"6":  {"A", "B", "C"},
+		"7":  {"A", "B", "E"},
+		"8":  {"A", "B"},
+		"9":  {"A", "B"},
+		"10": {"A", "B", "D"},
+		"11": {"A", "B"},
+	}
+	for i := 1; i <= 11; i++ {
+		name := itoa(i)
+		if _, err := b.AddVertex(name, attrs[name]...); err != nil {
+			panic(err)
+		}
+	}
+	edges := [][2]string{
+		{"1", "2"}, {"1", "3"}, {"2", "3"},
+		{"3", "4"}, {"3", "5"}, {"3", "6"}, {"3", "7"},
+		{"4", "5"}, {"4", "6"}, {"5", "6"},
+		{"6", "7"}, {"6", "8"}, {"6", "11"},
+		{"7", "8"}, {"7", "9"},
+		{"8", "10"},
+		{"9", "10"}, {"9", "11"},
+		{"10", "11"},
+	}
+	for _, e := range edges {
+		if err := b.AddEdgeByName(e[0], e[1]); err != nil {
+			panic(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return string(rune('0'+i/10)) + string(rune('0'+i%10))
+}

@@ -1,0 +1,133 @@
+// Package graph implements the attributed graph model of Silva, Meira and
+// Zaki (VLDB 2012): an undirected simple graph G = (V, E, A, F) whose
+// vertices carry attribute sets, together with induced-subgraph
+// extraction (G(S)), a vertical attribute index, degree statistics and a
+// plain-text dataset format.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/scpm/scpm/internal/bitset"
+	"github.com/scpm/scpm/internal/stats"
+)
+
+// Graph is an immutable attributed graph. Construct one with a Builder or
+// by reading a dataset; the zero value is an empty graph.
+//
+// Vertices and attributes are identified by dense int32 ids. Adjacency
+// and per-vertex attribute lists are sorted ascending.
+type Graph struct {
+	adj         [][]int32
+	vertexAttrs [][]int32
+	attrNames   []string
+	attrIndex   map[string]int32
+	vertexNames []string
+	nameIndex   map[string]int32
+	numEdges    int
+
+	// attrMembers[a] is the set of vertices carrying attribute a
+	// (the vertical index used for induced subgraphs and Eclat).
+	attrMembers []*bitset.Set
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// NumEdges returns |E| (each undirected edge counted once).
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// NumAttributes returns |A|.
+func (g *Graph) NumAttributes() int { return len(g.attrNames) }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int32) int { return len(g.adj[v]) }
+
+// Neighbors returns the sorted neighbor list of v. The caller must not
+// modify the returned slice.
+func (g *Graph) Neighbors(v int32) []int32 { return g.adj[v] }
+
+// VertexAttrs returns the sorted attribute ids of v. The caller must not
+// modify the returned slice.
+func (g *Graph) VertexAttrs(v int32) []int32 { return g.vertexAttrs[v] }
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int32) bool {
+	a := g.adj[u]
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	return i < len(a) && a[i] == v
+}
+
+// AttrName returns the name of attribute id a.
+func (g *Graph) AttrName(a int32) string { return g.attrNames[a] }
+
+// AttrID returns the id of the named attribute, or (-1, false) when the
+// attribute does not occur in the graph.
+func (g *Graph) AttrID(name string) (int32, bool) {
+	id, ok := g.attrIndex[name]
+	return id, ok
+}
+
+// VertexName returns the external label of vertex v.
+func (g *Graph) VertexName(v int32) string { return g.vertexNames[v] }
+
+// VertexID returns the id of the named vertex, or (-1, false).
+func (g *Graph) VertexID(name string) (int32, bool) {
+	id, ok := g.nameIndex[name]
+	if !ok {
+		return -1, false
+	}
+	return id, true
+}
+
+// AttrSupport returns σ({a}): the number of vertices carrying a.
+func (g *Graph) AttrSupport(a int32) int { return g.attrMembers[a].Count() }
+
+// AttrMembers returns the set of vertices carrying attribute a. The
+// caller must not modify the returned set.
+func (g *Graph) AttrMembers(a int32) *bitset.Set { return g.attrMembers[a] }
+
+// AttrSetNames resolves a slice of attribute ids to their names.
+func (g *Graph) AttrSetNames(S []int32) []string {
+	out := make([]string, len(S))
+	for i, a := range S {
+		out[i] = g.attrNames[a]
+	}
+	return out
+}
+
+// DegreeHistogram returns the empirical degree distribution p(α) of G,
+// the input of the analytical null model (Theorem 2).
+func (g *Graph) DegreeHistogram() *stats.IntHistogram {
+	h := &stats.IntHistogram{}
+	for v := range g.adj {
+		h.Observe(len(g.adj[v]))
+	}
+	return h
+}
+
+// MaxDegree returns the maximum vertex degree m of G.
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for v := range g.adj {
+		if d := len(g.adj[v]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// AvgDegree returns the mean vertex degree 2|E|/|V|.
+func (g *Graph) AvgDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	return 2 * float64(g.numEdges) / float64(len(g.adj))
+}
+
+// String summarizes the graph for logs.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{|V|=%d |E|=%d |A|=%d}",
+		g.NumVertices(), g.NumEdges(), g.NumAttributes())
+}

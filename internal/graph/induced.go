@@ -1,0 +1,134 @@
+package graph
+
+import (
+	"sort"
+
+	"github.com/scpm/scpm/internal/bitset"
+)
+
+// Subgraph is the graph induced by a vertex subset, re-indexed with dense
+// local ids 0..n-1. Orig maps local ids back to the parent graph's ids
+// (ascending), so local ordering is consistent with global ordering.
+type Subgraph struct {
+	// Orig[i] is the parent-graph id of local vertex i; sorted ascending.
+	Orig []int32
+	// Adj is the local adjacency (sorted neighbor lists of local ids).
+	Adj [][]int32
+}
+
+// NumVertices returns the number of vertices in the subgraph.
+func (s *Subgraph) NumVertices() int { return len(s.Orig) }
+
+// NumEdges returns the number of undirected edges.
+func (s *Subgraph) NumEdges() int {
+	m := 0
+	for _, a := range s.Adj {
+		m += len(a)
+	}
+	return m / 2
+}
+
+// Degree returns the degree of local vertex i.
+func (s *Subgraph) Degree(i int32) int { return len(s.Adj[i]) }
+
+// LocalOf returns the local id of a parent-graph vertex, or -1 when the
+// vertex is not a member of the subgraph.
+func (s *Subgraph) LocalOf(orig int32) int32 {
+	i := sort.Search(len(s.Orig), func(i int) bool { return s.Orig[i] >= orig })
+	if i < len(s.Orig) && s.Orig[i] == orig {
+		return int32(i)
+	}
+	return -1
+}
+
+// OrigSet returns the members as a bitset over the parent graph.
+func (s *Subgraph) OrigSet(n int) *bitset.Set {
+	return bitset.FromSlice(n, s.Orig)
+}
+
+// Members returns V(S): the set of vertices carrying every attribute of
+// S. An empty S yields all vertices. Unknown ids panic (callers pass ids
+// obtained from this graph).
+func (g *Graph) Members(S []int32) *bitset.Set {
+	n := g.NumVertices()
+	if len(S) == 0 {
+		all := bitset.New(n)
+		for v := 0; v < n; v++ {
+			all.Add(v)
+		}
+		return all
+	}
+	m := g.attrMembers[S[0]].Clone()
+	for _, a := range S[1:] {
+		m.IntersectWith(g.attrMembers[a])
+	}
+	return m
+}
+
+// Support returns σ(S) = |V(S)|.
+func (g *Graph) Support(S []int32) int { return g.Members(S).Count() }
+
+// InducedByAttrs returns G(S), the subgraph induced by attribute set S.
+func (g *Graph) InducedByAttrs(S []int32) *Subgraph {
+	return g.InducedByMembers(g.Members(S))
+}
+
+// InducedByMembers returns the subgraph induced by an arbitrary vertex
+// set given as a bitset over this graph.
+func (g *Graph) InducedByMembers(members *bitset.Set) *Subgraph {
+	orig := members.Slice()
+	return g.inducedFromSorted(orig, members)
+}
+
+// InducedByVertices returns the subgraph induced by the given vertex
+// list (need not be sorted; duplicates are ignored).
+func (g *Graph) InducedByVertices(vs []int32) *Subgraph {
+	members := bitset.FromSlice(g.NumVertices(), vs)
+	return g.inducedFromSorted(members.Slice(), members)
+}
+
+func (g *Graph) inducedFromSorted(orig []int32, members *bitset.Set) *Subgraph {
+	sg := &Subgraph{Orig: orig, Adj: make([][]int32, len(orig))}
+	// localIndex: binary search over orig (sorted). For the typical
+	// |orig| ≪ |V| this avoids allocating an n-sized translation array.
+	localOf := func(v int32) int32 {
+		i := sort.Search(len(orig), func(i int) bool { return orig[i] >= v })
+		return int32(i)
+	}
+	for li, v := range orig {
+		var nbrs []int32
+		for _, u := range g.adj[v] {
+			if members.Contains(int(u)) {
+				nbrs = append(nbrs, localOf(u))
+			}
+		}
+		sg.Adj[li] = nbrs
+	}
+	return sg
+}
+
+// RestrictTo returns the subgraph of s induced by the local-vertex set
+// keep (a bitset over s's local ids). Orig ids are preserved.
+func (s *Subgraph) RestrictTo(keep *bitset.Set) *Subgraph {
+	locals := keep.Slice()
+	orig := make([]int32, len(locals))
+	newOf := make([]int32, len(s.Orig))
+	for i := range newOf {
+		newOf[i] = -1
+	}
+	for ni, li := range locals {
+		orig[ni] = s.Orig[li]
+		newOf[li] = int32(ni)
+	}
+	adj := make([][]int32, len(locals))
+	for ni, li := range locals {
+		var nbrs []int32
+		for _, u := range s.Adj[li] {
+			if nu := newOf[u]; nu >= 0 {
+				nbrs = append(nbrs, nu)
+			}
+		}
+		adj[ni] = nbrs
+	}
+	return &Subgraph{Orig: orig, Adj: adj}
+}

@@ -1,0 +1,54 @@
+package itemset
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/scpm/scpm/internal/bitset"
+)
+
+// benchDB synthesizes a vertical database with Zipf-ish item
+// popularity, the shape the attribute index of a real graph has.
+func benchDB(nTx, nItems int, seed int64) *Database {
+	rng := rand.New(rand.NewSource(seed))
+	d := NewDatabase(nTx)
+	for it := 0; it < nItems; it++ {
+		p := 0.4 / float64(1+it)
+		tids := bitset.New(nTx)
+		for t := 0; t < nTx; t++ {
+			if rng.Float64() < p {
+				tids.Add(t)
+			}
+		}
+		if err := d.AddItem(int32(it), tids); err != nil {
+			panic(err)
+		}
+	}
+	return d
+}
+
+func BenchmarkEclatMine(b *testing.B) {
+	d := benchDB(5000, 200, 7)
+	m := &Miner{MinSupport: 25}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := m.Mine(d, func(Itemset) bool { n++; return true }); err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.Fatal("no itemsets")
+		}
+	}
+}
+
+func BenchmarkEclatMineMaxLen3(b *testing.B) {
+	d := benchDB(5000, 200, 7)
+	m := &Miner{MinSupport: 25, MaxLen: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Mine(d, func(Itemset) bool { return true }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

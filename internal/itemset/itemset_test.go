@@ -1,0 +1,292 @@
+package itemset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/scpm/scpm/internal/bitset"
+)
+
+// buildDB creates a database from transaction lists: tx[i] holds the
+// items of transaction i.
+func buildDB(t testing.TB, tx [][]int32) *Database {
+	t.Helper()
+	itemTx := map[int32][]int32{}
+	for ti, items := range tx {
+		for _, it := range items {
+			itemTx[it] = append(itemTx[it], int32(ti))
+		}
+	}
+	d := NewDatabase(len(tx))
+	for it, tids := range itemTx {
+		if err := d.AddItem(it, bitset.FromSlice(len(tx), tids)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestMineSmall(t *testing.T) {
+	// classic example: items 1,2,3 across 5 transactions
+	tx := [][]int32{
+		{1, 2, 3},
+		{1, 2},
+		{1, 3},
+		{1},
+		{2, 3},
+	}
+	d := buildDB(t, tx)
+	m := &Miner{MinSupport: 2}
+	got, err := m.MineAll(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{
+		"[1]":     4,
+		"[2]":     3,
+		"[3]":     3,
+		"[1 2]":   2,
+		"[1 3]":   2,
+		"[2 3]":   2,
+		"[1 2 3]": 1, // below support — must NOT appear
+	}
+	if len(got) != 6 {
+		t.Fatalf("got %d itemsets, want 6: %v", len(got), got)
+	}
+	for _, s := range got {
+		key := keyOf(s.Items)
+		sup, ok := want[key]
+		if !ok || sup < 2 {
+			t.Fatalf("unexpected itemset %v", s.Items)
+		}
+		if s.Support() != sup {
+			t.Fatalf("itemset %v support %d, want %d", s.Items, s.Support(), sup)
+		}
+	}
+}
+
+func keyOf(items []int32) string {
+	out := "["
+	for i, v := range items {
+		if i > 0 {
+			out += " "
+		}
+		out += string(rune('0' + v))
+	}
+	return out + "]"
+}
+
+func TestMaxLen(t *testing.T) {
+	tx := [][]int32{{1, 2, 3}, {1, 2, 3}, {1, 2, 3}}
+	d := buildDB(t, tx)
+	m := &Miner{MinSupport: 1, MaxLen: 2}
+	got, err := m.MineAll(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range got {
+		if len(s.Items) > 2 {
+			t.Fatalf("itemset %v exceeds MaxLen", s.Items)
+		}
+	}
+	if len(got) != 6 { // 3 singletons + 3 pairs
+		t.Fatalf("got %d itemsets, want 6", len(got))
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	tx := [][]int32{{1, 2, 3}, {1, 2, 3}}
+	d := buildDB(t, tx)
+	m := &Miner{MinSupport: 1}
+	n := 0
+	err := m.Mine(d, func(Itemset) bool {
+		n++
+		return n < 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("visited %d, want 3", n)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	d := NewDatabase(4)
+	if err := d.AddItem(1, bitset.New(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddItem(1, bitset.New(4)); err == nil {
+		t.Fatal("duplicate item accepted")
+	}
+	if err := d.AddItem(2, bitset.New(5)); err == nil {
+		t.Fatal("wrong capacity accepted")
+	}
+	m := &Miner{MinSupport: 0}
+	if err := m.Mine(d, func(Itemset) bool { return true }); err == nil {
+		t.Fatal("MinSupport 0 accepted")
+	}
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	d := NewDatabase(0)
+	m := &Miner{MinSupport: 1}
+	got, err := m.MineAll(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// bruteForce enumerates frequent itemsets by exhaustive subset search.
+func bruteForce(tx [][]int32, minSup, maxItems int) map[string]int {
+	present := map[int32]bool{}
+	for _, items := range tx {
+		for _, it := range items {
+			present[it] = true
+		}
+	}
+	var universe []int32
+	for it := range present {
+		universe = append(universe, it)
+	}
+	sortInt32(universe)
+
+	out := map[string]int{}
+	var rec func(idx int, cur []int32)
+	rec = func(idx int, cur []int32) {
+		if len(cur) > 0 {
+			sup := 0
+			for _, items := range tx {
+				if containsAll(items, cur) {
+					sup++
+				}
+			}
+			if sup < minSup {
+				return // anti-monotone: no superset can be frequent
+			}
+			out[fmtKey(cur)] = sup
+		}
+		if maxItems > 0 && len(cur) >= maxItems {
+			return
+		}
+		for i := idx; i < len(universe); i++ {
+			rec(i+1, append(cur, universe[i]))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+func sortInt32(xs []int32) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func containsAll(items, want []int32) bool {
+	set := map[int32]bool{}
+	for _, it := range items {
+		set[it] = true
+	}
+	for _, w := range want {
+		if !set[w] {
+			return false
+		}
+	}
+	return true
+}
+
+func fmtKey(items []int32) string {
+	key := ""
+	for _, v := range items {
+		key += string(rune(v)) + ","
+	}
+	return key
+}
+
+func TestQuickAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nTx := 2 + rng.Intn(12)
+		nItems := 1 + rng.Intn(6)
+		tx := make([][]int32, nTx)
+		for i := range tx {
+			for it := 0; it < nItems; it++ {
+				if rng.Float64() < 0.4 {
+					tx[i] = append(tx[i], int32(it))
+				}
+			}
+		}
+		minSup := 1 + rng.Intn(3)
+		d := buildDB(t, tx)
+		m := &Miner{MinSupport: minSup}
+		mined, err := m.MineAll(d)
+		if err != nil {
+			return false
+		}
+		want := bruteForce(tx, minSup, 0)
+		if len(mined) != len(want) {
+			return false
+		}
+		for _, s := range mined {
+			if want[fmtKey(s.Items)] != s.Support() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTidsetsAreExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nTx := 3 + rng.Intn(10)
+		tx := make([][]int32, nTx)
+		for i := range tx {
+			for it := int32(0); it < 5; it++ {
+				if rng.Float64() < 0.5 {
+					tx[i] = append(tx[i], it)
+				}
+			}
+		}
+		d := buildDB(t, tx)
+		m := &Miner{MinSupport: 1}
+		ok := true
+		err := m.Mine(d, func(s Itemset) bool {
+			for ti := 0; ti < nTx; ti++ {
+				want := containsAll(tx[ti], s.Items)
+				if s.Tids.Contains(ti) != want {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendSortedKeepsOrder(t *testing.T) {
+	got := appendSorted([]int32{2, 5, 9}, 7)
+	want := []int32{2, 5, 7, 9}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	got = appendSorted(nil, 3)
+	if !reflect.DeepEqual(got, []int32{3}) {
+		t.Fatalf("got %v", got)
+	}
+}

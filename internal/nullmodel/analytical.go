@@ -1,0 +1,122 @@
+package nullmodel
+
+import (
+	"math"
+	"sync"
+
+	"github.com/scpm/scpm/internal/graph"
+	"github.com/scpm/scpm/internal/quasiclique"
+)
+
+// Analytical is max-εexp (Theorem 2): an upper bound on the expected
+// structural correlation of an attribute set with support σ, equal to
+// the probability that a random vertex of G keeps degree at least
+// z = ⌈γmin·(min_size−1)⌉ inside a uniformly random σ-vertex subgraph:
+//
+//	max-εexp(σ) = Σ_{α=z}^{m} p(α) · Σ_{β=z}^{α} C(α,β) ρ^β (1−ρ)^{α−β}
+//
+// with ρ = (σ−1)/(|V|−1) (Theorem 1) and p the degree distribution.
+type Analytical struct {
+	n      int
+	z      int
+	degCnt []int64 // degCnt[α] = number of vertices of degree α
+	total  int64
+
+	mu    sync.Mutex
+	cache map[int]float64
+}
+
+// NewAnalytical captures the degree distribution of g and the
+// quasi-clique parameters.
+func NewAnalytical(g *graph.Graph, p quasiclique.Params) *Analytical {
+	h := g.DegreeHistogram()
+	return &Analytical{
+		n:      g.NumVertices(),
+		z:      p.MinDegree(p.MinSize),
+		degCnt: append([]int64(nil), h.Counts...),
+		total:  h.Total,
+		cache:  make(map[int]float64),
+	}
+}
+
+// Name implements Model.
+func (a *Analytical) Name() string { return "max-exp" }
+
+// Exp implements Model; results are memoized per support.
+func (a *Analytical) Exp(sigma int) float64 {
+	a.mu.Lock()
+	if v, ok := a.cache[sigma]; ok {
+		a.mu.Unlock()
+		return v
+	}
+	a.mu.Unlock()
+	v := a.compute(sigma)
+	a.mu.Lock()
+	a.cache[sigma] = v
+	a.mu.Unlock()
+	return v
+}
+
+func (a *Analytical) compute(sigma int) float64 {
+	if a.total == 0 || sigma <= 1 || a.n <= 1 {
+		return 0
+	}
+	rho := float64(sigma-1) / float64(a.n-1)
+	if rho > 1 {
+		rho = 1
+	}
+	sum := 0.0
+	for alpha := a.z; alpha < len(a.degCnt); alpha++ {
+		if a.degCnt[alpha] == 0 {
+			continue
+		}
+		p := float64(a.degCnt[alpha]) / float64(a.total)
+		sum += p * binomialSurvival(alpha, a.z, rho)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// binomialSurvival returns P[Bin(n, p) ≥ k] with a numerically stable
+// evaluation: the first term is computed in log space and subsequent
+// terms by the ratio recurrence. Assumes 0 ≤ k ≤ n.
+func binomialSurvival(n, k int, p float64) float64 {
+	switch {
+	case k <= 0:
+		return 1
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return 1
+	case k > n:
+		return 0
+	}
+	logTerm := lchoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+	term := math.Exp(logTerm)
+	sum := term
+	ratio := p / (1 - p)
+	for b := k; b < n; b++ {
+		term *= float64(n-b) / float64(b+1) * ratio
+		sum += term
+		if term < 1e-18*sum {
+			break
+		}
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// lchoose returns log C(n, k).
+func lchoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	a, _ := math.Lgamma(float64(n + 1))
+	b, _ := math.Lgamma(float64(k + 1))
+	c, _ := math.Lgamma(float64(n - k + 1))
+	return a - b - c
+}

@@ -1,0 +1,43 @@
+package nullmodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/scpm/scpm/internal/quasiclique"
+)
+
+func benchGraphAndParams(b *testing.B) (*Analytical, *Simulation) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(5))
+	g := randomAttrGraph(rng, 2000, 0.003)
+	p := quasiclique.Params{Gamma: 0.5, MinSize: 5}
+	return NewAnalytical(g, p), NewSimulation(g, p, 20, 9)
+}
+
+func BenchmarkAnalyticalExp(b *testing.B) {
+	a, _ := benchGraphAndParams(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// vary σ so the memo cache doesn't absorb the work
+		_ = a.Exp(100 + i%500)
+	}
+}
+
+func BenchmarkAnalyticalExpCached(b *testing.B) {
+	a, _ := benchGraphAndParams(b)
+	a.Exp(300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Exp(300)
+	}
+}
+
+func BenchmarkSimulationExp(b *testing.B) {
+	_, s := benchGraphAndParams(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// vary σ to defeat the cache: each call runs 20 samples
+		_, _ = s.ExpStd(100 + i%50)
+	}
+}

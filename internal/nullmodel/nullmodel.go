@@ -1,0 +1,22 @@
+// Package nullmodel implements the two expected-structural-correlation
+// models of §2.1.3 of the paper:
+//
+//   - Analytical: max-εexp, the closed-form upper bound of Theorem 2
+//     built on the binomial degree projection of Theorem 1;
+//   - Simulation: sim-εexp, the Monte-Carlo estimate over r random
+//     vertex samples.
+//
+// Both satisfy Model, so the SCPM miner can normalize ε with either
+// (δlb uses the analytical bound, δsim the simulation).
+package nullmodel
+
+// Model yields the expected structural correlation of an attribute set
+// as a function of its support σ alone (Definition 5's exp function).
+// Implementations must be safe for concurrent use and monotonically
+// non-decreasing in σ — the property Theorem 5's pruning rule relies on.
+type Model interface {
+	// Exp returns εexp(σ) in [0, 1].
+	Exp(sigma int) float64
+	// Name identifies the model in reports ("max-exp", "sim-exp").
+	Name() string
+}

@@ -1,0 +1,259 @@
+package nullmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/scpm/scpm/internal/graph"
+	"github.com/scpm/scpm/internal/quasiclique"
+)
+
+func paperParams() quasiclique.Params {
+	return quasiclique.Params{Gamma: 0.6, MinSize: 4}
+}
+
+// slowSurvival computes P[Bin(n,p) ≥ k] with naive math.Pow terms.
+func slowSurvival(n, k int, p float64) float64 {
+	sum := 0.0
+	for b := k; b <= n; b++ {
+		sum += choose(n, b) * math.Pow(p, float64(b)) * math.Pow(1-p, float64(n-b))
+	}
+	return sum
+}
+
+func choose(n, k int) float64 {
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r *= float64(n-i) / float64(i+1)
+	}
+	return r
+}
+
+func TestBinomialSurvivalAgainstSlow(t *testing.T) {
+	cases := []struct {
+		n, k int
+		p    float64
+	}{
+		{10, 3, 0.2}, {10, 0, 0.2}, {10, 10, 0.9}, {5, 2, 0.5},
+		{40, 7, 0.13}, {100, 30, 0.31}, {3, 4, 0.5},
+	}
+	for _, c := range cases {
+		got := binomialSurvival(c.n, c.k, c.p)
+		want := slowSurvival(c.n, c.k, c.p)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("survival(%d,%d,%v) = %v, want %v", c.n, c.k, c.p, got, want)
+		}
+	}
+}
+
+func TestBinomialSurvivalEdges(t *testing.T) {
+	if binomialSurvival(10, 0, 0.5) != 1 {
+		t.Error("k=0 should be 1")
+	}
+	if binomialSurvival(10, 3, 0) != 0 {
+		t.Error("p=0 should be 0")
+	}
+	if binomialSurvival(10, 3, 1) != 1 {
+		t.Error("p=1 should be 1")
+	}
+	if binomialSurvival(3, 5, 0.5) != 0 {
+		t.Error("k>n should be 0")
+	}
+}
+
+func TestLchoose(t *testing.T) {
+	if got := math.Exp(lchoose(10, 3)); math.Abs(got-120) > 1e-6 {
+		t.Errorf("C(10,3) = %v", got)
+	}
+	if !math.IsInf(lchoose(3, 5), -1) {
+		t.Error("C(3,5) should be log(0)")
+	}
+}
+
+func TestAnalyticalEdgeCases(t *testing.T) {
+	g := graph.PaperExample()
+	a := NewAnalytical(g, paperParams())
+	if a.Name() != "max-exp" {
+		t.Error("name")
+	}
+	if a.Exp(0) != 0 || a.Exp(1) != 0 {
+		t.Error("σ ≤ 1 should give 0")
+	}
+	// σ = n: ρ = 1 so every vertex with degree ≥ z survives.
+	z := paperParams().MinDegree(4) // 2
+	wantCnt := 0
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if g.Degree(v) >= z {
+			wantCnt++
+		}
+	}
+	want := float64(wantCnt) / float64(g.NumVertices())
+	if got := a.Exp(g.NumVertices()); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Exp(n) = %v, want %v", got, want)
+	}
+	// beyond n: clamped, still well-defined and ≤ 1
+	if got := a.Exp(10 * g.NumVertices()); got < want-1e-12 || got > 1 {
+		t.Errorf("Exp(10n) = %v", got)
+	}
+}
+
+func TestAnalyticalInUnitInterval(t *testing.T) {
+	g := graph.PaperExample()
+	a := NewAnalytical(g, paperParams())
+	for sigma := 0; sigma <= 12; sigma++ {
+		v := a.Exp(sigma)
+		if v < 0 || v > 1 {
+			t.Fatalf("Exp(%d) = %v outside [0,1]", sigma, v)
+		}
+	}
+}
+
+func TestAnalyticalMonotone(t *testing.T) {
+	// Theorem 5 requires exp monotonically non-decreasing in σ.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomAttrGraph(rng, 30+rng.Intn(40), 0.05+rng.Float64()*0.2)
+		p := quasiclique.Params{
+			Gamma:   []float64{0.5, 0.6, 0.8}[rng.Intn(3)],
+			MinSize: 3 + rng.Intn(4),
+		}
+		a := NewAnalytical(g, p)
+		prev := -1.0
+		for sigma := 0; sigma <= g.NumVertices(); sigma++ {
+			v := a.Exp(sigma)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyticalCacheConsistency(t *testing.T) {
+	g := graph.PaperExample()
+	a := NewAnalytical(g, paperParams())
+	v1 := a.Exp(7)
+	v2 := a.Exp(7)
+	if v1 != v2 {
+		t.Fatal("cache returned different value")
+	}
+}
+
+func TestSimulationCompleteGraph(t *testing.T) {
+	// On a complete graph every σ ≥ min_size sample is a clique, so
+	// the covered fraction is exactly 1; below min_size it is 0.
+	b := graph.NewBuilder()
+	const n = 10
+	for i := 0; i < n; i++ {
+		if _, err := b.AddVertex(string(rune('a'+i)), "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int32(0); i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if err := b.AddEdge(i, j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := quasiclique.Params{Gamma: 1, MinSize: 4}
+	s := NewSimulation(g, p, 20, 42)
+	if s.Name() != "sim-exp" {
+		t.Error("name")
+	}
+	if m, _ := s.ExpStd(3); m != 0 {
+		t.Errorf("Exp(3) = %v, want 0", m)
+	}
+	for _, sigma := range []int{4, 6, 10} {
+		m, sd := s.ExpStd(sigma)
+		if m != 1 || sd != 0 {
+			t.Errorf("Exp(%d) = %v±%v, want 1±0", sigma, m, sd)
+		}
+	}
+	// σ beyond n clamps to n
+	if m := s.Exp(50); m != 1 {
+		t.Errorf("Exp(50) = %v", m)
+	}
+}
+
+func TestSimulationDeterministic(t *testing.T) {
+	g := graph.PaperExample()
+	p := paperParams()
+	s1 := NewSimulation(g, p, 30, 7)
+	s2 := NewSimulation(g, p, 30, 7)
+	// different call orders must give identical per-σ values
+	a8 := s1.Exp(8)
+	a6 := s1.Exp(6)
+	b6 := s2.Exp(6)
+	b8 := s2.Exp(8)
+	if a8 != b8 || a6 != b6 {
+		t.Fatalf("not deterministic: %v/%v vs %v/%v", a8, a6, b8, b6)
+	}
+	s3 := NewSimulation(g, p, 30, 8)
+	if s3.Exp(8) == a8 && s3.Exp(6) == a6 {
+		t.Log("warning: different seeds produced identical estimates (possible but unlikely)")
+	}
+}
+
+func TestSimulationBelowAnalyticalOnAverage(t *testing.T) {
+	// max-εexp is an upper bound on the true expectation; with the
+	// fixed seed the sample mean stays below it on these graphs.
+	rng := rand.New(rand.NewSource(99))
+	g := randomAttrGraph(rng, 80, 0.08)
+	p := quasiclique.Params{Gamma: 0.5, MinSize: 4}
+	a := NewAnalytical(g, p)
+	s := NewSimulation(g, p, 40, 1234)
+	for _, sigma := range []int{10, 20, 40, 60, 80} {
+		sim := s.Exp(sigma)
+		max := a.Exp(sigma)
+		if sim > max+1e-9 {
+			t.Errorf("σ=%d: sim-exp %v exceeds max-exp %v", sigma, sim, max)
+		}
+	}
+}
+
+func randomAttrGraph(rng *rand.Rand, n int, p float64) *graph.Graph {
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		if _, err := b.AddVertex(vName(i), "x"); err != nil {
+			panic(err)
+		}
+	}
+	for i := int32(0); i < int32(n); i++ {
+		for j := i + 1; j < int32(n); j++ {
+			if rng.Float64() < p {
+				if err := b.AddEdge(i, j); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func vName(i int) string {
+	const digits = "0123456789"
+	if i == 0 {
+		return "v0"
+	}
+	var buf []byte
+	for i > 0 {
+		buf = append([]byte{digits[i%10]}, buf...)
+		i /= 10
+	}
+	return "v" + string(buf)
+}

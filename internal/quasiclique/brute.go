@@ -1,0 +1,100 @@
+package quasiclique
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"github.com/scpm/scpm/internal/bitset"
+)
+
+// This file holds an exhaustive reference implementation used by the
+// property-based tests (and nothing else). It enumerates every vertex
+// subset, so it is limited to graphs of at most 24 vertices.
+
+// BruteMaximal returns the containment-maximal quasi-cliques of g by
+// exhaustive subset enumeration, sorted by ComparePatterns.
+func BruteMaximal(g *Graph, p Params) ([]Pattern, error) {
+	masks, err := bruteQuasiCliqueMasks(g, p)
+	if err != nil {
+		return nil, err
+	}
+	var out []Pattern
+	for i, m := range masks {
+		maximal := true
+		for j, o := range masks {
+			if i != j && o&m == m {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, g.makePattern(maskToSlice(m)))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return ComparePatterns(out[i], out[j]) < 0 })
+	return out, nil
+}
+
+// BruteCoverage returns the union of all quasi-clique members.
+func BruteCoverage(g *Graph, p Params) (*bitset.Set, error) {
+	masks, err := bruteQuasiCliqueMasks(g, p)
+	if err != nil {
+		return nil, err
+	}
+	covered := bitset.New(g.n)
+	for _, m := range masks {
+		for _, v := range maskToSlice(m) {
+			covered.Add(int(v))
+		}
+	}
+	return covered, nil
+}
+
+func bruteQuasiCliqueMasks(g *Graph, p Params) ([]uint32, error) {
+	if g.n > 24 {
+		return nil, fmt.Errorf("quasiclique: brute force limited to 24 vertices, got %d", g.n)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	adj := make([]uint32, g.n)
+	for v := 0; v < g.n; v++ {
+		for _, u := range g.adj[v] {
+			adj[v] |= 1 << uint(u)
+		}
+	}
+	var masks []uint32
+	for m := uint32(1); m < 1<<uint(g.n); m++ {
+		size := bits.OnesCount32(m)
+		if size < p.MinSize {
+			continue
+		}
+		need := p.MinDegree(size)
+		ok := true
+		for v := 0; v < g.n; v++ {
+			if m&(1<<uint(v)) == 0 {
+				continue
+			}
+			if bits.OnesCount32(adj[v]&m) < need {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			masks = append(masks, m)
+		}
+	}
+	return masks, nil
+}
+
+func maskToSlice(m uint32) []int32 {
+	var out []int32
+	for v := 0; m != 0; v++ {
+		if m&1 != 0 {
+			out = append(out, int32(v))
+		}
+		m >>= 1
+	}
+	return out
+}

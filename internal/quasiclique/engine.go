@@ -1,0 +1,400 @@
+package quasiclique
+
+import (
+	"github.com/scpm/scpm/internal/bitset"
+)
+
+// node is one entry of Algorithm 1's qcCands structure: a vertex set X
+// (ascending) plus its candidate extensions (ascending, every candidate
+// greater than max(X), so each vertex subset occurs exactly once in the
+// search tree).
+type node struct {
+	x     []int32
+	cands []int32
+}
+
+// hooks let the three mining modes customize the generic search.
+type hooks struct {
+	// prune skips a node entirely when it returns true (e.g. the
+	// covered-candidate pruning of §3.2.2 or top-k size pruning).
+	prune func(x, cands []int32) bool
+	// report is invoked with a quasi-clique (degree constraint and
+	// min-size already checked). Returning false aborts the search.
+	report func(q []int32) bool
+	// needLocalMax requires X to admit no single-vertex extension
+	// before being reported (cheap necessary condition for maximality;
+	// the enumeration modes complete it with a containment filter).
+	needLocalMax bool
+}
+
+// engine runs the shared candidate-tree search.
+type engine struct {
+	g     *Graph
+	p     Params
+	o     Options
+	alive *bitset.Set
+	n2    []*bitset.Set
+	nodes int64
+
+	// scratch, reused across nodes
+	inX  *bitset.Set
+	inC  *bitset.Set
+	inU  *bitset.Set
+	degs []int
+}
+
+func newEngine(g *Graph, p Params, o Options) *engine {
+	e := &engine{
+		g:     g,
+		p:     p,
+		o:     o,
+		alive: g.Peel(p.MinDegree(p.MinSize)),
+		inX:   bitset.New(g.n),
+		inC:   bitset.New(g.n),
+		inU:   bitset.New(g.n),
+		degs:  make([]int, g.n),
+	}
+	if p.Gamma >= 0.5 && !o.DisableDiameterPruning {
+		e.n2 = g.distance2(e.alive)
+	}
+	return e
+}
+
+// NodesVisited reports how many candidate nodes the last run processed
+// (exposed for the ablation study).
+func (e *engine) NodesVisited() int64 { return e.nodes }
+
+// run executes Algorithm 1 with the configured order and hooks, once
+// per connected component of the peeled graph (quasi-cliques are
+// connected, so components are independent sub-problems and small
+// components die on the min-size check immediately).
+func (e *engine) run(h hooks) error {
+	if e.alive.Count() < e.p.MinSize {
+		return nil
+	}
+	var roots [][]int32
+	if e.o.DisableComponentSplit {
+		roots = [][]int32{e.alive.Slice()}
+	} else {
+		for _, comp := range e.g.components(e.alive) {
+			if len(comp) >= e.p.MinSize {
+				roots = append(roots, comp)
+			}
+		}
+	}
+	for _, root := range roots {
+		stop, err := e.runFrontier(node{x: nil, cands: root}, h)
+		if err != nil || stop {
+			return err
+		}
+	}
+	return nil
+}
+
+// runFrontier drains one component's candidate tree. It reports whether
+// a hook requested a global stop.
+func (e *engine) runFrontier(rootNode node, h hooks) (bool, error) {
+	frontier := []node{rootNode}
+	head := 0
+	for {
+		var nd node
+		if e.o.Order == BFS {
+			if head >= len(frontier) {
+				return false, nil
+			}
+			nd = frontier[head]
+			frontier[head] = node{}
+			head++
+			if head > 4096 && head*2 > len(frontier) {
+				frontier = append([]node(nil), frontier[head:]...)
+				head = 0
+			}
+		} else {
+			if len(frontier) == 0 {
+				return false, nil
+			}
+			nd = frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+		}
+		e.nodes++
+		if e.o.MaxNodes > 0 && e.nodes > e.o.MaxNodes {
+			return true, ErrBudget
+		}
+		stop, children := e.process(nd, h)
+		if stop {
+			return true, nil
+		}
+		if e.o.Order == BFS {
+			frontier = append(frontier, children...)
+		} else {
+			for i := len(children) - 1; i >= 0; i-- {
+				frontier = append(frontier, children[i])
+			}
+		}
+	}
+}
+
+// process handles one node: pruning, candidate refinement, forced-
+// vertex jumps, lookahead, quasi-clique reporting and child generation.
+func (e *engine) process(nd node, h hooks) (stop bool, children []node) {
+	x, cands := nd.x, nd.cands
+	if len(x)+len(cands) < e.p.MinSize {
+		return false, nil
+	}
+	if h.prune != nil && h.prune(x, cands) {
+		return false, nil
+	}
+	var dead bool
+	x, cands, dead = e.refineAndJump(x, cands)
+	if dead || len(x)+len(cands) < e.p.MinSize {
+		return false, nil
+	}
+
+	// Lookahead (Algorithm 1 line 9): if X ∪ candExts(X) is itself a
+	// quasi-clique, report it and prune the subtree — every set in the
+	// subtree is one of its subsets, hence not maximal.
+	if !e.o.DisableLookahead && len(cands) > 0 {
+		union := mergeSorted(x, cands)
+		e.fill(e.inU, union)
+		if e.g.isQuasiClique(union, e.inU, e.p) {
+			return !h.report(union), nil
+		}
+	}
+
+	// Report X itself when it qualifies (Algorithm 1 line 12).
+	if len(x) >= e.p.MinSize {
+		e.fill(e.inX, x)
+		if e.g.isQuasiClique(x, e.inX, e.p) {
+			if !h.needLocalMax || !e.g.extendable(x, e.inX, e.alive, e.p) {
+				if !h.report(x) {
+					return true, nil
+				}
+			}
+		}
+	}
+
+	// Generate extensions (Algorithm 1 line 15). Child i keeps only the
+	// candidates after position i, so once the remaining pool is too
+	// small to ever reach min_size no further child can succeed.
+	for i := range cands {
+		if len(x)+1+(len(cands)-i-1) < e.p.MinSize {
+			break
+		}
+		cx := insertSorted(x, cands[i])
+		cc := append([]int32(nil), cands[i+1:]...)
+		children = append(children, node{x: cx, cands: cc})
+	}
+	return false, children
+}
+
+// refineAndJump alternates candidate refinement with the Quick forced-
+// vertex jumps until a fixpoint:
+//
+//   - critical vertex: if some v ∈ X has indeg+exdeg exactly equal to
+//     the minimum degree it must reach (⌈γ(max(min_size,|X|)−1)⌉),
+//     every valid quasi-clique in this branch must contain ALL of v's
+//     candidate neighbors, so they are committed at once;
+//   - cover vertex: if some candidate u is adjacent to every member of
+//     X and every other candidate, any quasi-clique avoiding u extends
+//     by u (degree requirements grow by at most 1 per added vertex), so
+//     maximal quasi-cliques — and the coverage they provide — all
+//     contain u.
+//
+// Both jumps commit vertices instead of branching on them, collapsing
+// dense regions that would otherwise be enumerated subset by subset.
+func (e *engine) refineAndJump(x, cands []int32) (nx, ncands []int32, dead bool) {
+	for {
+		cands, dead = e.refine(x, cands)
+		if dead {
+			return x, cands, true
+		}
+		if e.o.DisableJumps || len(x) == 0 || len(cands) == 0 {
+			return x, cands, false
+		}
+		forced := e.forcedCandidates(x, cands)
+		if len(forced) == 0 {
+			return x, cands, false
+		}
+		x = mergeSorted(x, forced)
+		cands = removeSorted(cands, forced)
+	}
+}
+
+// forcedCandidates returns candidates that every valid quasi-clique of
+// the branch must include (empty when no jump applies). It relies on
+// the scratch bitsets e.inX/e.inC left by refine.
+func (e *engine) forcedCandidates(x, cands []int32) []int32 {
+	minNeedX := e.p.MinDegree(maxInt(e.p.MinSize, len(x)))
+	for _, v := range x {
+		in, ex := e.splitDegree(v)
+		if ex > 0 && in+ex == minNeedX {
+			var forced []int32
+			for _, u := range e.g.adj[v] {
+				if e.inC.Contains(int(u)) {
+					forced = append(forced, u)
+				}
+			}
+			return forced // adjacency is sorted, so forced is sorted
+		}
+	}
+	for _, u := range cands {
+		in, ex := e.splitDegree(u)
+		if in == len(x) && ex == len(cands)-1 {
+			return []int32{u}
+		}
+	}
+	return nil
+}
+
+// insertSorted returns a new slice with v inserted into sorted xs.
+func insertSorted(xs []int32, v int32) []int32 {
+	out := make([]int32, 0, len(xs)+1)
+	i := 0
+	for ; i < len(xs) && xs[i] < v; i++ {
+		out = append(out, xs[i])
+	}
+	out = append(out, v)
+	return append(out, xs[i:]...)
+}
+
+// mergeSorted merges two disjoint sorted slices into a new slice.
+func mergeSorted(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// removeSorted returns xs without the (sorted) elements of drop,
+// filtering in place.
+func removeSorted(xs, drop []int32) []int32 {
+	w, j := 0, 0
+	for _, v := range xs {
+		for j < len(drop) && drop[j] < v {
+			j++
+		}
+		if j < len(drop) && drop[j] == v {
+			continue
+		}
+		xs[w] = v
+		w++
+	}
+	return xs[:w]
+}
+
+// fill resets a scratch bitset to exactly the given members.
+func (e *engine) fill(s *bitset.Set, vs []int32) {
+	s.Clear()
+	for _, v := range vs {
+		s.Add(int(v))
+	}
+}
+
+// refine applies the candidate quasi-clique pruning of §3.2.2:
+//
+//   - distance pruning: for γ ≥ 0.5 every quasi-clique has diameter ≤ 2,
+//     so candidates farther than 2 from any member of X are dropped;
+//   - degree feasibility: members of X (and candidates, were they to
+//     join) must be able to reach ⌈γ(s−1)⌉ neighbors using only X and
+//     the surviving candidates; otherwise the branch (or candidate) dies;
+//   - size upper bound: the attainable size min over X of
+//     MaxSizeFor(indeg+exdeg) must reach max(min_size, |X|).
+//
+// The degree loop iterates to a fixpoint because dropping a candidate
+// reduces the extension degrees of the others. Returns the surviving
+// candidates (the input slice, filtered in place) and whether the whole
+// branch is infeasible.
+func (e *engine) refine(x, cands []int32) ([]int32, bool) {
+	if len(x) == 0 {
+		return cands, false
+	}
+	e.fill(e.inX, x)
+
+	if e.n2 != nil {
+		w := 0
+		for _, u := range cands {
+			ok := true
+			for _, xv := range x {
+				if !e.n2[xv].Contains(int(u)) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				cands[w] = u
+				w++
+			}
+		}
+		cands = cands[:w]
+	}
+
+	minNeedX := e.p.MinDegree(maxInt(e.p.MinSize, len(x)))
+	minNeedC := e.p.MinDegree(maxInt(e.p.MinSize, len(x)+1))
+	for {
+		e.inC.Clear()
+		for _, u := range cands {
+			e.inC.Add(int(u))
+		}
+		maxSize := len(x) + len(cands)
+		for _, v := range x {
+			in, ex := e.splitDegree(v)
+			avail := in + ex
+			if avail < minNeedX {
+				return nil, true
+			}
+			if ms := e.p.MaxSizeFor(avail); ms < maxSize {
+				maxSize = ms
+			}
+		}
+		if maxSize < e.p.MinSize || maxSize < len(x) {
+			return nil, true
+		}
+		changed := false
+		w := 0
+		for _, u := range cands {
+			in, ex := e.splitDegree(u)
+			if in+ex < minNeedC {
+				changed = true
+				continue
+			}
+			cands[w] = u
+			w++
+		}
+		cands = cands[:w]
+		if !changed {
+			return cands, false
+		}
+		if len(x)+len(cands) < e.p.MinSize {
+			return nil, true
+		}
+	}
+}
+
+// splitDegree returns |N(v) ∩ X| and |N(v) ∩ cands| using the scratch
+// bitsets prepared by refine.
+func (e *engine) splitDegree(v int32) (in, ex int) {
+	for _, u := range e.g.adj[v] {
+		if e.inX.Contains(int(u)) {
+			in++
+		} else if e.inC.Contains(int(u)) {
+			ex++
+		}
+	}
+	return in, ex
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,220 @@
+package quasiclique
+
+import (
+	"sort"
+
+	"github.com/scpm/scpm/internal/bitset"
+)
+
+// Graph is the miner's view of an undirected graph: dense vertex ids
+// 0..n−1 with sorted adjacency lists. It is typically built from an
+// induced subgraph of the attributed graph.
+type Graph struct {
+	adj [][]int32
+	n   int
+}
+
+// NewGraph wraps adjacency lists (which must be sorted ascending,
+// self-loop free and symmetric). The slices are used by reference.
+func NewGraph(adj [][]int32) *Graph {
+	return &Graph{adj: adj, n: len(adj)}
+}
+
+// NumVertices returns n.
+func (g *Graph) NumVertices() int { return g.n }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int32) int { return len(g.adj[v]) }
+
+// Neighbors returns the sorted neighbor list of v.
+func (g *Graph) Neighbors(v int32) []int32 { return g.adj[v] }
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v int32) bool {
+	a := g.adj[u]
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	return i < len(a) && a[i] == v
+}
+
+// Peel iteratively removes vertices of degree < minDeg (computed within
+// the surviving set) and returns the set of survivors. This is the
+// "vertex pruning" of Algorithm 1 line 4: a member of any γ-quasi-clique
+// of size ≥ min_size has at least ⌈γ(min_size−1)⌉ neighbors inside it,
+// so vertices below that threshold — transitively — can never be
+// members.
+func (g *Graph) Peel(minDeg int) *bitset.Set {
+	alive := bitset.New(g.n)
+	deg := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		alive.Add(v)
+		deg[v] = len(g.adj[v])
+	}
+	if minDeg <= 0 {
+		return alive
+	}
+	queue := make([]int32, 0, g.n)
+	for v := 0; v < g.n; v++ {
+		if deg[v] < minDeg {
+			queue = append(queue, int32(v))
+			alive.Remove(v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, u := range g.adj[v] {
+			if !alive.Contains(int(u)) {
+				continue
+			}
+			deg[u]--
+			if deg[u] < minDeg {
+				alive.Remove(int(u))
+				queue = append(queue, u)
+			}
+		}
+	}
+	return alive
+}
+
+// components partitions the alive vertices into connected components
+// (edges restricted to alive endpoints), returned as sorted vertex
+// slices in ascending order of their smallest member. Quasi-cliques of
+// size ≥ 2 are connected, so the candidate search can treat each
+// component as an independent sub-problem.
+func (g *Graph) components(alive *bitset.Set) [][]int32 {
+	seen := bitset.New(g.n)
+	var out [][]int32
+	var stack []int32
+	for s := alive.NextSet(0); s >= 0; s = alive.NextSet(s + 1) {
+		if seen.Contains(s) {
+			continue
+		}
+		var comp []int32
+		stack = append(stack[:0], int32(s))
+		seen.Add(s)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, u := range g.adj[v] {
+				if alive.Contains(int(u)) && !seen.Contains(int(u)) {
+					seen.Add(int(u))
+					stack = append(stack, u)
+				}
+			}
+		}
+		sortInt32s(comp)
+		out = append(out, comp)
+	}
+	return out
+}
+
+func sortInt32s(xs []int32) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// distance2 returns, for every vertex, the set of vertices within
+// distance ≤ 2 (including the vertex itself). Used by the diameter
+// pruning rule, which is valid for γ ≥ 0.5.
+func (g *Graph) distance2(alive *bitset.Set) []*bitset.Set {
+	n2 := make([]*bitset.Set, g.n)
+	for v := 0; v < g.n; v++ {
+		if !alive.Contains(v) {
+			continue
+		}
+		s := bitset.New(g.n)
+		s.Add(v)
+		for _, u := range g.adj[v] {
+			if !alive.Contains(int(u)) {
+				continue
+			}
+			s.Add(int(u))
+			for _, w := range g.adj[u] {
+				if alive.Contains(int(w)) {
+					s.Add(int(w))
+				}
+			}
+		}
+		n2[v] = s
+	}
+	return n2
+}
+
+// isQuasiClique reports whether the vertex set (given both as a sorted
+// slice and as a bitset) satisfies the degree constraint for its size.
+// It does NOT check min-size or maximality.
+func (g *Graph) isQuasiClique(set []int32, inSet *bitset.Set, p Params) bool {
+	need := p.MinDegree(len(set))
+	for _, v := range set {
+		if len(g.adj[v]) < need {
+			return false
+		}
+		d := 0
+		for _, u := range g.adj[v] {
+			if inSet.Contains(int(u)) {
+				d++
+				if d >= need {
+					break
+				}
+			}
+		}
+		if d < need {
+			return false
+		}
+	}
+	return true
+}
+
+// degreesWithin fills degs[i] with |N(set[i]) ∩ set|.
+func (g *Graph) degreesWithin(set []int32, inSet *bitset.Set, degs []int) {
+	for i, v := range set {
+		d := 0
+		for _, u := range g.adj[v] {
+			if inSet.Contains(int(u)) {
+				d++
+			}
+		}
+		degs[i] = d
+	}
+}
+
+// extendable reports whether some vertex u ∉ set (u alive) makes
+// set ∪ {u} satisfy the quasi-clique degree constraint. Used as the
+// local-maximality test when reporting patterns.
+func (g *Graph) extendable(set []int32, inSet *bitset.Set, alive *bitset.Set, p Params) bool {
+	need := p.MinDegree(len(set) + 1)
+	degs := make([]int, len(set))
+	g.degreesWithin(set, inSet, degs)
+	for u := alive.NextSet(0); u >= 0; u = alive.NextSet(u + 1) {
+		if inSet.Contains(u) {
+			continue
+		}
+		// u itself needs `need` neighbors inside set.
+		du := 0
+		for _, w := range g.adj[int32(u)] {
+			if inSet.Contains(int(w)) {
+				du++
+			}
+		}
+		if du < need {
+			continue
+		}
+		// every existing member must reach `need` too, counting a
+		// possible edge to u.
+		ok := true
+		for i, v := range set {
+			d := degs[i]
+			if g.HasEdge(v, int32(u)) {
+				d++
+			}
+			if d < need {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,221 @@
+package quasiclique
+
+import (
+	"sort"
+
+	"github.com/scpm/scpm/internal/bitset"
+)
+
+// EnumerateMaximal mines every maximal quasi-clique of g (the naive
+// algorithm's per-induced-graph step). Results are sorted by
+// ComparePatterns.
+func EnumerateMaximal(g *Graph, p Params, o Options) ([]Pattern, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	e := newEngine(g, p, o)
+	var found [][]int32
+	h := hooks{
+		needLocalMax: true,
+		report: func(q []int32) bool {
+			found = append(found, append([]int32(nil), q...))
+			return true
+		},
+	}
+	if err := e.run(h); err != nil {
+		return nil, err
+	}
+	maximal := filterContained(g.n, found)
+	out := make([]Pattern, len(maximal))
+	for i, q := range maximal {
+		out[i] = g.makePattern(q)
+	}
+	sort.Slice(out, func(i, j int) bool { return ComparePatterns(out[i], out[j]) < 0 })
+	return out, nil
+}
+
+// CoverageResult reports which vertices belong to at least one
+// quasi-clique, plus search statistics.
+type CoverageResult struct {
+	// Covered is the set K of vertices inside quasi-cliques.
+	Covered *bitset.Set
+	// Nodes is the number of search-tree nodes processed.
+	Nodes int64
+}
+
+// Coverage computes K(g): the set of vertices that are members of at
+// least one γ-quasi-clique of size ≥ min_size (§3.2.2). It applies the
+// covered-candidate pruning — nodes whose X ∪ candExts is entirely
+// covered are skipped — and stops as soon as every surviving vertex is
+// covered. The frontier order (BFS or DFS) comes from o.Order.
+func Coverage(g *Graph, p Params, o Options) (CoverageResult, error) {
+	if err := p.Validate(); err != nil {
+		return CoverageResult{}, err
+	}
+	e := newEngine(g, p, o)
+	covered := bitset.New(g.n)
+	total := e.alive.Count()
+	nCovered := 0
+	h := hooks{
+		prune: func(x, cands []int32) bool {
+			for _, v := range x {
+				if !covered.Contains(int(v)) {
+					return false
+				}
+			}
+			for _, v := range cands {
+				if !covered.Contains(int(v)) {
+					return false
+				}
+			}
+			return true
+		},
+		report: func(q []int32) bool {
+			for _, v := range q {
+				if !covered.Contains(int(v)) {
+					covered.Add(int(v))
+					nCovered++
+				}
+			}
+			return nCovered < total
+		},
+	}
+	err := e.run(h)
+	if err != nil {
+		return CoverageResult{}, err
+	}
+	return CoverageResult{Covered: covered, Nodes: e.nodes}, nil
+}
+
+// TopK mines the k most relevant patterns of g: largest size first,
+// density as tie-breaker (§3.2.3). The current k-th best size is used to
+// prune candidate nodes that cannot produce a larger pattern, which is
+// what makes small k much cheaper than full enumeration.
+//
+// The size threshold is a heuristic lower bound: the collected patterns
+// pinning it down may share a maximal superset, in which case fewer than
+// k containment-maximal patterns survive the final filter. When that
+// happens and the threshold actually pruned nodes, TopK falls back to
+// full enumeration so the result is always the true top k.
+func TopK(g *Graph, p Params, k int, o Options) ([]Pattern, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, nil
+	}
+	e := newEngine(g, p, o)
+	col := newCollector(g, k)
+	prunedBySize := false
+	h := hooks{
+		needLocalMax: true,
+		prune: func(x, cands []int32) bool {
+			need := col.sizeNeeded(p.MinSize)
+			if len(x)+len(cands) < need {
+				if need > p.MinSize {
+					prunedBySize = true
+				}
+				return true
+			}
+			return false
+		},
+		report: func(q []int32) bool {
+			col.add(q)
+			return true
+		},
+	}
+	if err := e.run(h); err != nil {
+		return nil, err
+	}
+	out := col.finalize()
+	if len(out) < k && prunedBySize {
+		all, err := EnumerateMaximal(g, p, o)
+		if err != nil {
+			return nil, err
+		}
+		if len(all) > k {
+			all = all[:k]
+		}
+		return all, nil
+	}
+	return out, nil
+}
+
+// collector accumulates top-k candidates. It keeps every reported
+// pattern whose size could still matter (≥ the current k-th best size;
+// equal-size patterns compete on density), then finalizes with a
+// containment filter so subsets of larger quasi-cliques drop out.
+type collector struct {
+	g    *Graph
+	k    int
+	pats []Pattern // sorted by ComparePatterns (best first)
+}
+
+func newCollector(g *Graph, k int) *collector {
+	return &collector{g: g, k: k}
+}
+
+// sizeNeeded is the smallest |X ∪ cands| a node must offer to be worth
+// expanding: min_size until k patterns exist, then the k-th best size
+// (equal size still admitted for the density tie-break).
+func (c *collector) sizeNeeded(minSize int) int {
+	if len(c.pats) < c.k {
+		return minSize
+	}
+	return c.pats[c.k-1].Size()
+}
+
+func (c *collector) add(q []int32) {
+	// Containment dedupe keeps the buffer — and therefore the pruning
+	// threshold — honest: subsets of an already-collected quasi-clique
+	// are never maximal, and collected subsets of q are superseded.
+	for _, ex := range c.pats {
+		if len(ex.Vertices) > len(q) && subsetOfSorted(q, ex.Vertices) {
+			return
+		}
+	}
+	w := 0
+	for _, ex := range c.pats {
+		if len(ex.Vertices) < len(q) && subsetOfSorted(ex.Vertices, q) {
+			continue
+		}
+		c.pats[w] = ex
+		w++
+	}
+	c.pats = c.pats[:w]
+
+	pat := c.g.makePattern(q)
+	pos := sort.Search(len(c.pats), func(i int) bool {
+		return ComparePatterns(c.pats[i], pat) > 0
+	})
+	c.pats = append(c.pats, Pattern{})
+	copy(c.pats[pos+1:], c.pats[pos:])
+	c.pats[pos] = pat
+	// Trim entries that can no longer reach the top k: strictly smaller
+	// than the k-th best size.
+	if len(c.pats) > c.k {
+		cut := c.pats[c.k-1].Size()
+		w := len(c.pats)
+		for w > c.k && c.pats[w-1].Size() < cut {
+			w--
+		}
+		c.pats = c.pats[:w]
+	}
+}
+
+func (c *collector) finalize() []Pattern {
+	sets := make([][]int32, len(c.pats))
+	for i, p := range c.pats {
+		sets[i] = p.Vertices
+	}
+	maximal := filterContained(c.g.n, sets)
+	out := make([]Pattern, 0, len(maximal))
+	for _, q := range maximal {
+		out = append(out, c.g.makePattern(q))
+	}
+	sort.Slice(out, func(i, j int) bool { return ComparePatterns(out[i], out[j]) < 0 })
+	if len(out) > c.k {
+		out = out[:c.k]
+	}
+	return out
+}

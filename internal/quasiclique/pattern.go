@@ -1,0 +1,141 @@
+package quasiclique
+
+import (
+	"fmt"
+
+	"github.com/scpm/scpm/internal/bitset"
+)
+
+// Pattern is a mined quasi-clique together with its quality metrics.
+type Pattern struct {
+	// Vertices are the members, ascending.
+	Vertices []int32
+	// MinDeg is the minimum internal degree over the members.
+	MinDeg int
+	// Edges is the number of internal edges.
+	Edges int
+}
+
+// Size returns |Q|.
+func (p Pattern) Size() int { return len(p.Vertices) }
+
+// Density returns min_v deg_Q(v) / (|Q|−1), the γ value the paper
+// reports for patterns (Table 1 lists {3,4,6,7} as γ = 0.67 = 2/3 even
+// though its edge density is 5/6).
+func (p Pattern) Density() float64 {
+	if len(p.Vertices) <= 1 {
+		return 0
+	}
+	return float64(p.MinDeg) / float64(len(p.Vertices)-1)
+}
+
+// EdgeDensity returns 2|E_Q| / (|Q|·(|Q|−1)).
+func (p Pattern) EdgeDensity() float64 {
+	s := len(p.Vertices)
+	if s <= 1 {
+		return 0
+	}
+	return 2 * float64(p.Edges) / float64(s*(s-1))
+}
+
+// String renders the pattern for logs.
+func (p Pattern) String() string {
+	return fmt.Sprintf("Q%v size=%d γ=%.2f", p.Vertices, p.Size(), p.Density())
+}
+
+// makePattern computes the metrics of a vertex set known to be a
+// quasi-clique.
+func (g *Graph) makePattern(q []int32) Pattern {
+	in := bitset.FromSlice(g.n, q)
+	minDeg := g.n
+	edges := 0
+	for _, v := range q {
+		d := 0
+		for _, u := range g.adj[v] {
+			if in.Contains(int(u)) {
+				d++
+			}
+		}
+		edges += d
+		if d < minDeg {
+			minDeg = d
+		}
+	}
+	return Pattern{Vertices: append([]int32(nil), q...), MinDeg: minDeg, Edges: edges / 2}
+}
+
+// ComparePatterns orders patterns by the paper's relevance criteria:
+// size (primary, larger first), density (secondary, denser first), then
+// lexicographically by vertices for determinism. It returns a negative
+// number when a ranks before b.
+func ComparePatterns(a, b Pattern) int {
+	if a.Size() != b.Size() {
+		return b.Size() - a.Size()
+	}
+	da, db := a.Density(), b.Density()
+	switch {
+	case da > db:
+		return -1
+	case da < db:
+		return 1
+	}
+	for i := range a.Vertices {
+		if a.Vertices[i] != b.Vertices[i] {
+			return int(a.Vertices[i]) - int(b.Vertices[i])
+		}
+	}
+	return 0
+}
+
+// subsetOfSorted reports whether sorted slice a is a subset of sorted
+// slice b.
+func subsetOfSorted(a, b []int32) bool {
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i >= len(b) || b[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// filterContained removes vertex sets contained in a strictly larger
+// set of the list (and duplicates), implementing containment maximality.
+// Sets must each be sorted ascending; n is the graph size.
+func filterContained(n int, sets [][]int32) [][]int32 {
+	type item struct {
+		set []int32
+		bs  *bitset.Set
+	}
+	items := make([]item, len(sets))
+	for i, s := range sets {
+		items[i] = item{set: s, bs: bitset.FromSlice(n, s)}
+	}
+	// larger sets first so containment tests only look at kept sets
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && len(items[j].set) > len(items[j-1].set); j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+	var kept []item
+	var out [][]int32
+	for _, it := range items {
+		contained := false
+		for _, k := range kept {
+			if len(k.set) >= len(it.set) && k.bs.ContainsAll(it.bs) {
+				contained = true
+				break
+			}
+		}
+		if contained {
+			continue
+		}
+		kept = append(kept, it)
+		out = append(out, it.set)
+	}
+	return out
+}

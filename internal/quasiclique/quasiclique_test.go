@@ -1,0 +1,494 @@
+package quasiclique
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// buildGraph constructs a Graph from an undirected edge list over n
+// vertices.
+func buildGraph(n int, edges [][2]int32) *Graph {
+	adj := make([][]int32, n)
+	seen := map[[2]int32]bool{}
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int32{u, v}] {
+			continue
+		}
+		seen[[2]int32{u, v}] = true
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	for v := range adj {
+		sort.Slice(adj[v], func(i, j int) bool { return adj[v][i] < adj[v][j] })
+	}
+	return NewGraph(adj)
+}
+
+// paperGraph is the Figure-1 graph with 0-based ids (vertex i → i−1).
+func paperGraph() *Graph {
+	edges := [][2]int32{
+		{0, 1}, {0, 2}, {1, 2},
+		{2, 3}, {2, 4}, {2, 5}, {2, 6},
+		{3, 4}, {3, 5}, {4, 5},
+		{5, 6}, {5, 7}, {5, 10},
+		{6, 7}, {6, 8},
+		{7, 9},
+		{8, 9}, {8, 10},
+		{9, 10},
+	}
+	return buildGraph(11, edges)
+}
+
+func TestParamsValidate(t *testing.T) {
+	for _, p := range []Params{{0, 4}, {-0.1, 4}, {1.1, 4}, {0.5, 1}, {0.5, 0}} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Params %+v accepted", p)
+		}
+	}
+	if err := (Params{0.5, 2}).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestMinDegree(t *testing.T) {
+	cases := []struct {
+		gamma float64
+		size  int
+		want  int
+	}{
+		{0.6, 6, 3},  // 0.6·5 = 3.0000000000000004 must stay 3
+		{0.6, 4, 2},  // ⌈1.8⌉ = 2
+		{1.0, 4, 3},  // clique
+		{0.5, 11, 5}, // ⌈5⌉
+		{0.51, 11, 6},
+		{0.5, 2, 1},
+		{0.5, 1, 0},
+	}
+	for _, c := range cases {
+		p := Params{Gamma: c.gamma, MinSize: 2}
+		if got := p.MinDegree(c.size); got != c.want {
+			t.Errorf("MinDegree(γ=%v, size=%d) = %d, want %d", c.gamma, c.size, got, c.want)
+		}
+	}
+}
+
+func TestMaxSizeFor(t *testing.T) {
+	p := Params{Gamma: 0.6, MinSize: 2}
+	// avail=3: largest s with ⌈0.6(s−1)⌉ ≤ 3 is s = 6 (0.6·5 = 3)
+	if got := p.MaxSizeFor(3); got != 6 {
+		t.Errorf("MaxSizeFor(3) = %d, want 6", got)
+	}
+	if got := p.MaxSizeFor(0); got != 1 {
+		t.Errorf("MaxSizeFor(0) = %d, want 1", got)
+	}
+	if got := p.MaxSizeFor(-1); got != 0 {
+		t.Errorf("MaxSizeFor(-1) = %d, want 0", got)
+	}
+	one := Params{Gamma: 1, MinSize: 2}
+	if got := one.MaxSizeFor(4); got != 5 {
+		t.Errorf("clique MaxSizeFor(4) = %d, want 5", got)
+	}
+}
+
+func TestPeel(t *testing.T) {
+	// path 0-1-2-3 plus triangle 4-5-6
+	g := buildGraph(7, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {4, 5}, {5, 6}, {4, 6}})
+	alive := g.Peel(2)
+	want := []int32{4, 5, 6} // the path peels away entirely
+	if !reflect.DeepEqual(alive.Slice(), want) {
+		t.Fatalf("Peel = %v, want %v", alive.Slice(), want)
+	}
+	if got := g.Peel(0).Count(); got != 7 {
+		t.Fatalf("Peel(0) removed vertices: %d", got)
+	}
+}
+
+func vertexSets(ps []Pattern) [][]int32 {
+	out := make([][]int32, len(ps))
+	for i, p := range ps {
+		out[i] = p.Vertices
+	}
+	return out
+}
+
+func TestPaperExampleMaximal(t *testing.T) {
+	g := paperGraph()
+	p := Params{Gamma: 0.6, MinSize: 4}
+	got, err := EnumerateMaximal(g, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int32{
+		{5, 6, 7, 8, 9, 10}, // {6,…,11}
+		{2, 3, 4, 5},        // {3,4,5,6} the clique
+		{2, 3, 5, 6},        // {3,4,6,7}
+		{2, 4, 5, 6},        // {3,5,6,7}
+		{2, 5, 6, 7},        // {3,6,7,8}
+	}
+	if !reflect.DeepEqual(vertexSets(got), want) {
+		t.Fatalf("maximal = %v, want %v", vertexSets(got), want)
+	}
+	// density/γ column of Table 1
+	if d := got[0].Density(); d < 0.599 || d > 0.601 {
+		t.Errorf("6-set density = %v, want 0.6", d)
+	}
+	if d := got[1].Density(); d != 1 {
+		t.Errorf("clique density = %v, want 1", d)
+	}
+	if d := got[2].Density(); d < 0.66 || d > 0.67 {
+		t.Errorf("{3,4,6,7} density = %v, want 2/3", d)
+	}
+}
+
+func TestPaperExampleCoverage(t *testing.T) {
+	g := paperGraph()
+	p := Params{Gamma: 0.6, MinSize: 4}
+	for _, order := range []SearchOrder{DFS, BFS} {
+		res, err := Coverage(g, p, Options{Order: order})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []int32{2, 3, 4, 5, 6, 7, 8, 9, 10} // vertices 3..11
+		if !reflect.DeepEqual(res.Covered.Slice(), want) {
+			t.Fatalf("[%v] covered = %v, want %v", order, res.Covered.Slice(), want)
+		}
+	}
+}
+
+func TestPaperExampleTopK(t *testing.T) {
+	g := paperGraph()
+	p := Params{Gamma: 0.6, MinSize: 4}
+	top, err := TopK(g, p, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 {
+		t.Fatalf("got %d patterns", len(top))
+	}
+	if !reflect.DeepEqual(top[0].Vertices, []int32{5, 6, 7, 8, 9, 10}) {
+		t.Fatalf("top1 = %v", top[0].Vertices)
+	}
+	// second best: size 4, density 1 beats the 0.67 ones
+	if !reflect.DeepEqual(top[1].Vertices, []int32{2, 3, 4, 5}) {
+		t.Fatalf("top2 = %v", top[1].Vertices)
+	}
+}
+
+func TestTopKMoreThanAvailable(t *testing.T) {
+	g := paperGraph()
+	p := Params{Gamma: 0.6, MinSize: 4}
+	top, err := TopK(g, p, 100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 5 {
+		t.Fatalf("got %d patterns, want all 5", len(top))
+	}
+	if _, err := TopK(g, p, 0, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyAndTinyGraphs(t *testing.T) {
+	p := Params{Gamma: 0.5, MinSize: 3}
+	g := buildGraph(0, nil)
+	got, err := EnumerateMaximal(g, p, Options{})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty graph: %v %v", got, err)
+	}
+	g = buildGraph(2, [][2]int32{{0, 1}})
+	res, err := Coverage(g, p, Options{})
+	if err != nil || res.Covered.Count() != 0 {
+		t.Fatalf("tiny graph coverage: %v %v", res.Covered, err)
+	}
+}
+
+func TestCliqueOfFive(t *testing.T) {
+	var edges [][2]int32
+	for i := int32(0); i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			edges = append(edges, [2]int32{i, j})
+		}
+	}
+	g := buildGraph(5, edges)
+	got, err := EnumerateMaximal(g, Params{Gamma: 1, MinSize: 3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Size() != 5 || got[0].Density() != 1 {
+		t.Fatalf("clique: %v", got)
+	}
+	if got[0].EdgeDensity() != 1 || got[0].Edges != 10 {
+		t.Fatalf("clique metrics: %+v", got[0])
+	}
+}
+
+func TestMaxNodesBudget(t *testing.T) {
+	g := paperGraph()
+	p := Params{Gamma: 0.6, MinSize: 4}
+	_, err := EnumerateMaximal(g, p, Options{MaxNodes: 2})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+// randomTestGraph builds a small random graph for the property tests.
+func randomTestGraph(rng *rand.Rand) *Graph {
+	n := 5 + rng.Intn(8) // 5..12
+	var edges [][2]int32
+	p := 0.2 + rng.Float64()*0.5
+	for i := int32(0); i < int32(n); i++ {
+		for j := i + 1; j < int32(n); j++ {
+			if rng.Float64() < p {
+				edges = append(edges, [2]int32{i, j})
+			}
+		}
+	}
+	return buildGraph(n, edges)
+}
+
+func randomParams(rng *rand.Rand) Params {
+	gammas := []float64{0.4, 0.5, 0.6, 0.7, 1.0}
+	return Params{
+		Gamma:   gammas[rng.Intn(len(gammas))],
+		MinSize: 3 + rng.Intn(2),
+	}
+}
+
+func patternsEqual(a, b []Pattern) bool {
+	return reflect.DeepEqual(vertexSets(a), vertexSets(b))
+}
+
+func TestQuickEnumerateMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomTestGraph(rng)
+		p := randomParams(rng)
+		want, err := BruteMaximal(g, p)
+		if err != nil {
+			return false
+		}
+		for _, opts := range []Options{
+			{},
+			{Order: BFS},
+			{DisableLookahead: true},
+			{DisableDiameterPruning: true},
+			{DisableComponentSplit: true},
+			{DisableJumps: true},
+			{Order: BFS, DisableLookahead: true, DisableDiameterPruning: true, DisableComponentSplit: true, DisableJumps: true},
+		} {
+			got, err := EnumerateMaximal(g, p, opts)
+			if err != nil || !patternsEqual(got, want) {
+				t.Logf("seed=%d opts=%+v params=%+v\n got=%v\nwant=%v",
+					seed, opts, p, vertexSets(got), vertexSets(want))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCoverageMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomTestGraph(rng)
+		p := randomParams(rng)
+		want, err := BruteCoverage(g, p)
+		if err != nil {
+			return false
+		}
+		for _, opts := range []Options{
+			{}, {Order: BFS}, {DisableJumps: true}, {DisableComponentSplit: true},
+		} {
+			res, err := Coverage(g, p, opts)
+			if err != nil || !res.Covered.Equal(want) {
+				t.Logf("seed=%d opts=%+v params=%+v\n got=%v\nwant=%v",
+					seed, opts, p, res.Covered, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTopKMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomTestGraph(rng)
+		p := randomParams(rng)
+		all, err := BruteMaximal(g, p)
+		if err != nil {
+			return false
+		}
+		for _, k := range []int{1, 2, 5} {
+			want := all
+			if len(want) > k {
+				want = want[:k]
+			}
+			got, err := TopK(g, p, k, Options{DisableJumps: seed%2 == 0})
+			if err != nil || !patternsEqual(got, want) {
+				t.Logf("seed=%d k=%d params=%+v\n got=%v\nwant=%v",
+					seed, k, p, vertexSets(got), vertexSets(want))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEveryPatternIsValidQuasiClique(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomTestGraph(rng)
+		p := randomParams(rng)
+		got, err := EnumerateMaximal(g, p, Options{})
+		if err != nil {
+			return false
+		}
+		for _, pat := range got {
+			if pat.Size() < p.MinSize {
+				return false
+			}
+			need := p.MinDegree(pat.Size())
+			if pat.MinDeg < need {
+				return false
+			}
+			// recompute min degree independently
+			min := g.n
+			for _, v := range pat.Vertices {
+				d := 0
+				for _, u := range g.adj[v] {
+					for _, w := range pat.Vertices {
+						if w == u {
+							d++
+							break
+						}
+					}
+				}
+				if d < min {
+					min = d
+				}
+			}
+			if min != pat.MinDeg {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	// two triangles and an isolated edge
+	g := buildGraph(8, [][2]int32{
+		{0, 1}, {1, 2}, {0, 2},
+		{3, 4}, {4, 5}, {3, 5},
+		{6, 7},
+	})
+	alive := g.Peel(0)
+	comps := g.components(alive)
+	if len(comps) != 3 {
+		t.Fatalf("components = %v", comps)
+	}
+	want := [][]int32{{0, 1, 2}, {3, 4, 5}, {6, 7}}
+	for i := range want {
+		if !reflect.DeepEqual(comps[i], want[i]) {
+			t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+		}
+	}
+	// restricting alive hides vertices
+	alive.Remove(4)
+	comps = g.components(alive)
+	if len(comps) != 4 { // {0,1,2}, {3,5}, {6,7} — wait 3-5 edge keeps them together
+		// {3,5} stay connected through the 3-5 edge
+		t.Logf("components after removal: %v", comps)
+	}
+	found := false
+	for _, c := range comps {
+		if reflect.DeepEqual(c, []int32{3, 5}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected {3,5} component, got %v", comps)
+	}
+}
+
+func TestCoverageAcrossComponents(t *testing.T) {
+	// two disjoint 4-cliques: both must be covered with and without
+	// component splitting
+	var edges [][2]int32
+	for base := int32(0); base <= 4; base += 4 {
+		for i := base; i < base+4; i++ {
+			for j := i + 1; j < base+4; j++ {
+				edges = append(edges, [2]int32{i, j})
+			}
+		}
+	}
+	g := buildGraph(8, edges)
+	p := Params{Gamma: 1, MinSize: 4}
+	for _, opts := range []Options{{}, {DisableComponentSplit: true}} {
+		res, err := Coverage(g, p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Covered.Count() != 8 {
+			t.Fatalf("opts %+v: covered = %v", opts, res.Covered)
+		}
+	}
+}
+
+func TestComparePatterns(t *testing.T) {
+	a := Pattern{Vertices: []int32{0, 1, 2, 3, 4, 5}, MinDeg: 3}
+	b := Pattern{Vertices: []int32{0, 1, 2, 3}, MinDeg: 3}
+	c := Pattern{Vertices: []int32{0, 1, 2, 3}, MinDeg: 2}
+	d := Pattern{Vertices: []int32{0, 1, 2, 4}, MinDeg: 2}
+	if ComparePatterns(a, b) >= 0 {
+		t.Error("larger should rank first")
+	}
+	if ComparePatterns(b, c) >= 0 {
+		t.Error("denser should rank first at equal size")
+	}
+	if ComparePatterns(c, d) >= 0 {
+		t.Error("lexicographic tie-break broken")
+	}
+	if ComparePatterns(a, a) != 0 {
+		t.Error("self comparison should be 0")
+	}
+}
+
+func TestFilterContained(t *testing.T) {
+	sets := [][]int32{
+		{0, 1, 2},
+		{0, 1, 2, 3},
+		{4, 5},
+		{0, 1, 2}, // duplicate
+	}
+	got := filterContained(6, sets)
+	want := [][]int32{{0, 1, 2, 3}, {4, 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}

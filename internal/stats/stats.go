@@ -1,0 +1,155 @@
+// Package stats provides the small set of descriptive statistics the
+// experiment harness and null models need: means, standard deviations,
+// quantiles and integer histograms (degree distributions).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs, or 0 when
+// fewer than two samples are given.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// MeanStd returns both the mean and the population standard deviation.
+func MeanStd(xs []float64) (mean, std float64) {
+	return Mean(xs), StdDev(xs)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It returns 0 for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Min returns the smallest value of xs, or 0 for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value of xs, or 0 for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// IntHistogram counts occurrences of small non-negative integers. It is
+// used for degree distributions: Counts[d] is the number of vertices of
+// degree d.
+type IntHistogram struct {
+	Counts []int64
+	Total  int64
+}
+
+// NewIntHistogram builds a histogram from the given values. Negative
+// values are rejected with an error.
+func NewIntHistogram(values []int) (*IntHistogram, error) {
+	h := &IntHistogram{}
+	for _, v := range values {
+		if v < 0 {
+			return nil, fmt.Errorf("stats: negative histogram value %d", v)
+		}
+		h.Observe(v)
+	}
+	return h, nil
+}
+
+// Observe adds one occurrence of v (v ≥ 0) to the histogram.
+func (h *IntHistogram) Observe(v int) {
+	for v >= len(h.Counts) {
+		h.Counts = append(h.Counts, 0)
+	}
+	h.Counts[v]++
+	h.Total++
+}
+
+// P returns the empirical probability of value v.
+func (h *IntHistogram) P(v int) float64 {
+	if h.Total == 0 || v < 0 || v >= len(h.Counts) {
+		return 0
+	}
+	return float64(h.Counts[v]) / float64(h.Total)
+}
+
+// MaxValue returns the largest value with a non-zero count, or -1 when
+// the histogram is empty.
+func (h *IntHistogram) MaxValue() int {
+	for v := len(h.Counts) - 1; v >= 0; v-- {
+		if h.Counts[v] > 0 {
+			return v
+		}
+	}
+	return -1
+}
+
+// Mean returns the mean of the observed values.
+func (h *IntHistogram) Mean() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	s := 0.0
+	for v, c := range h.Counts {
+		s += float64(v) * float64(c)
+	}
+	return s / float64(h.Total)
+}

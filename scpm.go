@@ -1,0 +1,177 @@
+package scpm
+
+import (
+	"io"
+
+	"github.com/scpm/scpm/internal/core"
+	"github.com/scpm/scpm/internal/datagen"
+	"github.com/scpm/scpm/internal/graph"
+	"github.com/scpm/scpm/internal/nullmodel"
+	"github.com/scpm/scpm/internal/quasiclique"
+)
+
+// Graph is an immutable attributed graph (vertices with attribute sets
+// plus undirected edges). Build one with a Builder or ReadDataset.
+type Graph = graph.Graph
+
+// Builder incrementally constructs a Graph.
+type Builder = graph.Builder
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder { return graph.NewBuilder() }
+
+// ReadDataset parses the two-file text format (vertex attributes +
+// edge list) into a Graph. See WriteDataset for the format.
+func ReadDataset(attrs, edges io.Reader) (*Graph, error) {
+	return graph.ReadDataset(attrs, edges)
+}
+
+// WriteDataset writes g in the text dataset format: the attribute file
+// has one "vertexName attr1 attr2 ..." line per vertex; the edge file
+// one "nameA nameB" line per undirected edge.
+func WriteDataset(g *Graph, attrs, edges io.Writer) error {
+	return graph.WriteDataset(g, attrs, edges)
+}
+
+// Params configures a mining run; see the field documentation of
+// core.Params (re-exported here) for the full reference.
+type Params = core.Params
+
+// Result is a mining run's output: scored attribute sets and their
+// top-k structural correlation patterns, canonically sorted.
+type Result = core.Result
+
+// AttributeSet is a mined attribute set with σ, ε and δ.
+type AttributeSet = core.AttributeSet
+
+// Pattern is a structural correlation pattern (S, Q).
+type Pattern = core.Pattern
+
+// Stats aggregates run counters.
+type Stats = core.Stats
+
+// Ranking selects the TopSets ordering criterion.
+type Ranking = core.Ranking
+
+// Ranking criteria for TopSets.
+const (
+	BySupport = core.BySupport
+	ByEpsilon = core.ByEpsilon
+	ByDelta   = core.ByDelta
+)
+
+// SearchOrder selects the quasi-clique search frontier discipline.
+type SearchOrder = quasiclique.SearchOrder
+
+// Search orders for Params.Order.
+const (
+	DFS = quasiclique.DFS
+	BFS = quasiclique.BFS
+)
+
+// Mine runs the SCPM algorithm on g: it identifies the attribute sets
+// with support ≥ σmin, structural correlation ≥ εmin and normalized
+// structural correlation ≥ δmin, and mines the top-k quasi-cliques each
+// induces.
+func Mine(g *Graph, p Params) (*Result, error) { return core.Mine(g, p) }
+
+// MineNaive runs the naive baseline (Eclat × full quasi-clique
+// enumeration). It produces the same output as Mine but without the
+// SCPM search and pruning strategies; use it for cross-checking or
+// benchmarking.
+func MineNaive(g *Graph, p Params) (*Result, error) { return core.MineNaive(g, p) }
+
+// TopSets returns the n best attribute sets of a result under the given
+// ranking (σ, ε or δ), as in the paper's case-study tables.
+func TopSets(sets []AttributeSet, r Ranking, n int) []AttributeSet {
+	return core.TopSets(sets, r, n)
+}
+
+// GlobalTopPatterns returns the n best patterns across all attribute
+// sets, ranked by size then density.
+func GlobalTopPatterns(pats []Pattern, n int) []Pattern {
+	return core.GlobalTopPatterns(pats, n)
+}
+
+// DedupPatterns removes patterns whose vertex set overlaps a
+// better-ranked pattern with Jaccard similarity ≥ threshold (the same
+// community typically shows up for several attribute sets).
+func DedupPatterns(pats []Pattern, numVertices int, threshold float64) []Pattern {
+	return core.DedupPatterns(pats, numVertices, threshold)
+}
+
+// GraphSummary describes a graph's shape (degrees, components,
+// clustering, attribute supports).
+type GraphSummary = graph.Summary
+
+// Summarize computes a GraphSummary; topAttrs bounds the reported
+// attribute-support list.
+func Summarize(g *Graph, topAttrs int) GraphSummary {
+	return graph.Summarize(g, topAttrs)
+}
+
+// QuasiClique is a maximal γ-quasi-clique mined directly from a graph:
+// Vertices holds its members (vertex ids of the mined graph), MinDeg
+// the minimum internal degree and Edges the internal edge count.
+type QuasiClique = quasiclique.Pattern
+
+// FindQuasiCliques enumerates every maximal γ-quasi-clique of size ≥
+// minSize in g (the substrate the paper builds on; Definition 1).
+// Results are ordered largest and densest first.
+func FindQuasiCliques(g *Graph, gamma float64, minSize int) ([]QuasiClique, error) {
+	return quasiclique.EnumerateMaximal(wrapGraph(g),
+		quasiclique.Params{Gamma: gamma, MinSize: minSize}, quasiclique.Options{})
+}
+
+// TopQuasiCliques mines the k largest (then densest) maximal
+// γ-quasi-cliques of g, using the size-threshold pruning of §3.2.3 —
+// much cheaper than full enumeration for small k.
+func TopQuasiCliques(g *Graph, gamma float64, minSize, k int) ([]QuasiClique, error) {
+	return quasiclique.TopK(wrapGraph(g),
+		quasiclique.Params{Gamma: gamma, MinSize: minSize}, k, quasiclique.Options{})
+}
+
+func wrapGraph(g *Graph) *quasiclique.Graph {
+	adj := make([][]int32, g.NumVertices())
+	for v := range adj {
+		adj[v] = g.Neighbors(int32(v))
+	}
+	return quasiclique.NewGraph(adj)
+}
+
+// NullModel yields the expected structural correlation εexp(σ); plug
+// one into Params.Model to choose the δ normalization.
+type NullModel = nullmodel.Model
+
+// NewAnalyticalModel returns max-εexp, the analytical upper bound of
+// Theorem 2 (the default model; yields δlb).
+func NewAnalyticalModel(g *Graph, p Params) NullModel {
+	return nullmodel.NewAnalytical(g, p.QuasiCliqueParams())
+}
+
+// NewSimulationModel returns sim-εexp estimated from r random vertex
+// samples per support value (yields δsim). Results are deterministic
+// for a fixed seed.
+func NewSimulationModel(g *Graph, p Params, r int, seed int64) NullModel {
+	return nullmodel.NewSimulation(g, p.QuasiCliqueParams(), r, seed)
+}
+
+// GeneratorConfig parameterizes the synthetic attributed-graph
+// generator (Chung–Lu background + planted attribute-correlated
+// communities + Zipf attributes).
+type GeneratorConfig = datagen.Config
+
+// GroundTruth records the planted communities and topic attribute sets
+// of a generated graph.
+type GroundTruth = datagen.GroundTruth
+
+// Generate builds a synthetic attributed graph; the same config always
+// yields the same graph.
+func Generate(c GeneratorConfig) (*Graph, *GroundTruth, error) {
+	return datagen.Generate(c)
+}
+
+// PaperExample returns the 11-vertex worked example of the paper's
+// Figure 1; mining it with σmin=3, γmin=0.6, min_size=4, εmin=0.5
+// reproduces Table 1.
+func PaperExample() *Graph { return graph.PaperExample() }

@@ -1,0 +1,172 @@
+package scpm_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	scpm "github.com/scpm/scpm"
+)
+
+// TestQuickstartFlow exercises the public API end to end the way the
+// doc.go example does.
+func TestQuickstartFlow(t *testing.T) {
+	b := scpm.NewBuilder()
+	names := []string{"alice", "bob", "carol", "dave"}
+	for _, n := range names {
+		if _, err := b.AddVertex(n, "db", "go"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a 4-clique of database gophers
+	for i := int32(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if err := b.AddEdge(i, j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scpm.Mine(g, scpm.Params{SigmaMin: 2, Gamma: 1, MinSize: 3, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := res.SetByNames("db", "go")
+	if set == nil || set.Epsilon != 1 {
+		t.Fatalf("expected ε=1 for {db,go}: %+v", set)
+	}
+	pats := res.PatternsOf(set.Attrs)
+	if len(pats) != 1 || pats[0].Size() != 4 {
+		t.Fatalf("expected one 4-clique pattern, got %v", pats)
+	}
+	if got := pats[0].VertexNames(g); len(got) != 4 || got[0] != "alice" {
+		t.Fatalf("names = %v", got)
+	}
+}
+
+func TestPaperExampleThroughFacade(t *testing.T) {
+	g := scpm.PaperExample()
+	p := scpm.Params{SigmaMin: 3, Gamma: 0.6, MinSize: 4, EpsMin: 0.5, K: 10}
+	res, err := scpm.Mine(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := scpm.MineNaive(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sets) != 3 || len(naive.Sets) != 3 || len(res.Patterns) != 7 {
+		t.Fatalf("unexpected counts: %d sets, %d patterns", len(res.Sets), len(res.Patterns))
+	}
+	top := scpm.TopSets(res.Sets, scpm.ByEpsilon, 1)
+	if top[0].Epsilon != 1 {
+		t.Fatalf("top ε = %v", top[0])
+	}
+	if scpm.BySupport.String() != "σ" {
+		t.Fatal("ranking name")
+	}
+}
+
+func TestDatasetRoundTripThroughFacade(t *testing.T) {
+	g := scpm.PaperExample()
+	var attrs, edges bytes.Buffer
+	if err := scpm.WriteDataset(g, &attrs, &edges); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := scpm.ReadDataset(strings.NewReader(attrs.String()), strings.NewReader(edges.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed graph: %v vs %v", g2, g)
+	}
+}
+
+func TestNullModelsThroughFacade(t *testing.T) {
+	g := scpm.PaperExample()
+	p := scpm.Params{SigmaMin: 3, Gamma: 0.6, MinSize: 4}
+	ana := scpm.NewAnalyticalModel(g, p)
+	sim := scpm.NewSimulationModel(g, p, 20, 7)
+	for sigma := 4; sigma <= 11; sigma++ {
+		a, s := ana.Exp(sigma), sim.Exp(sigma)
+		if a < 0 || a > 1 || s < 0 || s > 1 {
+			t.Fatalf("σ=%d: out of range a=%v s=%v", sigma, a, s)
+		}
+		if s > a+1e-9 {
+			t.Fatalf("σ=%d: sim %v exceeds analytical bound %v", sigma, s, a)
+		}
+	}
+	p.Model = sim
+	if _, err := scpm.Mine(g, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindQuasiCliques(t *testing.T) {
+	g := scpm.PaperExample()
+	all, err := scpm.FindQuasiCliques(g, 0.6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the five maximal quasi-cliques of the full example graph
+	if len(all) != 5 {
+		t.Fatalf("got %d quasi-cliques: %v", len(all), all)
+	}
+	if all[0].Size() != 6 {
+		t.Fatalf("largest = %v", all[0])
+	}
+	top, err := scpm.TopQuasiCliques(g, 0.6, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || top[0].Size() != 6 || top[1].Density() != 1 {
+		t.Fatalf("top = %v", top)
+	}
+	if _, err := scpm.FindQuasiCliques(g, 0, 4); err == nil {
+		t.Fatal("invalid gamma accepted")
+	}
+}
+
+func TestGenerateThroughFacade(t *testing.T) {
+	g, gt, err := scpm.Generate(scpm.GeneratorConfig{
+		Name:             "facade",
+		Seed:             3,
+		NumVertices:      300,
+		AvgDegree:        3,
+		DegreeExponent:   2.5,
+		VocabSize:        60,
+		AttrsPerVertex:   3,
+		ZipfS:            0.8,
+		NumCommunities:   6,
+		CommunitySizeMin: 5,
+		CommunitySizeMax: 8,
+		IntraProb:        0.8,
+		TopicAttrs:       2,
+		NumAreas:         3,
+		TopicAdoption:    0.9,
+		TopicNoise:       0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 300 || len(gt.Communities) != 6 {
+		t.Fatalf("unexpected generation: %v, %d communities", g, len(gt.Communities))
+	}
+	res, err := scpm.Mine(g, scpm.Params{SigmaMin: 4, Gamma: 0.5, MinSize: 4, K: 1, MaxAttrs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sets) == 0 {
+		t.Fatal("no sets mined from generated graph")
+	}
+	// δ must be finite or +Inf, never NaN
+	for _, s := range res.Sets {
+		if math.IsNaN(s.Delta) {
+			t.Fatalf("NaN delta: %+v", s)
+		}
+	}
+}
