@@ -12,6 +12,7 @@ package scpm
 //	max/sim        analytical bound looseness (fig4/7/9 benches)
 
 import (
+	"context"
 	"testing"
 
 	"github.com/scpm/scpm/internal/experiments"
@@ -38,7 +39,7 @@ func loadB(b *testing.B, name string) *experiments.Dataset {
 
 func BenchmarkTable1ExampleGraph(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Table1()
+		r, err := experiments.Table1(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -53,7 +54,7 @@ func benchTopSets(b *testing.B, dataset string) {
 	b.ResetTimer()
 	var sets int
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.TopSets(d, 10)
+		r, err := experiments.TopSets(context.Background(), d, 10)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -100,7 +101,7 @@ func benchPerfPanel(b *testing.B, varying string, values []float64) {
 		b.Run(benchName(varying, v), func(b *testing.B) {
 			var speedup float64
 			for i := 0; i < b.N; i++ {
-				r, err := experiments.Perf(d, varying, []float64{v}, true, 1)
+				r, err := experiments.Perf(context.Background(), d, varying, []float64{v}, true, 1)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -181,7 +182,7 @@ func benchSensitivityPanel(b *testing.B, varying string, values []float64) {
 	b.ResetTimer()
 	var avgEps float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Sensitivity(d, varying, values)
+		r, err := experiments.Sensitivity(context.Background(), d, varying, values)
 		if err != nil {
 			b.Fatal(err)
 		}

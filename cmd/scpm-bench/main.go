@@ -14,19 +14,26 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
+	scpm "github.com/scpm/scpm"
 	"github.com/scpm/scpm/internal/experiments"
 )
 
 func main() {
-	os.Exit(runMain(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(runMain(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func runMain(args []string, stdout, stderr io.Writer) int {
+func runMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("scpm-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -44,7 +51,7 @@ func runMain(args []string, stdout, stderr io.Writer) int {
 	run := func(id string) error {
 		switch id {
 		case "table1":
-			r, err := experiments.Table1()
+			r, err := experiments.Table1(ctx)
 			if err != nil {
 				return err
 			}
@@ -57,7 +64,7 @@ func runMain(args []string, stdout, stderr io.Writer) int {
 			}
 			fmt.Fprintln(stdout, "E"+id[len(id)-1:]+" / "+paperName(id))
 			fmt.Fprintln(stdout, d.Summary())
-			r, err := experiments.TopSets(d, *topN)
+			r, err := experiments.TopSets(ctx, d, *topN)
 			if err != nil {
 				return err
 			}
@@ -87,7 +94,7 @@ func runMain(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, "Figure 8 — performance evaluation on "+d.Summary())
 			sweeps := experiments.DefaultPerfSweeps(d)
 			for _, panel := range experiments.PerfPanels {
-				r, err := experiments.Perf(d, panel, sweeps[panel], *naive, *repeats)
+				r, err := experiments.Perf(ctx, d, panel, sweeps[panel], *naive, *repeats)
 				if err != nil {
 					return err
 				}
@@ -101,7 +108,7 @@ func runMain(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, "Figure 10 — parameter sensitivity on "+d.Summary())
 			sweeps := experiments.DefaultSensitivitySweeps(d)
 			for _, panel := range experiments.SensitivityPanels {
-				r, err := experiments.Sensitivity(d, panel, sweeps[panel])
+				r, err := experiments.Sensitivity(ctx, d, panel, sweeps[panel])
 				if err != nil {
 					return err
 				}
@@ -112,7 +119,7 @@ func runMain(args []string, stdout, stderr io.Writer) int {
 			if err != nil {
 				return err
 			}
-			r, err := experiments.Ablation(d)
+			r, err := experiments.Ablation(ctx, d)
 			if err != nil {
 				return err
 			}
@@ -130,6 +137,10 @@ func runMain(args []string, stdout, stderr io.Writer) int {
 	}
 	for _, id := range ids {
 		if err := run(id); err != nil {
+			if errors.Is(err, scpm.ErrCanceled) {
+				fmt.Fprintln(stderr, "scpm-bench: interrupted")
+				return 130
+			}
 			fmt.Fprintln(stderr, "scpm-bench:", err)
 			return 1
 		}

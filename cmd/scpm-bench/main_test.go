@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ import (
 func runBench(t *testing.T, args ...string) (int, string, string) {
 	t.Helper()
 	var out, errb bytes.Buffer
-	code := runMain(args, &out, &errb)
+	code := runMain(context.Background(), args, &out, &errb)
 	return code, out.String(), errb.String()
 }
 

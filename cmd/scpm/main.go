@@ -8,26 +8,42 @@
 //
 // The output lists the qualifying attribute sets (σ, ε, δ) and the
 // top-k quasi-cliques each induces. With -rank the tool instead prints
-// the paper-style top-N tables by σ, ε and δ. -json and -csv export the
-// full result for downstream analysis.
+// the paper-style top-N tables by σ, ε and δ. With -ndjson results are
+// streamed incrementally as NDJSON events (one JSON object per line:
+// set, pattern, progress, done) the moment the search finds them —
+// point it at a pipe and watch patterns appear while mining is still
+// running. -json and -csv export the full result for downstream
+// analysis.
+//
+// The process honors SIGINT/SIGTERM: interrupting a long run stops the
+// search in bounded time and reports the partial results mined so far
+// (exit code 130). A run stopped by an exhausted -budget likewise
+// reports its partial results, with exit code 3.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	scpm "github.com/scpm/scpm"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("scpm", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -46,7 +62,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		algo      = fs.String("algo", "scpm", "algorithm: scpm or naive")
 		par       = fs.Int("parallel", runtime.NumCPU(), "worker goroutines")
 		model     = fs.String("model", "analytical", "null model: analytical or sim:<r>:<seed>")
+		budget    = fs.Int64("budget", 0, "search-node budget per induced graph (0 = unbounded)")
 		rank      = fs.Int("rank", 0, "print top-N σ/ε/δ tables instead of the full output")
+		ndjson    = fs.Bool("ndjson", false, "stream results incrementally as NDJSON events")
 		jsonPath  = fs.String("json", "", "write the full result as JSON to this file")
 		csvPrefix = fs.String("csv", "", "write <prefix>-sets.csv and <prefix>-patterns.csv")
 		quiet     = fs.Bool("quiet", false, "suppress per-pattern output")
@@ -65,48 +83,78 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "scpm:", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "loaded %d vertices, %d edges, %d attributes\n",
-		g.NumVertices(), g.NumEdges(), g.NumAttributes())
+	if !*ndjson {
+		fmt.Fprintf(stdout, "loaded %d vertices, %d edges, %d attributes\n",
+			g.NumVertices(), g.NumEdges(), g.NumAttributes())
+	}
 
-	p := scpm.Params{
-		SigmaMin:    *sigmaMin,
-		Gamma:       *gamma,
-		MinSize:     *minSize,
-		EpsMin:      *epsMin,
-		DeltaMin:    *deltaMin,
-		K:           *k,
-		AllPatterns: *allPats,
-		MinAttrs:    *minAttrs,
-		MaxAttrs:    *maxAttrs,
-		Parallelism: *par,
+	opts := []scpm.Option{
+		scpm.WithSigmaMin(*sigmaMin),
+		scpm.WithGamma(*gamma),
+		scpm.WithMinSize(*minSize),
+		scpm.WithEpsMin(*epsMin),
+		scpm.WithDeltaMin(*deltaMin),
+		scpm.WithTopK(*k),
+		scpm.WithMinAttrs(*minAttrs),
+		scpm.WithMaxAttrs(*maxAttrs),
+		scpm.WithParallelism(*par),
+		scpm.WithSearchBudget(*budget),
+	}
+	if *allPats {
+		opts = append(opts, scpm.WithAllPatterns())
 	}
 	switch strings.ToLower(*order) {
 	case "dfs":
-		p.Order = scpm.DFS
+		opts = append(opts, scpm.WithSearchOrder(scpm.DFS))
 	case "bfs":
-		p.Order = scpm.BFS
+		opts = append(opts, scpm.WithSearchOrder(scpm.BFS))
 	default:
 		fmt.Fprintf(stderr, "scpm: unknown -order %q\n", *order)
 		return 2
 	}
-	if err := configureModel(&p, g, *model); err != nil {
-		fmt.Fprintln(stderr, "scpm:", err)
-		return 2
-	}
-
-	var res *scpm.Result
 	switch strings.ToLower(*algo) {
 	case "scpm":
-		res, err = scpm.Mine(g, p)
 	case "naive":
-		res, err = scpm.MineNaive(g, p)
+		opts = append(opts, scpm.WithNaive())
 	default:
 		fmt.Fprintf(stderr, "scpm: unknown -algo %q\n", *algo)
 		return 2
 	}
+	modelOpt, err := modelOption(g, *model, *gamma, *minSize)
 	if err != nil {
 		fmt.Fprintln(stderr, "scpm:", err)
+		return 2
+	}
+	if modelOpt != nil {
+		opts = append(opts, modelOpt)
+	}
+
+	miner, err := scpm.NewMiner(opts...)
+	if err != nil {
+		fmt.Fprintln(stderr, "scpm:", err)
+		return 2
+	}
+
+	if *ndjson {
+		// The batch-only output flags would be silently dead in
+		// streaming mode; refuse the combination loudly instead of
+		// letting a pipeline lose its artifacts.
+		if *jsonPath != "" || *csvPrefix != "" || *rank > 0 {
+			fmt.Fprintln(stderr, "scpm: -ndjson cannot be combined with -json, -csv or -rank")
+			return 2
+		}
+		return streamNDJSON(ctx, miner, g, stdout, stderr)
+	}
+
+	res, err := miner.Mine(ctx, g)
+	canceled := errors.Is(err, scpm.ErrCanceled)
+	budgeted := errors.Is(err, scpm.ErrBudget)
+	if err != nil && !canceled && !budgeted {
+		fmt.Fprintln(stderr, "scpm:", err)
 		return 1
+	}
+	if canceled || budgeted {
+		fmt.Fprintf(stderr, "%v — reporting partial results\n", err)
 	}
 
 	if *rank > 0 {
@@ -135,7 +183,106 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "wrote %s and %s\n", setsPath, patsPath)
 	}
+	// 130 mirrors the shell convention for an interrupted process;
+	// a deliberately bounded query hitting its -budget is a different
+	// outcome and gets its own code.
+	if canceled {
+		return 130
+	}
+	if budgeted {
+		return 3
+	}
 	return 0
+}
+
+// ndjsonEvent is one streamed output line. Type is "set", "pattern",
+// "progress" or "done"; the other fields apply per type.
+type ndjsonEvent struct {
+	Type     string   `json:"type"`
+	Attrs    []string `json:"attrs,omitempty"`
+	Support  int      `json:"support,omitempty"`
+	Epsilon  *float64 `json:"epsilon,omitempty"`
+	Delta    *float64 `json:"delta,omitempty"`
+	Covered  *int     `json:"covered,omitempty"`
+	Vertices []string `json:"vertices,omitempty"`
+	Size     int      `json:"size,omitempty"`
+	Gamma    *float64 `json:"gamma,omitempty"`
+
+	SetsEvaluated   int64   `json:"sets_evaluated,omitempty"`
+	SetsEmitted     int64   `json:"sets_emitted,omitempty"`
+	PatternsEmitted int64   `json:"patterns_emitted,omitempty"`
+	Seconds         float64 `json:"seconds,omitempty"`
+	Canceled        bool    `json:"canceled,omitempty"`
+	Budget          bool    `json:"budget,omitempty"`
+	Error           string  `json:"error,omitempty"`
+}
+
+// streamNDJSON mines g pushing one JSON line per event to stdout as the
+// search proceeds.
+func streamNDJSON(ctx context.Context, miner *scpm.Miner, g *scpm.Graph, stdout, stderr io.Writer) int {
+	// A failed write (closed pipe, full disk) makes further mining
+	// pointless: record the first encode error and cancel the search.
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	enc := json.NewEncoder(stdout)
+	var encErr error
+	emit := func(ev ndjsonEvent) {
+		if encErr != nil {
+			return
+		}
+		if err := enc.Encode(ev); err != nil {
+			encErr = fmt.Errorf("writing output: %w", err)
+			cancel(encErr)
+		}
+	}
+	f := func(v float64) *float64 { return &v }
+	n := func(v int) *int { return &v }
+	err := miner.Stream(ctx, g, scpm.SinkFuncs{
+		AttributeSet: func(s scpm.AttributeSet) {
+			emit(ndjsonEvent{
+				Type: "set", Attrs: s.Names, Support: s.Support,
+				Epsilon: f(s.Epsilon), Delta: f(s.Delta), Covered: n(s.Covered),
+			})
+		},
+		Pattern: func(p scpm.Pattern) {
+			emit(ndjsonEvent{
+				Type: "pattern", Attrs: p.Names, Vertices: p.VertexNames(g),
+				Size: p.Size(), Gamma: f(p.Density()),
+			})
+		},
+		Progress: func(st scpm.Stats) {
+			emit(ndjsonEvent{
+				Type: "progress", SetsEvaluated: st.SetsEvaluated,
+				SetsEmitted: st.SetsEmitted, PatternsEmitted: st.PatternsEmitted,
+				Seconds: st.Duration.Seconds(),
+			})
+		},
+	})
+	if encErr != nil {
+		fmt.Fprintln(stderr, "scpm:", encErr)
+		return 1
+	}
+	done := ndjsonEvent{Type: "done"}
+	code := 0
+	switch {
+	case errors.Is(err, scpm.ErrCanceled):
+		done.Canceled = true
+		done.Error = err.Error()
+		code = 130
+	case errors.Is(err, scpm.ErrBudget):
+		done.Budget = true
+		done.Error = err.Error()
+		code = 3
+	case err != nil:
+		fmt.Fprintln(stderr, "scpm:", err)
+		return 1
+	}
+	emit(done)
+	if encErr != nil {
+		fmt.Fprintln(stderr, "scpm:", encErr)
+		return 1
+	}
+	return code
 }
 
 func printRankings(w io.Writer, res *scpm.Result, n int) {
@@ -190,15 +337,17 @@ func loadGraph(attrsPath, edgesPath string) (*scpm.Graph, error) {
 	return scpm.ReadDataset(af, ef)
 }
 
-func configureModel(p *scpm.Params, g *scpm.Graph, spec string) error {
+// modelOption resolves the -model flag into a Miner option (nil for the
+// default analytical bound).
+func modelOption(g *scpm.Graph, spec string, gamma float64, minSize int) (scpm.Option, error) {
 	if spec == "" || spec == "analytical" {
-		return nil // Mine defaults to the analytical bound
+		return nil, nil
 	}
 	var r int
 	var seed int64
 	if n, _ := fmt.Sscanf(spec, "sim:%d:%d", &r, &seed); n == 2 {
-		p.Model = scpm.NewSimulationModel(g, *p, r, seed)
-		return nil
+		p := scpm.Params{Gamma: gamma, MinSize: minSize}
+		return scpm.WithNullModel(scpm.NewSimulationModel(g, p, r, seed)), nil
 	}
-	return fmt.Errorf("unknown -model %q (want analytical or sim:<r>:<seed>)", spec)
+	return nil, fmt.Errorf("unknown -model %q (want analytical or sim:<r>:<seed>)", spec)
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -35,7 +37,7 @@ func writeExampleDataset(t *testing.T) (attrs, edges string) {
 func runCLI(t *testing.T, args ...string) (int, string, string) {
 	t.Helper()
 	var out, errb bytes.Buffer
-	code := run(args, &out, &errb)
+	code := run(context.Background(), args, &out, &errb)
 	return code, out.String(), errb.String()
 }
 
@@ -163,5 +165,56 @@ func TestCLIErrors(t *testing.T) {
 		if code, _, _ := runCLI(t, args...); code == 0 {
 			t.Errorf("case %d: expected failure for %v", i, args)
 		}
+	}
+}
+
+func TestCLINDJSONStreams(t *testing.T) {
+	attrs, edges := writeExampleDataset(t)
+	code, out, errOut := runCLI(t,
+		"-attrs", attrs, "-edges", edges,
+		"-sigma", "3", "-gamma", "0.6", "-minsize", "4", "-eps", "0.5", "-k", "10",
+		"-ndjson")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	var sets, pats, done int
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		var ev struct {
+			Type     string `json:"type"`
+			Canceled bool   `json:"canceled"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %q is not JSON: %v", line, err)
+		}
+		switch ev.Type {
+		case "set":
+			sets++
+		case "pattern":
+			pats++
+		case "done":
+			done++
+			if ev.Canceled {
+				t.Fatalf("unexpected canceled event: %s", line)
+			}
+		}
+	}
+	if sets != 3 || pats != 7 || done != 1 {
+		t.Fatalf("got %d sets, %d patterns, %d done events:\n%s", sets, pats, done, out)
+	}
+}
+
+func TestCLICanceledContext(t *testing.T) {
+	attrs, edges := writeExampleDataset(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errb bytes.Buffer
+	code := run(ctx, []string{
+		"-attrs", attrs, "-edges", edges,
+		"-sigma", "3", "-gamma", "0.6", "-minsize", "4"}, &out, &errb)
+	if code != 130 {
+		t.Fatalf("exit %d, want 130; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "partial results") {
+		t.Fatalf("stderr should note partial results: %s", errb.String())
 	}
 }

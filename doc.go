@@ -18,27 +18,63 @@
 // against a null model: either the analytical upper bound max-εexp
 // (Theorem 2) or a Monte-Carlo estimate sim-εexp.
 //
-// # Quick start
+// # The Miner
 //
-//	g := scpm.NewBuilder()
-//	g.AddVertex("alice", "databases", "go")
-//	g.AddVertex("bob", "databases")
-//	g.AddEdgeByName("alice", "bob")
-//	graph, _ := g.Build()
+// A Miner is a configured, reusable mining pipeline built with
+// functional options:
 //
-//	res, err := scpm.Mine(graph, scpm.Params{
-//		SigmaMin: 2, Gamma: 0.5, MinSize: 2, K: 3,
+//	miner, err := scpm.NewMiner(
+//		scpm.WithSigmaMin(3),
+//		scpm.WithGamma(0.6),
+//		scpm.WithMinSize(4),
+//		scpm.WithEpsMin(0.5),
+//		scpm.WithTopK(10),
+//	)
+//
+// It offers three consumption modes, all honoring context cancellation
+// mid-search (a canceled run stops in bounded time and returns an error
+// satisfying errors.Is(err, ErrCanceled) that wraps context.Cause):
+//
+// Batch — block until done, get the canonically sorted *Result; on
+// cancellation the partial result mined so far is returned alongside
+// ErrCanceled:
+//
+//	res, err := miner.Mine(ctx, g)
+//
+// Push — a Sink receives every qualifying attribute set and pattern the
+// moment the search finds it, plus periodic progress updates. Each set
+// arrives as one atomic burst (OnAttributeSet, then its patterns):
+//
+//	err := miner.Stream(ctx, g, scpm.SinkFuncs{
+//		AttributeSet: func(s scpm.AttributeSet) { fmt.Println(s) },
+//		Pattern:      func(p scpm.Pattern) { fmt.Println(" ", p) },
 //	})
-//	if err != nil { ... }
-//	for _, set := range res.Sets {
-//		fmt.Println(set) // attribute set with σ, ε, δ
-//	}
-//	for _, pat := range res.Patterns {
-//		fmt.Println(pat) // (S, Q) patterns
+//
+// Pull — a Go 1.23 range-over-func iterator; breaking out of the loop
+// cancels the underlying search:
+//
+//	for s, err := range miner.Sets(ctx, g) {
+//		if err != nil { ... }
+//		fmt.Println(s)
 //	}
 //
-// Mine runs the SCPM algorithm (search and pruning strategies of §3.2 of
-// the paper); MineNaive runs the frequent-itemset × quasi-clique baseline
-// of §3.1, useful for verification and benchmarking. See the examples/
-// directory for runnable end-to-end scenarios and cmd/scpm for a CLI.
+// The search algorithm is SCPM (search and pruning strategies of §3.2
+// of the paper); WithNaive switches to the frequent-itemset ×
+// quasi-clique baseline of §3.1, useful for verification and
+// benchmarking. WithSearchBudget bounds the per-induced-graph search,
+// surfacing ErrBudget with the partial result when exhausted.
+//
+// # Migration from the batch-only API
+//
+// The package-level Mine and MineNaive functions predate the Miner and
+// are deprecated but fully supported: Mine(g, p) is equivalent to
+//
+//	m, _ := scpm.NewMiner(scpm.WithParams(p))
+//	res, _ := m.Mine(context.Background(), g)
+//
+// Switch to a Miner to gain cancellation, streaming sinks, the Sets
+// iterator, search budgets and progress reporting.
+//
+// See the examples/ directory for runnable end-to-end scenarios and
+// cmd/scpm for a CLI that can stream results incrementally as NDJSON.
 package scpm

@@ -1,23 +1,28 @@
 package scpm_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	scpm "github.com/scpm/scpm"
 )
 
-// ExampleMine reproduces the attribute sets of the paper's worked
-// example (Figure 1, §2.1.2).
-func ExampleMine() {
+// ExampleMiner reproduces the attribute sets of the paper's worked
+// example (Figure 1, §2.1.2) with the batch consumption mode.
+func ExampleMiner() {
 	g := scpm.PaperExample()
-	res, err := scpm.Mine(g, scpm.Params{
-		SigmaMin: 3,
-		Gamma:    0.6,
-		MinSize:  4,
-		EpsMin:   0.5,
-		K:        10,
-	})
+	m, err := scpm.NewMiner(
+		scpm.WithSigmaMin(3),
+		scpm.WithGamma(0.6),
+		scpm.WithMinSize(4),
+		scpm.WithEpsMin(0.5),
+		scpm.WithTopK(10),
+	)
+	if err != nil {
+		panic(err)
+	}
+	res, err := m.Mine(context.Background(), g)
 	if err != nil {
 		panic(err)
 	}
@@ -30,13 +35,15 @@ func ExampleMine() {
 	// {A,B} σ=6 ε=1.00
 }
 
-// ExampleMine_patterns lists the structural correlation patterns of
+// ExampleMiner_Mine lists the structural correlation patterns of
 // Table 1.
-func ExampleMine_patterns() {
+func ExampleMiner_Mine() {
 	g := scpm.PaperExample()
-	res, _ := scpm.Mine(g, scpm.Params{
-		SigmaMin: 3, Gamma: 0.6, MinSize: 4, EpsMin: 0.5, K: 10,
-	})
+	m, _ := scpm.NewMiner(
+		scpm.WithSigmaMin(3), scpm.WithGamma(0.6), scpm.WithMinSize(4),
+		scpm.WithEpsMin(0.5), scpm.WithTopK(10),
+	)
+	res, _ := m.Mine(context.Background(), g)
 	for _, p := range res.Patterns {
 		fmt.Printf("({%s},{%s}) size=%d γ=%.2f\n",
 			strings.Join(p.Names, ","),
@@ -51,6 +58,55 @@ func ExampleMine_patterns() {
 	// ({A},{3,6,7,8}) size=4 γ=0.67
 	// ({B},{6,7,8,9,10,11}) size=6 γ=0.60
 	// ({A,B},{6,7,8,9,10,11}) size=6 γ=0.60
+}
+
+// ExampleMiner_Stream pushes results to a Sink as the search finds
+// them: each qualifying set arrives as one burst — OnAttributeSet, then
+// its patterns.
+func ExampleMiner_Stream() {
+	g := scpm.PaperExample()
+	m, _ := scpm.NewMiner(
+		scpm.WithSigmaMin(3), scpm.WithGamma(0.6), scpm.WithMinSize(4),
+		scpm.WithEpsMin(0.5), scpm.WithTopK(1),
+	)
+	err := m.Stream(context.Background(), g, scpm.SinkFuncs{
+		AttributeSet: func(s scpm.AttributeSet) {
+			fmt.Printf("set {%s} ε=%.2f\n", strings.Join(s.Names, ","), s.Epsilon)
+		},
+		Pattern: func(p scpm.Pattern) {
+			fmt.Printf("  best pattern: %d vertices\n", p.Size())
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output:
+	// set {A} ε=0.82
+	//   best pattern: 6 vertices
+	// set {B} ε=1.00
+	//   best pattern: 6 vertices
+	// set {A,B} ε=1.00
+	//   best pattern: 6 vertices
+}
+
+// ExampleMiner_Sets consumes mining results lazily with a range-over-
+// func iterator; breaking out of the loop cancels the search.
+func ExampleMiner_Sets() {
+	g := scpm.PaperExample()
+	m, _ := scpm.NewMiner(
+		scpm.WithSigmaMin(3), scpm.WithGamma(0.6), scpm.WithMinSize(4),
+		scpm.WithEpsMin(0.5),
+	)
+	for s, err := range m.Sets(context.Background(), g) {
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("{%s} σ=%d\n", strings.Join(s.Names, ","), s.Support)
+	}
+	// Output:
+	// {A} σ=11
+	// {B} σ=6
+	// {A,B} σ=6
 }
 
 // ExampleNewBuilder shows incremental graph construction.
@@ -68,7 +124,8 @@ func ExampleNewBuilder() {
 // case-study tables do.
 func ExampleTopSets() {
 	g := scpm.PaperExample()
-	res, _ := scpm.Mine(g, scpm.Params{SigmaMin: 3, Gamma: 0.6, MinSize: 4})
+	m, _ := scpm.NewMiner(scpm.WithSigmaMin(3), scpm.WithGamma(0.6), scpm.WithMinSize(4))
+	res, _ := m.Mine(context.Background(), g)
 	top := scpm.TopSets(res.Sets, scpm.ByEpsilon, 1)
 	fmt.Printf("{%s} ε=%.1f\n", strings.Join(top[0].Names, ","), top[0].Epsilon)
 	// Output: {B} ε=1.0
@@ -78,9 +135,11 @@ func ExampleTopSets() {
 // appears for {A}, {B} and {A,B}.
 func ExampleDedupPatterns() {
 	g := scpm.PaperExample()
-	res, _ := scpm.Mine(g, scpm.Params{
-		SigmaMin: 3, Gamma: 0.6, MinSize: 4, EpsMin: 0.5, K: 10,
-	})
+	m, _ := scpm.NewMiner(
+		scpm.WithSigmaMin(3), scpm.WithGamma(0.6), scpm.WithMinSize(4),
+		scpm.WithEpsMin(0.5), scpm.WithTopK(10),
+	)
+	res, _ := m.Mine(context.Background(), g)
 	dedup := scpm.DedupPatterns(res.Patterns, g.NumVertices(), 1.0)
 	fmt.Println(len(res.Patterns), "->", len(dedup))
 	// Output: 7 -> 5

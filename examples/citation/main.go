@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -54,16 +55,30 @@ func main() {
 		MinAttrs: 2,
 		MaxAttrs: 3,
 		K:        2,
-		Order:    scpm.BFS, // exercise the SCPM-BFS strategy
 	}
-	res, err := scpm.Mine(g, params)
+	ctx := context.Background()
+
+	// WithParams is the migration path from the deprecated package-level
+	// Mine; further options layer on top of the seeded block.
+	miner, err := scpm.NewMiner(
+		scpm.WithParams(params),
+		scpm.WithSearchOrder(scpm.BFS), // exercise the SCPM-BFS strategy
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := miner.Mine(ctx, g)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("SCPM-BFS scored %d term sets in %v\n", len(res.Sets), res.Stats.Duration)
 
 	// cross-check against the naive §3.1 baseline on the same input
-	naive, err := scpm.MineNaive(g, params)
+	naiveMiner, err := scpm.NewMiner(scpm.WithParams(params), scpm.WithNaive())
+	if err != nil {
+		log.Fatal(err)
+	}
+	naive, err := naiveMiner.Mine(ctx, g)
 	if err != nil {
 		log.Fatal(err)
 	}

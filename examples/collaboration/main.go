@@ -11,8 +11,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strings"
 
 	scpm "github.com/scpm/scpm"
@@ -47,15 +51,26 @@ func main() {
 	fmt.Printf("planted: %d research groups across %d topics\n\n",
 		len(truth.Communities), len(truth.Areas))
 
-	res, err := scpm.Mine(g, scpm.Params{
-		SigmaMin: 12,
-		Gamma:    0.5,
-		MinSize:  5,
-		MinAttrs: 2, // topic = at least two terms, like the DBLP study
-		MaxAttrs: 3,
-		K:        3,
-	})
+	// Ctrl-C stops the search in bounded time; whatever was mined so
+	// far is still reported below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	miner, err := scpm.NewMiner(
+		scpm.WithSigmaMin(12),
+		scpm.WithGamma(0.5),
+		scpm.WithMinSize(5),
+		scpm.WithMinAttrs(2), // topic = at least two terms, like the DBLP study
+		scpm.WithMaxAttrs(3),
+		scpm.WithTopK(3),
+	)
 	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := miner.Mine(ctx, g)
+	if errors.Is(err, scpm.ErrCanceled) {
+		fmt.Println("interrupted — reporting partial results")
+	} else if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("scored %d attribute sets in %v\n\n", len(res.Sets), res.Stats.Duration)

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -47,36 +48,53 @@ func main() {
 	fmt.Printf("planted: %d friend circles across %d niche scenes\n\n",
 		len(truth.Communities), len(truth.Areas))
 
-	res, err := scpm.Mine(g, scpm.Params{
-		SigmaMin: 150, // like the paper, σmin is a large share of users
-		Gamma:    0.5,
-		MinSize:  5,
-		MaxAttrs: 2,
-		K:        1,
+	miner, err := scpm.NewMiner(
+		scpm.WithSigmaMin(150), // like the paper, σmin is a large share of users
+		scpm.WithGamma(0.5),
+		scpm.WithMinSize(5),
+		scpm.WithMaxAttrs(2),
+		scpm.WithTopK(1),
+		scpm.WithProgressEvery(200),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Consume the run as a stream: artist sets and taste communities
+	// arrive (and could be served, persisted, rendered …) while the
+	// search is still exploring the rest of the attribute lattice.
+	var (
+		sets     []scpm.AttributeSet
+		largest  *scpm.Pattern
+		lastStat scpm.Stats
+	)
+	err = miner.Stream(context.Background(), g, scpm.SinkFuncs{
+		AttributeSet: func(s scpm.AttributeSet) { sets = append(sets, s) },
+		Pattern: func(p scpm.Pattern) {
+			if largest == nil || p.Size() > largest.Size() {
+				largest = &p
+			}
+		},
+		Progress: func(st scpm.Stats) { lastStat = st },
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("scored %d artist sets in %v\n\n", len(res.Sets), res.Stats.Duration)
+	fmt.Printf("scored %d artist sets in %v (%d evaluated)\n\n",
+		len(sets), lastStat.Duration, lastStat.SetsEvaluated)
 
 	fmt.Println("most listened (σ) — mainstream, weak structure:")
-	for _, s := range scpm.TopSets(res.Sets, scpm.BySupport, 5) {
+	for _, s := range scpm.TopSets(sets, scpm.BySupport, 5) {
 		fmt.Printf("  %-24s σ=%d ε=%.3f δlb=%.3g\n",
 			strings.Join(s.Names, "+"), s.Support, s.Epsilon, s.Delta)
 	}
 	fmt.Println("\nmost community-forming (δlb) — niche scenes:")
-	for _, s := range scpm.TopSets(res.Sets, scpm.ByDelta, 5) {
+	for _, s := range scpm.TopSets(sets, scpm.ByDelta, 5) {
 		fmt.Printf("  %-24s σ=%d ε=%.3f δlb=%.3g\n",
 			strings.Join(s.Names, "+"), s.Support, s.Epsilon, s.Delta)
 	}
 
 	// the largest taste community (the paper's Figure 5(b) analogue)
-	var largest *scpm.Pattern
-	for i := range res.Patterns {
-		if largest == nil || res.Patterns[i].Size() > largest.Size() {
-			largest = &res.Patterns[i]
-		}
-	}
 	if largest != nil {
 		fmt.Printf("\nlargest taste community: %d fans of {%s}, density %.2f\n",
 			largest.Size(), strings.Join(largest.Names, ", "), largest.Density())

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -21,13 +22,17 @@ func main() {
 	fmt.Printf("graph: %d vertices, %d edges, %d attributes\n\n",
 		g.NumVertices(), g.NumEdges(), g.NumAttributes())
 
-	res, err := scpm.Mine(g, scpm.Params{
-		SigmaMin: 3,   // attribute sets must occur on ≥ 3 vertices
-		Gamma:    0.6, // each member has ≥ ⌈0.6(|Q|−1)⌉ neighbors in Q
-		MinSize:  4,   // quasi-cliques have ≥ 4 vertices
-		EpsMin:   0.5, // at least half of V(S) must be covered
-		K:        10,  // top-10 patterns per attribute set
-	})
+	miner, err := scpm.NewMiner(
+		scpm.WithSigmaMin(3), // attribute sets must occur on ≥ 3 vertices
+		scpm.WithGamma(0.6),  // each member has ≥ ⌈0.6(|Q|−1)⌉ neighbors in Q
+		scpm.WithMinSize(4),  // quasi-cliques have ≥ 4 vertices
+		scpm.WithEpsMin(0.5), // at least half of V(S) must be covered
+		scpm.WithTopK(10),    // top-10 patterns per attribute set
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := miner.Mine(context.Background(), g)
 	if err != nil {
 		log.Fatal(err)
 	}

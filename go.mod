@@ -1,0 +1,3 @@
+module github.com/scpm/scpm
+
+go 1.24

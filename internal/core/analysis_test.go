@@ -18,7 +18,7 @@ func mineExample(t *testing.T, mutate func(*Params)) (*graph.Graph, *Result) {
 	if mutate != nil {
 		mutate(&p)
 	}
-	res, err := Mine(g, p)
+	res, err := mineBatch(g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,11 +43,11 @@ func TestAllPatternsMatchesTopKOnExample(t *testing.T) {
 func TestAllPatternsMatchesNaive(t *testing.T) {
 	g := randomAttributedGraph(1234, 14)
 	p := Params{SigmaMin: 2, Gamma: 0.5, MinSize: 3, AllPatterns: true}
-	want, err := MineNaive(g, p)
+	want, err := mineNaiveBatch(g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Mine(g, p)
+	got, err := mineBatch(g, p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -48,7 +48,7 @@ func TestValidate(t *testing.T) {
 // TestTable1 reproduces Table 1 of the paper exactly.
 func TestTable1(t *testing.T) {
 	g := graph.PaperExample()
-	res, err := Mine(g, paperParams())
+	res, err := mineBatch(g, paperParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,11 +137,11 @@ func keyNames(names []string) string {
 // TestTable1Naive checks the naive baseline produces the same output.
 func TestTable1Naive(t *testing.T) {
 	g := graph.PaperExample()
-	want, err := Mine(g, paperParams())
+	want, err := mineBatch(g, paperParams())
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := MineNaive(g, paperParams())
+	got, err := mineNaiveBatch(g, paperParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestQuickSCPMMatchesNaive(t *testing.T) {
 			DeltaMin: []float64{0, 0.5}[rng.Intn(2)],
 			K:        1 + rng.Intn(4),
 		}
-		want, err := MineNaive(g, p)
+		want, err := mineNaiveBatch(g, p)
 		if err != nil {
 			t.Log(err)
 			return false
@@ -239,7 +239,7 @@ func TestQuickSCPMMatchesNaive(t *testing.T) {
 			withFlag(p, "nodiameter"),
 			withFlag(p, "nojumps"),
 		} {
-			got, err := Mine(g, variant)
+			got, err := mineBatch(g, variant)
 			if err != nil {
 				t.Log(err)
 				return false
@@ -300,12 +300,12 @@ func sameResult(a, b *Result) bool {
 func TestParallelDeterminism(t *testing.T) {
 	g := randomAttributedGraph(411, 16)
 	p := Params{SigmaMin: 2, Gamma: 0.5, MinSize: 3, K: 3, Parallelism: 8}
-	first, err := Mine(g, p)
+	first, err := mineBatch(g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		again, err := Mine(g, p)
+		again, err := mineBatch(g, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -319,7 +319,7 @@ func TestMinAttrsFilter(t *testing.T) {
 	g := graph.PaperExample()
 	p := paperParams()
 	p.MinAttrs = 2
-	res, err := Mine(g, p)
+	res, err := mineBatch(g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,7 +332,7 @@ func TestMaxAttrsBound(t *testing.T) {
 	g := graph.PaperExample()
 	p := paperParams()
 	p.MaxAttrs = 1
-	res, err := Mine(g, p)
+	res, err := mineBatch(g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +341,7 @@ func TestMaxAttrsBound(t *testing.T) {
 			t.Fatalf("set %v exceeds MaxAttrs", s.Names)
 		}
 	}
-	naive, err := MineNaive(g, p)
+	naive, err := mineNaiveBatch(g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,7 +352,7 @@ func TestDeltaMinFilters(t *testing.T) {
 	g := graph.PaperExample()
 	p := paperParams()
 	p.DeltaMin = 1e18 // absurd: nothing passes
-	res, err := Mine(g, p)
+	res, err := mineBatch(g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +365,7 @@ func TestEpsMinFilters(t *testing.T) {
 	g := graph.PaperExample()
 	p := paperParams()
 	p.EpsMin = 0.9 // only {B} and {A,B} (ε = 1) pass
-	res, err := Mine(g, p)
+	res, err := mineBatch(g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -383,7 +383,7 @@ func TestKZeroSkipsPatterns(t *testing.T) {
 	g := graph.PaperExample()
 	p := paperParams()
 	p.K = 0
-	res, err := Mine(g, p)
+	res, err := mineBatch(g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -396,7 +396,7 @@ func TestKLimitsPatterns(t *testing.T) {
 	g := graph.PaperExample()
 	p := paperParams()
 	p.K = 1
-	res, err := Mine(g, p)
+	res, err := mineBatch(g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -415,7 +415,7 @@ func TestSimulationModelPlugsIn(t *testing.T) {
 	g := graph.PaperExample()
 	p := paperParams()
 	p.Model = nullmodel.NewSimulation(g, p.QuasiCliqueParams(), 10, 5)
-	res, err := Mine(g, p)
+	res, err := mineBatch(g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -454,7 +454,7 @@ func TestTopSetsRanking(t *testing.T) {
 
 func TestResultHelpers(t *testing.T) {
 	g := graph.PaperExample()
-	res, err := Mine(g, paperParams())
+	res, err := mineBatch(g, paperParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -480,10 +480,10 @@ func TestResultHelpers(t *testing.T) {
 func TestSearchBudgetPropagates(t *testing.T) {
 	g := randomAttributedGraph(7, 18)
 	p := Params{SigmaMin: 1, Gamma: 0.5, MinSize: 3, K: 2, SearchBudget: 1}
-	if _, err := Mine(g, p); err == nil {
+	if _, err := mineBatch(g, p); err == nil {
 		t.Fatal("expected budget error")
 	}
-	if _, err := MineNaive(g, p); err == nil {
+	if _, err := mineNaiveBatch(g, p); err == nil {
 		t.Fatal("expected budget error (naive)")
 	}
 }

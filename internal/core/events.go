@@ -1,0 +1,128 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sink receives mining events while a run is in flight. Callbacks are
+// serialized: the miner never invokes two sink methods concurrently,
+// and a qualifying attribute set is always delivered as one atomic
+// burst — OnAttributeSet followed immediately by OnPattern for each of
+// its top-k patterns (best first). With Parallelism ≤ 1 bursts arrive
+// in search order; with workers the burst order is nondeterministic but
+// the per-set grouping still holds.
+//
+// Sink callbacks run on miner goroutines; slow callbacks stall the
+// search, so hand heavy work off to a channel.
+type Sink interface {
+	// OnAttributeSet is called once per attribute set that passes all
+	// output thresholds.
+	OnAttributeSet(AttributeSet)
+	// OnPattern is called for each reported (S, Q) pattern, after the
+	// OnAttributeSet call for S.
+	OnPattern(Pattern)
+	// OnProgress is called periodically (every Params.ProgressEvery
+	// evaluations, default 64) and once when the run ends.
+	OnProgress(Stats)
+}
+
+// SinkFuncs adapts plain functions to the Sink interface; nil fields
+// are skipped.
+type SinkFuncs struct {
+	AttributeSet func(AttributeSet)
+	Pattern      func(Pattern)
+	Progress     func(Stats)
+}
+
+func (s SinkFuncs) OnAttributeSet(a AttributeSet) {
+	if s.AttributeSet != nil {
+		s.AttributeSet(a)
+	}
+}
+
+func (s SinkFuncs) OnPattern(p Pattern) {
+	if s.Pattern != nil {
+		s.Pattern(p)
+	}
+}
+
+func (s SinkFuncs) OnProgress(st Stats) {
+	if s.Progress != nil {
+		s.Progress(st)
+	}
+}
+
+// emitter serializes sink callbacks across mining workers and keeps the
+// global run counters that progress snapshots report. A nil *emitter or
+// an emitter with a nil sink degrades every method to counter updates
+// only, so the hot path needs no branching at call sites.
+type emitter struct {
+	sink  Sink
+	every int64
+	start time.Time
+
+	evaluated atomic.Int64
+	emitted   atomic.Int64
+	patterns  atomic.Int64
+
+	mu sync.Mutex
+}
+
+func newEmitter(sink Sink, every int, start time.Time) *emitter {
+	if every <= 0 {
+		every = 64
+	}
+	return &emitter{sink: sink, every: int64(every), start: start}
+}
+
+// snapshot builds a Stats view of the run so far.
+func (e *emitter) snapshot() Stats {
+	return Stats{
+		SetsEvaluated:   e.evaluated.Load(),
+		SetsEmitted:     e.emitted.Load(),
+		PatternsEmitted: e.patterns.Load(),
+		Duration:        time.Since(e.start),
+	}
+}
+
+// noteEvaluated records one ε evaluation and fires OnProgress on every
+// `every`-th one. The snapshot is taken inside the critical section so
+// concurrently-delivered progress events never show counters going
+// backwards.
+func (e *emitter) noteEvaluated() {
+	n := e.evaluated.Add(1)
+	if e.sink == nil || n%e.every != 0 {
+		return
+	}
+	e.mu.Lock()
+	e.sink.OnProgress(e.snapshot())
+	e.mu.Unlock()
+}
+
+// emitSet delivers one qualifying set and its patterns as an atomic
+// burst.
+func (e *emitter) emitSet(set AttributeSet, pats []Pattern) {
+	e.emitted.Add(1)
+	e.patterns.Add(int64(len(pats)))
+	if e.sink == nil {
+		return
+	}
+	e.mu.Lock()
+	e.sink.OnAttributeSet(set)
+	for _, p := range pats {
+		e.sink.OnPattern(p)
+	}
+	e.mu.Unlock()
+}
+
+// finish fires the terminal OnProgress carrying the final counters.
+func (e *emitter) finish() {
+	if e.sink == nil {
+		return
+	}
+	e.mu.Lock()
+	e.sink.OnProgress(e.snapshot())
+	e.mu.Unlock()
+}

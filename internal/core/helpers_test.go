@@ -1,0 +1,17 @@
+package core
+
+import (
+	"context"
+
+	"github.com/scpm/scpm/internal/graph"
+)
+
+// mineBatch and mineNaiveBatch keep the pre-streaming test call sites
+// readable: background context, no sink.
+func mineBatch(g *graph.Graph, p Params) (*Result, error) {
+	return Mine(context.Background(), g, p, nil)
+}
+
+func mineNaiveBatch(g *graph.Graph, p Params) (*Result, error) {
+	return MineNaive(context.Background(), g, p, nil)
+}

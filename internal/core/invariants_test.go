@@ -18,7 +18,7 @@ func TestQuickTheorem4Invariant(t *testing.T) {
 	f := func(seed int64) bool {
 		g := randomAttributedGraph(seed, 14)
 		p := Params{SigmaMin: 1, Gamma: 0.5, MinSize: 3}
-		res, err := Mine(g, p)
+		res, err := mineBatch(g, p)
 		if err != nil {
 			return false
 		}
@@ -62,7 +62,7 @@ func TestQuickTheorem4Invariant(t *testing.T) {
 func TestQuickEpsilonBounds(t *testing.T) {
 	f := func(seed int64) bool {
 		g := randomAttributedGraph(seed, 15)
-		res, err := Mine(g, Params{SigmaMin: 2, Gamma: 0.6, MinSize: 3})
+		res, err := mineBatch(g, Params{SigmaMin: 2, Gamma: 0.6, MinSize: 3})
 		if err != nil {
 			return false
 		}
@@ -92,7 +92,7 @@ func TestQuickPatternsLiveInsideTheirInducedGraph(t *testing.T) {
 	f := func(seed int64) bool {
 		g := randomAttributedGraph(seed, 15)
 		p := Params{SigmaMin: 2, Gamma: 0.5, MinSize: 3, K: 4}
-		res, err := Mine(g, p)
+		res, err := mineBatch(g, p)
 		if err != nil {
 			return false
 		}
@@ -134,7 +134,7 @@ func TestQuickPatternsLiveInsideTheirInducedGraph(t *testing.T) {
 func TestQuickPatternVerticesAreCovered(t *testing.T) {
 	f := func(seed int64) bool {
 		g := randomAttributedGraph(seed, 14)
-		res, err := Mine(g, Params{SigmaMin: 2, Gamma: 0.5, MinSize: 3, K: 3})
+		res, err := mineBatch(g, Params{SigmaMin: 2, Gamma: 0.5, MinSize: 3, K: 3})
 		if err != nil {
 			return false
 		}
@@ -163,7 +163,7 @@ func TestQuickDeltaConsistentWithModel(t *testing.T) {
 		g := randomAttributedGraph(seed, 16)
 		p := Params{SigmaMin: 2, Gamma: 0.5, MinSize: 3}
 		model := p.model(g)
-		res, err := Mine(g, p)
+		res, err := mineBatch(g, p)
 		if err != nil {
 			return false
 		}
@@ -190,7 +190,7 @@ func TestQuickSupportsRespectSigmaMin(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		sigmaMin := 2 + rng.Intn(4)
 		g := randomAttributedGraph(seed, 15)
-		res, err := Mine(g, Params{SigmaMin: sigmaMin, Gamma: 0.5, MinSize: 3})
+		res, err := mineBatch(g, Params{SigmaMin: sigmaMin, Gamma: 0.5, MinSize: 3})
 		if err != nil {
 			return false
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -14,14 +15,20 @@ import (
 // maximal quasi-cliques is mined. It produces the same output as Mine
 // (modulo run statistics) and serves as the performance baseline of the
 // paper's Figure 8.
-func MineNaive(g *graph.Graph, p Params) (*Result, error) {
+//
+// Context and sink follow the same contract as Mine: cancellation
+// surfaces as ErrCanceled with the partial result intact, and a non-nil
+// sink streams each qualifying set as it is found.
+func MineNaive(ctx context.Context, g *graph.Graph, p Params, sink Sink) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
+	em := newEmitter(sink, p.ProgressEvery, start)
 	model := p.model(g)
 	qp := p.QuasiCliqueParams()
 	opts := p.qcOptions()
+	opts.Ctx = ctx
 
 	db := itemset.NewDatabase(g.NumVertices())
 	for a := int32(0); a < int32(g.NumAttributes()); a++ {
@@ -29,18 +36,22 @@ func MineNaive(g *graph.Graph, p Params) (*Result, error) {
 			return nil, err
 		}
 	}
-	em := &itemset.Miner{MinSupport: p.SigmaMin, MaxLen: p.MaxAttrs}
+	im := &itemset.Miner{MinSupport: p.SigmaMin, MaxLen: p.MaxAttrs}
 
 	res := &Result{}
 	var mineErr error
-	err := em.Mine(db, func(s itemset.Itemset) bool {
-		res.Stats.SetsEvaluated++
+	err := im.Mine(db, func(s itemset.Itemset) bool {
+		if ctx.Err() != nil {
+			mineErr = quasiclique.Canceled(ctx)
+			return false
+		}
 		sub := g.InducedByMembers(s.Tids)
 		pats, err := quasiclique.EnumerateMaximal(quasiclique.NewGraph(sub.Adj), qp, opts)
 		if err != nil {
 			mineErr = err
 			return false
 		}
+		em.noteEvaluated()
 		covered := make(map[int32]bool)
 		for _, q := range pats {
 			for _, lv := range q.Vertices {
@@ -59,7 +70,7 @@ func MineNaive(g *graph.Graph, p Params) (*Result, error) {
 		}
 		attrs := append([]int32(nil), s.Items...)
 		sort.Slice(attrs, func(i, j int) bool { return attrs[i] < attrs[j] })
-		res.Sets = append(res.Sets, AttributeSet{
+		set := AttributeSet{
 			Attrs:   attrs,
 			Names:   g.AttrSetNames(attrs),
 			Support: sigma,
@@ -67,8 +78,9 @@ func MineNaive(g *graph.Graph, p Params) (*Result, error) {
 			ExpEps:  expEps,
 			Delta:   delta,
 			Covered: len(covered),
-		})
-		res.Stats.SetsEmitted++
+		}
+		res.Sets = append(res.Sets, set)
+		var emitted []Pattern
 		if p.K > 0 || p.AllPatterns {
 			top := pats
 			if !p.AllPatterns && len(top) > p.K {
@@ -80,25 +92,21 @@ func MineNaive(g *graph.Graph, p Params) (*Result, error) {
 				for j, lv := range q.Vertices {
 					verts[j] = sub.Orig[lv]
 				}
-				res.Patterns = append(res.Patterns, Pattern{
+				emitted = append(emitted, Pattern{
 					Attrs:    attrs,
 					Names:    names,
 					Vertices: verts,
 					MinDeg:   q.MinDeg,
 					Edges:    q.Edges,
 				})
-				res.Stats.PatternsEmitted++
 			}
+			res.Patterns = append(res.Patterns, emitted...)
 		}
+		em.emitSet(set, emitted)
 		return true
 	})
 	if mineErr != nil {
-		return nil, mineErr
+		err = mineErr
 	}
-	if err != nil {
-		return nil, err
-	}
-	sortResult(res)
-	res.Stats.Duration = time.Since(start)
-	return res, nil
+	return finalizeResult(res, em, err)
 }

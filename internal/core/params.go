@@ -50,9 +50,14 @@ type Params struct {
 	Model nullmodel.Model
 
 	// SearchBudget bounds the number of quasi-clique search nodes per
-	// induced graph (0 = unbounded); exceeded budgets abort with
-	// quasiclique.ErrBudget.
+	// induced graph (0 = unbounded); an exceeded budget stops the run
+	// with ErrBudget, returning the partial result mined so far.
 	SearchBudget int64
+
+	// ProgressEvery sets how many attribute-set evaluations elapse
+	// between Sink.OnProgress callbacks; ≤ 0 means the default of 64.
+	// Ignored when no sink is attached.
+	ProgressEvery int
 
 	// Ablation switches (all false in normal operation).
 	//

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"sort"
 	"sync"
 	"time"
@@ -11,20 +13,40 @@ import (
 	"github.com/scpm/scpm/internal/quasiclique"
 )
 
+// ErrCanceled is returned (wrapped around context.Cause) when the
+// context passed to Mine or MineNaive is done before the search
+// finishes. The accompanying *Result holds the well-formed partial
+// output collected so far.
+var ErrCanceled = quasiclique.ErrCanceled
+
+// ErrBudget is returned when Params.SearchBudget is exhausted; like
+// cancellation it comes with the partial result collected so far.
+var ErrBudget = quasiclique.ErrBudget
+
 // Mine runs the SCPM algorithm (Algorithm 2) on g and returns the
 // attribute sets satisfying σmin/εmin/δmin together with the top-k
 // structural correlation patterns of each.
-func Mine(g *graph.Graph, p Params) (*Result, error) {
+//
+// The context is observed throughout the search, including inside the
+// quasi-clique engine: when it is done, Mine stops in bounded time and
+// returns the partial result alongside an error satisfying
+// errors.Is(err, ErrCanceled). A non-nil sink receives streaming events
+// as mining proceeds (see Sink for the delivery contract); pass nil for
+// batch-only operation.
+func Mine(ctx context.Context, g *graph.Graph, p Params, sink Sink) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
+	qcOpts := p.qcOptions()
+	qcOpts.Ctx = ctx
 	m := &miner{
 		g:      g,
 		p:      p,
 		qp:     p.QuasiCliqueParams(),
-		qcOpts: p.qcOptions(),
+		qcOpts: qcOpts,
 		model:  p.model(g),
+		em:     newEmitter(sink, p.ProgressEvery, start),
 	}
 	// Theorem 5's pruning bound needs εexp(σmin) once.
 	m.expSigmaMin = m.model.Exp(p.SigmaMin)
@@ -34,7 +56,7 @@ func Mine(g *graph.Graph, p Params) (*Result, error) {
 	// directly.
 	singles := m.frequentSingles()
 	level1 := make([]evalOutcome, len(singles))
-	if err := m.forEach(len(singles), func(i int) error {
+	runErr := m.forEach(ctx, len(singles), func(i int) error {
 		a := singles[i]
 		members := g.AttrMembers(a)
 		out, err := m.evaluate([]int32{a}, members, members)
@@ -43,9 +65,7 @@ func Mine(g *graph.Graph, p Params) (*Result, error) {
 		}
 		level1[i] = out
 		return nil
-	}); err != nil {
-		return nil, err
-	}
+	})
 
 	res := &Result{}
 	var survivors []classItem
@@ -54,6 +74,9 @@ func Mine(g *graph.Graph, p Params) (*Result, error) {
 		if out.survive {
 			survivors = append(survivors, out.item)
 		}
+	}
+	if runErr != nil {
+		return finalizeResult(res, m.em, runErr)
 	}
 
 	// Extension ordering: ascending support keeps intermediate tidsets
@@ -69,23 +92,33 @@ func Mine(g *graph.Graph, p Params) (*Result, error) {
 	// enumerate-patterns (Algorithm 3): each top-level subtree is
 	// independent given its right-sibling list, so subtrees parallelize.
 	buckets := make([]*Result, len(survivors))
-	if err := m.forEach(len(survivors), func(i int) error {
+	runErr = m.forEach(ctx, len(survivors), func(i int) error {
 		buckets[i] = &Result{}
-		return m.extendSubtree(survivors[i], survivors[i+1:], buckets[i])
-	}); err != nil {
-		return nil, err
-	}
+		return m.extendSubtree(ctx, survivors[i], survivors[i+1:], buckets[i])
+	})
 	for _, b := range buckets {
+		if b == nil {
+			continue
+		}
 		res.Sets = append(res.Sets, b.Sets...)
 		res.Patterns = append(res.Patterns, b.Patterns...)
-		res.Stats.SetsEvaluated += b.Stats.SetsEvaluated
-		res.Stats.SetsEmitted += b.Stats.SetsEmitted
-		res.Stats.PatternsEmitted += b.Stats.PatternsEmitted
 	}
-	res.Stats.SetsEvaluated += int64(len(level1))
+	return finalizeResult(res, m.em, runErr)
+}
+
+// finalizeResult puts a run's output in canonical order and stamps the
+// final counters. Cancellation and budget exhaustion surface the
+// partial result alongside the error; any other error discards it.
+func finalizeResult(res *Result, em *emitter, err error) (*Result, error) {
+	// The terminal OnProgress fires however the run ends — the Sink
+	// contract promises it, and sinks flush on it.
+	defer em.finish()
+	if err != nil && !errors.Is(err, ErrCanceled) && !errors.Is(err, ErrBudget) {
+		return nil, err
+	}
 	sortResult(res)
-	res.Stats.Duration = time.Since(start)
-	return res, nil
+	res.Stats = em.snapshot()
+	return res, err
 }
 
 // miner carries the immutable run state shared by all workers.
@@ -95,6 +128,7 @@ type miner struct {
 	qp          quasiclique.Params
 	qcOpts      quasiclique.Options
 	model       nullmodel.Model
+	em          *emitter
 	expSigmaMin float64
 }
 
@@ -128,11 +162,16 @@ func (m *miner) frequentSingles() []int32 {
 }
 
 // forEach runs fn(0..n-1) either sequentially or on the configured
-// worker pool, propagating the first error.
-func (m *miner) forEach(n int, fn func(i int) error) error {
+// worker pool, propagating the first error. The context is checked
+// before each task so cancellation is observed between evaluations even
+// when the individual searches are too small to poll it themselves.
+func (m *miner) forEach(ctx context.Context, n int, fn func(i int) error) error {
 	workers := m.p.Parallelism
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return quasiclique.Canceled(ctx)
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -161,7 +200,13 @@ func (m *miner) forEach(n int, fn func(i int) error) error {
 				i := next
 				next++
 				mu.Unlock()
-				if err := fn(i); err != nil {
+				err := ctx.Err()
+				if err != nil {
+					err = quasiclique.Canceled(ctx)
+				} else {
+					err = fn(i)
+				}
+				if err != nil {
 					mu.Lock()
 					if rerr == nil {
 						rerr = err
@@ -179,12 +224,15 @@ func (m *miner) forEach(n int, fn func(i int) error) error {
 // extendSubtree explores all attribute sets extending item with
 // attributes from its right-sibling list (Algorithm 3), collecting
 // emissions into out.
-func (m *miner) extendSubtree(item classItem, siblings []classItem, out *Result) error {
+func (m *miner) extendSubtree(ctx context.Context, item classItem, siblings []classItem, out *Result) error {
 	if m.p.MaxAttrs > 0 && len(item.attrs) >= m.p.MaxAttrs {
 		return nil
 	}
 	var children []classItem
 	for _, sib := range siblings {
+		if ctx.Err() != nil {
+			return quasiclique.Canceled(ctx)
+		}
 		members := item.members.Intersect(sib.members)
 		if members.Count() < m.p.SigmaMin {
 			continue
@@ -201,14 +249,13 @@ func (m *miner) extendSubtree(item classItem, siblings []classItem, out *Result)
 		if err != nil {
 			return err
 		}
-		out.Stats.SetsEvaluated++
 		m.collect(out, res)
 		if res.survive {
 			children = append(children, res.item)
 		}
 	}
 	for i := range children {
-		if err := m.extendSubtree(children[i], children[i+1:], out); err != nil {
+		if err := m.extendSubtree(ctx, children[i], children[i+1:], out); err != nil {
 			return err
 		}
 	}
@@ -227,6 +274,7 @@ func (m *miner) evaluate(attrs []int32, members, candidates *bitset.Set) (evalOu
 	if err != nil {
 		return evalOutcome{}, err
 	}
+	m.em.noteEvaluated()
 	covered := bitset.New(m.g.NumVertices())
 	cov.Covered.ForEach(func(local int) bool {
 		covered.Add(int(sub.Orig[local]))
@@ -309,13 +357,13 @@ func (m *miner) topPatterns(attrs []int32, covered *bitset.Set) ([]Pattern, erro
 	return out, nil
 }
 
-// collect moves an outcome's emissions into a result bucket.
+// collect moves an outcome's emissions into a result bucket and streams
+// them to the sink.
 func (m *miner) collect(res *Result, out evalOutcome) {
 	if out.set == nil {
 		return
 	}
 	res.Sets = append(res.Sets, *out.set)
-	res.Stats.SetsEmitted++
 	res.Patterns = append(res.Patterns, out.pats...)
-	res.Stats.PatternsEmitted += int64(len(out.pats))
+	m.em.emitSet(*out.set, out.pats)
 }

@@ -1,6 +1,7 @@
 package datagen
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -201,13 +202,13 @@ func TestTopicsAreRecovered(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Mine(g, core.Params{
+	res, err := core.Mine(context.Background(), g, core.Params{
 		SigmaMin: 8,
 		Gamma:    0.5,
 		MinSize:  4,
 		K:        1,
 		MaxAttrs: 2,
-	})
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -43,7 +44,7 @@ var ablationVariants = []struct {
 // default parameters and reports runtimes (best of three, to suppress
 // GC noise) and evaluation counts. All variants produce identical
 // output (verified by the core tests); only cost differs.
-func Ablation(d *Dataset) (*AblationResult, error) {
+func Ablation(ctx context.Context, d *Dataset) (*AblationResult, error) {
 	out := &AblationResult{Dataset: d.Name}
 	for _, v := range ablationVariants {
 		p := PerfBase(d)
@@ -52,7 +53,7 @@ func Ablation(d *Dataset) (*AblationResult, error) {
 		var res *core.Result
 		for rep := 0; rep < 3; rep++ {
 			start := time.Now()
-			r, err := core.Mine(d.Graph, p)
+			r, err := core.Mine(ctx, d.Graph, p, nil)
 			if err != nil {
 				return nil, err
 			}

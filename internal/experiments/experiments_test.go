@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -39,7 +40,7 @@ func TestLoadCaches(t *testing.T) {
 }
 
 func TestTable1MatchesPaper(t *testing.T) {
-	r, err := Table1()
+	r, err := Table1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestTopSetsQualitativeShape(t *testing.T) {
 	for _, name := range []string{"dblp", "lastfm", "citeseer"} {
 		t.Run(name, func(t *testing.T) {
 			d := load(t, name)
-			r, err := TopSets(d, 10)
+			r, err := TopSets(context.Background(), d, 10)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -133,7 +134,7 @@ func TestDefaultSigmas(t *testing.T) {
 
 func TestPerfPanel(t *testing.T) {
 	d := load(t, "smalldblp")
-	r, err := Perf(d, "gamma", []float64{0.6, 0.8}, true, 1)
+	r, err := Perf(context.Background(), d, "gamma", []float64{0.6, 0.8}, true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestPerfPanel(t *testing.T) {
 
 func TestPerfSkipsNaive(t *testing.T) {
 	d := load(t, "smalldblp")
-	r, err := Perf(d, "k", []float64{2}, false, 1)
+	r, err := Perf(context.Background(), d, "k", []float64{2}, false, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestPerfSkipsNaive(t *testing.T) {
 
 func TestPerfUnknownParameter(t *testing.T) {
 	d := load(t, "smalldblp")
-	if _, err := Perf(d, "bogus", []float64{1}, false, 1); err == nil {
+	if _, err := Perf(context.Background(), d, "bogus", []float64{1}, false, 1); err == nil {
 		t.Fatal("unknown parameter accepted")
 	}
 }
@@ -191,7 +192,7 @@ func TestDefaultSweepsCoverPanels(t *testing.T) {
 // parameters reduce average ε, and higher σmin increases average ε.
 func TestSensitivityShape(t *testing.T) {
 	d := load(t, "smalldblp")
-	r, err := Sensitivity(d, "gamma", []float64{0.5, 1.0})
+	r, err := Sensitivity(context.Background(), d, "gamma", []float64{0.5, 1.0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestSensitivityShape(t *testing.T) {
 		t.Fatalf("top-10%% ε below global ε: %+v", r.Points[0])
 	}
 	base := d.Params()
-	r2, err := Sensitivity(d, "sigma_min",
+	r2, err := Sensitivity(context.Background(), d, "sigma_min",
 		[]float64{float64(base.SigmaMin), float64(base.SigmaMin * 3)})
 	if err != nil {
 		t.Fatal(err)
@@ -240,7 +241,7 @@ func TestAvgAndTopFiltersInf(t *testing.T) {
 
 func TestAblationRuns(t *testing.T) {
 	d := load(t, "smalldblp")
-	r, err := Ablation(d)
+	r, err := Ablation(context.Background(), d)
 	if err != nil {
 		t.Fatal(err)
 	}

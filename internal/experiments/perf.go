@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -68,7 +69,7 @@ func applyVarying(p core.Params, varying string, v float64) (core.Params, error)
 // it times Naive, SCPM-BFS and SCPM-DFS (the naive baseline can be
 // skipped for quick runs). Each timing is the best of `repeats` runs
 // (≥ 1) to suppress GC noise.
-func Perf(d *Dataset, varying string, values []float64, withNaive bool, repeats int) (*PerfResult, error) {
+func Perf(ctx context.Context, d *Dataset, varying string, values []float64, withNaive bool, repeats int) (*PerfResult, error) {
 	if repeats < 1 {
 		repeats = 1
 	}
@@ -82,20 +83,20 @@ func Perf(d *Dataset, varying string, values []float64, withNaive bool, repeats 
 
 		p.Order = quasiclique.DFS
 		var res *core.Result
-		pt.DFS, res, err = bestOf(repeats, func() (*core.Result, error) { return core.Mine(d.Graph, p) })
+		pt.DFS, res, err = bestOf(repeats, func() (*core.Result, error) { return core.Mine(ctx, d.Graph, p, nil) })
 		if err != nil {
 			return nil, err
 		}
 		pt.Sets = len(res.Sets)
 
 		p.Order = quasiclique.BFS
-		pt.BFS, _, err = bestOf(repeats, func() (*core.Result, error) { return core.Mine(d.Graph, p) })
+		pt.BFS, _, err = bestOf(repeats, func() (*core.Result, error) { return core.Mine(ctx, d.Graph, p, nil) })
 		if err != nil {
 			return nil, err
 		}
 
 		if withNaive {
-			pt.Naive, _, err = bestOf(repeats, func() (*core.Result, error) { return core.MineNaive(d.Graph, p) })
+			pt.Naive, _, err = bestOf(repeats, func() (*core.Result, error) { return core.MineNaive(ctx, d.Graph, p, nil) })
 			if err != nil {
 				return nil, err
 			}

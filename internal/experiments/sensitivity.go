@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -32,7 +33,7 @@ type SensitivityResult struct {
 // δ globally and over the top 10% (ranked by the respective metric,
 // following §4.3). Infinite δ values (εexp underflow) are excluded from
 // the averages.
-func Sensitivity(d *Dataset, varying string, values []float64) (*SensitivityResult, error) {
+func Sensitivity(ctx context.Context, d *Dataset, varying string, values []float64) (*SensitivityResult, error) {
 	out := &SensitivityResult{Dataset: d.Name, Varying: varying}
 	for _, v := range values {
 		base := d.Params()
@@ -45,7 +46,7 @@ func Sensitivity(d *Dataset, varying string, values []float64) (*SensitivityResu
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Mine(d.Graph, p)
+		res, err := core.Mine(ctx, d.Graph, p, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -41,15 +42,15 @@ var table1Expected = []struct {
 
 // Table1 runs E1 with the paper's parameters (σmin=3, γmin=0.6,
 // min_size=4, εmin=0.5).
-func Table1() (*Table1Result, error) {
+func Table1(ctx context.Context) (*Table1Result, error) {
 	g := graph.PaperExample()
-	res, err := core.Mine(g, core.Params{
+	res, err := core.Mine(ctx, g, core.Params{
 		SigmaMin: 3,
 		Gamma:    0.6,
 		MinSize:  4,
 		EpsMin:   0.5,
 		K:        10,
-	})
+	}, nil)
 	if err != nil {
 		return nil, err
 	}

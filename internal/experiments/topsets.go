@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -29,13 +30,13 @@ type TopSetsResult struct {
 // TopSets runs E2/E3/E4 on the given dataset: a full SCPM pass with
 // εmin = δmin = 0 (so every frequent set is scored), then three top-N
 // rankings.
-func TopSets(d *Dataset, topN int) (*TopSetsResult, error) {
+func TopSets(ctx context.Context, d *Dataset, topN int) (*TopSetsResult, error) {
 	p := d.Params()
 	p.EpsMin = 0
 	p.DeltaMin = 0
 	p.K = 1 // only the largest pattern per set is needed here
 	p.MaxAttrs = 3
-	res, err := core.Mine(d.Graph, p)
+	res, err := core.Mine(ctx, d.Graph, p, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -48,6 +48,11 @@ func (g *Graph) Degree(v int32) int { return len(g.adj[v]) }
 // modify the returned slice.
 func (g *Graph) Neighbors(v int32) []int32 { return g.adj[v] }
 
+// Adjacency exposes the full adjacency structure by reference, indexed
+// by vertex id, so structural miners can wrap the graph without copying
+// it. The caller must not modify the returned slices.
+func (g *Graph) Adjacency() [][]int32 { return g.adj }
+
 // VertexAttrs returns the sorted attribute ids of v. The caller must not
 // modify the returned slice.
 func (g *Graph) VertexAttrs(v int32) []int32 { return g.vertexAttrs[v] }

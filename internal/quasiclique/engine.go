@@ -65,15 +65,19 @@ func newEngine(g *Graph, p Params, o Options) *engine {
 func (e *engine) NodesVisited() int64 { return e.nodes }
 
 // run executes Algorithm 1 with the configured order and hooks, once
-// per connected component of the peeled graph (quasi-cliques are
-// connected, so components are independent sub-problems and small
-// components die on the min-size check immediately).
+// per connected component of the peeled graph when γ ≥ 0.5 (then every
+// member has degree ≥ ⌈γ(s−1)⌉ ≥ (s−1)/2, which forces connectivity,
+// so components are independent sub-problems and small components die
+// on the min-size check immediately). For γ < 0.5 quasi-cliques may be
+// disconnected — e.g. two disjoint triangles form a valid 0.4-quasi-
+// clique of size 6 — so the decomposition would lose maximal patterns
+// spanning components and the search must run on the whole peeled set.
 func (e *engine) run(h hooks) error {
 	if e.alive.Count() < e.p.MinSize {
 		return nil
 	}
 	var roots [][]int32
-	if e.o.DisableComponentSplit {
+	if e.o.DisableComponentSplit || e.p.Gamma < 0.5 {
 		roots = [][]int32{e.alive.Slice()}
 	} else {
 		for _, comp := range e.g.components(e.alive) {
@@ -119,6 +123,12 @@ func (e *engine) runFrontier(rootNode node, h hooks) (bool, error) {
 		e.nodes++
 		if e.o.MaxNodes > 0 && e.nodes > e.o.MaxNodes {
 			return true, ErrBudget
+		}
+		// Poll the context every 256 nodes: frequent enough that deep
+		// searches stop in bounded time, cheap enough to stay off the
+		// per-node hot path.
+		if e.o.Ctx != nil && e.nodes&0xff == 0 && e.o.Ctx.Err() != nil {
+			return true, Canceled(e.o.Ctx)
 		}
 		stop, children := e.process(nd, h)
 		if stop {

@@ -17,6 +17,7 @@
 package quasiclique
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -94,8 +95,9 @@ type Options struct {
 	DisableLookahead bool
 	// DisableComponentSplit turns off the connected-component
 	// decomposition that runs the search once per component of the
-	// peeled graph (quasi-cliques of size ≥ 2 are connected, so
-	// components are independent sub-problems). Ablation switch.
+	// peeled graph (γ ≥ 0.5 forces quasi-cliques to be connected, so
+	// components are independent sub-problems; for γ < 0.5 the split
+	// is unsound and skipped regardless). Ablation switch.
 	DisableComponentSplit bool
 	// DisableJumps turns off the critical-vertex and cover-vertex
 	// jumps (the Quick techniques that commit forced candidates in one
@@ -104,7 +106,23 @@ type Options struct {
 	// MaxNodes bounds the number of search-tree nodes processed; 0
 	// means unbounded. When exceeded the search returns ErrBudget.
 	MaxNodes int64
+	// Ctx, when non-nil, is polled periodically by the search loop;
+	// once done the search aborts with an error satisfying
+	// errors.Is(err, ErrCanceled) that wraps context.Cause(Ctx).
+	Ctx context.Context
 }
 
-// ErrBudget is returned when Options.MaxNodes is exhausted.
-var ErrBudget = errors.New("quasiclique: search node budget exceeded")
+// ErrBudget is returned when Options.MaxNodes is exhausted. The
+// message carries no package prefix because the sentinel is re-exported
+// through core and the public scpm facade.
+var ErrBudget = errors.New("search node budget exceeded")
+
+// ErrCanceled is returned when Options.Ctx is done before the search
+// finishes. The concrete error wraps both this sentinel and
+// context.Cause, so errors.Is works against either.
+var ErrCanceled = errors.New("mining canceled")
+
+// Canceled builds the canonical cancellation error for a done context.
+func Canceled(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx))
+}

@@ -492,3 +492,29 @@ func TestFilterContained(t *testing.T) {
 		t.Fatalf("got %v, want %v", got, want)
 	}
 }
+
+// TestLowGammaDisconnectedQuasiClique pins the γ < 0.5 case where a
+// maximal quasi-clique spans two connected components: two disjoint
+// triangles form a valid 0.4-quasi-clique of size 6 (every vertex has
+// internal degree 2 ≥ ⌈0.4·5⌉), so the component decomposition must
+// not be applied. Regression test for a miss found by TestQuick
+// EnumerateMatchesBrute at seed -8885235820416132356.
+func TestLowGammaDisconnectedQuasiClique(t *testing.T) {
+	// vertices 0-2 and 3-5: two disjoint triangles
+	g := buildGraph(6, [][2]int32{{0, 1}, {0, 2}, {1, 2}, {3, 4}, {3, 5}, {4, 5}})
+	p := Params{Gamma: 0.4, MinSize: 3}
+	want, err := BruteMaximal(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EnumerateMaximal(g, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !patternsEqual(got, want) {
+		t.Fatalf("got %v, want %v", vertexSets(got), vertexSets(want))
+	}
+	if len(got) != 1 || len(got[0].Vertices) != 6 {
+		t.Fatalf("expected the single spanning 6-vertex quasi-clique, got %v", vertexSets(got))
+	}
+}

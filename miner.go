@@ -1,0 +1,209 @@
+package scpm
+
+import (
+	"context"
+	"errors"
+	"iter"
+	"runtime"
+
+	"github.com/scpm/scpm/internal/core"
+)
+
+// Sink receives mining events while a run is in flight. Callbacks are
+// serialized and each qualifying attribute set arrives as one atomic
+// burst: OnAttributeSet followed immediately by OnPattern for each of
+// its top-k patterns (best first). With WithParallelism(1) — the
+// default — bursts arrive in search order. OnProgress fires every
+// WithProgressEvery evaluations (default 64) and once when the run
+// ends. Callbacks run on miner goroutines, so hand heavy work off to a
+// channel rather than blocking the search.
+type Sink = core.Sink
+
+// SinkFuncs adapts plain functions to Sink; nil fields are skipped.
+type SinkFuncs = core.SinkFuncs
+
+// ErrCanceled reports that the mining context was done before the
+// search finished. The concrete error wraps both this sentinel and
+// context.Cause(ctx), so errors.Is works against either; a batch Mine
+// that is canceled still returns the well-formed partial result
+// collected up to that point.
+var ErrCanceled = core.ErrCanceled
+
+// ErrBudget reports that WithSearchBudget was exhausted. Like
+// cancellation it accompanies the partial result mined so far.
+var ErrBudget = core.ErrBudget
+
+// Miner is a configured mining pipeline. Build one with NewMiner and
+// functional options; a Miner is immutable and safe for concurrent use,
+// so one instance can serve many graphs and goroutines. It offers three
+// consumption modes:
+//
+//   - Mine: batch — block until done, get the full *Result;
+//   - Stream: push — a Sink receives every set and pattern as found;
+//   - Sets: pull — a Go 1.23 iterator over attribute sets.
+//
+// All three honor context cancellation mid-search.
+type Miner struct {
+	p     core.Params
+	naive bool
+}
+
+// Option configures a Miner.
+type Option func(*Miner)
+
+// NewMiner builds a Miner from options, validating the resulting
+// configuration. Defaults: σmin=1, γ=0.5, min_size=2, sets only (no
+// patterns, use WithTopK), sequential, analytical null model.
+func NewMiner(opts ...Option) (*Miner, error) {
+	m := &Miner{p: core.Params{SigmaMin: 1, Gamma: 0.5, MinSize: 2}}
+	for _, o := range opts {
+		o(m)
+	}
+	if err := m.p.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// WithSigmaMin sets the minimum attribute-set support σmin (≥ 1).
+func WithSigmaMin(n int) Option { return func(m *Miner) { m.p.SigmaMin = n } }
+
+// WithGamma sets the quasi-clique density threshold γmin ∈ (0, 1].
+func WithGamma(gamma float64) Option { return func(m *Miner) { m.p.Gamma = gamma } }
+
+// WithMinSize sets the minimum quasi-clique size min_size (≥ 2).
+func WithMinSize(n int) Option { return func(m *Miner) { m.p.MinSize = n } }
+
+// WithEpsMin sets the minimum structural correlation εmin ∈ [0, 1].
+func WithEpsMin(eps float64) Option { return func(m *Miner) { m.p.EpsMin = eps } }
+
+// WithDeltaMin sets the minimum normalized structural correlation δmin.
+func WithDeltaMin(delta float64) Option { return func(m *Miner) { m.p.DeltaMin = delta } }
+
+// WithTopK reports the k best quasi-cliques per attribute set
+// (size-first, density tie-break); 0 reports attribute sets only.
+func WithTopK(k int) Option { return func(m *Miner) { m.p.K = k } }
+
+// WithAllPatterns switches to SCORP-style mining: every maximal
+// quasi-clique of each qualifying set is reported and WithTopK is
+// ignored.
+func WithAllPatterns() Option { return func(m *Miner) { m.p.AllPatterns = true } }
+
+// WithMinAttrs reports only attribute sets of at least n attributes.
+func WithMinAttrs(n int) Option { return func(m *Miner) { m.p.MinAttrs = n } }
+
+// WithMaxAttrs bounds the attribute-set size; 0 means unbounded.
+func WithMaxAttrs(n int) Option { return func(m *Miner) { m.p.MaxAttrs = n } }
+
+// WithSearchOrder selects the quasi-clique frontier discipline (DFS or
+// BFS — the paper's SCPM-DFS / SCPM-BFS variants).
+func WithSearchOrder(o SearchOrder) Option { return func(m *Miner) { m.p.Order = o } }
+
+// WithParallelism sets the number of worker goroutines mining top-level
+// attribute subtrees; n ≤ 0 uses runtime.NumCPU(). Note that with
+// workers > 1, Sink bursts and Sets elements arrive in nondeterministic
+// order (batch results are canonically sorted either way).
+func WithParallelism(n int) Option {
+	return func(m *Miner) {
+		if n <= 0 {
+			n = runtime.NumCPU()
+		}
+		m.p.Parallelism = n
+	}
+}
+
+// WithNullModel plugs a null model supplying εexp for δ normalization;
+// the default is the analytical upper bound of Theorem 2.
+func WithNullModel(nm NullModel) Option { return func(m *Miner) { m.p.Model = nm } }
+
+// WithSearchBudget bounds the quasi-clique search to n nodes per
+// induced graph (0 = unbounded); an exhausted budget ends the run with
+// ErrBudget and the partial result.
+func WithSearchBudget(n int64) Option { return func(m *Miner) { m.p.SearchBudget = n } }
+
+// WithProgressEvery sets how many attribute-set evaluations elapse
+// between Sink.OnProgress callbacks (default 64).
+func WithProgressEvery(n int) Option { return func(m *Miner) { m.p.ProgressEvery = n } }
+
+// WithNaive mines with the naive baseline of §3.1 (Eclat × full
+// quasi-clique enumeration) instead of SCPM — same output, no search
+// and pruning strategies; useful for cross-checking and benchmarks.
+func WithNaive() Option { return func(m *Miner) { m.naive = true } }
+
+// WithParams seeds the whole parameter block at once — the migration
+// path for callers of the deprecated package-level Mine; later options
+// still apply on top.
+func WithParams(p Params) Option { return func(m *Miner) { m.p = p } }
+
+// Params returns the miner's resolved parameter block.
+func (m *Miner) Params() Params { return m.p }
+
+// Mine runs the configured algorithm on g and blocks until the search
+// completes, the context is done, or the search budget runs out. On
+// cancellation it returns the partial result together with an error
+// satisfying errors.Is(err, ErrCanceled) (which also wraps
+// context.Cause(ctx)); on budget exhaustion likewise with ErrBudget.
+func (m *Miner) Mine(ctx context.Context, g *Graph) (*Result, error) {
+	return m.run(ctx, g, nil)
+}
+
+// Stream mines g, pushing every qualifying attribute set and pattern to
+// sink as the search discovers them, plus periodic OnProgress updates.
+// It returns nil once the search completes; everything delivered before
+// an error is valid output, so a canceled stream's events form a
+// well-formed partial result.
+func (m *Miner) Stream(ctx context.Context, g *Graph, sink Sink) error {
+	_, err := m.run(ctx, g, sink)
+	return err
+}
+
+// Sets mines g lazily, yielding each qualifying attribute set as the
+// search discovers it. Breaking out of the range loop cancels the
+// underlying search and releases its goroutine. If mining fails — the
+// surrounding context canceled, budget exhausted, invalid parameters —
+// the final pair carries the error.
+func (m *Miner) Sets(ctx context.Context, g *Graph) iter.Seq2[AttributeSet, error] {
+	return func(yield func(AttributeSet, error) bool) {
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		sets := make(chan AttributeSet)
+		done := make(chan error, 1)
+		go func() {
+			_, err := m.run(ctx, g, SinkFuncs{
+				AttributeSet: func(s AttributeSet) {
+					select {
+					case sets <- s:
+					case <-ctx.Done():
+					}
+				},
+			})
+			close(sets)
+			done <- err
+		}()
+		for s := range sets {
+			if !yield(s, nil) {
+				// Consumer broke out: stop the search and wait for the
+				// miner goroutine so no callback outlives the loop.
+				cancel()
+				for range sets {
+				}
+				<-done
+				return
+			}
+		}
+		if err := <-done; err != nil {
+			yield(AttributeSet{}, err)
+		}
+	}
+}
+
+func (m *Miner) run(ctx context.Context, g *Graph, sink Sink) (*Result, error) {
+	if m.naive {
+		return core.MineNaive(ctx, g, m.p, sink)
+	}
+	return core.Mine(ctx, g, m.p, sink)
+}
+
+// IsCanceled reports whether err is a mining cancellation — shorthand
+// for errors.Is(err, ErrCanceled).
+func IsCanceled(err error) bool { return errors.Is(err, ErrCanceled) }

@@ -1,6 +1,7 @@
 package scpm
 
 import (
+	"context"
 	"io"
 
 	"github.com/scpm/scpm/internal/core"
@@ -73,13 +74,26 @@ const (
 // with support ≥ σmin, structural correlation ≥ εmin and normalized
 // structural correlation ≥ δmin, and mines the top-k quasi-cliques each
 // induces.
-func Mine(g *Graph, p Params) (*Result, error) { return core.Mine(g, p) }
+//
+// Deprecated: build a Miner instead — NewMiner(WithParams(p)) followed
+// by Miner.Mine(ctx, g) — which adds cancellation, streaming sinks and
+// the Sets iterator. This wrapper runs with context.Background and no
+// sink.
+func Mine(g *Graph, p Params) (*Result, error) {
+	return core.Mine(context.Background(), g, p, nil)
+}
 
 // MineNaive runs the naive baseline (Eclat × full quasi-clique
 // enumeration). It produces the same output as Mine but without the
 // SCPM search and pruning strategies; use it for cross-checking or
 // benchmarking.
-func MineNaive(g *Graph, p Params) (*Result, error) { return core.MineNaive(g, p) }
+//
+// Deprecated: build a Miner with WithNaive instead —
+// NewMiner(WithParams(p), WithNaive()) followed by Miner.Mine(ctx, g).
+// This wrapper runs with context.Background and no sink.
+func MineNaive(g *Graph, p Params) (*Result, error) {
+	return core.MineNaive(context.Background(), g, p, nil)
+}
 
 // TopSets returns the n best attribute sets of a result under the given
 // ranking (σ, ε or δ), as in the paper's case-study tables.
@@ -117,26 +131,38 @@ type QuasiClique = quasiclique.Pattern
 
 // FindQuasiCliques enumerates every maximal γ-quasi-clique of size ≥
 // minSize in g (the substrate the paper builds on; Definition 1).
-// Results are ordered largest and densest first.
+// Results are ordered largest and densest first. Invalid γ or minSize
+// is rejected up front with a descriptive error.
 func FindQuasiCliques(g *Graph, gamma float64, minSize int) ([]QuasiClique, error) {
-	return quasiclique.EnumerateMaximal(wrapGraph(g),
-		quasiclique.Params{Gamma: gamma, MinSize: minSize}, quasiclique.Options{})
+	qg, qp, err := structuralView(g, gamma, minSize)
+	if err != nil {
+		return nil, err
+	}
+	return quasiclique.EnumerateMaximal(qg, qp, quasiclique.Options{})
 }
 
 // TopQuasiCliques mines the k largest (then densest) maximal
 // γ-quasi-cliques of g, using the size-threshold pruning of §3.2.3 —
-// much cheaper than full enumeration for small k.
+// much cheaper than full enumeration for small k. Invalid γ or minSize
+// is rejected up front with a descriptive error.
 func TopQuasiCliques(g *Graph, gamma float64, minSize, k int) ([]QuasiClique, error) {
-	return quasiclique.TopK(wrapGraph(g),
-		quasiclique.Params{Gamma: gamma, MinSize: minSize}, k, quasiclique.Options{})
+	qg, qp, err := structuralView(g, gamma, minSize)
+	if err != nil {
+		return nil, err
+	}
+	return quasiclique.TopK(qg, qp, k, quasiclique.Options{})
 }
 
-func wrapGraph(g *Graph) *quasiclique.Graph {
-	adj := make([][]int32, g.NumVertices())
-	for v := range adj {
-		adj[v] = g.Neighbors(int32(v))
+// structuralView is the one shared Graph → quasiclique.Graph
+// conversion: parameters are validated before any graph work, and the
+// adjacency structure is wrapped by reference instead of being rebuilt
+// per call.
+func structuralView(g *Graph, gamma float64, minSize int) (*quasiclique.Graph, quasiclique.Params, error) {
+	qp := quasiclique.Params{Gamma: gamma, MinSize: minSize}
+	if err := qp.Validate(); err != nil {
+		return nil, qp, err
 	}
-	return quasiclique.NewGraph(adj)
+	return quasiclique.NewGraph(g.Adjacency()), qp, nil
 }
 
 // NullModel yields the expected structural correlation εexp(σ); plug
