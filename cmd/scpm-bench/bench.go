@@ -1,0 +1,204 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/scpm/scpm/internal/core"
+	"github.com/scpm/scpm/internal/experiments"
+)
+
+// benchSchema versions the BENCH_*.json layout so downstream tooling
+// can detect incompatible changes.
+const benchSchema = "scpm-bench/v1"
+
+// benchRun is one (dataset, scale) measurement.
+type benchRun struct {
+	Scale      float64 `json:"scale"`
+	Vertices   int     `json:"vertices"`
+	Edges      int     `json:"edges"`
+	Attributes int     `json:"attributes"`
+
+	SigmaMin int     `json:"sigma_min"`
+	Gamma    float64 `json:"gamma"`
+	MinSize  int     `json:"min_size"`
+	K        int     `json:"k"`
+
+	WallMS        float64 `json:"wall_ms"`
+	Sets          int     `json:"sets"`
+	Patterns      int     `json:"patterns"`
+	SetsEvaluated int64   `json:"sets_evaluated"`
+	SearchNodes   int64   `json:"search_nodes"`
+
+	Allocs        uint64 `json:"allocs"`
+	AllocBytes    uint64 `json:"alloc_bytes"`
+	HeapPeakBytes uint64 `json:"heap_peak_bytes"`
+}
+
+// benchReport is the full content of one BENCH_<dataset>.json file.
+type benchReport struct {
+	Schema  string     `json:"schema"`
+	Dataset string     `json:"dataset"`
+	Go      string     `json:"go"`
+	GOOS    string     `json:"goos"`
+	GOARCH  string     `json:"goarch"`
+	Runs    []benchRun `json:"runs"`
+}
+
+// runBenchSuite generates each dataset at every scale, mines it with
+// the dataset's paper parameters and writes BENCH_<dataset>.json into
+// outDir. Generation and mining are deterministic, so two runs on the
+// same machine differ only in the timing and allocation columns.
+func runBenchSuite(ctx context.Context, datasets string, scales string, outDir string, stdout io.Writer) error {
+	scaleList, err := parseScales(scales)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return fmt.Errorf("bench: creating %s: %w", outDir, err)
+	}
+	for _, name := range strings.Split(datasets, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		report := benchReport{
+			Schema:  benchSchema,
+			Dataset: name,
+			Go:      runtime.Version(),
+			GOOS:    runtime.GOOS,
+			GOARCH:  runtime.GOARCH,
+		}
+		for _, scale := range scaleList {
+			run, err := benchOne(ctx, name, scale)
+			if err != nil {
+				return fmt.Errorf("bench %s@%g: %w", name, scale, err)
+			}
+			report.Runs = append(report.Runs, run)
+			fmt.Fprintf(stdout, "bench %s scale=%g: |V|=%d |E|=%d wall=%.1fms sets=%d patterns=%d nodes=%d allocs=%d\n",
+				name, scale, run.Vertices, run.Edges, run.WallMS, run.Sets, run.Patterns, run.SearchNodes, run.Allocs)
+		}
+		path := filepath.Join(outDir, "BENCH_"+name+".json")
+		if err := writeBenchReport(path, report); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", path)
+	}
+	return nil
+}
+
+// benchOne mines one generated dataset and measures the run. Only the
+// mining phase is measured; dataset generation happens before the
+// clocks start (and is cached across scales by the experiments loader).
+func benchOne(ctx context.Context, name string, scale float64) (benchRun, error) {
+	d, err := experiments.Load(name, scale)
+	if err != nil {
+		return benchRun{}, err
+	}
+	p := d.Params()
+
+	// Track the heap high-water mark while mining. runtime.MemStats has
+	// no true peak counter, so a sampler polls HeapAlloc; the resolution
+	// is coarse but stable enough to flag regressions between PRs.
+	stopSampler := make(chan struct{})
+	peakCh := make(chan uint64, 1)
+	go func() {
+		var peak uint64
+		ticker := time.NewTicker(2 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopSampler:
+				peakCh <- peak
+				return
+			case <-ticker.C:
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	start := time.Now()
+	res, err := core.Mine(ctx, d.Graph, p, nil)
+	wall := time.Since(start)
+
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	close(stopSampler)
+	peak := <-peakCh
+	if after.HeapAlloc > peak {
+		peak = after.HeapAlloc
+	}
+	if err != nil {
+		return benchRun{}, err
+	}
+
+	return benchRun{
+		Scale:         scale,
+		Vertices:      d.Graph.NumVertices(),
+		Edges:         d.Graph.NumEdges(),
+		Attributes:    d.Graph.NumAttributes(),
+		SigmaMin:      p.SigmaMin,
+		Gamma:         p.Gamma,
+		MinSize:       p.MinSize,
+		K:             p.K,
+		WallMS:        float64(wall.Microseconds()) / 1000,
+		Sets:          len(res.Sets),
+		Patterns:      len(res.Patterns),
+		SetsEvaluated: res.Stats.SetsEvaluated,
+		SearchNodes:   res.Stats.SearchNodes,
+		Allocs:        after.Mallocs - before.Mallocs,
+		AllocBytes:    after.TotalAlloc - before.TotalAlloc,
+		HeapPeakBytes: peak,
+	}, nil
+}
+
+func writeBenchReport(path string, report benchReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return fmt.Errorf("bench: encoding %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func parseScales(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		// !(v > 0) also rejects NaN, which compares false to everything.
+		if err != nil || !(v > 0) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("bench: bad scale %q (want a positive float list like \"0.1,0.2\")", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bench: empty scale list")
+	}
+	return out, nil
+}

@@ -7,10 +7,18 @@
 //	scpm-bench -exp all            # every experiment (E1..E10)
 //	scpm-bench -exp table2         # one experiment
 //	scpm-bench -exp fig8 -repeats 5
+//	scpm-bench -exp bench -out .   # machine-readable BENCH_<dataset>.json baselines
 //
 // Experiments: table1, table2 (DBLP), table3 (LastFm), table4
 // (CiteSeer), fig4, fig7, fig9 (expected ε curves), fig8 (performance),
 // fig10 (sensitivity), ablation.
+//
+// The extra experiment id "bench" (not part of "all", which stays
+// stdout-only) mines the synthetic datasets at several scales and
+// writes one BENCH_<dataset>.json per dataset — wall time, search
+// nodes, result counts and allocation figures — so every future change
+// has a comparable baseline (see docs/ARCHITECTURE.md and the README's
+// Benchmarks section).
 package main
 
 import (
@@ -37,12 +45,16 @@ func runMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("scpm-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp     = fs.String("exp", "all", "experiment id (table1..table4, fig4, fig7, fig8, fig9, fig10, ablation, all)")
+		exp     = fs.String("exp", "all", "experiment id (table1..table4, fig4, fig7, fig8, fig9, fig10, ablation, bench, all)")
 		scale   = fs.Float64("scale", 1.0, "dataset scale factor")
 		repeats = fs.Int("repeats", 3, "timing repetitions for fig8 (best-of)")
 		samples = fs.Int("samples", 100, "simulation samples per support value for fig4/7/9")
 		naive   = fs.Bool("naive", true, "include the naive baseline in fig8")
 		topN    = fs.Int("top", 10, "rows per ranking block in table2-4")
+
+		benchOut      = fs.String("out", ".", "directory for the BENCH_<dataset>.json files written by -exp bench")
+		benchScales   = fs.String("bench-scales", "0.1,0.2,0.4", "comma-separated dataset scales for -exp bench")
+		benchDatasets = fs.String("bench-datasets", "dblp,lastfm,citeseer", "comma-separated datasets for -exp bench")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -124,6 +136,8 @@ func runMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				return err
 			}
 			fmt.Fprintln(stdout, r.Format())
+		case "bench":
+			return runBenchSuite(ctx, *benchDatasets, *benchScales, *benchOut, stdout)
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}

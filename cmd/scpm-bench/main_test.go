@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -73,6 +76,59 @@ func TestBenchAblationScaled(t *testing.T) {
 	}
 	if !strings.Contains(out, "no set pruning") {
 		t.Fatalf("variants missing:\n%s", out)
+	}
+}
+
+func TestBenchBaselineJSON(t *testing.T) {
+	dir := t.TempDir()
+	code, out, errOut := runBench(t,
+		"-exp", "bench", "-out", dir,
+		"-bench-datasets", "lastfm", "-bench-scales", "0.1,0.15")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	path := filepath.Join(dir, "BENCH_lastfm.json")
+	if !strings.Contains(out, path) {
+		t.Fatalf("output does not mention %s:\n%s", path, out)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if report.Schema != benchSchema {
+		t.Errorf("schema = %q, want %q", report.Schema, benchSchema)
+	}
+	if report.Dataset != "lastfm" {
+		t.Errorf("dataset = %q", report.Dataset)
+	}
+	if len(report.Runs) != 2 {
+		t.Fatalf("got %d runs, want 2", len(report.Runs))
+	}
+	for i, run := range report.Runs {
+		if run.Vertices <= 0 || run.Edges <= 0 || run.Attributes <= 0 {
+			t.Errorf("run %d: empty graph: %+v", i, run)
+		}
+		if run.WallMS <= 0 || run.Allocs == 0 || run.SearchNodes == 0 {
+			t.Errorf("run %d: missing measurements: %+v", i, run)
+		}
+		if run.SigmaMin <= 0 || run.Gamma <= 0 || run.MinSize <= 0 {
+			t.Errorf("run %d: missing parameters: %+v", i, run)
+		}
+	}
+	if report.Runs[0].Scale >= report.Runs[1].Scale {
+		t.Errorf("runs not in scale order: %g, %g", report.Runs[0].Scale, report.Runs[1].Scale)
+	}
+}
+
+func TestBenchBadScales(t *testing.T) {
+	for _, scales := range []string{"", "abc", "-1", "0", "NaN", "+Inf", "-Inf"} {
+		if code, _, _ := runBench(t, "-exp", "bench", "-out", t.TempDir(), "-bench-scales", scales); code == 0 {
+			t.Errorf("scales %q accepted", scales)
+		}
 	}
 }
 

@@ -211,6 +211,7 @@ type ndjsonEvent struct {
 	SetsEvaluated   int64   `json:"sets_evaluated,omitempty"`
 	SetsEmitted     int64   `json:"sets_emitted,omitempty"`
 	PatternsEmitted int64   `json:"patterns_emitted,omitempty"`
+	SearchNodes     int64   `json:"search_nodes,omitempty"`
 	Seconds         float64 `json:"seconds,omitempty"`
 	Canceled        bool    `json:"canceled,omitempty"`
 	Budget          bool    `json:"budget,omitempty"`
@@ -237,6 +238,10 @@ func streamNDJSON(ctx context.Context, miner *scpm.Miner, g *scpm.Graph, stdout,
 	}
 	f := func(v float64) *float64 { return &v }
 	n := func(v int) *int { return &v }
+	// The terminal OnProgress fires before Stream returns (the Sink
+	// contract), so lastStats holds the final counters for the done
+	// event.
+	var lastStats scpm.Stats
 	err := miner.Stream(ctx, g, scpm.SinkFuncs{
 		AttributeSet: func(s scpm.AttributeSet) {
 			emit(ndjsonEvent{
@@ -251,10 +256,11 @@ func streamNDJSON(ctx context.Context, miner *scpm.Miner, g *scpm.Graph, stdout,
 			})
 		},
 		Progress: func(st scpm.Stats) {
+			lastStats = st
 			emit(ndjsonEvent{
 				Type: "progress", SetsEvaluated: st.SetsEvaluated,
 				SetsEmitted: st.SetsEmitted, PatternsEmitted: st.PatternsEmitted,
-				Seconds: st.Duration.Seconds(),
+				SearchNodes: st.SearchNodes, Seconds: st.Duration.Seconds(),
 			})
 		},
 	})
@@ -262,7 +268,12 @@ func streamNDJSON(ctx context.Context, miner *scpm.Miner, g *scpm.Graph, stdout,
 		fmt.Fprintln(stderr, "scpm:", encErr)
 		return 1
 	}
-	done := ndjsonEvent{Type: "done"}
+	done := ndjsonEvent{
+		Type:          "done",
+		SetsEvaluated: lastStats.SetsEvaluated,
+		SetsEmitted:   lastStats.SetsEmitted, PatternsEmitted: lastStats.PatternsEmitted,
+		SearchNodes: lastStats.SearchNodes, Seconds: lastStats.Duration.Seconds(),
+	}
 	code := 0
 	switch {
 	case errors.Is(err, scpm.ErrCanceled):

@@ -36,18 +36,21 @@ type SinkFuncs struct {
 	Progress     func(Stats)
 }
 
+// OnAttributeSet forwards to the AttributeSet func when set.
 func (s SinkFuncs) OnAttributeSet(a AttributeSet) {
 	if s.AttributeSet != nil {
 		s.AttributeSet(a)
 	}
 }
 
+// OnPattern forwards to the Pattern func when set.
 func (s SinkFuncs) OnPattern(p Pattern) {
 	if s.Pattern != nil {
 		s.Pattern(p)
 	}
 }
 
+// OnProgress forwards to the Progress func when set.
 func (s SinkFuncs) OnProgress(st Stats) {
 	if s.Progress != nil {
 		s.Progress(st)
@@ -66,6 +69,7 @@ type emitter struct {
 	evaluated atomic.Int64
 	emitted   atomic.Int64
 	patterns  atomic.Int64
+	nodes     atomic.Int64
 
 	mu sync.Mutex
 }
@@ -83,7 +87,16 @@ func (e *emitter) snapshot() Stats {
 		SetsEvaluated:   e.evaluated.Load(),
 		SetsEmitted:     e.emitted.Load(),
 		PatternsEmitted: e.patterns.Load(),
+		SearchNodes:     e.nodes.Load(),
 		Duration:        time.Since(e.start),
+	}
+}
+
+// noteSearchNodes adds one coverage search's node count to the run
+// total (the bench harness reports it as nodes visited).
+func (e *emitter) noteSearchNodes(n int64) {
+	if n != 0 {
+		e.nodes.Add(n)
 	}
 }
 

@@ -46,7 +46,7 @@ func MineNaive(ctx context.Context, g *graph.Graph, p Params, sink Sink) (*Resul
 			return false
 		}
 		sub := g.InducedByMembers(s.Tids)
-		pats, err := quasiclique.EnumerateMaximal(quasiclique.NewGraph(sub.Adj), qp, opts)
+		pats, err := quasiclique.EnumerateMaximal(quasiclique.NewGraphCSR(sub.CSR()), qp, opts)
 		if err != nil {
 			mineErr = err
 			return false

@@ -94,6 +94,10 @@ type Stats struct {
 	SetsEmitted int64
 	// PatternsEmitted counts (S, Q) pairs reported.
 	PatternsEmitted int64
+	// SearchNodes counts quasi-clique candidate-tree nodes processed by
+	// the coverage searches (the dominant cost of a run; the bench
+	// harness records it as a hardware-independent work measure).
+	SearchNodes int64
 	// Duration is the wall-clock mining time.
 	Duration time.Duration
 }

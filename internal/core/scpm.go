@@ -270,11 +270,12 @@ func (m *miner) extendSubtree(ctx context.Context, item classItem, siblings []cl
 func (m *miner) evaluate(attrs []int32, members, candidates *bitset.Set) (evalOutcome, error) {
 	sigma := members.Count()
 	sub := m.g.InducedByMembers(candidates)
-	cov, err := quasiclique.Coverage(quasiclique.NewGraph(sub.Adj), m.qp, m.qcOpts)
+	cov, err := quasiclique.Coverage(quasiclique.NewGraphCSR(sub.CSR()), m.qp, m.qcOpts)
 	if err != nil {
 		return evalOutcome{}, err
 	}
 	m.em.noteEvaluated()
+	m.em.noteSearchNodes(cov.Nodes)
 	covered := bitset.New(m.g.NumVertices())
 	cov.Covered.ForEach(func(local int) bool {
 		covered.Add(int(sub.Orig[local]))
@@ -329,12 +330,13 @@ func (m *miner) evaluate(attrs []int32, members, candidates *bitset.Set) (evalOu
 // search runs on the covered set.
 func (m *miner) topPatterns(attrs []int32, covered *bitset.Set) ([]Pattern, error) {
 	sub := m.g.InducedByMembers(covered)
+	qg := quasiclique.NewGraphCSR(sub.CSR())
 	var top []quasiclique.Pattern
 	var err error
 	if m.p.AllPatterns {
-		top, err = quasiclique.EnumerateMaximal(quasiclique.NewGraph(sub.Adj), m.qp, m.qcOpts)
+		top, err = quasiclique.EnumerateMaximal(qg, m.qp, m.qcOpts)
 	} else {
-		top, err = quasiclique.TopK(quasiclique.NewGraph(sub.Adj), m.qp, m.p.K, m.qcOpts)
+		top, err = quasiclique.TopK(qg, m.qp, m.p.K, m.qcOpts)
 	}
 	if err != nil {
 		return nil, err

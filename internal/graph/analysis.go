@@ -25,7 +25,7 @@ func (g *Graph) ConnectedComponents() [][]int32 {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			comp = append(comp, v)
-			for _, u := range g.adj[v] {
+			for _, u := range g.Neighbors(v) {
 				if !seen.Contains(int(u)) {
 					seen.Add(int(u))
 					stack = append(stack, u)
@@ -48,7 +48,7 @@ func (g *Graph) ConnectedComponents() [][]int32 {
 // fraction of pairs of v's neighbors that are themselves adjacent.
 // Vertices of degree < 2 have coefficient 0.
 func (g *Graph) LocalClustering(v int32) float64 {
-	nbrs := g.adj[v]
+	nbrs := g.Neighbors(v)
 	d := len(nbrs)
 	if d < 2 {
 		return 0
@@ -82,7 +82,7 @@ func (g *Graph) AvgClustering() float64 {
 func (g *Graph) Triangles() int64 {
 	var t int64
 	for v := int32(0); v < int32(g.NumVertices()); v++ {
-		nbrs := g.adj[v]
+		nbrs := g.Neighbors(v)
 		for i := 0; i < len(nbrs); i++ {
 			if nbrs[i] < v {
 				continue

@@ -2,7 +2,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/scpm/scpm/internal/bitset"
 )
@@ -104,30 +104,67 @@ func (b *Builder) AddEdgeByName(a, c string) error {
 	return b.AddEdge(b.EnsureVertex(a), b.EnsureVertex(c))
 }
 
-// Build finalizes the graph: adjacency lists are sorted, parallel edges
-// removed and the vertical attribute index constructed. The Builder can
-// keep accumulating afterwards (Build copies what it needs).
+// Build finalizes the graph into its CSR form: neighbor ranges are
+// sorted, parallel edges removed and the vertical attribute index
+// constructed, all into two flat arenas (adjacency and attributes)
+// instead of per-vertex slices. The Builder can keep accumulating
+// afterwards (Build copies what it needs).
 func (b *Builder) Build() (*Graph, error) {
 	n := len(b.vertexNames)
-	adj := make([][]int32, n)
-	for _, e := range b.edges {
-		adj[e[0]] = append(adj[e[0]], e[1])
-		adj[e[1]] = append(adj[e[1]], e[0])
-	}
-	m := 0
-	for v := range adj {
-		adj[v] = dedupSorted(adj[v])
-		m += len(adj[v])
-	}
 
+	// Adjacency CSR: counting sort the directed edge copies into one
+	// arena, then sort and deduplicate each vertex range in place.
+	off := make([]int64, n+1)
+	for _, e := range b.edges {
+		off[e[0]+1]++
+		off[e[1]+1]++
+	}
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
+	}
+	nbrs := make([]int32, off[n])
+	cursor := make([]int64, n)
+	for _, e := range b.edges {
+		u, v := e[0], e[1]
+		nbrs[off[u]+cursor[u]] = v
+		cursor[u]++
+		nbrs[off[v]+cursor[v]] = u
+		cursor[v]++
+	}
+	// Compact left to right: the write cursor w never passes the read
+	// range of the segment being processed, so this is safe in place.
+	var w int64
+	for v := 0; v < n; v++ {
+		lo, hi := off[v], off[v+1]
+		seg := nbrs[lo:hi]
+		slices.Sort(seg)
+		off[v] = w
+		prev := int32(-1)
+		for _, u := range seg {
+			if u != prev {
+				nbrs[w] = u
+				w++
+				prev = u
+			}
+		}
+	}
+	off[n] = w
+	nbrs = nbrs[:w:w]
+
+	// Attribute CSR + vertical index. Per-vertex lists were deduplicated
+	// and sorted on insertion, so this is a straight concatenation.
+	attrOff := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		attrOff[v+1] = attrOff[v] + int64(len(b.vertexAttrs[v]))
+	}
+	attrArena := make([]int32, attrOff[n])
 	attrMembers := make([]*bitset.Set, len(b.attrNames))
 	for a := range attrMembers {
 		attrMembers[a] = bitset.New(n)
 	}
-	vattrs := make([][]int32, n)
-	for v := range vattrs {
-		vattrs[v] = append([]int32(nil), b.vertexAttrs[v]...)
-		for _, a := range vattrs[v] {
+	for v := 0; v < n; v++ {
+		copy(attrArena[attrOff[v]:attrOff[v+1]], b.vertexAttrs[v])
+		for _, a := range b.vertexAttrs[v] {
 			attrMembers[a].Add(v)
 		}
 	}
@@ -142,13 +179,15 @@ func (b *Builder) Build() (*Graph, error) {
 	}
 
 	return &Graph{
-		adj:         adj,
-		vertexAttrs: vattrs,
+		off:         off,
+		nbrs:        nbrs,
+		attrOff:     attrOff,
+		attrArena:   attrArena,
 		attrNames:   append([]string(nil), b.attrNames...),
 		attrIndex:   attrIndex,
 		vertexNames: append([]string(nil), b.vertexNames...),
 		nameIndex:   nameIndex,
-		numEdges:    m / 2,
+		numEdges:    int(w / 2),
 		attrMembers: attrMembers,
 	}, nil
 }
@@ -159,7 +198,7 @@ func dedupSorted(xs []int32) []int32 {
 		return nil
 	}
 	out := append([]int32(nil), xs...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	w := 1
 	for i := 1; i < len(out); i++ {
 		if out[i] != out[i-1] {

@@ -1,0 +1,249 @@
+package graph_test
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"github.com/scpm/scpm/internal/datagen"
+	"github.com/scpm/scpm/internal/graph"
+)
+
+// refAdjacency builds the old slice-of-slices adjacency independently
+// of the CSR builder: append both edge directions, then sort and
+// deduplicate per vertex. It is the reference the property tests
+// compare the CSR backbone against.
+func refAdjacency(n int, edges [][2]int32) [][]int32 {
+	adj := make([][]int32, n)
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	for v := range adj {
+		sort.Slice(adj[v], func(i, j int) bool { return adj[v][i] < adj[v][j] })
+		w := 0
+		for i, u := range adj[v] {
+			if i == 0 || u != adj[v][i-1] {
+				adj[v][w] = u
+				w++
+			}
+		}
+		adj[v] = adj[v][:w]
+	}
+	return adj
+}
+
+// randomEdges draws m edge attempts over n vertices, with duplicates
+// and both orientations so the builder's dedup path is exercised.
+func randomEdges(rng *rand.Rand, n, m int) [][2]int32 {
+	var edges [][2]int32
+	for i := 0; i < m; i++ {
+		u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		edges = append(edges, [2]int32{u, v})
+		if rng.Float64() < 0.2 { // parallel duplicate, possibly flipped
+			edges = append(edges, [2]int32{v, u})
+		}
+	}
+	return edges
+}
+
+func buildFromEdges(t *testing.T, n int, edges [][2]int32) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder()
+	for v := 0; v < n; v++ {
+		if _, err := b.AddVertex("v" + strconv.Itoa(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// agreesWithRef checks Degree, Neighbors, HasEdge and NumEdges of g
+// against the reference adjacency.
+func agreesWithRef(t *testing.T, g *graph.Graph, adj [][]int32) bool {
+	t.Helper()
+	n := len(adj)
+	m := 0
+	for v := 0; v < n; v++ {
+		m += len(adj[v])
+		if g.Degree(int32(v)) != len(adj[v]) {
+			t.Logf("degree(%d) = %d, want %d", v, g.Degree(int32(v)), len(adj[v]))
+			return false
+		}
+		nbrs := g.Neighbors(int32(v))
+		if len(nbrs) != len(adj[v]) {
+			t.Logf("neighbors(%d) len mismatch", v)
+			return false
+		}
+		for i, u := range adj[v] {
+			if nbrs[i] != u {
+				t.Logf("neighbors(%d)[%d] = %d, want %d", v, i, nbrs[i], u)
+				return false
+			}
+		}
+		for u := int32(0); u < int32(n); u++ {
+			want := false
+			for _, w := range adj[v] {
+				if w == u {
+					want = true
+					break
+				}
+			}
+			if g.HasEdge(int32(v), u) != want {
+				t.Logf("HasEdge(%d,%d) = %v, want %v", v, u, g.HasEdge(int32(v), u), want)
+				return false
+			}
+		}
+	}
+	if g.NumEdges() != m/2 {
+		t.Logf("NumEdges = %d, want %d", g.NumEdges(), m/2)
+		return false
+	}
+	return true
+}
+
+// TestQuickCSRMatchesReference is the CSR-invariant property test: on
+// random multigraph edge lists, the CSR builder must agree with the
+// independent slice-of-slices reference on every accessor.
+func TestQuickCSRMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		edges := randomEdges(rng, n, rng.Intn(4*n))
+		g := buildFromEdges(t, n, edges)
+		return agreesWithRef(t, g, refAdjacency(n, edges))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCSRMatchesReferenceOnDatagen runs the same equivalence on
+// realistic datagen graphs (power-law background + planted dense
+// communities), reconstructing the reference adjacency from the edge
+// set reported by the graph itself and verifying symmetry on the way.
+func TestCSRMatchesReferenceOnDatagen(t *testing.T) {
+	for _, seed := range []int64{1, 7, 23} {
+		g, _, err := datagen.Generate(datagen.Config{
+			Name: "csr", Seed: seed, NumVertices: 400,
+			AvgDegree: 5, DegreeExponent: 2.5,
+			NumCommunities: 6, CommunitySizeMin: 8, CommunitySizeMax: 14,
+			IntraProb: 0.7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var edges [][2]int32
+		for v := int32(0); v < int32(g.NumVertices()); v++ {
+			for _, u := range g.Neighbors(v) {
+				if !g.HasEdge(u, v) {
+					t.Fatalf("seed %d: edge (%d,%d) not symmetric", seed, v, u)
+				}
+				if u > v {
+					edges = append(edges, [2]int32{v, u})
+				}
+			}
+		}
+		if !agreesWithRef(t, g, refAdjacency(g.NumVertices(), edges)) {
+			t.Fatalf("seed %d: CSR disagrees with reference", seed)
+		}
+	}
+}
+
+// TestQuickInducedMatchesReference is the induced-subgraph equivalence
+// test: G(S) built by the CSR slicing path must match a from-scratch
+// reference construction over the member list.
+func TestQuickInducedMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		edges := randomEdges(rng, n, rng.Intn(5*n))
+		g := buildFromEdges(t, n, edges)
+
+		// random member subset
+		var members []int32
+		for v := int32(0); v < int32(n); v++ {
+			if rng.Float64() < 0.4 {
+				members = append(members, v)
+			}
+		}
+		sg := g.InducedByVertices(members)
+
+		// reference: re-number members, keep edges with both endpoints in
+		var orig []int32
+		orig = append(orig, members...)
+		sort.Slice(orig, func(i, j int) bool { return orig[i] < orig[j] })
+		local := make(map[int32]int32, len(orig))
+		for li, v := range orig {
+			local[v] = int32(li)
+		}
+		var refEdges [][2]int32
+		for _, v := range orig {
+			for _, u := range g.Neighbors(v) {
+				if lu, ok := local[u]; ok && u > v {
+					refEdges = append(refEdges, [2]int32{local[v], lu})
+				}
+			}
+		}
+		ref := refAdjacency(len(orig), refEdges)
+
+		if sg.NumVertices() != len(orig) {
+			return false
+		}
+		for li := range orig {
+			if sg.Orig[li] != orig[li] {
+				return false
+			}
+			if sg.Degree(int32(li)) != len(ref[li]) {
+				return false
+			}
+			nbrs := sg.Neighbors(int32(li))
+			for i, u := range ref[li] {
+				if nbrs[i] != u {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCSRViewIsShared pins the zero-copy contract: the slices returned
+// by CSR alias the graph's arenas, and Neighbors views are capacity-
+// clamped so an append cannot clobber a sibling's range.
+func TestCSRViewIsShared(t *testing.T) {
+	g := graph.PaperExample()
+	off, nbrs := g.CSR()
+	if len(off) != g.NumVertices()+1 {
+		t.Fatalf("offsets len %d, want %d", len(off), g.NumVertices()+1)
+	}
+	if int(off[len(off)-1]) != len(nbrs) || len(nbrs) != 2*g.NumEdges() {
+		t.Fatalf("arena len %d, offsets end %d, edges %d", len(nbrs), off[len(off)-1], g.NumEdges())
+	}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		view := g.Neighbors(v)
+		if len(view) > 0 && &view[0] != &nbrs[off[v]] {
+			t.Fatalf("Neighbors(%d) does not alias the arena", v)
+		}
+		if cap(view) != len(view) {
+			t.Fatalf("Neighbors(%d) view not capacity-clamped", v)
+		}
+	}
+}

@@ -3,11 +3,23 @@
 // vertices carry attribute sets, together with induced-subgraph
 // extraction (G(S)), a vertical attribute index, degree statistics and a
 // plain-text dataset format.
+//
+// # Representation
+//
+// Both the adjacency structure and the per-vertex attribute lists are
+// stored in compressed-sparse-row (CSR) form: one flat []int32 arena
+// holding every neighbor (or attribute) id back to back, plus an
+// offsets array with len(offsets) = |V|+1 so that the entries of vertex
+// v occupy arena[offsets[v]:offsets[v+1]]. Neighbor ranges are sorted
+// ascending, which makes HasEdge a binary search and set operations
+// over adjacency allocation-free merges. The two flat slices are shared
+// by reference with the quasi-clique miner (see CSR), so a mining run
+// never copies the graph.
 package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/scpm/scpm/internal/bitset"
 	"github.com/scpm/scpm/internal/stats"
@@ -17,10 +29,18 @@ import (
 // by reading a dataset; the zero value is an empty graph.
 //
 // Vertices and attributes are identified by dense int32 ids. Adjacency
-// and per-vertex attribute lists are sorted ascending.
+// and per-vertex attribute lists are sorted ascending and stored in CSR
+// form (see the package comment).
 type Graph struct {
-	adj         [][]int32
-	vertexAttrs [][]int32
+	// CSR adjacency: the neighbors of v are nbrs[off[v]:off[v+1]],
+	// sorted ascending, with len(off) = |V|+1.
+	off  []int64
+	nbrs []int32
+
+	// CSR vertex→attribute lists, same layout as the adjacency.
+	attrOff   []int64
+	attrArena []int32
+
 	attrNames   []string
 	attrIndex   map[string]int32
 	vertexNames []string
@@ -33,7 +53,7 @@ type Graph struct {
 }
 
 // NumVertices returns |V|.
-func (g *Graph) NumVertices() int { return len(g.adj) }
+func (g *Graph) NumVertices() int { return len(g.vertexNames) }
 
 // NumEdges returns |E| (each undirected edge counted once).
 func (g *Graph) NumEdges() int { return g.numEdges }
@@ -42,26 +62,33 @@ func (g *Graph) NumEdges() int { return g.numEdges }
 func (g *Graph) NumAttributes() int { return len(g.attrNames) }
 
 // Degree returns the degree of vertex v.
-func (g *Graph) Degree(v int32) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int32) int { return int(g.off[v+1] - g.off[v]) }
 
-// Neighbors returns the sorted neighbor list of v. The caller must not
-// modify the returned slice.
-func (g *Graph) Neighbors(v int32) []int32 { return g.adj[v] }
+// Neighbors returns the sorted neighbor list of v as a view into the
+// graph's CSR arena. The caller must not modify the returned slice; it
+// stays valid for the lifetime of the graph.
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.nbrs[g.off[v]:g.off[v+1]:g.off[v+1]]
+}
 
-// Adjacency exposes the full adjacency structure by reference, indexed
-// by vertex id, so structural miners can wrap the graph without copying
-// it. The caller must not modify the returned slices.
-func (g *Graph) Adjacency() [][]int32 { return g.adj }
+// CSR exposes the raw adjacency backbone by reference — the offsets
+// array (len |V|+1) and the flat neighbor arena it indexes — so
+// structural miners can wrap the graph without copying it. The caller
+// must not modify either slice.
+func (g *Graph) CSR() (offsets []int64, neighbors []int32) { return g.off, g.nbrs }
 
-// VertexAttrs returns the sorted attribute ids of v. The caller must not
-// modify the returned slice.
-func (g *Graph) VertexAttrs(v int32) []int32 { return g.vertexAttrs[v] }
+// VertexAttrs returns the sorted attribute ids of v as a view into the
+// graph's attribute arena. The caller must not modify the returned
+// slice.
+func (g *Graph) VertexAttrs(v int32) []int32 {
+	return g.attrArena[g.attrOff[v]:g.attrOff[v+1]:g.attrOff[v+1]]
+}
 
-// HasEdge reports whether {u, v} is an edge.
+// HasEdge reports whether {u, v} is an edge, by binary search over u's
+// sorted neighbor range.
 func (g *Graph) HasEdge(u, v int32) bool {
-	a := g.adj[u]
-	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
-	return i < len(a) && a[i] == v
+	_, ok := slices.BinarySearch(g.nbrs[g.off[u]:g.off[u+1]], v)
+	return ok
 }
 
 // AttrName returns the name of attribute id a.
@@ -71,7 +98,10 @@ func (g *Graph) AttrName(a int32) string { return g.attrNames[a] }
 // attribute does not occur in the graph.
 func (g *Graph) AttrID(name string) (int32, bool) {
 	id, ok := g.attrIndex[name]
-	return id, ok
+	if !ok {
+		return -1, false
+	}
+	return id, true
 }
 
 // VertexName returns the external label of vertex v.
@@ -106,8 +136,8 @@ func (g *Graph) AttrSetNames(S []int32) []string {
 // the input of the analytical null model (Theorem 2).
 func (g *Graph) DegreeHistogram() *stats.IntHistogram {
 	h := &stats.IntHistogram{}
-	for v := range g.adj {
-		h.Observe(len(g.adj[v]))
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		h.Observe(g.Degree(v))
 	}
 	return h
 }
@@ -115,8 +145,8 @@ func (g *Graph) DegreeHistogram() *stats.IntHistogram {
 // MaxDegree returns the maximum vertex degree m of G.
 func (g *Graph) MaxDegree() int {
 	m := 0
-	for v := range g.adj {
-		if d := len(g.adj[v]); d > m {
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if d := g.Degree(v); d > m {
 			m = d
 		}
 	}
@@ -125,10 +155,10 @@ func (g *Graph) MaxDegree() int {
 
 // AvgDegree returns the mean vertex degree 2|E|/|V|.
 func (g *Graph) AvgDegree() float64 {
-	if len(g.adj) == 0 {
+	if g.NumVertices() == 0 {
 		return 0
 	}
-	return 2 * float64(g.numEdges) / float64(len(g.adj))
+	return 2 * float64(g.numEdges) / float64(g.NumVertices())
 }
 
 // String summarizes the graph for logs.

@@ -364,7 +364,7 @@ func TestQuickInducedMatchesDefinition(t *testing.T) {
 			if deg != sg.Degree(int32(li)) {
 				return false
 			}
-			for _, lu := range sg.Adj[li] {
+			for _, lu := range sg.Neighbors(int32(li)) {
 				if !g.HasEdge(v, sg.Orig[lu]) {
 					return false
 				}

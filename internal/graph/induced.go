@@ -1,35 +1,47 @@
 package graph
 
 import (
+	"slices"
 	"sort"
 
 	"github.com/scpm/scpm/internal/bitset"
 )
 
 // Subgraph is the graph induced by a vertex subset, re-indexed with dense
-// local ids 0..n-1. Orig maps local ids back to the parent graph's ids
-// (ascending), so local ordering is consistent with global ordering.
+// local ids 0..n-1 and stored in the same CSR layout as Graph. Orig maps
+// local ids back to the parent graph's ids (ascending), so local
+// ordering is consistent with global ordering.
 type Subgraph struct {
 	// Orig[i] is the parent-graph id of local vertex i; sorted ascending.
+	// The caller must not modify it.
 	Orig []int32
-	// Adj is the local adjacency (sorted neighbor lists of local ids).
-	Adj [][]int32
+
+	// CSR adjacency over local ids: the neighbors of local vertex i are
+	// nbrs[off[i]:off[i+1]], sorted ascending.
+	off  []int64
+	nbrs []int32
 }
 
 // NumVertices returns the number of vertices in the subgraph.
 func (s *Subgraph) NumVertices() int { return len(s.Orig) }
 
 // NumEdges returns the number of undirected edges.
-func (s *Subgraph) NumEdges() int {
-	m := 0
-	for _, a := range s.Adj {
-		m += len(a)
-	}
-	return m / 2
-}
+func (s *Subgraph) NumEdges() int { return len(s.nbrs) / 2 }
 
 // Degree returns the degree of local vertex i.
-func (s *Subgraph) Degree(i int32) int { return len(s.Adj[i]) }
+func (s *Subgraph) Degree(i int32) int { return int(s.off[i+1] - s.off[i]) }
+
+// Neighbors returns the sorted local-id neighbor list of local vertex i
+// as a view into the subgraph's CSR arena. The caller must not modify
+// the returned slice.
+func (s *Subgraph) Neighbors(i int32) []int32 {
+	return s.nbrs[s.off[i]:s.off[i+1]:s.off[i+1]]
+}
+
+// CSR exposes the subgraph's raw adjacency backbone by reference (see
+// Graph.CSR); this is what the quasi-clique engine consumes. The caller
+// must not modify either slice.
+func (s *Subgraph) CSR() (offsets []int64, neighbors []int32) { return s.off, s.nbrs }
 
 // LocalOf returns the local id of a parent-graph vertex, or -1 when the
 // vertex is not a member of the subgraph.
@@ -41,7 +53,8 @@ func (s *Subgraph) LocalOf(orig int32) int32 {
 	return -1
 }
 
-// OrigSet returns the members as a bitset over the parent graph.
+// OrigSet returns the members as a bitset over the parent graph (whose
+// vertex count is n).
 func (s *Subgraph) OrigSet(n int) *bitset.Set {
 	return bitset.FromSlice(n, s.Orig)
 }
@@ -87,24 +100,33 @@ func (g *Graph) InducedByVertices(vs []int32) *Subgraph {
 	return g.inducedFromSorted(members.Slice(), members)
 }
 
+// inducedFromSorted slices the parent CSR down to the member set in one
+// pass: O(Σ_{v∈S} deg(v)) membership tests and a single arena
+// allocation, instead of rebuilding per-vertex adjacency slices. orig
+// must be sorted ascending and agree with members.
 func (g *Graph) inducedFromSorted(orig []int32, members *bitset.Set) *Subgraph {
-	sg := &Subgraph{Orig: orig, Adj: make([][]int32, len(orig))}
-	// localIndex: binary search over orig (sorted). For the typical
+	n := len(orig)
+	off := make([]int64, n+1)
+	var degSum int64
+	for _, v := range orig {
+		degSum += int64(g.Degree(v))
+	}
+	nbrs := make([]int32, 0, degSum)
+	// localOf: binary search over orig (sorted). For the typical
 	// |orig| ≪ |V| this avoids allocating an n-sized translation array.
 	localOf := func(v int32) int32 {
-		i := sort.Search(len(orig), func(i int) bool { return orig[i] >= v })
+		i, _ := slices.BinarySearch(orig, v)
 		return int32(i)
 	}
 	for li, v := range orig {
-		var nbrs []int32
-		for _, u := range g.adj[v] {
+		for _, u := range g.Neighbors(v) {
 			if members.Contains(int(u)) {
 				nbrs = append(nbrs, localOf(u))
 			}
 		}
-		sg.Adj[li] = nbrs
+		off[li+1] = int64(len(nbrs))
 	}
-	return sg
+	return &Subgraph{Orig: orig, off: off, nbrs: nbrs}
 }
 
 // RestrictTo returns the subgraph of s induced by the local-vertex set
@@ -120,15 +142,19 @@ func (s *Subgraph) RestrictTo(keep *bitset.Set) *Subgraph {
 		orig[ni] = s.Orig[li]
 		newOf[li] = int32(ni)
 	}
-	adj := make([][]int32, len(locals))
+	off := make([]int64, len(locals)+1)
+	var degSum int64
+	for _, li := range locals {
+		degSum += int64(s.Degree(li))
+	}
+	nbrs := make([]int32, 0, degSum)
 	for ni, li := range locals {
-		var nbrs []int32
-		for _, u := range s.Adj[li] {
+		for _, u := range s.Neighbors(li) {
 			if nu := newOf[u]; nu >= 0 {
 				nbrs = append(nbrs, nu)
 			}
 		}
-		adj[ni] = nbrs
+		off[ni+1] = int64(len(nbrs))
 	}
-	return &Subgraph{Orig: orig, Adj: adj}
+	return &Subgraph{Orig: orig, off: off, nbrs: nbrs}
 }

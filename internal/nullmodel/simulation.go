@@ -110,7 +110,7 @@ func (s *Simulation) sampleOnce(sigma int, seed int64) float64 {
 	}
 	sample := perm[:sigma]
 	sg := s.g.InducedByVertices(sample)
-	res, err := quasiclique.Coverage(quasiclique.NewGraph(sg.Adj), s.p, quasiclique.Options{})
+	res, err := quasiclique.Coverage(quasiclique.NewGraphCSR(sg.CSR()), s.p, quasiclique.Options{})
 	if err != nil {
 		// Coverage only errors on invalid params or an explicit node
 		// budget; neither applies here.

@@ -60,7 +60,7 @@ func bruteQuasiCliqueMasks(g *Graph, p Params) ([]uint32, error) {
 	}
 	adj := make([]uint32, g.n)
 	for v := 0; v < g.n; v++ {
-		for _, u := range g.adj[v] {
+		for _, u := range g.neighbors(int32(v)) {
 			adj[v] |= 1 << uint(u)
 		}
 	}

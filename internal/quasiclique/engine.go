@@ -20,6 +20,8 @@ type hooks struct {
 	prune func(x, cands []int32) bool
 	// report is invoked with a quasi-clique (degree constraint and
 	// min-size already checked). Returning false aborts the search.
+	// The slice may alias an engine scratch buffer: it is valid only
+	// for the duration of the call and must be copied to be retained.
 	report func(q []int32) bool
 	// needLocalMax requires X to admit no single-vertex extension
 	// before being reported (cheap necessary condition for maximality;
@@ -36,11 +38,14 @@ type engine struct {
 	n2    []*bitset.Set
 	nodes int64
 
-	// scratch, reused across nodes
-	inX  *bitset.Set
-	inC  *bitset.Set
-	inU  *bitset.Set
-	degs []int
+	// scratch, reused across nodes so the refine / forced-candidate /
+	// lookahead hot paths allocate nothing per node
+	inX       *bitset.Set
+	inC       *bitset.Set
+	inU       *bitset.Set
+	degs      []int
+	unionBuf  []int32
+	forcedBuf []int32
 }
 
 func newEngine(g *Graph, p Params, o Options) *engine {
@@ -162,9 +167,12 @@ func (e *engine) process(nd node, h hooks) (stop bool, children []node) {
 
 	// Lookahead (Algorithm 1 line 9): if X ∪ candExts(X) is itself a
 	// quasi-clique, report it and prune the subtree — every set in the
-	// subtree is one of its subsets, hence not maximal.
+	// subtree is one of its subsets, hence not maximal. The union lives
+	// in a reusable scratch buffer; report implementations copy what
+	// they keep (see hooks.report).
 	if !e.o.DisableLookahead && len(cands) > 0 {
-		union := mergeSorted(x, cands)
+		e.unionBuf = mergeSortedInto(e.unionBuf[:0], x, cands)
+		union := e.unionBuf
 		e.fill(e.inU, union)
 		if e.g.isQuasiClique(union, e.inU, e.p) {
 			return !h.report(union), nil
@@ -175,7 +183,7 @@ func (e *engine) process(nd node, h hooks) (stop bool, children []node) {
 	if len(x) >= e.p.MinSize {
 		e.fill(e.inX, x)
 		if e.g.isQuasiClique(x, e.inX, e.p) {
-			if !h.needLocalMax || !e.g.extendable(x, e.inX, e.alive, e.p) {
+			if !h.needLocalMax || !e.g.extendable(x, e.inX, e.alive, e.p, e.degs) {
 				if !h.report(x) {
 					return true, nil
 				}
@@ -185,14 +193,34 @@ func (e *engine) process(nd node, h hooks) (stop bool, children []node) {
 
 	// Generate extensions (Algorithm 1 line 15). Child i keeps only the
 	// candidates after position i, so once the remaining pool is too
-	// small to ever reach min_size no further child can succeed.
+	// small to ever reach min_size no further child can succeed. All
+	// children share one backing arena — a single allocation instead of
+	// two per child; each child's slices are capacity-clamped subslices,
+	// so later in-place filtering of one child can never touch another.
+	nkids := 0
+	arenaLen := 0
 	for i := range cands {
 		if len(x)+1+(len(cands)-i-1) < e.p.MinSize {
 			break
 		}
-		cx := insertSorted(x, cands[i])
-		cc := append([]int32(nil), cands[i+1:]...)
-		children = append(children, node{x: cx, cands: cc})
+		nkids++
+		arenaLen += len(x) + len(cands) - i
+	}
+	if nkids == 0 {
+		return false, nil
+	}
+	arena := make([]int32, 0, arenaLen)
+	children = make([]node, 0, nkids)
+	for i := 0; i < nkids; i++ {
+		start := len(arena)
+		arena = appendInsertSorted(arena, x, cands[i])
+		mid := len(arena)
+		arena = append(arena, cands[i+1:]...)
+		end := len(arena)
+		children = append(children, node{
+			x:     arena[start:mid:mid],
+			cands: arena[mid:end:end],
+		})
 	}
 	return false, children
 }
@@ -232,56 +260,64 @@ func (e *engine) refineAndJump(x, cands []int32) (nx, ncands []int32, dead bool)
 
 // forcedCandidates returns candidates that every valid quasi-clique of
 // the branch must include (empty when no jump applies). It relies on
-// the scratch bitsets e.inX/e.inC left by refine.
+// the scratch bitsets e.inX/e.inC left by refine. The returned slice
+// aliases a per-engine scratch buffer: it is invalidated by the next
+// forcedCandidates call, so callers consume it before looping.
 func (e *engine) forcedCandidates(x, cands []int32) []int32 {
 	minNeedX := e.p.MinDegree(maxInt(e.p.MinSize, len(x)))
 	for _, v := range x {
 		in, ex := e.splitDegree(v)
 		if ex > 0 && in+ex == minNeedX {
-			var forced []int32
-			for _, u := range e.g.adj[v] {
+			forced := e.forcedBuf[:0]
+			for _, u := range e.g.neighbors(v) {
 				if e.inC.Contains(int(u)) {
 					forced = append(forced, u)
 				}
 			}
+			e.forcedBuf = forced
 			return forced // adjacency is sorted, so forced is sorted
 		}
 	}
 	for _, u := range cands {
 		in, ex := e.splitDegree(u)
 		if in == len(x) && ex == len(cands)-1 {
-			return []int32{u}
+			e.forcedBuf = append(e.forcedBuf[:0], u)
+			return e.forcedBuf
 		}
 	}
 	return nil
 }
 
-// insertSorted returns a new slice with v inserted into sorted xs.
-func insertSorted(xs []int32, v int32) []int32 {
-	out := make([]int32, 0, len(xs)+1)
+// appendInsertSorted appends sorted xs with v inserted at its rank onto
+// dst (v must not already occur in xs).
+func appendInsertSorted(dst, xs []int32, v int32) []int32 {
 	i := 0
 	for ; i < len(xs) && xs[i] < v; i++ {
-		out = append(out, xs[i])
 	}
-	out = append(out, v)
-	return append(out, xs[i:]...)
+	dst = append(dst, xs[:i]...)
+	dst = append(dst, v)
+	return append(dst, xs[i:]...)
 }
 
 // mergeSorted merges two disjoint sorted slices into a new slice.
 func mergeSorted(a, b []int32) []int32 {
-	out := make([]int32, 0, len(a)+len(b))
+	return mergeSortedInto(make([]int32, 0, len(a)+len(b)), a, b)
+}
+
+// mergeSortedInto merges two disjoint sorted slices onto dst.
+func mergeSortedInto(dst, a, b []int32) []int32 {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		if a[i] < b[j] {
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 		} else {
-			out = append(out, b[j])
+			dst = append(dst, b[j])
 			j++
 		}
 	}
-	out = append(out, a[i:]...)
-	return append(out, b[j:]...)
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
 }
 
 // removeSorted returns xs without the (sorted) elements of drop,
@@ -392,7 +428,7 @@ func (e *engine) refine(x, cands []int32) ([]int32, bool) {
 // splitDegree returns |N(v) ∩ X| and |N(v) ∩ cands| using the scratch
 // bitsets prepared by refine.
 func (e *engine) splitDegree(v int32) (in, ex int) {
-	for _, u := range e.g.adj[v] {
+	for _, u := range e.g.neighbors(v) {
 		if e.inX.Contains(int(u)) {
 			in++
 		} else if e.inC.Contains(int(u)) {

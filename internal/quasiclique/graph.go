@@ -1,39 +1,79 @@
 package quasiclique
 
 import (
-	"sort"
+	"slices"
 
 	"github.com/scpm/scpm/internal/bitset"
 )
 
 // Graph is the miner's view of an undirected graph: dense vertex ids
-// 0..n−1 with sorted adjacency lists. It is typically built from an
-// induced subgraph of the attributed graph.
+// 0..n−1 with sorted adjacency stored in compressed-sparse-row (CSR)
+// form — one flat neighbor arena plus an offsets array. It is typically
+// a zero-copy view of an induced subgraph of the attributed graph (see
+// NewGraphCSR).
 type Graph struct {
-	adj [][]int32
-	n   int
+	// CSR adjacency: the neighbors of v are nbrs[off[v]:off[v+1]],
+	// sorted ascending, with len(off) = n+1.
+	off  []int64
+	nbrs []int32
+	n    int
 }
 
-// NewGraph wraps adjacency lists (which must be sorted ascending,
-// self-loop free and symmetric). The slices are used by reference.
+// NewGraph builds a Graph from per-vertex adjacency slices (which must
+// be sorted ascending, self-loop free and symmetric), flattening them
+// into CSR form. Prefer NewGraphCSR when the caller already holds a CSR
+// backbone — that constructor is allocation-free.
 func NewGraph(adj [][]int32) *Graph {
-	return &Graph{adj: adj, n: len(adj)}
+	n := len(adj)
+	off := make([]int64, n+1)
+	for v, a := range adj {
+		off[v+1] = off[v] + int64(len(a))
+	}
+	nbrs := make([]int32, off[n])
+	for v, a := range adj {
+		copy(nbrs[off[v]:off[v+1]], a)
+	}
+	return &Graph{off: off, nbrs: nbrs, n: n}
+}
+
+// NewGraphCSR wraps an existing CSR adjacency by reference: offsets has
+// length n+1 and the neighbors of v occupy neighbors[offsets[v]:
+// offsets[v+1]], sorted ascending, self-loop free and symmetric. The
+// slices are shared, not copied; the caller must not modify them while
+// the Graph is in use. Both graph.Graph.CSR and graph.Subgraph.CSR
+// produce arguments in exactly this shape.
+func NewGraphCSR(offsets []int64, neighbors []int32) *Graph {
+	if len(offsets) == 0 {
+		return &Graph{off: []int64{0}, n: 0}
+	}
+	return &Graph{off: offsets, nbrs: neighbors, n: len(offsets) - 1}
 }
 
 // NumVertices returns n.
 func (g *Graph) NumVertices() int { return g.n }
 
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return int(g.off[g.n]) / 2 }
+
 // Degree returns the degree of v.
-func (g *Graph) Degree(v int32) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int32) int { return int(g.off[v+1] - g.off[v]) }
 
-// Neighbors returns the sorted neighbor list of v.
-func (g *Graph) Neighbors(v int32) []int32 { return g.adj[v] }
+// Neighbors returns the sorted neighbor list of v as a view into the
+// CSR arena. The caller must not modify the returned slice.
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.nbrs[g.off[v]:g.off[v+1]:g.off[v+1]]
+}
 
-// HasEdge reports whether {u,v} is an edge.
+// neighbors is the internal hot-path accessor (no defensive slice cap).
+func (g *Graph) neighbors(v int32) []int32 {
+	return g.nbrs[g.off[v]:g.off[v+1]]
+}
+
+// HasEdge reports whether {u,v} is an edge, by binary search over u's
+// sorted neighbor range.
 func (g *Graph) HasEdge(u, v int32) bool {
-	a := g.adj[u]
-	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
-	return i < len(a) && a[i] == v
+	_, ok := slices.BinarySearch(g.neighbors(u), v)
+	return ok
 }
 
 // Peel iteratively removes vertices of degree < minDeg (computed within
@@ -47,7 +87,7 @@ func (g *Graph) Peel(minDeg int) *bitset.Set {
 	deg := make([]int, g.n)
 	for v := 0; v < g.n; v++ {
 		alive.Add(v)
-		deg[v] = len(g.adj[v])
+		deg[v] = g.Degree(int32(v))
 	}
 	if minDeg <= 0 {
 		return alive
@@ -62,7 +102,7 @@ func (g *Graph) Peel(minDeg int) *bitset.Set {
 	for len(queue) > 0 {
 		v := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
-		for _, u := range g.adj[v] {
+		for _, u := range g.neighbors(v) {
 			if !alive.Contains(int(u)) {
 				continue
 			}
@@ -96,26 +136,23 @@ func (g *Graph) components(alive *bitset.Set) [][]int32 {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			comp = append(comp, v)
-			for _, u := range g.adj[v] {
+			for _, u := range g.neighbors(v) {
 				if alive.Contains(int(u)) && !seen.Contains(int(u)) {
 					seen.Add(int(u))
 					stack = append(stack, u)
 				}
 			}
 		}
-		sortInt32s(comp)
+		slices.Sort(comp)
 		out = append(out, comp)
 	}
 	return out
 }
 
-func sortInt32s(xs []int32) {
-	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
-}
-
-// distance2 returns, for every vertex, the set of vertices within
-// distance ≤ 2 (including the vertex itself). Used by the diameter
-// pruning rule, which is valid for γ ≥ 0.5.
+// distance2 returns, for every alive vertex, the set of vertices within
+// distance ≤ 2 (including the vertex itself); entries for dead vertices
+// are nil. Used by the diameter pruning rule, which is valid for
+// γ ≥ 0.5.
 func (g *Graph) distance2(alive *bitset.Set) []*bitset.Set {
 	n2 := make([]*bitset.Set, g.n)
 	for v := 0; v < g.n; v++ {
@@ -124,12 +161,12 @@ func (g *Graph) distance2(alive *bitset.Set) []*bitset.Set {
 		}
 		s := bitset.New(g.n)
 		s.Add(v)
-		for _, u := range g.adj[v] {
+		for _, u := range g.neighbors(int32(v)) {
 			if !alive.Contains(int(u)) {
 				continue
 			}
 			s.Add(int(u))
-			for _, w := range g.adj[u] {
+			for _, w := range g.neighbors(u) {
 				if alive.Contains(int(w)) {
 					s.Add(int(w))
 				}
@@ -146,11 +183,11 @@ func (g *Graph) distance2(alive *bitset.Set) []*bitset.Set {
 func (g *Graph) isQuasiClique(set []int32, inSet *bitset.Set, p Params) bool {
 	need := p.MinDegree(len(set))
 	for _, v := range set {
-		if len(g.adj[v]) < need {
+		if g.Degree(v) < need {
 			return false
 		}
 		d := 0
-		for _, u := range g.adj[v] {
+		for _, u := range g.neighbors(v) {
 			if inSet.Contains(int(u)) {
 				d++
 				if d >= need {
@@ -169,7 +206,7 @@ func (g *Graph) isQuasiClique(set []int32, inSet *bitset.Set, p Params) bool {
 func (g *Graph) degreesWithin(set []int32, inSet *bitset.Set, degs []int) {
 	for i, v := range set {
 		d := 0
-		for _, u := range g.adj[v] {
+		for _, u := range g.neighbors(v) {
 			if inSet.Contains(int(u)) {
 				d++
 			}
@@ -180,10 +217,12 @@ func (g *Graph) degreesWithin(set []int32, inSet *bitset.Set, degs []int) {
 
 // extendable reports whether some vertex u ∉ set (u alive) makes
 // set ∪ {u} satisfy the quasi-clique degree constraint. Used as the
-// local-maximality test when reporting patterns.
-func (g *Graph) extendable(set []int32, inSet *bitset.Set, alive *bitset.Set, p Params) bool {
+// local-maximality test when reporting patterns. scratch must have
+// capacity ≥ len(set); it is overwritten (callers pass a reusable
+// per-engine buffer to keep this allocation-free).
+func (g *Graph) extendable(set []int32, inSet, alive *bitset.Set, p Params, scratch []int) bool {
 	need := p.MinDegree(len(set) + 1)
-	degs := make([]int, len(set))
+	degs := scratch[:len(set)]
 	g.degreesWithin(set, inSet, degs)
 	for u := alive.NextSet(0); u >= 0; u = alive.NextSet(u + 1) {
 		if inSet.Contains(u) {
@@ -191,7 +230,7 @@ func (g *Graph) extendable(set []int32, inSet *bitset.Set, alive *bitset.Set, p 
 		}
 		// u itself needs `need` neighbors inside set.
 		du := 0
-		for _, w := range g.adj[int32(u)] {
+		for _, w := range g.neighbors(int32(u)) {
 			if inSet.Contains(int(w)) {
 				du++
 			}

@@ -93,10 +93,14 @@ func Coverage(g *Graph, p Params, o Options) (CoverageResult, error) {
 // what makes small k much cheaper than full enumeration.
 //
 // The size threshold is a heuristic lower bound: the collected patterns
-// pinning it down may share a maximal superset, in which case fewer than
-// k containment-maximal patterns survive the final filter. When that
-// happens and the threshold actually pruned nodes, TopK falls back to
-// full enumeration so the result is always the true top k.
+// pinning it down may share a maximal superset, in which case they
+// collapse to fewer entries under the final containment filter and the
+// threshold was too aggressive in hindsight. Every set suppressed by a
+// threshold t (a pruned search node or a trimmed buffer entry) has size
+// < t, so the result is provably correct whenever the k-th returned
+// pattern still has size ≥ the largest threshold that actually
+// suppressed work. When that check fails, TopK falls back to full
+// enumeration so the result is always the true top k.
 func TopK(g *Graph, p Params, k int, o Options) ([]Pattern, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -106,14 +110,17 @@ func TopK(g *Graph, p Params, k int, o Options) ([]Pattern, error) {
 	}
 	e := newEngine(g, p, o)
 	col := newCollector(g, k)
-	prunedBySize := false
+	// maxPruneNeed tracks the largest dynamic threshold that actually
+	// pruned a node (thresholds equal to min_size are the fundamental
+	// size constraint, not top-k dynamics, and never lose patterns).
+	maxPruneNeed := 0
 	h := hooks{
 		needLocalMax: true,
 		prune: func(x, cands []int32) bool {
 			need := col.sizeNeeded(p.MinSize)
 			if len(x)+len(cands) < need {
-				if need > p.MinSize {
-					prunedBySize = true
+				if need > p.MinSize && need > maxPruneNeed {
+					maxPruneNeed = need
 				}
 				return true
 			}
@@ -128,7 +135,8 @@ func TopK(g *Graph, p Params, k int, o Options) ([]Pattern, error) {
 		return nil, err
 	}
 	out := col.finalize()
-	if len(out) < k && prunedBySize {
+	suppressed := maxInt(maxPruneNeed, col.maxTrimCut)
+	if suppressed > 0 && (len(out) < k || out[len(out)-1].Size() < suppressed) {
 		all, err := EnumerateMaximal(g, p, o)
 		if err != nil {
 			return nil, err
@@ -149,6 +157,10 @@ type collector struct {
 	g    *Graph
 	k    int
 	pats []Pattern // sorted by ComparePatterns (best first)
+	// maxTrimCut is the largest size threshold that actually evicted a
+	// buffered pattern; TopK uses it to decide whether the heuristic
+	// pruning could have lost part of the true top k.
+	maxTrimCut int
 }
 
 func newCollector(g *Graph, k int) *collector {
@@ -198,6 +210,9 @@ func (c *collector) add(q []int32) {
 		w := len(c.pats)
 		for w > c.k && c.pats[w-1].Size() < cut {
 			w--
+		}
+		if w < len(c.pats) && cut > c.maxTrimCut {
+			c.maxTrimCut = cut
 		}
 		c.pats = c.pats[:w]
 	}

@@ -51,7 +51,7 @@ func (g *Graph) makePattern(q []int32) Pattern {
 	edges := 0
 	for _, v := range q {
 		d := 0
-		for _, u := range g.adj[v] {
+		for _, u := range g.neighbors(v) {
 			if in.Contains(int(u)) {
 				d++
 			}

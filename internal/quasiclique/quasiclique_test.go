@@ -377,7 +377,7 @@ func TestQuickEveryPatternIsValidQuasiClique(t *testing.T) {
 			min := g.n
 			for _, v := range pat.Vertices {
 				d := 0
-				for _, u := range g.adj[v] {
+				for _, u := range g.Neighbors(v) {
 					for _, w := range pat.Vertices {
 						if w == u {
 							d++
@@ -516,5 +516,94 @@ func TestLowGammaDisconnectedQuasiClique(t *testing.T) {
 	}
 	if len(got) != 1 || len(got[0].Vertices) != 6 {
 		t.Fatalf("expected the single spanning 6-vertex quasi-clique, got %v", vertexSets(got))
+	}
+}
+
+// Regression: with a BFS frontier, the collector can briefly believe
+// the k-th best size is larger than it finally is — here two size-4
+// patterns enter the buffer, evict every size-3 candidate and raise
+// the prune threshold to 4, and are later both subsumed by the one
+// size-5 maximal pattern. TopK must detect that suppression and fall
+// back to full enumeration instead of returning an arbitrary size-3
+// survivor.
+func TestTopKSubsumedThresholdFallback(t *testing.T) {
+	g := buildGraph(7, [][2]int32{
+		{0, 4}, {0, 6}, {1, 4}, {1, 5}, {1, 6}, {2, 6}, {3, 4}, {3, 6},
+	})
+	p := Params{Gamma: 0.5, MinSize: 3}
+	want, err := EnumerateMaximal(g, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range []SearchOrder{DFS, BFS} {
+		top, err := TopK(g, p, 2, Options{Order: o})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(top) != 2 {
+			t.Fatalf("%v: got %d patterns, want 2", o, len(top))
+		}
+		for i := range top {
+			if ComparePatterns(top[i], want[i]) != 0 {
+				t.Errorf("%v: top[%d] = %v, want %v", o, i, top[i], want[i])
+			}
+		}
+	}
+}
+
+// TestNewGraphCSREquivalence pins that the zero-copy CSR constructor
+// and the flattening slice constructor describe the same graph and
+// mine identical patterns.
+func TestNewGraphCSREquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(16)
+		var edges [][2]int32
+		for i := 0; i < n*3; i++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u != v {
+				edges = append(edges, [2]int32{u, v})
+			}
+		}
+		g := buildGraph(n, edges)
+		// rebuild per-vertex slices from the CSR graph, then round-trip
+		adj := make([][]int32, n)
+		for v := int32(0); v < int32(n); v++ {
+			adj[v] = append([]int32(nil), g.Neighbors(v)...)
+		}
+		off := make([]int64, n+1)
+		for v, a := range adj {
+			off[v+1] = off[v] + int64(len(a))
+		}
+		nbrs := make([]int32, 0, off[n])
+		for _, a := range adj {
+			nbrs = append(nbrs, a...)
+		}
+		csr := NewGraphCSR(off, nbrs)
+		if csr.NumVertices() != g.NumVertices() || csr.NumEdges() != g.NumEdges() {
+			t.Fatalf("trial %d: size mismatch", trial)
+		}
+		for v := int32(0); v < int32(n); v++ {
+			if csr.Degree(v) != g.Degree(v) {
+				t.Fatalf("trial %d: degree(%d) mismatch", trial, v)
+			}
+			for u := int32(0); u < int32(n); u++ {
+				if csr.HasEdge(v, u) != g.HasEdge(v, u) {
+					t.Fatalf("trial %d: HasEdge(%d,%d) mismatch", trial, v, u)
+				}
+			}
+		}
+		p := Params{Gamma: 0.5, MinSize: 3}
+		a, err := EnumerateMaximal(g, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := EnumerateMaximal(csr, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: patterns differ:\n%v\n%v", trial, a, b)
+		}
 	}
 }

@@ -155,14 +155,14 @@ func TopQuasiCliques(g *Graph, gamma float64, minSize, k int) ([]QuasiClique, er
 
 // structuralView is the one shared Graph → quasiclique.Graph
 // conversion: parameters are validated before any graph work, and the
-// adjacency structure is wrapped by reference instead of being rebuilt
-// per call.
+// CSR adjacency backbone is wrapped by reference instead of being
+// rebuilt per call.
 func structuralView(g *Graph, gamma float64, minSize int) (*quasiclique.Graph, quasiclique.Params, error) {
 	qp := quasiclique.Params{Gamma: gamma, MinSize: minSize}
 	if err := qp.Validate(); err != nil {
 		return nil, qp, err
 	}
-	return quasiclique.NewGraph(g.Adjacency()), qp, nil
+	return quasiclique.NewGraphCSR(g.CSR()), qp, nil
 }
 
 // NullModel yields the expected structural correlation εexp(σ); plug
