@@ -18,10 +18,12 @@ import (
 )
 
 // benchSchema versions the BENCH_*.json layout so downstream tooling
-// can detect incompatible changes.
-const benchSchema = "scpm-bench/v1"
+// can detect incompatible changes. v2 added the ε-estimator columns
+// (epsilon_mode, sample_eps, sample_delta, sampled_vertices) and one
+// run per (scale, estimator mode).
+const benchSchema = "scpm-bench/v2"
 
-// benchRun is one (dataset, scale) measurement.
+// benchRun is one (dataset, scale, estimator mode) measurement.
 type benchRun struct {
 	Scale      float64 `json:"scale"`
 	Vertices   int     `json:"vertices"`
@@ -33,11 +35,18 @@ type benchRun struct {
 	MinSize  int     `json:"min_size"`
 	K        int     `json:"k"`
 
-	WallMS        float64 `json:"wall_ms"`
-	Sets          int     `json:"sets"`
-	Patterns      int     `json:"patterns"`
-	SetsEvaluated int64   `json:"sets_evaluated"`
-	SearchNodes   int64   `json:"search_nodes"`
+	// EpsilonMode is "exact" or "sampled"; the sampling columns are
+	// omitted for exact runs.
+	EpsilonMode string  `json:"epsilon_mode"`
+	SampleEps   float64 `json:"sample_eps,omitempty"`
+	SampleDelta float64 `json:"sample_delta,omitempty"`
+
+	WallMS          float64 `json:"wall_ms"`
+	Sets            int     `json:"sets"`
+	Patterns        int     `json:"patterns"`
+	SetsEvaluated   int64   `json:"sets_evaluated"`
+	SearchNodes     int64   `json:"search_nodes"`
+	SampledVertices int64   `json:"sampled_vertices,omitempty"`
 
 	Allocs        uint64 `json:"allocs"`
 	AllocBytes    uint64 `json:"alloc_bytes"`
@@ -79,13 +88,15 @@ func runBenchSuite(ctx context.Context, datasets string, scales string, outDir s
 			GOARCH:  runtime.GOARCH,
 		}
 		for _, scale := range scaleList {
-			run, err := benchOne(ctx, name, scale)
-			if err != nil {
-				return fmt.Errorf("bench %s@%g: %w", name, scale, err)
+			for _, mode := range []core.EpsilonMode{core.EpsilonExact, core.EpsilonSampled} {
+				run, err := benchOne(ctx, name, scale, mode)
+				if err != nil {
+					return fmt.Errorf("bench %s@%g/%v: %w", name, scale, mode, err)
+				}
+				report.Runs = append(report.Runs, run)
+				fmt.Fprintf(stdout, "bench %s scale=%g mode=%s: |V|=%d |E|=%d wall=%.1fms sets=%d patterns=%d nodes=%d sampled=%d allocs=%d\n",
+					name, scale, run.EpsilonMode, run.Vertices, run.Edges, run.WallMS, run.Sets, run.Patterns, run.SearchNodes, run.SampledVertices, run.Allocs)
 			}
-			report.Runs = append(report.Runs, run)
-			fmt.Fprintf(stdout, "bench %s scale=%g: |V|=%d |E|=%d wall=%.1fms sets=%d patterns=%d nodes=%d allocs=%d\n",
-				name, scale, run.Vertices, run.Edges, run.WallMS, run.Sets, run.Patterns, run.SearchNodes, run.Allocs)
 		}
 		path := filepath.Join(outDir, "BENCH_"+name+".json")
 		if err := writeBenchReport(path, report); err != nil {
@@ -96,15 +107,29 @@ func runBenchSuite(ctx context.Context, datasets string, scales string, outDir s
 	return nil
 }
 
+// benchSampleEps / benchSampleDelta parameterize the sampled-mode
+// baseline runs: ±0.1 at 95% per-set confidence (185 samples) — the
+// estimator defaults, recorded explicitly so the JSON stands alone.
+const (
+	benchSampleEps   = 0.1
+	benchSampleDelta = 0.05
+)
+
 // benchOne mines one generated dataset and measures the run. Only the
 // mining phase is measured; dataset generation happens before the
 // clocks start (and is cached across scales by the experiments loader).
-func benchOne(ctx context.Context, name string, scale float64) (benchRun, error) {
+func benchOne(ctx context.Context, name string, scale float64, mode core.EpsilonMode) (benchRun, error) {
 	d, err := experiments.Load(name, scale)
 	if err != nil {
 		return benchRun{}, err
 	}
 	p := d.Params()
+	if mode == core.EpsilonSampled {
+		p.EpsilonMode = core.EpsilonSampled
+		p.SampleEps = benchSampleEps
+		p.SampleDelta = benchSampleDelta
+		p.Seed = 1
+	}
 
 	// Track the heap high-water mark while mining. runtime.MemStats has
 	// no true peak counter, so a sampler polls HeapAlloc; the resolution
@@ -149,24 +174,31 @@ func benchOne(ctx context.Context, name string, scale float64) (benchRun, error)
 		return benchRun{}, err
 	}
 
-	return benchRun{
-		Scale:         scale,
-		Vertices:      d.Graph.NumVertices(),
-		Edges:         d.Graph.NumEdges(),
-		Attributes:    d.Graph.NumAttributes(),
-		SigmaMin:      p.SigmaMin,
-		Gamma:         p.Gamma,
-		MinSize:       p.MinSize,
-		K:             p.K,
-		WallMS:        float64(wall.Microseconds()) / 1000,
-		Sets:          len(res.Sets),
-		Patterns:      len(res.Patterns),
-		SetsEvaluated: res.Stats.SetsEvaluated,
-		SearchNodes:   res.Stats.SearchNodes,
-		Allocs:        after.Mallocs - before.Mallocs,
-		AllocBytes:    after.TotalAlloc - before.TotalAlloc,
-		HeapPeakBytes: peak,
-	}, nil
+	run := benchRun{
+		Scale:           scale,
+		Vertices:        d.Graph.NumVertices(),
+		Edges:           d.Graph.NumEdges(),
+		Attributes:      d.Graph.NumAttributes(),
+		SigmaMin:        p.SigmaMin,
+		Gamma:           p.Gamma,
+		MinSize:         p.MinSize,
+		K:               p.K,
+		EpsilonMode:     p.EpsilonMode.String(),
+		WallMS:          float64(wall.Microseconds()) / 1000,
+		Sets:            len(res.Sets),
+		Patterns:        len(res.Patterns),
+		SetsEvaluated:   res.Stats.SetsEvaluated,
+		SearchNodes:     res.Stats.SearchNodes,
+		SampledVertices: res.Stats.SampledVertices,
+		Allocs:          after.Mallocs - before.Mallocs,
+		AllocBytes:      after.TotalAlloc - before.TotalAlloc,
+		HeapPeakBytes:   peak,
+	}
+	if p.EpsilonMode == core.EpsilonSampled {
+		run.SampleEps = p.SampleEps
+		run.SampleDelta = p.SampleDelta
+	}
+	return run, nil
 }
 
 func writeBenchReport(path string, report benchReport) error {

@@ -13,12 +13,18 @@
 // (CiteSeer), fig4, fig7, fig9 (expected ε curves), fig8 (performance),
 // fig10 (sensitivity), ablation.
 //
-// The extra experiment id "bench" (not part of "all", which stays
-// stdout-only) mines the synthetic datasets at several scales and
-// writes one BENCH_<dataset>.json per dataset — wall time, search
-// nodes, result counts and allocation figures — so every future change
-// has a comparable baseline (see docs/ARCHITECTURE.md and the README's
-// Benchmarks section).
+// Two extra experiment ids are not part of "all" (which stays
+// stdout-only):
+//
+//   - "approx" compares exact and sampled ε estimation on one dataset
+//     (-approx-dataset): per-set |ε̂−ε| accuracy against the Hoeffding
+//     bound and the wall-clock speedup, per sampling configuration;
+//   - "bench" mines the synthetic datasets at several scales — once per
+//     ε-estimator mode (exact and sampled) — and writes one
+//     BENCH_<dataset>.json per dataset with wall time, search nodes,
+//     sampled-vertex counts, result counts and allocation figures, so
+//     every future change has a comparable baseline (see
+//     docs/ARCHITECTURE.md and the README's Benchmarks section).
 package main
 
 import (
@@ -45,7 +51,7 @@ func runMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("scpm-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp     = fs.String("exp", "all", "experiment id (table1..table4, fig4, fig7, fig8, fig9, fig10, ablation, bench, all)")
+		exp     = fs.String("exp", "all", "experiment id (table1..table4, fig4, fig7, fig8, fig9, fig10, ablation, approx, bench, all)")
 		scale   = fs.Float64("scale", 1.0, "dataset scale factor")
 		repeats = fs.Int("repeats", 3, "timing repetitions for fig8 (best-of)")
 		samples = fs.Int("samples", 100, "simulation samples per support value for fig4/7/9")
@@ -54,7 +60,9 @@ func runMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 		benchOut      = fs.String("out", ".", "directory for the BENCH_<dataset>.json files written by -exp bench")
 		benchScales   = fs.String("bench-scales", "0.1,0.2,0.4", "comma-separated dataset scales for -exp bench")
-		benchDatasets = fs.String("bench-datasets", "dblp,lastfm,citeseer", "comma-separated datasets for -exp bench")
+		benchDatasets = fs.String("bench-datasets", "dblp,lastfm,citeseer,dense", "comma-separated datasets for -exp bench")
+
+		approxDataset = fs.String("approx-dataset", "dense", "dataset for -exp approx (exact vs sampled ε)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -132,6 +140,17 @@ func runMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				return err
 			}
 			r, err := experiments.Ablation(ctx, d)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, r.Format())
+		case "approx":
+			d, err := experiments.Load(*approxDataset, *scale)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, "Exact vs sampled ε estimation on "+d.Summary())
+			r, err := experiments.Approx(ctx, d, experiments.DefaultApproxConfigs, *repeats)
 			if err != nil {
 				return err
 			}

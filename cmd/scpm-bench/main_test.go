@@ -105,8 +105,9 @@ func TestBenchBaselineJSON(t *testing.T) {
 	if report.Dataset != "lastfm" {
 		t.Errorf("dataset = %q", report.Dataset)
 	}
-	if len(report.Runs) != 2 {
-		t.Fatalf("got %d runs, want 2", len(report.Runs))
+	// one exact + one sampled run per scale
+	if len(report.Runs) != 4 {
+		t.Fatalf("got %d runs, want 4", len(report.Runs))
 	}
 	for i, run := range report.Runs {
 		if run.Vertices <= 0 || run.Edges <= 0 || run.Attributes <= 0 {
@@ -118,9 +119,23 @@ func TestBenchBaselineJSON(t *testing.T) {
 		if run.SigmaMin <= 0 || run.Gamma <= 0 || run.MinSize <= 0 {
 			t.Errorf("run %d: missing parameters: %+v", i, run)
 		}
+		wantMode := "exact"
+		if i%2 == 1 {
+			wantMode = "sampled"
+		}
+		if run.EpsilonMode != wantMode {
+			t.Errorf("run %d: mode = %q, want %q", i, run.EpsilonMode, wantMode)
+		}
+		if wantMode == "sampled" && (run.SampleEps <= 0 || run.SampleDelta <= 0) {
+			t.Errorf("run %d: sampled run without sampling parameters: %+v", i, run)
+		}
+		// Exact and its sampled sibling must describe the same dataset.
+		if i%2 == 1 && (run.Vertices != report.Runs[i-1].Vertices || run.Scale != report.Runs[i-1].Scale) {
+			t.Errorf("run %d: mode pair describes different graphs", i)
+		}
 	}
-	if report.Runs[0].Scale >= report.Runs[1].Scale {
-		t.Errorf("runs not in scale order: %g, %g", report.Runs[0].Scale, report.Runs[1].Scale)
+	if report.Runs[0].Scale >= report.Runs[2].Scale {
+		t.Errorf("runs not in scale order: %g, %g", report.Runs[0].Scale, report.Runs[2].Scale)
 	}
 }
 

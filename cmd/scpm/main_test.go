@@ -150,6 +150,80 @@ func TestCLIAllPatterns(t *testing.T) {
 	}
 }
 
+// TestCLISampledMode checks the -eps-mode plumbing: with a coarse
+// sample bound every Figure-1 set has σ above the Hoeffding sample size
+// and takes the sampling path, which the NDJSON events must annotate.
+func TestCLISampledMode(t *testing.T) {
+	attrs, edges := writeExampleDataset(t)
+	code, out, errOut := runCLI(t,
+		"-attrs", attrs, "-edges", edges,
+		"-sigma", "3", "-gamma", "0.6", "-minsize", "4", "-k", "0",
+		"-eps-mode", "sampled", "-sample-eps", "0.45", "-sample-delta", "0.4", "-seed", "3",
+		"-ndjson")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	var estimated, sampledTotal int
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		var ev struct {
+			Type            string   `json:"type"`
+			Estimated       bool     `json:"estimated"`
+			EpsilonErr      *float64 `json:"epsilon_err"`
+			Sampled         int      `json:"sampled"`
+			SampledVertices int      `json:"sampled_vertices"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %q is not JSON: %v", line, err)
+		}
+		switch ev.Type {
+		case "set":
+			if ev.Estimated {
+				estimated++
+				if ev.EpsilonErr == nil || *ev.EpsilonErr != 0.45 || ev.Sampled == 0 {
+					t.Fatalf("estimate annotations missing: %s", line)
+				}
+			}
+		case "done":
+			sampledTotal = ev.SampledVertices
+		}
+	}
+	if estimated == 0 {
+		t.Fatalf("no set took the sampling path:\n%s", out)
+	}
+	if sampledTotal == 0 {
+		t.Fatalf("done event lost the sampled-vertices counter:\n%s", out)
+	}
+}
+
+// TestCLISampledFallbackMatchesExact: with the default (185-sample)
+// bound every Figure-1 set falls back to the exact search, so the
+// sampled run's human-readable output matches exact mode exactly.
+func TestCLISampledFallbackMatchesExact(t *testing.T) {
+	attrs, edges := writeExampleDataset(t)
+	base := []string{
+		"-attrs", attrs, "-edges", edges,
+		"-sigma", "3", "-gamma", "0.6", "-minsize", "4", "-eps", "0.5", "-k", "10"}
+	_, exactOut, _ := runCLI(t, base...)
+	code, sampledOut, errOut := runCLI(t, append(base, "-eps-mode", "sampled", "-seed", "5")...)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	strip := func(s string) string {
+		lines := strings.Split(s, "\n")
+		var keep []string
+		for _, l := range lines {
+			if strings.Contains(l, "attribute sets,") {
+				continue
+			}
+			keep = append(keep, l)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(exactOut) != strip(sampledOut) {
+		t.Fatalf("fallback output differs:\n%s\nvs\n%s", exactOut, sampledOut)
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	attrs, edges := writeExampleDataset(t)
 	cases := [][]string{
@@ -160,6 +234,8 @@ func TestCLIErrors(t *testing.T) {
 		{"-attrs", attrs, "-edges", edges, "-algo", "magic"},
 		{"-attrs", attrs, "-edges", edges, "-model", "bogus"},
 		{"-attrs", attrs, "-edges", edges, "-gamma", "7"},
+		{"-attrs", attrs, "-edges", edges, "-eps-mode", "psychic"},
+		{"-attrs", attrs, "-edges", edges, "-eps-mode", "sampled", "-sample-eps", "2"},
 	}
 	for i, args := range cases {
 		if code, _, _ := runCLI(t, args...); code == 0 {

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/scpm/scpm/internal/datagen"
+	"github.com/scpm/scpm/internal/epsilon"
+	"github.com/scpm/scpm/internal/graph"
+)
+
+// synthGraph generates a small planted-community graph whose attribute
+// supports are large enough for the sampling path to engage.
+func synthGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	prof := datagen.SmallDBLP(0.2)
+	g, _, err := datagen.Generate(prof.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// sampledParams configures a run whose thresholds are fully open, so
+// exact and sampled mode explore the identical attribute-set tree and
+// per-set ε values can be compared one to one.
+func sampledParams() Params {
+	return Params{
+		SigmaMin:    25,
+		Gamma:       0.5,
+		MinSize:     4,
+		MaxAttrs:    2,
+		EpsilonMode: EpsilonSampled,
+		SampleEps:   0.2,
+		SampleDelta: 0.1,
+		Seed:        99,
+	}
+}
+
+// TestSampledModeWithinBound mines the same graph in exact and sampled
+// mode with open thresholds and checks every ε̂ against the exact ε
+// under the configured Hoeffding bound (δ-bounded violations allowed).
+func TestSampledModeWithinBound(t *testing.T) {
+	g := synthGraph(t)
+	p := sampledParams()
+	approx, err := mineBatch(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.EpsilonMode = EpsilonExact
+	exact, err := mineBatch(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(approx.Sets) != len(exact.Sets) {
+		t.Fatalf("set trees diverged: %d vs %d sets", len(approx.Sets), len(exact.Sets))
+	}
+	m := epsilon.SampleSize(p.SampleEps, p.SampleDelta)
+	sampledSets, violations := 0, 0
+	for i := range exact.Sets {
+		a, e := approx.Sets[i], exact.Sets[i]
+		if !reflect.DeepEqual(a.Attrs, e.Attrs) || a.Support != e.Support {
+			t.Fatalf("set %d identity differs: %v vs %v", i, a, e)
+		}
+		if !a.Estimated {
+			// Sets below the sampling-worth threshold fall back to the
+			// exact search and must be bit-identical.
+			if a.Epsilon != e.Epsilon || a.Covered != e.Covered {
+				t.Fatalf("fallback set %v differs: ε %v vs %v", a.Names, a.Epsilon, e.Epsilon)
+			}
+			if a.Support > epsilon.SampleWorthFactor*m {
+				t.Fatalf("set %v has σ=%d > %d·m=%d but was not sampled",
+					a.Names, a.Support, epsilon.SampleWorthFactor, epsilon.SampleWorthFactor*m)
+			}
+			continue
+		}
+		sampledSets++
+		if a.EpsilonErr != p.SampleEps || a.SampledVertices != m {
+			t.Fatalf("estimate metadata wrong: %+v", a)
+		}
+		if math.Abs(a.Epsilon-e.Epsilon) > p.SampleEps {
+			violations++
+		}
+	}
+	if sampledSets == 0 {
+		t.Fatal("no set took the sampling path")
+	}
+	if allowed := int(2*p.SampleDelta*float64(sampledSets)) + 1; violations > allowed {
+		t.Fatalf("%d/%d sampled sets outside ±%g (allowed %d)", violations, sampledSets, p.SampleEps, allowed)
+	}
+	if approx.Stats.SampledVertices != int64(sampledSets*m) {
+		t.Fatalf("Stats.SampledVertices = %d, want %d", approx.Stats.SampledVertices, sampledSets*m)
+	}
+	if exact.Stats.SampledVertices != 0 {
+		t.Fatalf("exact mode recorded samples: %d", exact.Stats.SampledVertices)
+	}
+}
+
+// TestSampledModeDeterminism: the same seed reproduces the sampled run
+// bit-for-bit, including under a worker pool.
+func TestSampledModeDeterminism(t *testing.T) {
+	g := synthGraph(t)
+	p := sampledParams()
+	p.K = 3
+	p.Parallelism = 4
+	first, err := mineBatch(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		again, err := mineBatch(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first.Sets, again.Sets) || !sameResult(first, again) {
+			t.Fatalf("run %d diverged under a fixed seed", i)
+		}
+	}
+}
+
+// TestExactModeIgnoresSamplingKnobs: exact runs are identical whatever
+// the sampling parameters say — the refactored estimator layer must not
+// perturb the default path.
+func TestExactModeIgnoresSamplingKnobs(t *testing.T) {
+	g := graph.PaperExample()
+	base, err := mineBatch(g, paperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := paperParams()
+	p.EpsilonMode = EpsilonExact
+	p.SampleEps = 0.3
+	p.SampleDelta = 0.3
+	p.Seed = 1234
+	got, err := mineBatch(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, got, base)
+	for _, s := range got.Sets {
+		if s.Estimated || s.EpsilonErr != 0 || s.SampledVertices != 0 {
+			t.Fatalf("exact set carries estimate metadata: %+v", s)
+		}
+	}
+}
+
+// TestSampledModeEmitsPatterns: pattern mining still works when ε is
+// estimated (patterns come from the hand-down superset of K_S).
+func TestSampledModeEmitsPatterns(t *testing.T) {
+	g := synthGraph(t)
+	p := sampledParams()
+	p.K = 2
+	p.EpsMin = 0.05
+	res, err := mineBatch(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sets) == 0 || len(res.Patterns) == 0 {
+		t.Fatalf("sampled run found %d sets, %d patterns", len(res.Sets), len(res.Patterns))
+	}
+	qp := p.QuasiCliqueParams()
+	for _, pat := range res.Patterns {
+		if pat.Size() < p.MinSize || pat.Density() < qp.Gamma-1e-9 {
+			t.Fatalf("invalid pattern from sampled run: %v", pat)
+		}
+	}
+}
+
+// TestEpsilonParamsValidate covers the new parameter ranges.
+func TestEpsilonParamsValidate(t *testing.T) {
+	bad := []Params{
+		{SigmaMin: 1, Gamma: 0.5, MinSize: 4, EpsilonMode: 7},
+		{SigmaMin: 1, Gamma: 0.5, MinSize: 4, SampleEps: 1},
+		{SigmaMin: 1, Gamma: 0.5, MinSize: 4, SampleEps: -0.1},
+		{SigmaMin: 1, Gamma: 0.5, MinSize: 4, SampleDelta: 1},
+		{SigmaMin: 1, Gamma: 0.5, MinSize: 4, SampleDelta: -0.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+	ok := sampledParams()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid sampled params rejected: %v", err)
+	}
+	if EpsilonExact.String() != "exact" || EpsilonSampled.String() != "sampled" {
+		t.Error("mode names")
+	}
+}

@@ -70,6 +70,7 @@ type emitter struct {
 	emitted   atomic.Int64
 	patterns  atomic.Int64
 	nodes     atomic.Int64
+	sampled   atomic.Int64
 
 	mu sync.Mutex
 }
@@ -88,7 +89,16 @@ func (e *emitter) snapshot() Stats {
 		SetsEmitted:     e.emitted.Load(),
 		PatternsEmitted: e.patterns.Load(),
 		SearchNodes:     e.nodes.Load(),
+		SampledVertices: e.sampled.Load(),
 		Duration:        time.Since(e.start),
+	}
+}
+
+// noteSampled adds one evaluation's membership-sample count to the run
+// total.
+func (e *emitter) noteSampled(n int64) {
+	if n != 0 {
+		e.sampled.Add(n)
 	}
 }
 

@@ -27,6 +27,11 @@ type jsonSet struct {
 	// Delta is serialized as a string so +Inf survives JSON.
 	Delta   string `json:"delta"`
 	Covered int    `json:"covered"`
+	// Estimated/EpsilonErr/Sampled describe sampling estimates; all are
+	// omitted for exact ε.
+	Estimated  bool    `json:"estimated,omitempty"`
+	EpsilonErr float64 `json:"epsilon_err,omitempty"`
+	Sampled    int     `json:"sampled_vertices,omitempty"`
 }
 
 type jsonPattern struct {
@@ -42,6 +47,8 @@ type jsonStats struct {
 	SetsEvaluated   int64  `json:"sets_evaluated"`
 	SetsEmitted     int64  `json:"sets_emitted"`
 	PatternsEmitted int64  `json:"patterns_emitted"`
+	SearchNodes     int64  `json:"search_nodes"`
+	SampledVertices int64  `json:"sampled_vertices,omitempty"`
 	DurationMS      int64  `json:"duration_ms"`
 	Duration        string `json:"duration"`
 }
@@ -54,18 +61,23 @@ func (r *Result) WriteJSON(w io.Writer, g *graph.Graph) error {
 			SetsEvaluated:   r.Stats.SetsEvaluated,
 			SetsEmitted:     r.Stats.SetsEmitted,
 			PatternsEmitted: r.Stats.PatternsEmitted,
+			SearchNodes:     r.Stats.SearchNodes,
+			SampledVertices: r.Stats.SampledVertices,
 			DurationMS:      r.Stats.Duration.Milliseconds(),
 			Duration:        r.Stats.Duration.String(),
 		},
 	}
 	for _, s := range r.Sets {
 		out.Sets = append(out.Sets, jsonSet{
-			Attrs:   s.Names,
-			Support: s.Support,
-			Epsilon: s.Epsilon,
-			ExpEps:  s.ExpEps,
-			Delta:   formatDelta(s.Delta),
-			Covered: s.Covered,
+			Attrs:      s.Names,
+			Support:    s.Support,
+			Epsilon:    s.Epsilon,
+			ExpEps:     s.ExpEps,
+			Delta:      formatDelta(s.Delta),
+			Covered:    s.Covered,
+			Estimated:  s.Estimated,
+			EpsilonErr: s.EpsilonErr,
+			Sampled:    s.SampledVertices,
 		})
 	}
 	for _, p := range r.Patterns {
@@ -85,10 +97,12 @@ func (r *Result) WriteJSON(w io.Writer, g *graph.Graph) error {
 
 // WriteSetsCSV writes the attribute-set table as CSV with the columns
 // of the paper's case-study tables: attrs, support, epsilon,
-// expected_epsilon, delta, covered.
+// expected_epsilon, delta, covered, plus the estimation columns
+// estimated (true/false) and epsilon_err (the Hoeffding half-width, 0
+// when exact).
 func (r *Result) WriteSetsCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"attrs", "support", "epsilon", "expected_epsilon", "delta", "covered"}); err != nil {
+	if err := cw.Write([]string{"attrs", "support", "epsilon", "expected_epsilon", "delta", "covered", "estimated", "epsilon_err"}); err != nil {
 		return err
 	}
 	for _, s := range r.Sets {
@@ -99,6 +113,8 @@ func (r *Result) WriteSetsCSV(w io.Writer) error {
 			strconv.FormatFloat(s.ExpEps, 'g', -1, 64),
 			formatDelta(s.Delta),
 			strconv.Itoa(s.Covered),
+			strconv.FormatBool(s.Estimated),
+			strconv.FormatFloat(s.EpsilonErr, 'g', -1, 64),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -7,10 +7,36 @@ package core
 import (
 	"fmt"
 
+	"github.com/scpm/scpm/internal/epsilon"
 	"github.com/scpm/scpm/internal/graph"
 	"github.com/scpm/scpm/internal/nullmodel"
 	"github.com/scpm/scpm/internal/quasiclique"
 )
+
+// EpsilonMode selects how the structural correlation ε(S) is computed.
+type EpsilonMode int
+
+const (
+	// EpsilonExact runs the full coverage search per attribute set (the
+	// default; ε is exact and bit-identical across runs).
+	EpsilonExact EpsilonMode = iota
+	// EpsilonSampled estimates ε(S) from a deterministic seeded vertex
+	// sample of V(S) with per-vertex quasi-clique membership queries
+	// (§6 of the paper): |ε̂−ε| ≤ SampleEps with probability ≥
+	// 1−SampleDelta per set. Sets whose support does not exceed the
+	// Hoeffding sample size are computed exactly. Applies to the SCPM
+	// algorithm; the naive baseline always computes ε exactly.
+	EpsilonSampled
+)
+
+// String names the mode ("exact", "sampled") for reports and bench
+// files.
+func (m EpsilonMode) String() string {
+	if m == EpsilonSampled {
+		return "sampled"
+	}
+	return "exact"
+}
 
 // Params configures a mining run. The zero value is invalid; fill in at
 // least SigmaMin, Gamma, MinSize and K.
@@ -48,6 +74,22 @@ type Params struct {
 	// Model supplies εexp for normalization. nil uses the analytical
 	// upper bound (δlb); plug a *nullmodel.Simulation for δsim.
 	Model nullmodel.Model
+
+	// EpsilonMode selects exact or sampled ε computation (see the
+	// EpsilonMode constants; the zero value is EpsilonExact).
+	EpsilonMode EpsilonMode
+	// SampleEps is the Hoeffding half-width of EpsilonSampled estimates:
+	// |ε̂−ε| ≤ SampleEps with probability ≥ 1−SampleDelta. Must lie in
+	// (0, 1); the zero value uses epsilon.DefaultSampleEps.
+	SampleEps float64
+	// SampleDelta is the per-set failure probability of the Hoeffding
+	// bound. Must lie in (0, 1); the zero value uses
+	// epsilon.DefaultSampleDelta.
+	SampleDelta float64
+	// Seed derives the deterministic sampling randomness of
+	// EpsilonSampled: the same seed reproduces every ε̂ regardless of
+	// Parallelism or evaluation order.
+	Seed int64
 
 	// SearchBudget bounds the number of quasi-clique search nodes per
 	// induced graph (0 = unbounded); an exceeded budget stops the run
@@ -97,6 +139,15 @@ func (p Params) Validate() error {
 	if p.MaxAttrs > 0 && p.minAttrs() > p.MaxAttrs {
 		return fmt.Errorf("core: MinAttrs %d exceeds MaxAttrs %d", p.MinAttrs, p.MaxAttrs)
 	}
+	if p.EpsilonMode != EpsilonExact && p.EpsilonMode != EpsilonSampled {
+		return fmt.Errorf("core: unknown EpsilonMode %d", p.EpsilonMode)
+	}
+	if p.SampleEps < 0 || p.SampleEps >= 1 {
+		return fmt.Errorf("core: SampleEps %v must be in (0,1), or 0 for the default", p.SampleEps)
+	}
+	if p.SampleDelta < 0 || p.SampleDelta >= 1 {
+		return fmt.Errorf("core: SampleDelta %v must be in (0,1), or 0 for the default", p.SampleDelta)
+	}
 	return nil
 }
 
@@ -128,4 +179,13 @@ func (p Params) model(g *graph.Graph) nullmodel.Model {
 		return p.Model
 	}
 	return nullmodel.NewAnalytical(g, p.QuasiCliqueParams())
+}
+
+// estimator builds the configured ε-estimation layer over the given
+// (context-carrying) quasi-clique options.
+func (p Params) estimator(o quasiclique.Options) epsilon.Estimator {
+	if p.EpsilonMode == EpsilonSampled {
+		return epsilon.NewSampled(p.QuasiCliqueParams(), o, p.SampleEps, p.SampleDelta, p.Seed)
+	}
+	return epsilon.NewExact(p.QuasiCliqueParams(), o)
 }

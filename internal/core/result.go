@@ -25,8 +25,19 @@ type AttributeSet struct {
 	// Delta is the normalized structural correlation ε/εexp (math.Inf
 	// when εexp underflows to 0 while ε > 0).
 	Delta float64
-	// Covered is |K_S|, the number of vertices inside quasi-cliques.
+	// Covered is |K_S|, the number of vertices inside quasi-cliques. In
+	// sampled mode it is the rounded estimate ε̂·σ.
 	Covered int
+	// Estimated reports whether Epsilon (and Covered) come from the
+	// sampling estimator rather than an exact coverage search.
+	Estimated bool
+	// EpsilonErr is the Hoeffding half-width of an estimated Epsilon:
+	// the true ε lies in [Epsilon−EpsilonErr, Epsilon+EpsilonErr] with
+	// probability ≥ 1−δ. 0 when exact.
+	EpsilonErr float64
+	// SampledVertices is the number of membership samples drawn for an
+	// estimated Epsilon; 0 when exact.
+	SampledVertices int
 }
 
 // Key renders the attribute set canonically ("a,b,c") for map joins.
@@ -98,6 +109,9 @@ type Stats struct {
 	// the coverage searches (the dominant cost of a run; the bench
 	// harness records it as a hardware-independent work measure).
 	SearchNodes int64
+	// SampledVertices counts the membership samples drawn by the
+	// sampled ε estimator across all evaluations (0 in exact mode).
+	SampledVertices int64
 	// Duration is the wall-clock mining time.
 	Duration time.Duration
 }

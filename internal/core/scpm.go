@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/scpm/scpm/internal/bitset"
+	"github.com/scpm/scpm/internal/epsilon"
 	"github.com/scpm/scpm/internal/graph"
 	"github.com/scpm/scpm/internal/nullmodel"
 	"github.com/scpm/scpm/internal/quasiclique"
@@ -41,12 +42,14 @@ func Mine(ctx context.Context, g *graph.Graph, p Params, sink Sink) (*Result, er
 	qcOpts := p.qcOptions()
 	qcOpts.Ctx = ctx
 	m := &miner{
-		g:      g,
-		p:      p,
-		qp:     p.QuasiCliqueParams(),
-		qcOpts: qcOpts,
-		model:  p.model(g),
-		em:     newEmitter(sink, p.ProgressEvery, start),
+		g:        g,
+		p:        p,
+		qp:       p.QuasiCliqueParams(),
+		qcOpts:   qcOpts,
+		est:      p.estimator(qcOpts),
+		exactEst: epsilon.NewExact(p.QuasiCliqueParams(), qcOpts),
+		model:    p.model(g),
+		em:       newEmitter(sink, p.ProgressEvery, start),
 	}
 	// Theorem 5's pruning bound needs εexp(σmin) once.
 	m.expSigmaMin = m.model.Exp(p.SigmaMin)
@@ -127,6 +130,8 @@ type miner struct {
 	p           Params
 	qp          quasiclique.Params
 	qcOpts      quasiclique.Options
+	est         epsilon.Estimator
+	exactEst    *epsilon.Exact
 	model       nullmodel.Model
 	em          *emitter
 	expSigmaMin float64
@@ -267,59 +272,80 @@ func (m *miner) extendSubtree(ctx context.Context, item classItem, siblings []cl
 //
 //   - members is V(S);
 //   - candidates ⊆ members restricts the coverage search (Theorem 3).
+//
+// The ε computation itself is delegated to the run's estimator layer
+// (exact coverage search or Hoeffding-bounded vertex sampling); the
+// estimate carries the covered-set hand-down and the |K_S| upper bound
+// the pruning rules below rely on, so Theorems 3–5 stay sound in both
+// modes.
 func (m *miner) evaluate(attrs []int32, members, candidates *bitset.Set) (evalOutcome, error) {
 	sigma := members.Count()
-	sub := m.g.InducedByMembers(candidates)
-	cov, err := quasiclique.Coverage(quasiclique.NewGraphCSR(sub.CSR()), m.qp, m.qcOpts)
+	est, err := m.est.Estimate(m.g, attrs, members, candidates)
 	if err != nil {
 		return evalOutcome{}, err
 	}
 	m.em.noteEvaluated()
-	m.em.noteSearchNodes(cov.Nodes)
-	covered := bitset.New(m.g.NumVertices())
-	cov.Covered.ForEach(func(local int) bool {
-		covered.Add(int(sub.Orig[local]))
-		return true
-	})
-	nCov := covered.Count()
-	eps := 0.0
-	if sigma > 0 {
-		eps = float64(nCov) / float64(sigma)
-	}
+	m.em.noteSearchNodes(est.Nodes)
+	m.em.noteSampled(int64(est.SampledVertices))
+	eps := est.Epsilon
 	expEps := m.model.Exp(sigma)
 	delta := normalizeDelta(eps, expEps)
 
-	out := evalOutcome{item: classItem{attrs: attrs, members: members, covered: covered}}
+	out := evalOutcome{item: classItem{attrs: attrs, members: members, covered: est.Handdown}}
 
 	// Theorem 4 (ε) and Theorem 5 (δ) survival bounds: a superset S'
 	// has ε(S')·σ(S') ≤ ε(S)·σ(S) = |K_S|, so S is extended only when
 	// |K_S| could still satisfy both output thresholds at support σmin.
+	// In sampled mode est.KMass upper-bounds |K_S| (w.p. 1−δ), keeping
+	// the pruning sound at the configured confidence.
 	if m.p.DisableSetPruning {
 		out.survive = true
 	} else {
-		kMass := float64(nCov)
-		out.survive = kMass >= m.p.EpsMin*float64(m.p.SigmaMin) &&
-			kMass >= m.p.DeltaMin*m.expSigmaMin*float64(m.p.SigmaMin)
+		out.survive = est.KMass >= m.p.EpsMin*float64(m.p.SigmaMin) &&
+			est.KMass >= m.p.DeltaMin*m.expSigmaMin*float64(m.p.SigmaMin)
 	}
 
 	if eps >= m.p.EpsMin && delta >= m.p.DeltaMin && len(attrs) >= m.p.minAttrs() {
 		sorted := append([]int32(nil), attrs...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 		out.set = &AttributeSet{
-			Attrs:   sorted,
-			Names:   m.g.AttrSetNames(sorted),
-			Support: sigma,
-			Epsilon: eps,
-			ExpEps:  expEps,
-			Delta:   delta,
-			Covered: nCov,
+			Attrs:           sorted,
+			Names:           m.g.AttrSetNames(sorted),
+			Support:         sigma,
+			Epsilon:         eps,
+			ExpEps:          expEps,
+			Delta:           delta,
+			Covered:         est.Covered,
+			Estimated:       est.Estimated,
+			EpsilonErr:      est.ErrBound,
+			SampledVertices: est.SampledVertices,
 		}
-		if (m.p.K > 0 || m.p.AllPatterns) && nCov > 0 {
-			pats, err := m.topPatterns(sorted, covered)
-			if err != nil {
-				return evalOutcome{}, err
+		// Patterns are mined from K_S. An estimated evaluation does not
+		// know K_S, so it is computed lazily here — restricted to the
+		// hand-down superset (Theorem 3), and only for sets that
+		// actually pass the output thresholds, which keeps the sampling
+		// speedup intact while the reported patterns stay exact.
+		if (m.p.K > 0 || m.p.AllPatterns) && !est.Handdown.IsEmpty() {
+			base := est.Handdown
+			if est.Estimated {
+				exact, err := m.exactEst.Estimate(m.g, attrs, members, est.Handdown)
+				if err != nil {
+					return evalOutcome{}, err
+				}
+				m.em.noteSearchNodes(exact.Nodes)
+				base = exact.Handdown
+				// The exact K_S is in hand now — hand it down to the
+				// children instead of the looser sampled superset, just
+				// like exact mode would (Theorem 3).
+				out.item.covered = base
 			}
-			out.pats = pats
+			if !base.IsEmpty() {
+				pats, err := m.topPatterns(sorted, base)
+				if err != nil {
+					return evalOutcome{}, err
+				}
+				out.pats = pats
+			}
 		}
 	}
 	return out, nil

@@ -13,6 +13,10 @@ type Profile struct {
 	// MinAttrs mirrors the paper's "attribute sets of size at least 2"
 	// filter for the DBLP case study.
 	MinAttrs int
+	// EpsMin / DeltaMin are the output thresholds the harness applies
+	// (0 = fully open, the historical default of the first profiles).
+	EpsMin   float64
+	DeltaMin float64
 }
 
 // scaleInt scales a count, keeping at least min.
@@ -120,6 +124,45 @@ func SynthCiteSeer(scale float64) Profile {
 		Gamma:    0.5,
 		MinSize:  5,
 		MinAttrs: 2,
+	}
+}
+
+// SynthDense is the approximate-mode showcase dataset: a small
+// attribute vocabulary over a comparatively dense community-rich graph,
+// so attribute supports dwarf the Hoeffding sample size (~185 at the
+// defaults) and the quasi-clique coverage search — not attribute-set
+// enumeration — dominates exact mining. This is the regime §6 of the
+// paper targets with sampling; the bench harness uses it to track the
+// exact-vs-sampled speedup. Counts stop shrinking below scale 0.4 (the
+// floors): smaller generated instances of this shape get relatively
+// denser and stop being representative.
+func SynthDense(scale float64) Profile {
+	return Profile{
+		Config: Config{
+			Name:             "SynthDense",
+			Seed:             4242,
+			NumVertices:      scaleInt(3000, scale, 1200),
+			AvgDegree:        7,
+			DegreeExponent:   2.5,
+			VocabSize:        scaleInt(24, scale, 9),
+			AttrsPerVertex:   5,
+			ZipfS:            0.6,
+			NumCommunities:   scaleInt(90, scale, 36),
+			CommunitySizeMin: 10,
+			CommunitySizeMax: 20,
+			IntraProb:        0.65,
+			TopicAttrs:       2,
+			NumAreas:         scaleInt(8, scale, 4),
+			TopicAdoption:    0.9,
+			TopicNoise:       2.0,
+			SparseFrac:       0.3,
+		},
+		SigmaMin: scaleInt(300, scale, 120),
+		Gamma:    0.5,
+		MinSize:  5,
+		MinAttrs: 1,
+		EpsMin:   0.2,
+		DeltaMin: 1,
 	}
 }
 

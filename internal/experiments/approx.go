@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"github.com/scpm/scpm/internal/core"
+	"github.com/scpm/scpm/internal/epsilon"
+)
+
+// ApproxPoint is one sampling configuration of the exact-vs-sampled
+// study: accuracy of ε̂ against the exact ε, set for set, plus the
+// wall-clock and search-node cost of both modes.
+type ApproxPoint struct {
+	// SampleEps / SampleDelta parameterize the Hoeffding bound;
+	// SampleSize is the resulting per-set membership sample count.
+	SampleEps   float64
+	SampleDelta float64
+	SampleSize  int
+
+	// Exact and Sampled are the best-of-repeats mining times.
+	Exact   time.Duration
+	Sampled time.Duration
+	// ExactNodes / SampledNodes are the search-tree nodes processed
+	// (hardware-independent cost), and SampledVertices the total
+	// membership queries drawn.
+	ExactNodes      int64
+	SampledNodes    int64
+	SampledVertices int64
+
+	// Compared counts the attribute sets present in both runs (the
+	// thresholds are held open, so normally all of them); Estimated how
+	// many of those actually took the sampling path; WithinBound how
+	// many estimates landed inside ±SampleEps of the exact ε.
+	Compared    int
+	Estimated   int
+	WithinBound int
+	// MaxAbsErr / MeanAbsErr summarize |ε̂−ε| over the estimated sets.
+	MaxAbsErr  float64
+	MeanAbsErr float64
+}
+
+// Speedup returns exact/sampled wall-clock ratio.
+func (p ApproxPoint) Speedup() float64 {
+	if p.Sampled <= 0 {
+		return 0
+	}
+	return float64(p.Exact) / float64(p.Sampled)
+}
+
+// ApproxResult is the exact-vs-sampled ε estimation study on one
+// dataset (the reproduction's stand-in for the paper's §6 sampling
+// discussion).
+type ApproxResult struct {
+	Dataset string
+	Points  []ApproxPoint
+}
+
+// DefaultApproxConfigs are the (ε, δ) sampling configurations the
+// harness sweeps, loosest last.
+var DefaultApproxConfigs = [][2]float64{{0.05, 0.05}, {0.1, 0.05}, {0.15, 0.1}, {0.25, 0.1}}
+
+// approxParams opens every output threshold so exact and sampled mode
+// evaluate the identical attribute-set tree and ε values can be
+// compared one to one; pattern mining is disabled to time the ε
+// computation itself.
+func approxParams(d *Dataset) core.Params {
+	p := d.Params()
+	p.K = 0
+	p.EpsMin = 0
+	p.DeltaMin = 0
+	p.MinAttrs = 1
+	p.MaxAttrs = 2
+	return p
+}
+
+// Approx runs the exact-vs-sampled study: one exact baseline mine, then
+// one sampled mine per configuration, comparing per-set ε̂ against the
+// exact ε and timing both modes (best of `repeats`).
+func Approx(ctx context.Context, d *Dataset, configs [][2]float64, repeats int) (*ApproxResult, error) {
+	if len(configs) == 0 {
+		configs = DefaultApproxConfigs
+	}
+	if repeats < 1 {
+		repeats = 1
+	}
+	base := approxParams(d)
+	exactDur, exactRes, err := bestOf(repeats, func() (*core.Result, error) {
+		return core.Mine(ctx, d.Graph, base, nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	exactEps := make(map[string]float64, len(exactRes.Sets))
+	for _, s := range exactRes.Sets {
+		exactEps[s.Key()] = s.Epsilon
+	}
+
+	out := &ApproxResult{Dataset: d.Name}
+	for _, cfg := range configs {
+		p := base
+		p.EpsilonMode = core.EpsilonSampled
+		p.SampleEps = cfg[0]
+		p.SampleDelta = cfg[1]
+		p.Seed = 1
+		dur, res, err := bestOf(repeats, func() (*core.Result, error) {
+			return core.Mine(ctx, d.Graph, p, nil)
+		})
+		if err != nil {
+			return nil, err
+		}
+		pt := ApproxPoint{
+			SampleEps:       cfg[0],
+			SampleDelta:     cfg[1],
+			SampleSize:      epsilon.SampleSize(cfg[0], cfg[1]),
+			Exact:           exactDur,
+			Sampled:         dur,
+			ExactNodes:      exactRes.Stats.SearchNodes,
+			SampledNodes:    res.Stats.SearchNodes,
+			SampledVertices: res.Stats.SampledVertices,
+		}
+		var sumErr float64
+		for _, s := range res.Sets {
+			want, ok := exactEps[s.Key()]
+			if !ok {
+				continue
+			}
+			pt.Compared++
+			if !s.Estimated {
+				continue
+			}
+			pt.Estimated++
+			diff := math.Abs(s.Epsilon - want)
+			sumErr += diff
+			if diff > pt.MaxAbsErr {
+				pt.MaxAbsErr = diff
+			}
+			if diff <= cfg[0] {
+				pt.WithinBound++
+			}
+		}
+		if pt.Estimated > 0 {
+			pt.MeanAbsErr = sumErr / float64(pt.Estimated)
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// Format renders the study as a text table.
+func (r *ApproxResult) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — exact vs sampled ε estimation\n", r.Dataset)
+	fmt.Fprintf(&sb, "%6s %6s %5s %12s %12s %8s %9s %9s %9s %10s\n",
+		"ε", "δ", "m", "exact", "sampled", "speedup", "estimated", "in-bound", "max|err|", "mean|err|")
+	for _, p := range r.Points {
+		fmt.Fprintf(&sb, "%6.2g %6.2g %5d %12s %12s %7.1fx %4d/%-4d %4d/%-4d %9.3f %10.4f\n",
+			p.SampleEps, p.SampleDelta, p.SampleSize,
+			fmtDur(p.Exact), fmtDur(p.Sampled), p.Speedup(),
+			p.Estimated, p.Compared, p.WithinBound, p.Estimated,
+			p.MaxAbsErr, p.MeanAbsErr)
+	}
+	return sb.String()
+}

@@ -29,6 +29,8 @@ func (d *Dataset) Params() core.Params {
 		Gamma:    d.Profile.Gamma,
 		MinSize:  d.Profile.MinSize,
 		MinAttrs: d.Profile.MinAttrs,
+		EpsMin:   d.Profile.EpsMin,
+		DeltaMin: d.Profile.DeltaMin,
 		K:        5,
 	}
 }
@@ -55,10 +57,12 @@ func Load(name string, scale float64) (*Dataset, error) {
 		prof = datagen.SynthLastFm(scale)
 	case "citeseer":
 		prof = datagen.SynthCiteSeer(scale)
+	case "dense":
+		prof = datagen.SynthDense(scale)
 	case "smalldblp":
 		prof = datagen.SmallDBLP(scale)
 	default:
-		return nil, fmt.Errorf("experiments: unknown dataset %q (want dblp, lastfm, citeseer or smalldblp)", name)
+		return nil, fmt.Errorf("experiments: unknown dataset %q (want dblp, lastfm, citeseer, dense or smalldblp)", name)
 	}
 	g, gt, err := datagen.Generate(prof.Config)
 	if err != nil {

@@ -274,3 +274,38 @@ func TestAblationRuns(t *testing.T) {
 		t.Fatal("format")
 	}
 }
+
+// TestApproxStudy runs the exact-vs-sampled study on the dense dataset
+// with one loose configuration and checks its accounting invariants.
+func TestApproxStudy(t *testing.T) {
+	d := load(t, "dense")
+	r, err := Approx(context.Background(), d, [][2]float64{{0.25, 0.1}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 1 {
+		t.Fatalf("got %d points", len(r.Points))
+	}
+	p := r.Points[0]
+	if p.SampleSize != 24 { // ⌈ln(20)/0.125⌉
+		t.Errorf("sample size = %d", p.SampleSize)
+	}
+	if p.Compared == 0 || p.Estimated == 0 {
+		t.Fatalf("study compared nothing: %+v", p)
+	}
+	if p.Estimated > p.Compared || p.WithinBound > p.Estimated {
+		t.Fatalf("inconsistent counts: %+v", p)
+	}
+	if p.SampledVertices != int64(p.Estimated*p.SampleSize) {
+		t.Errorf("sampled vertices %d, want %d", p.SampledVertices, p.Estimated*p.SampleSize)
+	}
+	if p.MaxAbsErr < p.MeanAbsErr {
+		t.Errorf("max err %v below mean %v", p.MaxAbsErr, p.MeanAbsErr)
+	}
+	if p.Exact <= 0 || p.Sampled <= 0 || p.Speedup() <= 0 {
+		t.Errorf("missing timings: %+v", p)
+	}
+	if !strings.Contains(r.Format(), "speedup") {
+		t.Error("format output missing header")
+	}
+}

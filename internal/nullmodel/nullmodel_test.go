@@ -205,6 +205,43 @@ func TestSimulationDeterministic(t *testing.T) {
 	}
 }
 
+// TestSimulationApproxTracksExact: the estimator-backed simulation must
+// agree with the exact simulation within the configured Hoeffding
+// half-width (plus Monte-Carlo noise), stay deterministic, and use the
+// complete-graph fast paths identically.
+func TestSimulationApproxTracksExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomAttrGraph(rng, 120, 0.07)
+	p := quasiclique.Params{Gamma: 0.5, MinSize: 4}
+	const sampleEps = 0.2
+	exact := NewSimulation(g, p, 20, 77)
+	approx := NewSimulationApprox(g, p, 20, 77, sampleEps, 0.1)
+	if approx.Name() != "sim-exp-approx" {
+		t.Errorf("name = %q", approx.Name())
+	}
+	for _, sigma := range []int{40, 80, 120} {
+		me := exact.Exp(sigma)
+		ma := approx.Exp(sigma)
+		// Means over R draws concentrate much harder than a single draw;
+		// the per-draw half-width is a safe (loose) tolerance.
+		if math.Abs(me-ma) > sampleEps {
+			t.Errorf("σ=%d: approx mean %v vs exact %v beyond ±%g", sigma, ma, me, sampleEps)
+		}
+	}
+	again := NewSimulationApprox(g, p, 20, 77, sampleEps, 0.1)
+	for _, sigma := range []int{40, 120} {
+		if approx.Exp(sigma) != again.Exp(sigma) {
+			t.Errorf("σ=%d: approx simulation not deterministic", sigma)
+		}
+	}
+	// Draws at or below the membership sample size delegate to the exact
+	// coverage search, so small σ agree bit-for-bit.
+	small := 6
+	if a, e := approx.Exp(small), exact.Exp(small); a != e {
+		t.Errorf("σ=%d: fallback diverged: %v vs %v", small, a, e)
+	}
+}
+
 func TestSimulationBelowAnalyticalOnAverage(t *testing.T) {
 	// max-εexp is an upper bound on the true expectation; with the
 	// fixed seed the sample mean stays below it on these graphs.

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"sync"
 
+	"github.com/scpm/scpm/internal/bitset"
+	"github.com/scpm/scpm/internal/epsilon"
 	"github.com/scpm/scpm/internal/graph"
 	"github.com/scpm/scpm/internal/quasiclique"
 	"github.com/scpm/scpm/internal/stats"
@@ -22,6 +24,7 @@ type Simulation struct {
 	p    quasiclique.Params
 	R    int
 	seed int64
+	est  epsilon.Estimator
 
 	mu    sync.Mutex
 	cache map[int]meanStd
@@ -30,7 +33,8 @@ type Simulation struct {
 type meanStd struct{ mean, std float64 }
 
 // NewSimulation configures a simulation model with R samples per
-// support value.
+// support value; each sample's covered fraction is computed with the
+// exact coverage search.
 func NewSimulation(g *graph.Graph, p quasiclique.Params, r int, seed int64) *Simulation {
 	if r < 1 {
 		r = 1
@@ -38,8 +42,29 @@ func NewSimulation(g *graph.Graph, p quasiclique.Params, r int, seed int64) *Sim
 	return &Simulation{g: g, p: p, R: r, seed: seed, cache: make(map[int]meanStd)}
 }
 
-// Name implements Model.
-func (s *Simulation) Name() string { return "sim-exp" }
+// NewSimulationApprox configures a simulation model whose per-sample
+// covered fraction is itself estimated with the sampled ε estimator:
+// instead of one full coverage search per Monte-Carlo draw, each draw
+// runs a Hoeffding-bounded batch of early-exit membership queries
+// (anchored quasi-clique searches). For supports well above the sample
+// size this removes most of the simulation's cost; small draws still
+// run the exact search. Non-positive sampleEps / sampleDelta use the
+// estimator defaults. The estimator's randomness is derived from seed,
+// so results stay deterministic.
+func NewSimulationApprox(g *graph.Graph, p quasiclique.Params, r int, seed int64, sampleEps, sampleDelta float64) *Simulation {
+	s := NewSimulation(g, p, r, seed)
+	s.est = epsilon.NewSampled(p, quasiclique.Options{}, sampleEps, sampleDelta, seed)
+	return s
+}
+
+// Name implements Model ("sim-exp-approx" when the covered fraction is
+// itself estimated by membership sampling).
+func (s *Simulation) Name() string {
+	if s.est != nil {
+		return "sim-exp-approx"
+	}
+	return "sim-exp"
+}
 
 // Exp implements Model.
 func (s *Simulation) Exp(sigma int) float64 {
@@ -69,7 +94,7 @@ func (s *Simulation) ExpStd(sigma int) (mean, std float64) {
 	}
 	vals := make([]float64, s.R)
 	for i := 0; i < s.R; i++ {
-		vals[i] = s.sampleOnce(sigma, s.sampleSeed(sigma, i))
+		vals[i] = s.sampleOnce(sigma, i, s.sampleSeed(sigma, i))
 	}
 	mean, std = stats.MeanStd(vals)
 	s.store(sigma, mean, std)
@@ -86,17 +111,14 @@ func (s *Simulation) sampleSeed(sigma, i int) int64 {
 	h := uint64(s.seed)
 	h = h*1000003 + uint64(sigma)
 	h = h*1000003 + uint64(i)
-	// splitmix-style avalanche so nearby (σ, i) pairs decorrelate
-	h ^= h >> 30
-	h *= 0xbf58476d1ce4e5b9
-	h ^= h >> 27
-	h *= 0x94d049bb133111eb
-	h ^= h >> 31
-	return int64(h)
+	// full avalanche so nearby (σ, i) pairs decorrelate
+	return int64(stats.Mix64(h))
 }
 
-// sampleOnce draws one σ-vertex sample and returns its covered fraction.
-func (s *Simulation) sampleOnce(sigma int, seed int64) float64 {
+// sampleOnce draws one σ-vertex sample and returns its covered
+// fraction — exactly, or through the configured estimator (whose own
+// membership sampling only does the work the mean actually needs).
+func (s *Simulation) sampleOnce(sigma, idx int, seed int64) float64 {
 	rng := rand.New(rand.NewSource(seed))
 	n := s.g.NumVertices()
 	perm := make([]int32, n)
@@ -109,6 +131,18 @@ func (s *Simulation) sampleOnce(sigma int, seed int64) float64 {
 		perm[i], perm[j] = perm[j], perm[i]
 	}
 	sample := perm[:sigma]
+	if s.est != nil {
+		// The estimator keys its per-call randomness on the "attribute
+		// set" identity; (σ, draw index) plays that role here.
+		members := bitset.FromSlice(n, sample)
+		e, err := s.est.Estimate(s.g, []int32{int32(sigma), int32(idx)}, members, members)
+		if err != nil {
+			// The sampled estimator runs without budget or context, so
+			// like Coverage below it cannot fail on valid params.
+			panic(err)
+		}
+		return e.Epsilon
+	}
 	sg := s.g.InducedByVertices(sample)
 	res, err := quasiclique.Coverage(quasiclique.NewGraphCSR(sg.CSR()), s.p, quasiclique.Options{})
 	if err != nil {

@@ -1,0 +1,140 @@
+package quasiclique
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestCoversVertexMatchesCoverage checks the anchored membership query
+// against the full coverage search, vertex by vertex, on random graphs
+// and parameters — sharing one Engine per graph so the cross-query
+// covered cache is exercised too.
+func TestCoversVertexMatchesCoverage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomTestGraph(rng)
+		p := randomParams(rng)
+		o := Options{Order: SearchOrder(rng.Intn(2))}
+		cov, err := Coverage(g, p, o)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		eng, err := NewEngine(g, p, o)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		for v := int32(0); v < int32(g.NumVertices()); v++ {
+			got, err := eng.CoversVertex(v)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			if want := cov.Covered.Contains(int(v)); got != want {
+				t.Logf("seed=%d γ=%g min=%d v=%d: CoversVertex=%v, Coverage=%v",
+					seed, p.Gamma, p.MinSize, v, got, want)
+				return false
+			}
+		}
+		if eng.NodesVisited() < 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoversVertexPaperExample pins the worked example: with γ=0.6,
+// min_size=4 vertices 3..11 are covered and 1, 2 are not (0-indexed
+// 2..10 and 0, 1).
+func TestCoversVertexPaperExample(t *testing.T) {
+	g := paperGraph()
+	eng, err := NewEngine(g, Params{Gamma: 0.6, MinSize: 4}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		got, err := eng.CoversVertex(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := v >= 2 // paper vertices 3..11
+		if got != want {
+			t.Errorf("CoversVertex(%d) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+// TestCoversVertexOutOfRange checks range handling and the invalid-
+// params path.
+func TestCoversVertexOutOfRange(t *testing.T) {
+	g := paperGraph()
+	eng, err := NewEngine(g, Params{Gamma: 0.6, MinSize: 4}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int32{-1, int32(g.NumVertices())} {
+		if got, err := eng.CoversVertex(v); err != nil || got {
+			t.Errorf("CoversVertex(%d) = (%v, %v), want (false, nil)", v, got, err)
+		}
+	}
+	if _, err := NewEngine(g, Params{Gamma: 0, MinSize: 4}, Options{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+// TestCoversVertexBudget checks that MaxNodes bounds the cumulative
+// query cost and surfaces ErrBudget.
+func TestCoversVertexBudget(t *testing.T) {
+	g := paperGraph()
+	eng, err := NewEngine(g, Params{Gamma: 0.6, MinSize: 4}, Options{MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if _, err := eng.CoversVertex(v); err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if !errors.Is(lastErr, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", lastErr)
+	}
+}
+
+// TestCoversVertexCacheShortCircuits checks that a vertex proven covered
+// by an earlier query's reported quasi-clique is answered without any
+// additional search nodes.
+func TestCoversVertexCacheShortCircuits(t *testing.T) {
+	// 5-clique: the first query reports it and covers all members.
+	var edges [][2]int32
+	for i := int32(0); i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			edges = append(edges, [2]int32{i, j})
+		}
+	}
+	g := buildGraph(5, edges)
+	eng, err := NewEngine(g, Params{Gamma: 1, MinSize: 3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := eng.CoversVertex(0); err != nil || !ok {
+		t.Fatalf("CoversVertex(0) = (%v, %v)", ok, err)
+	}
+	nodes := eng.NodesVisited()
+	for v := int32(1); v < 5; v++ {
+		ok, err := eng.CoversVertex(v)
+		if err != nil || !ok {
+			t.Fatalf("CoversVertex(%d) = (%v, %v)", v, ok, err)
+		}
+	}
+	if eng.NodesVisited() != nodes {
+		t.Fatalf("cached queries re-searched: %d → %d nodes", nodes, eng.NodesVisited())
+	}
+}

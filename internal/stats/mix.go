@@ -1,0 +1,18 @@
+package stats
+
+// Mix64 applies the splitmix64 finalizer to h: a full-avalanche bit
+// mixer, so nearby inputs decorrelate. It is the one shared mixing step
+// behind every deterministic seed derivation in the repository (the
+// simulation null model's per-sample seeds, the sampled ε estimator's
+// per-set seeds); keeping a single implementation means a change to the
+// mixing cannot silently break one caller's determinism guarantees.
+// Zero is the finalizer's fixed point — pre-salt the input (e.g. xor a
+// constant or fold in a counter) rather than feeding raw zeros.
+func Mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

@@ -116,6 +116,31 @@ func WithParallelism(n int) Option {
 // the default is the analytical upper bound of Theorem 2.
 func WithNullModel(nm NullModel) Option { return func(m *Miner) { m.p.Model = nm } }
 
+// WithEpsilonSampling switches ε computation to the sampling estimator
+// of §6 of the paper: instead of the full coverage search, each
+// attribute set draws a deterministic Hoeffding-sized vertex sample from
+// V(S) and answers one early-exit quasi-clique membership query per
+// draw, so |ε̂−ε| ≤ eps with probability ≥ 1−delta per set. Estimated
+// sets carry Estimated=true, EpsilonErr and SampledVertices; sets whose
+// support does not exceed the sample size are still computed exactly.
+// Non-positive eps or delta use the defaults (0.1, 0.05 — 185 samples).
+// Applies to the SCPM algorithm; WithNaive always computes ε exactly.
+// Combine with WithSeed to pin the sample randomness.
+func WithEpsilonSampling(eps, delta float64) Option {
+	return func(m *Miner) {
+		m.p.EpsilonMode = core.EpsilonSampled
+		// Negative values mean "default" like zero does, matching the
+		// documented contract (Params.Validate rejects negatives).
+		m.p.SampleEps = max(eps, 0)
+		m.p.SampleDelta = max(delta, 0)
+	}
+}
+
+// WithSeed sets the seed deriving all sampling randomness of the run
+// (WithEpsilonSampling): the same seed reproduces every estimate
+// bit-for-bit regardless of WithParallelism or evaluation order.
+func WithSeed(seed int64) Option { return func(m *Miner) { m.p.Seed = seed } }
+
 // WithSearchBudget bounds the quasi-clique search to n nodes per
 // induced graph (0 = unbounded); an exhausted budget ends the run with
 // ErrBudget and the partial result.

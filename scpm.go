@@ -70,6 +70,17 @@ const (
 	BFS = quasiclique.BFS
 )
 
+// EpsilonMode selects how the structural correlation ε(S) is computed
+// (exact coverage search or Hoeffding-bounded vertex sampling).
+type EpsilonMode = core.EpsilonMode
+
+// Epsilon computation modes for Params.EpsilonMode; the Miner option
+// WithEpsilonSampling selects EpsilonSampled.
+const (
+	EpsilonExact   = core.EpsilonExact
+	EpsilonSampled = core.EpsilonSampled
+)
+
 // Mine runs the SCPM algorithm on g: it identifies the attribute sets
 // with support ≥ σmin, structural correlation ≥ εmin and normalized
 // structural correlation ≥ δmin, and mines the top-k quasi-cliques each
@@ -180,6 +191,16 @@ func NewAnalyticalModel(g *Graph, p Params) NullModel {
 // for a fixed seed.
 func NewSimulationModel(g *Graph, p Params, r int, seed int64) NullModel {
 	return nullmodel.NewSimulation(g, p.QuasiCliqueParams(), r, seed)
+}
+
+// NewApproxSimulationModel returns sim-εexp whose per-sample covered
+// fraction is itself estimated with Hoeffding-bounded membership
+// sampling (the same machinery as WithEpsilonSampling) instead of a
+// full coverage search per draw — much cheaper for large supports.
+// Non-positive sampleEps / sampleDelta use the defaults (0.1, 0.05).
+// Results are deterministic for a fixed seed.
+func NewApproxSimulationModel(g *Graph, p Params, r int, seed int64, sampleEps, sampleDelta float64) NullModel {
+	return nullmodel.NewSimulationApprox(g, p.QuasiCliqueParams(), r, seed, sampleEps, sampleDelta)
 }
 
 // GeneratorConfig parameterizes the synthetic attributed-graph

@@ -1,7 +1,9 @@
 // Command lintdoc fails when a package exports an identifier without a
-// doc comment. CI runs it over internal/graph and internal/quasiclique
-// so the structural layer's contracts (sorted views, no-mutate rules)
-// stay written down.
+// doc comment. CI runs it over the algorithmic core — internal/graph,
+// internal/quasiclique, internal/core, internal/epsilon,
+// internal/nullmodel and internal/itemset — so those layers' contracts
+// (sorted views, no-mutate rules, estimator guarantees) stay written
+// down.
 //
 // Usage:
 //
