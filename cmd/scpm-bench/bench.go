@@ -20,8 +20,9 @@ import (
 // benchSchema versions the BENCH_*.json layout so downstream tooling
 // can detect incompatible changes. v2 added the ε-estimator columns
 // (epsilon_mode, sample_eps, sample_delta, sampled_vertices) and one
-// run per (scale, estimator mode).
-const benchSchema = "scpm-bench/v2"
+// run per (scale, estimator mode); v3 added the optional serve section
+// written by -exp serve (index build time + endpoint throughput).
+const benchSchema = "scpm-bench/v3"
 
 // benchRun is one (dataset, scale, estimator mode) measurement.
 type benchRun struct {
@@ -54,13 +55,15 @@ type benchRun struct {
 }
 
 // benchReport is the full content of one BENCH_<dataset>.json file.
+// Mining suites fill Runs; -exp serve fills Serve instead.
 type benchReport struct {
-	Schema  string     `json:"schema"`
-	Dataset string     `json:"dataset"`
-	Go      string     `json:"go"`
-	GOOS    string     `json:"goos"`
-	GOARCH  string     `json:"goarch"`
-	Runs    []benchRun `json:"runs"`
+	Schema  string       `json:"schema"`
+	Dataset string       `json:"dataset"`
+	Go      string       `json:"go"`
+	GOOS    string       `json:"goos"`
+	GOARCH  string       `json:"goarch"`
+	Runs    []benchRun   `json:"runs,omitempty"`
+	Serve   *serveReport `json:"serve,omitempty"`
 }
 
 // runBenchSuite generates each dataset at every scale, mines it with

@@ -19,6 +19,9 @@
 //   - "approx" compares exact and sampled ε estimation on one dataset
 //     (-approx-dataset): per-set |ε̂−ε| accuracy against the Hoeffding
 //     bound and the wall-clock speedup, per sampling configuration;
+//   - "serve" benchmarks the query-serving subsystem on the quickstart
+//     dataset: index build time, snapshot size and queries/sec per
+//     endpoint, written to BENCH_serve.json;
 //   - "bench" mines the synthetic datasets at several scales — once per
 //     ε-estimator mode (exact and sampled) — and writes one
 //     BENCH_<dataset>.json per dataset with wall time, search nodes,
@@ -39,6 +42,7 @@ import (
 
 	scpm "github.com/scpm/scpm"
 	"github.com/scpm/scpm/internal/experiments"
+	"github.com/scpm/scpm/internal/version"
 )
 
 func main() {
@@ -51,7 +55,7 @@ func runMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("scpm-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp     = fs.String("exp", "all", "experiment id (table1..table4, fig4, fig7, fig8, fig9, fig10, ablation, approx, bench, all)")
+		exp     = fs.String("exp", "all", "experiment id (table1..table4, fig4, fig7, fig8, fig9, fig10, ablation, approx, bench, serve, all)")
 		scale   = fs.Float64("scale", 1.0, "dataset scale factor")
 		repeats = fs.Int("repeats", 3, "timing repetitions for fig8 (best-of)")
 		samples = fs.Int("samples", 100, "simulation samples per support value for fig4/7/9")
@@ -63,9 +67,15 @@ func runMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		benchDatasets = fs.String("bench-datasets", "dblp,lastfm,citeseer,dense", "comma-separated datasets for -exp bench")
 
 		approxDataset = fs.String("approx-dataset", "dense", "dataset for -exp approx (exact vs sampled ε)")
+
+		showVer = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *showVer {
+		fmt.Fprintln(stdout, version.String("scpm-bench"))
+		return 0
 	}
 
 	run := func(id string) error {
@@ -157,6 +167,8 @@ func runMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, r.Format())
 		case "bench":
 			return runBenchSuite(ctx, *benchDatasets, *benchScales, *benchOut, stdout)
+		case "serve":
+			return runServeBench(ctx, *benchOut, stdout)
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}

@@ -163,3 +163,70 @@ func TestPaperNames(t *testing.T) {
 		t.Error("fallback broken")
 	}
 }
+
+func TestBenchVersionFlag(t *testing.T) {
+	code, out, errOut := runBench(t, "-version")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "scpm-bench") {
+		t.Fatalf("version output %q", out)
+	}
+}
+
+// TestBenchServe runs the serve experiment end to end (a reduced check:
+// the full request volume runs in CI) and validates the report shape.
+func TestBenchServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serve bench drives 160k requests")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation invalidates the throughput floor")
+	}
+	dir := t.TempDir()
+	code, out, errOut := runBench(t, "-exp", "serve", "-out", dir)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "index_build=") {
+		t.Fatalf("summary missing:\n%s", out)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_serve.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Schema string `json:"schema"`
+		Serve  *struct {
+			Sets          int     `json:"sets"`
+			IndexBuildMS  float64 `json:"index_build_ms"`
+			SnapshotBytes int     `json:"snapshot_bytes"`
+			TotalQPS      float64 `json:"total_qps"`
+			Endpoints     []struct {
+				Name string  `json:"name"`
+				QPS  float64 `json:"qps"`
+			} `json:"endpoints"`
+		} `json:"serve"`
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("invalid BENCH_serve.json: %v", err)
+	}
+	if report.Schema != benchSchema || report.Serve == nil {
+		t.Fatalf("report envelope: %s", raw)
+	}
+	sv := report.Serve
+	if sv.Sets != 3 || sv.SnapshotBytes == 0 || len(sv.Endpoints) == 0 {
+		t.Fatalf("serve section: %+v", sv)
+	}
+	// The acceptance floor is 10k queries/sec on the quickstart
+	// dataset; the in-process handler clears it by an order of
+	// magnitude, so a failure here means a real serving regression.
+	for _, ep := range sv.Endpoints {
+		if ep.QPS < 10000 {
+			t.Fatalf("endpoint %s below 10k qps: %.0f", ep.Name, ep.QPS)
+		}
+	}
+	if sv.TotalQPS < 10000 {
+		t.Fatalf("total qps %.0f below acceptance floor", sv.TotalQPS)
+	}
+}

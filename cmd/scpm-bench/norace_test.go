@@ -1,0 +1,6 @@
+//go:build !race
+
+package main
+
+// raceEnabled mirrors race_test.go for normal builds.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled reports that the test binary runs under the race
+// detector, whose ~10x slowdown makes absolute-throughput assertions
+// meaningless.
+const raceEnabled = true

@@ -1,0 +1,250 @@
+// Command scpm-serve serves a mined pattern index over HTTP.
+//
+// On startup it either restores a binary index snapshot or mines the
+// dataset with the configured parameters (reusing the scpm.Miner
+// pipeline), then exposes the result through read-only JSON/NDJSON
+// endpoints — /sets, /sets/{id}, /patterns, /vertices/{v}, /stats,
+// /healthz — plus /epsilon, which answers structural-correlation
+// queries for any attribute set: indexed sets come straight from the
+// index, everything else is computed on demand by the ε-estimation
+// layer (exact or sampled, per -eps-mode) behind a singleflight-
+// deduplicated LRU cache, so repeated hot queries cost a map lookup.
+//
+// Usage:
+//
+//	scpm-serve -attrs graph.attrs -edges graph.edges \
+//	           -sigma 100 -gamma 0.5 -minsize 5 -eps 0.1 -k 5 \
+//	           -addr :8080 -snapshot index.scpmidx
+//
+//	scpm-serve -example paper -sigma 3 -gamma 0.6 -minsize 4 -eps 0.5 -k 10
+//
+// With -snapshot the index is loaded from the file when it exists;
+// otherwise the dataset is mined and the snapshot written there, so the
+// second boot skips mining entirely. The process serves until SIGINT/
+// SIGTERM, then shuts down gracefully (in-flight requests get a bounded
+// grace period). Requests are logged to stderr unless -quiet is set.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	scpm "github.com/scpm/scpm"
+	"github.com/scpm/scpm/internal/server"
+	"github.com/scpm/scpm/internal/version"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("scpm-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		attrsPath = fs.String("attrs", "", "vertex attribute file")
+		edgesPath = fs.String("edges", "", "edge list file")
+		example   = fs.String("example", "", `serve a built-in dataset instead of files ("paper": the 11-vertex worked example)`)
+		snapshot  = fs.String("snapshot", "", "index snapshot path: loaded when present, written after mining otherwise")
+		addr      = fs.String("addr", ":8080", "listen address")
+		cacheSize = fs.Int("cache", server.DefaultCacheSize, "epsilon cache capacity (entries)")
+		quiet     = fs.Bool("quiet", false, "disable request logging")
+		sigmaMin  = fs.Int("sigma", 100, "minimum support σmin")
+		gamma     = fs.Float64("gamma", 0.5, "quasi-clique density γmin (0,1]")
+		minSize   = fs.Int("minsize", 5, "minimum quasi-clique size")
+		epsMin    = fs.Float64("eps", 0, "minimum structural correlation εmin")
+		deltaMin  = fs.Float64("delta", 0, "minimum normalized structural correlation δmin")
+		k         = fs.Int("k", 5, "top-k patterns per attribute set (0 = sets only)")
+		minAttrs  = fs.Int("minattrs", 1, "report only sets with ≥ this many attributes")
+		maxAttrs  = fs.Int("maxattrs", 0, "bound attribute-set size (0 = unbounded)")
+		par       = fs.Int("parallelism", runtime.NumCPU(), "mining worker goroutines")
+		budget    = fs.Int64("budget", 0, "search-node budget per quasi-clique search, for startup mining and each on-demand ε query (0 = unbounded)")
+		epsMode   = fs.String("eps-mode", "exact", "on-demand ε computation: exact or sampled")
+		sampleEps = fs.Float64("sample-eps", 0, "sampled mode: ε̂ half-width bound (0 = default 0.1)")
+		sampleDel = fs.Float64("sample-delta", 0, "sampled mode: per-set failure probability (0 = default 0.05)")
+		seed      = fs.Int64("seed", 0, "sampled mode: sampling seed")
+		showVer   = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *showVer {
+		fmt.Fprintln(stdout, version.String("scpm-serve"))
+		return 0
+	}
+
+	g, err := loadGraph(*attrsPath, *edgesPath, *example)
+	if err != nil {
+		fmt.Fprintln(stderr, "scpm-serve:", err)
+		return 2
+	}
+
+	opts := []scpm.Option{
+		scpm.WithSigmaMin(*sigmaMin),
+		scpm.WithGamma(*gamma),
+		scpm.WithMinSize(*minSize),
+		scpm.WithEpsMin(*epsMin),
+		scpm.WithDeltaMin(*deltaMin),
+		scpm.WithTopK(*k),
+		scpm.WithMinAttrs(*minAttrs),
+		scpm.WithMaxAttrs(*maxAttrs),
+		scpm.WithParallelism(*par),
+		scpm.WithSearchBudget(*budget),
+	}
+	switch strings.ToLower(*epsMode) {
+	case "exact":
+	case "sampled":
+		opts = append(opts, scpm.WithEpsilonSampling(*sampleEps, *sampleDel), scpm.WithSeed(*seed))
+	default:
+		fmt.Fprintf(stderr, "scpm-serve: unknown -eps-mode %q (want exact or sampled)\n", *epsMode)
+		return 2
+	}
+	miner, err := scpm.NewMiner(opts...)
+	if err != nil {
+		fmt.Fprintln(stderr, "scpm-serve:", err)
+		return 2
+	}
+
+	idx, err := buildIndex(ctx, miner, g, *snapshot, stdout)
+	if err != nil {
+		if scpm.IsCanceled(err) {
+			return 130
+		}
+		fmt.Fprintln(stderr, "scpm-serve:", err)
+		return 1
+	}
+
+	var cfg scpm.ServerConfig
+	cfg.CacheSize = *cacheSize
+	if !*quiet {
+		cfg.Logger = log.New(stderr, "scpm-serve: ", log.LstdFlags)
+	}
+	handler, err := scpm.NewServerHandler(idx, g, miner.Params(), cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "scpm-serve:", err)
+		return 2
+	}
+
+	// Listen before announcing, so "listening on" is a reliable
+	// readiness signal (and resolves :0 to the bound port).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "scpm-serve:", err)
+		return 1
+	}
+	st := idx.Stats()
+	fmt.Fprintf(stdout, "scpm-serve: serving %d sets, %d patterns\n", st.Sets, st.Patterns)
+	fmt.Fprintf(stdout, "scpm-serve: listening on %s\n", ln.Addr())
+	if err := server.Serve(ctx, ln, handler); err != nil {
+		fmt.Fprintln(stderr, "scpm-serve:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "scpm-serve: shut down cleanly")
+	return 0
+}
+
+// loadGraph resolves the dataset selection: two files, or a built-in
+// example.
+func loadGraph(attrsPath, edgesPath, example string) (*scpm.Graph, error) {
+	switch {
+	case example != "":
+		if attrsPath != "" || edgesPath != "" {
+			return nil, errors.New("-example cannot be combined with -attrs/-edges")
+		}
+		if example != "paper" {
+			return nil, fmt.Errorf("unknown -example %q (want paper)", example)
+		}
+		return scpm.PaperExample(), nil
+	case attrsPath == "" || edgesPath == "":
+		return nil, errors.New("-attrs and -edges are required (or use -example paper)")
+	}
+	af, err := os.Open(attrsPath)
+	if err != nil {
+		return nil, err
+	}
+	defer af.Close()
+	ef, err := os.Open(edgesPath)
+	if err != nil {
+		return nil, err
+	}
+	defer ef.Close()
+	return scpm.ReadDataset(af, ef)
+}
+
+// buildIndex restores the snapshot when it exists, otherwise mines the
+// graph and (when a snapshot path is configured) persists the result
+// for the next boot.
+func buildIndex(ctx context.Context, miner *scpm.Miner, g *scpm.Graph, snapshot string, stdout io.Writer) (*scpm.Index, error) {
+	if snapshot != "" {
+		if f, err := os.Open(snapshot); err == nil {
+			defer f.Close()
+			idx, err := scpm.LoadIndex(f)
+			if err != nil {
+				return nil, fmt.Errorf("loading snapshot %s: %w", snapshot, err)
+			}
+			// A snapshot from a different dataset would serve indexed
+			// answers about one graph while computing on-demand answers
+			// against another; refuse the pairing outright.
+			sv, se, sa := idx.DatasetShape()
+			if sv != g.NumVertices() || se != g.NumEdges() || sa != g.NumAttributes() {
+				return nil, fmt.Errorf(
+					"snapshot %s was mined from a different dataset (|V|=%d |E|=%d |A|=%d, loaded graph has |V|=%d |E|=%d |A|=%d); delete it to re-mine",
+					snapshot, sv, se, sa, g.NumVertices(), g.NumEdges(), g.NumAttributes())
+			}
+			fmt.Fprintf(stdout, "scpm-serve: restored index from %s\n", snapshot)
+			fmt.Fprintln(stdout, "scpm-serve: indexed results reflect the snapshot's mining run; current mining flags apply to on-demand /epsilon only")
+			return idx, nil
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+	}
+	start := time.Now()
+	res, err := miner.Mine(ctx, g)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(stdout, "scpm-serve: mined %d sets, %d patterns in %s\n",
+		len(res.Sets), len(res.Patterns), res.Stats.Duration.Round(time.Millisecond))
+	idx := scpm.NewIndex(res, g)
+	fmt.Fprintf(stdout, "scpm-serve: index built in %s\n", time.Since(start).Round(time.Millisecond))
+	if snapshot != "" {
+		if err := saveSnapshot(idx, snapshot); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(stdout, "scpm-serve: wrote snapshot %s\n", snapshot)
+	}
+	return idx, nil
+}
+
+// saveSnapshot writes the index atomically (tmp file + rename), so a
+// crash mid-write never leaves a truncated snapshot for the next boot.
+func saveSnapshot(idx *scpm.Index, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := idx.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,280 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	scpm "github.com/scpm/scpm"
+)
+
+// notifyingWriter forwards to an underlying buffer and signals each
+// write, so tests can wait for the "listening on" readiness line.
+type notifyingWriter struct {
+	mu     sync.Mutex
+	buf    bytes.Buffer
+	notify chan struct{}
+}
+
+func (w *notifyingWriter) Write(b []byte) (int, error) {
+	w.mu.Lock()
+	n, err := w.buf.Write(b)
+	w.mu.Unlock()
+	select {
+	case w.notify <- struct{}{}:
+	default:
+	}
+	return n, err
+}
+
+func (w *notifyingWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// startServe runs the binary's run() with the given extra args on an
+// ephemeral port, waits until it listens, and returns its base URL plus
+// a shutdown func that cancels and waits for the exit code.
+func startServe(t *testing.T, args ...string) (string, *notifyingWriter, func() int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	stdout := &notifyingWriter{notify: make(chan struct{}, 1)}
+	var stderr bytes.Buffer
+	code := make(chan int, 1)
+	full := append([]string{"-addr", "127.0.0.1:0", "-quiet"}, args...)
+	go func() { code <- run(ctx, full, stdout, &stderr) }()
+
+	deadline := time.After(30 * time.Second)
+	var addr string
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(stdout.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case <-stdout.notify:
+		case c := <-code:
+			t.Fatalf("server exited early with code %d\nstdout: %s\nstderr: %s", c, stdout.String(), stderr.String())
+		case <-deadline:
+			t.Fatalf("server never listened\nstdout: %s\nstderr: %s", stdout.String(), stderr.String())
+		}
+	}
+	return "http://" + addr, stdout, func() int {
+		cancel()
+		select {
+		case c := <-code:
+			return c
+		case <-time.After(30 * time.Second):
+			t.Fatal("server did not shut down")
+			return -1
+		}
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, body)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("GET %s: invalid JSON: %v\n%s", url, err, body)
+		}
+	}
+}
+
+var paperArgs = []string{"-example", "paper", "-sigma", "3", "-gamma", "0.6", "-minsize", "4", "-eps", "0.5", "-k", "10"}
+
+func TestServeEndToEnd(t *testing.T) {
+	base, _, shutdown := startServe(t, paperArgs...)
+
+	var health struct {
+		Status   string `json:"status"`
+		Sets     int    `json:"sets"`
+		Patterns int    `json:"patterns"`
+	}
+	getJSON(t, base+"/healthz", &health)
+	if health.Status != "ok" || health.Sets != 3 || health.Patterns != 7 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	var sets struct {
+		Total int `json:"total"`
+	}
+	getJSON(t, base+"/sets?rank=epsilon", &sets)
+	if sets.Total != 3 {
+		t.Fatalf("sets = %+v", sets)
+	}
+
+	var eps struct {
+		Source  string  `json:"source"`
+		Epsilon float64 `json:"epsilon"`
+	}
+	getJSON(t, base+"/epsilon?attrs=A,B", &eps)
+	if eps.Source != "index" || eps.Epsilon != 1 {
+		t.Fatalf("epsilon A,B = %+v", eps)
+	}
+	// {C} is not in the mined result: the on-demand path computes, the
+	// repeat serves from cache.
+	getJSON(t, base+"/epsilon?attrs=C", &eps)
+	if eps.Source != "computed" {
+		t.Fatalf("epsilon C = %+v", eps)
+	}
+	getJSON(t, base+"/epsilon?attrs=C", &eps)
+	if eps.Source != "cache" {
+		t.Fatalf("epsilon C repeat = %+v", eps)
+	}
+
+	if code := shutdown(); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+}
+
+func TestServeSnapshotRoundTrip(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "paper.scpmidx")
+
+	// First boot mines and writes the snapshot.
+	_, stdout, shutdown := startServe(t, append([]string{"-snapshot", snap}, paperArgs...)...)
+	if code := shutdown(); code != 0 {
+		t.Fatalf("first boot exit %d", code)
+	}
+	if !strings.Contains(stdout.String(), "wrote snapshot") {
+		t.Fatalf("snapshot not written:\n%s", stdout.String())
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second boot restores it (and still answers queries).
+	base, stdout2, shutdown2 := startServe(t, append([]string{"-snapshot", snap}, paperArgs...)...)
+	if !strings.Contains(stdout2.String(), "restored index") {
+		t.Fatalf("snapshot not restored:\n%s", stdout2.String())
+	}
+	var health struct {
+		Sets int `json:"sets"`
+	}
+	getJSON(t, base+"/healthz", &health)
+	if health.Sets != 3 {
+		t.Fatalf("restored healthz = %+v", health)
+	}
+	if code := shutdown2(); code != 0 {
+		t.Fatalf("second boot exit %d", code)
+	}
+}
+
+// TestServeSnapshotDatasetMismatch pairs a snapshot mined from the
+// paper example with a different dataset: the boot must refuse instead
+// of serving inconsistent answers.
+func TestServeSnapshotDatasetMismatch(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "paper.scpmidx")
+	_, _, shutdown := startServe(t, append([]string{"-snapshot", snap}, paperArgs...)...)
+	if code := shutdown(); code != 0 {
+		t.Fatalf("first boot exit %d", code)
+	}
+
+	// A different dataset: the example graph minus one edge.
+	dir := t.TempDir()
+	attrs, edges := filepath.Join(dir, "g.attrs"), filepath.Join(dir, "g.edges")
+	var ab, eb bytes.Buffer
+	if err := scpm.WriteDataset(scpm.PaperExample(), &ab, &eb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(eb.String()), "\n")
+	if err := os.WriteFile(attrs, ab.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(edges, []byte(strings.Join(lines[:len(lines)-1], "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	args := []string{"-attrs", attrs, "-edges", edges, "-snapshot", snap,
+		"-sigma", "3", "-gamma", "0.6", "-minsize", "4", "-eps", "0.5", "-k", "10"}
+	if code := run(context.Background(), args, &stdout, &stderr); code != 1 {
+		t.Fatalf("mismatched snapshot boot: exit %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "different dataset") {
+		t.Fatalf("mismatch diagnosis missing:\n%s", stderr.String())
+	}
+}
+
+func TestServeVersionFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-version"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "scpm-serve") {
+		t.Fatalf("version output %q", stdout.String())
+	}
+}
+
+func TestServeFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                   // no dataset
+		{"-example", "nope"},                 // unknown example
+		{"-example", "paper", "-attrs", "x"}, // conflicting selection
+		{"-example", "paper", "-eps-mode", "bogus"},
+		{"-example", "paper", "-gamma", "7"}, // invalid params
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(context.Background(), args, &stdout, &stderr); code != 2 {
+			t.Fatalf("args %v: exit %d, want 2\nstderr: %s", args, code, stderr.String())
+		}
+	}
+}
+
+func TestServeRequestLogging(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stdout := &notifyingWriter{notify: make(chan struct{}, 1)}
+	var stderr bytes.Buffer
+	code := make(chan int, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, paperArgs...) // no -quiet
+	go func() { code <- run(ctx, args, stdout, &stderr) }()
+	deadline := time.After(30 * time.Second)
+	var addr string
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(stdout.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case <-stdout.notify:
+		case <-deadline:
+			t.Fatalf("never listened: %s", stderr.String())
+		}
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	cancel()
+	<-code
+	if !strings.Contains(stderr.String(), "GET /healthz 200") {
+		t.Fatalf("request log missing:\n%s", stderr.String())
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"syscall"
 
 	scpm "github.com/scpm/scpm"
+	"github.com/scpm/scpm/internal/version"
 )
 
 func main() {
@@ -79,9 +80,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		jsonPath  = fs.String("json", "", "write the full result as JSON to this file")
 		csvPrefix = fs.String("csv", "", "write <prefix>-sets.csv and <prefix>-patterns.csv")
 		quiet     = fs.Bool("quiet", false, "suppress per-pattern output")
+		showVer   = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *showVer {
+		fmt.Fprintln(stdout, version.String("scpm"))
+		return 0
 	}
 	if *attrsPath == "" || *edgesPath == "" {
 		fmt.Fprintln(stderr, "scpm: -attrs and -edges are required")
@@ -217,7 +223,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 // ndjsonEvent is one streamed output line. Type is "set", "pattern",
 // "progress" or "done"; the other fields apply per type.
 type ndjsonEvent struct {
-	Type     string   `json:"type"`
+	Type string `json:"type"`
+	// ID is the stable identifier of the set or pattern (shared with
+	// the JSON/CSV exports and server responses); Set joins a pattern
+	// event to its set event.
+	ID       string   `json:"id,omitempty"`
+	Set      string   `json:"set,omitempty"`
 	Attrs    []string `json:"attrs,omitempty"`
 	Support  int      `json:"support,omitempty"`
 	Epsilon  *float64 `json:"epsilon,omitempty"`
@@ -270,7 +281,7 @@ func streamNDJSON(ctx context.Context, miner *scpm.Miner, g *scpm.Graph, stdout,
 	err := miner.Stream(ctx, g, scpm.SinkFuncs{
 		AttributeSet: func(s scpm.AttributeSet) {
 			ev := ndjsonEvent{
-				Type: "set", Attrs: s.Names, Support: s.Support,
+				Type: "set", ID: s.ID(), Attrs: s.Names, Support: s.Support,
 				Epsilon: f(s.Epsilon), Delta: f(s.Delta), Covered: n(s.Covered),
 			}
 			if s.Estimated {
@@ -282,7 +293,8 @@ func streamNDJSON(ctx context.Context, miner *scpm.Miner, g *scpm.Graph, stdout,
 		},
 		Pattern: func(p scpm.Pattern) {
 			emit(ndjsonEvent{
-				Type: "pattern", Attrs: p.Names, Vertices: p.VertexNames(g),
+				Type: "pattern", ID: p.ID(), Set: p.SetID(),
+				Attrs: p.Names, Vertices: p.VertexNames(g),
 				Size: p.Size(), Gamma: f(p.Density()),
 			})
 		},

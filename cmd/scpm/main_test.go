@@ -294,3 +294,13 @@ func TestCLICanceledContext(t *testing.T) {
 		t.Fatalf("stderr should note partial results: %s", errb.String())
 	}
 }
+
+func TestCLIVersionFlag(t *testing.T) {
+	code, out, _ := runCLI(t, "-version")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "scpm") || !strings.Contains(out, "go1") {
+		t.Fatalf("version output %q", out)
+	}
+}

@@ -75,6 +75,21 @@
 // Switch to a Miner to gain cancellation, streaming sinks, the Sets
 // iterator, search budgets and progress reporting.
 //
+// # Serving mined results
+//
+// A Result can be frozen into an Index — stable-id lookups, an
+// attribute-set trie (exact/subset/superset), inverted postings,
+// top-k rankings and versioned binary snapshots — and served over HTTP
+// with on-demand ε answers for attribute sets the run never emitted:
+//
+//	idx := scpm.NewIndex(res, g)
+//	h, _ := scpm.NewServerHandler(idx, g, miner.Params(), scpm.ServerConfig{})
+//	_ = scpm.Serve(ctx, ":8080", h)
+//
+// cmd/scpm-serve wraps this into a binary that mines or restores a
+// snapshot on startup; docs/FILE_FORMATS.md specifies the endpoints
+// and the snapshot format.
+//
 // See the examples/ directory for runnable end-to-end scenarios and
 // cmd/scpm for a CLI that can stream results incrementally as NDJSON.
 package scpm

@@ -147,10 +147,10 @@ func TestWriteJSON(t *testing.T) {
 }
 
 func TestJSONDeltaInf(t *testing.T) {
-	if formatDelta(math.Inf(1)) != "inf" {
+	if FormatDelta(math.Inf(1)) != "inf" {
 		t.Fatal("inf formatting")
 	}
-	if formatDelta(2.5) != "2.5" {
+	if FormatDelta(2.5) != "2.5" {
 		t.Fatal("finite formatting")
 	}
 }
@@ -171,7 +171,7 @@ func TestWriteCSVs(t *testing.T) {
 	if len(rows) != 4 { // header + 3 sets
 		t.Fatalf("sets csv rows = %d", len(rows))
 	}
-	if rows[0][0] != "attrs" {
+	if rows[0][0] != "id" || rows[0][1] != "attrs" {
 		t.Fatalf("header = %v", rows[0])
 	}
 	prows, err := csv.NewReader(strings.NewReader(pats.String())).ReadAll()

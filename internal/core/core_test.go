@@ -489,13 +489,13 @@ func TestSearchBudgetPropagates(t *testing.T) {
 }
 
 func TestNormalizeDelta(t *testing.T) {
-	if normalizeDelta(0.5, 0.1) != 5 {
+	if NormalizeDelta(0.5, 0.1) != 5 {
 		t.Error("plain division")
 	}
-	if !math.IsInf(normalizeDelta(0.5, 0), 1) {
+	if !math.IsInf(NormalizeDelta(0.5, 0), 1) {
 		t.Error("ε>0, exp=0 should be +Inf")
 	}
-	if normalizeDelta(0, 0) != 0 {
+	if NormalizeDelta(0, 0) != 0 {
 		t.Error("0/0 should be 0")
 	}
 }

@@ -20,6 +20,9 @@ type jsonResult struct {
 }
 
 type jsonSet struct {
+	// ID is the stable attribute-set identifier (AttributeSet.ID),
+	// shared with CSV exports, NDJSON events and server responses.
+	ID      string   `json:"id"`
 	Attrs   []string `json:"attrs"`
 	Support int      `json:"support"`
 	Epsilon float64  `json:"epsilon"`
@@ -35,6 +38,10 @@ type jsonSet struct {
 }
 
 type jsonPattern struct {
+	// ID is the stable pattern identifier (Pattern.ID); SetID joins the
+	// pattern to its attribute set's "id".
+	ID          string   `json:"id"`
+	SetID       string   `json:"set"`
 	Attrs       []string `json:"attrs"`
 	Vertices    []string `json:"vertices"`
 	Size        int      `json:"size"`
@@ -69,11 +76,12 @@ func (r *Result) WriteJSON(w io.Writer, g *graph.Graph) error {
 	}
 	for _, s := range r.Sets {
 		out.Sets = append(out.Sets, jsonSet{
+			ID:         s.ID(),
 			Attrs:      s.Names,
 			Support:    s.Support,
 			Epsilon:    s.Epsilon,
 			ExpEps:     s.ExpEps,
-			Delta:      formatDelta(s.Delta),
+			Delta:      FormatDelta(s.Delta),
 			Covered:    s.Covered,
 			Estimated:  s.Estimated,
 			EpsilonErr: s.EpsilonErr,
@@ -82,6 +90,8 @@ func (r *Result) WriteJSON(w io.Writer, g *graph.Graph) error {
 	}
 	for _, p := range r.Patterns {
 		out.Patterns = append(out.Patterns, jsonPattern{
+			ID:          p.ID(),
+			SetID:       p.SetID(),
 			Attrs:       p.Names,
 			Vertices:    p.VertexNames(g),
 			Size:        p.Size(),
@@ -96,22 +106,23 @@ func (r *Result) WriteJSON(w io.Writer, g *graph.Graph) error {
 }
 
 // WriteSetsCSV writes the attribute-set table as CSV with the columns
-// of the paper's case-study tables: attrs, support, epsilon,
-// expected_epsilon, delta, covered, plus the estimation columns
-// estimated (true/false) and epsilon_err (the Hoeffding half-width, 0
-// when exact).
+// of the paper's case-study tables: the stable set id, attrs, support,
+// epsilon, expected_epsilon, delta, covered, plus the estimation
+// columns estimated (true/false) and epsilon_err (the Hoeffding
+// half-width, 0 when exact).
 func (r *Result) WriteSetsCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"attrs", "support", "epsilon", "expected_epsilon", "delta", "covered", "estimated", "epsilon_err"}); err != nil {
+	if err := cw.Write([]string{"id", "attrs", "support", "epsilon", "expected_epsilon", "delta", "covered", "estimated", "epsilon_err"}); err != nil {
 		return err
 	}
 	for _, s := range r.Sets {
 		rec := []string{
+			s.ID(),
 			strings.Join(s.Names, " "),
 			strconv.Itoa(s.Support),
 			strconv.FormatFloat(s.Epsilon, 'g', -1, 64),
 			strconv.FormatFloat(s.ExpEps, 'g', -1, 64),
-			formatDelta(s.Delta),
+			FormatDelta(s.Delta),
 			strconv.Itoa(s.Covered),
 			strconv.FormatBool(s.Estimated),
 			strconv.FormatFloat(s.EpsilonErr, 'g', -1, 64),
@@ -124,15 +135,18 @@ func (r *Result) WriteSetsCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// WritePatternsCSV writes the pattern table as CSV: attrs, vertices,
-// size, density, edge_density.
+// WritePatternsCSV writes the pattern table as CSV: the stable pattern
+// id, the owning set's id, attrs, vertices, size, density,
+// edge_density.
 func (r *Result) WritePatternsCSV(w io.Writer, g *graph.Graph) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"attrs", "vertices", "size", "density", "edge_density"}); err != nil {
+	if err := cw.Write([]string{"id", "set", "attrs", "vertices", "size", "density", "edge_density"}); err != nil {
 		return err
 	}
 	for _, p := range r.Patterns {
 		rec := []string{
+			p.ID(),
+			p.SetID(),
 			strings.Join(p.Names, " "),
 			strings.Join(p.VertexNames(g), " "),
 			strconv.Itoa(p.Size()),
@@ -147,7 +161,11 @@ func (r *Result) WritePatternsCSV(w io.Writer, g *graph.Graph) error {
 	return cw.Error()
 }
 
-func formatDelta(d float64) string {
+// FormatDelta string-encodes δ for JSON/CSV surfaces: "inf" for +Inf
+// (raw JSON numbers cannot carry it), shortest round-trip decimal
+// otherwise. Exported so server responses and batch exports cannot
+// diverge.
+func FormatDelta(d float64) string {
 	if math.IsInf(d, 1) {
 		return "inf"
 	}

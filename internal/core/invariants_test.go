@@ -170,7 +170,7 @@ func TestQuickDeltaConsistentWithModel(t *testing.T) {
 		for _, s := range res.Sets {
 			// +Inf == +Inf holds in Go, so plain equality covers the
 			// εexp-underflow case too
-			if s.Delta != normalizeDelta(s.Epsilon, model.Exp(s.Support)) {
+			if s.Delta != NormalizeDelta(s.Epsilon, model.Exp(s.Support)) {
 				return false
 			}
 			if s.ExpEps != model.Exp(s.Support) {

@@ -64,7 +64,7 @@ func MineNaive(ctx context.Context, g *graph.Graph, p Params, sink Sink) (*Resul
 			eps = float64(len(covered)) / float64(sigma)
 		}
 		expEps := model.Exp(sigma)
-		delta := normalizeDelta(eps, expEps)
+		delta := NormalizeDelta(eps, expEps)
 		if eps < p.EpsMin || delta < p.DeltaMin || len(s.Items) < p.minAttrs() {
 			return true
 		}

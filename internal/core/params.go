@@ -189,3 +189,15 @@ func (p Params) estimator(o quasiclique.Options) epsilon.Estimator {
 	}
 	return epsilon.NewExact(p.QuasiCliqueParams(), o)
 }
+
+// NewEstimator builds the ε-estimation layer this parameter block
+// configures — the same construction a mining run performs (exact
+// coverage search, or Hoeffding-bounded sampling under EpsilonSampled).
+// The query-serving layer uses it to answer on-demand ε queries with
+// the run's semantics.
+func (p Params) NewEstimator() epsilon.Estimator { return p.estimator(p.qcOptions()) }
+
+// NewModel resolves the null model this parameter block configures for
+// g, defaulting to the analytical bound of Theorem 2 — again the same
+// resolution a mining run performs, exported for the serving layer.
+func (p Params) NewModel(g *graph.Graph) nullmodel.Model { return p.model(g) }

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sort"
 	"strings"
@@ -43,6 +45,27 @@ type AttributeSet struct {
 // Key renders the attribute set canonically ("a,b,c") for map joins.
 func (s AttributeSet) Key() string { return strings.Join(s.Names, ",") }
 
+// ID returns the stable identifier of the attribute set: a 16-hex-digit
+// hash of the attribute names that does not depend on name order,
+// mining order or run parameters, so the CLI exports, the pattern index
+// and the HTTP server all agree on it. Two runs over the same dataset
+// assign the same id to the same set.
+func (s AttributeSet) ID() string { return SetID(s.Names) }
+
+// SetID computes the stable attribute-set identifier for the given
+// attribute names (any order): the FNV-1a 64-bit hash of the sorted
+// names, NUL-separated, rendered as 16 hex digits.
+func SetID(names []string) string {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	h := fnv.New64a()
+	for _, n := range sorted {
+		h.Write([]byte(n))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 // String renders the set like the paper's tables.
 func (s AttributeSet) String() string {
 	return fmt.Sprintf("{%s} σ=%d ε=%.3f δ=%.3g", strings.Join(s.Names, " "), s.Support, s.Epsilon, s.Delta)
@@ -64,6 +87,26 @@ type Pattern struct {
 
 // Size returns |Q|.
 func (p Pattern) Size() int { return len(p.Vertices) }
+
+// SetID returns the stable identifier of the pattern's attribute set S
+// (see AttributeSet.ID), joining a pattern to its set across exports
+// and server responses.
+func (p Pattern) SetID() string { return SetID(p.Names) }
+
+// ID returns the stable identifier of the pattern (S, Q): a
+// 16-hex-digit hash over the set identifier and Q's vertex ids. It is
+// deterministic for a given dataset — the same (S, Q) pair hashes
+// identically in every run and export.
+func (p Pattern) ID() string {
+	h := fnv.New64a()
+	h.Write([]byte(p.SetID()))
+	var buf [4]byte
+	for _, v := range p.Vertices {
+		binary.LittleEndian.PutUint32(buf[:], uint32(v))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
 
 // Density returns min_v deg_Q(v)/(|Q|−1) — the γ column of Table 1.
 func (p Pattern) Density() float64 {
@@ -214,8 +257,11 @@ func lessVertices(a, b []int32) bool {
 	return len(a) < len(b)
 }
 
-// normalizeDelta computes δ = ε/εexp with the documented conventions.
-func normalizeDelta(eps, exp float64) float64 {
+// NormalizeDelta computes δ = ε/εexp with the documented conventions:
+// +Inf when εexp underflows to 0 while ε > 0, and 0 when both are 0.
+// Exported so the serving layer reports on-demand answers with exactly
+// the mining-side semantics.
+func NormalizeDelta(eps, exp float64) float64 {
 	switch {
 	case exp > 0:
 		return eps / exp

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/scpm/scpm/internal/bitset"
@@ -170,6 +171,13 @@ func (m *miner) frequentSingles() []int32 {
 // worker pool, propagating the first error. The context is checked
 // before each task so cancellation is observed between evaluations even
 // when the individual searches are too small to poll it themselves.
+//
+// Task dispatch is a lock-free atomic counter: workers claim indices
+// with next.Add and bail out once failed flips, so the only
+// synchronization on the hot path is one fetch-add per task. The first
+// error to arrive wins (recorded exactly once through errOnce); workers
+// that already claimed a task finish it, but no new tasks are claimed
+// after the failure is published.
 func (m *miner) forEach(ctx context.Context, n int, fn func(i int) error) error {
 	workers := m.p.Parallelism
 	if workers <= 1 || n <= 1 {
@@ -187,36 +195,33 @@ func (m *miner) forEach(ctx context.Context, n int, fn func(i int) error) error 
 		workers = n
 	}
 	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		next int
-		rerr error
+		wg      sync.WaitGroup
+		next    atomic.Int64
+		failed  atomic.Bool
+		errOnce sync.Once
+		rerr    error
 	)
+	record := func(err error) {
+		errOnce.Do(func() { rerr = err })
+		failed.Store(true)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				mu.Lock()
-				if rerr != nil || next >= n {
-					mu.Unlock()
+			for !failed.Load() {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
 					return
 				}
-				i := next
-				next++
-				mu.Unlock()
 				err := ctx.Err()
 				if err != nil {
 					err = quasiclique.Canceled(ctx)
 				} else {
-					err = fn(i)
+					err = fn(int(i))
 				}
 				if err != nil {
-					mu.Lock()
-					if rerr == nil {
-						rerr = err
-					}
-					mu.Unlock()
+					record(err)
 					return
 				}
 			}
@@ -289,7 +294,7 @@ func (m *miner) evaluate(attrs []int32, members, candidates *bitset.Set) (evalOu
 	m.em.noteSampled(int64(est.SampledVertices))
 	eps := est.Epsilon
 	expEps := m.model.Exp(sigma)
-	delta := normalizeDelta(eps, expEps)
+	delta := NormalizeDelta(eps, expEps)
 
 	out := evalOutcome{item: classItem{attrs: attrs, members: members, covered: est.Handdown}}
 

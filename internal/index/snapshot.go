@@ -1,0 +1,339 @@
+package index
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"time"
+
+	"github.com/scpm/scpm/internal/core"
+)
+
+// Snapshot format (see docs/FILE_FORMATS.md for the full
+// specification). The file is the canonical index payload — the
+// set/pattern tables with names resolved plus the mining counters —
+// framed by an 8-byte magic (7 identifying bytes + 1 version byte) and
+// closed by a CRC-32 (IEEE) of everything before it. Derived structures
+// (trie, postings, id maps) are intentionally absent: Load rebuilds
+// them deterministically, which keeps the format minimal and makes
+// Save→Load→Save bit-identical by construction.
+const (
+	snapshotMagic   = "SCPMIDX"
+	snapshotVersion = 1
+	// maxSnapshotLen is the coarse sanity cap on plain value fields
+	// (support, degree, dataset shape). Allocation-sizing counts are
+	// bounded much tighter — by the payload byte size (decoder.count).
+	maxSnapshotLen = 1 << 30
+)
+
+// Save writes the index as a versioned binary snapshot. The encoding is
+// deterministic: the same index always produces the same bytes, and a
+// Load followed by another Save reproduces them bit-identically.
+func (x *Index) Save(w io.Writer) error {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+	e := &encoder{w: bw}
+	e.bytes([]byte(snapshotMagic))
+	e.byte(snapshotVersion)
+	e.uvarint(uint64(x.dsVertices))
+	e.uvarint(uint64(x.dsEdges))
+	e.uvarint(uint64(x.dsAttributes))
+
+	e.uvarint(uint64(len(x.sets)))
+	for i := range x.sets {
+		s := &x.sets[i]
+		e.uvarint(uint64(len(s.Attrs)))
+		for _, a := range s.Attrs {
+			e.uvarint(uint64(uint32(a)))
+		}
+		for _, n := range s.Names {
+			e.str(n)
+		}
+		e.uvarint(uint64(s.Support))
+		e.f64(s.Epsilon)
+		e.f64(s.ExpEps)
+		e.f64(s.Delta)
+		e.uvarint(uint64(s.Covered))
+		e.bool(s.Estimated)
+		e.f64(s.EpsilonErr)
+		e.uvarint(uint64(s.SampledVertices))
+	}
+
+	e.uvarint(uint64(len(x.patterns)))
+	for i := range x.patterns {
+		p := &x.patterns[i]
+		e.uvarint(uint64(len(p.Attrs)))
+		for _, a := range p.Attrs {
+			e.uvarint(uint64(uint32(a)))
+		}
+		for _, n := range p.Names {
+			e.str(n)
+		}
+		e.uvarint(uint64(len(p.Vertices)))
+		for _, v := range p.Vertices {
+			e.uvarint(uint64(uint32(v)))
+		}
+		for _, n := range x.patVerts[i] {
+			e.str(n)
+		}
+		e.uvarint(uint64(p.MinDeg))
+		e.uvarint(uint64(p.Edges))
+	}
+
+	e.uvarint(uint64(x.mining.SetsEvaluated))
+	e.uvarint(uint64(x.mining.SetsEmitted))
+	e.uvarint(uint64(x.mining.PatternsEmitted))
+	e.uvarint(uint64(x.mining.SearchNodes))
+	e.uvarint(uint64(x.mining.SampledVertices))
+	e.uvarint(uint64(x.mining.Duration))
+
+	if e.err != nil {
+		return fmt.Errorf("index: saving snapshot: %w", e.err)
+	}
+	// The CRC covers everything written so far; flush the buffer into
+	// both the sink and the hasher before reading the sum.
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("index: saving snapshot: %w", err)
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("index: saving snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot written by Save and rebuilds the full index,
+// verifying the magic, version and checksum.
+func Load(r io.Reader) (*Index, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("index: loading snapshot: %w", err)
+	}
+	if len(data) < len(snapshotMagic)+1+4 {
+		return nil, fmt.Errorf("index: snapshot truncated (%d bytes)", len(data))
+	}
+	payload, sum := data[:len(data)-4], data[len(data)-4:]
+	// Every decoded element consumes at least one payload byte, so no
+	// honest length field can exceed the payload size; bounding counts
+	// by it stops a small crafted file (the CRC is trivially forgeable)
+	// from forcing a gigantic allocation before decoding fails.
+	d := &decoder{r: bufio.NewReader(bytes.NewReader(payload)), limit: len(payload)}
+
+	magic := d.bytes(len(snapshotMagic))
+	if d.err == nil && string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("index: not a snapshot (bad magic %q)", magic)
+	}
+	if v := d.byte(); d.err == nil && v != snapshotVersion {
+		return nil, fmt.Errorf("index: unsupported snapshot version %d (want %d)", v, snapshotVersion)
+	}
+	// Checksum before decoding the body: a corrupt file fails here with
+	// the precise diagnosis rather than as an arbitrary decode error.
+	if got, want := binary.LittleEndian.Uint32(sum), crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("index: snapshot checksum mismatch (file %08x, computed %08x)", got, want)
+	}
+
+	x := &Index{}
+	x.dsVertices = d.intVal()
+	x.dsEdges = d.intVal()
+	x.dsAttributes = d.intVal()
+	numSets := d.count()
+	x.sets = make([]core.AttributeSet, 0, min(numSets, 1<<20))
+	for i := 0; i < numSets && d.err == nil; i++ {
+		var s core.AttributeSet
+		na := d.count()
+		s.Attrs = make([]int32, na)
+		for j := range s.Attrs {
+			s.Attrs[j] = int32(d.uvarint())
+		}
+		s.Names = make([]string, na)
+		for j := range s.Names {
+			s.Names[j] = d.str()
+		}
+		s.Support = d.intVal()
+		s.Epsilon = d.f64()
+		s.ExpEps = d.f64()
+		s.Delta = d.f64()
+		s.Covered = d.intVal()
+		s.Estimated = d.bool()
+		s.EpsilonErr = d.f64()
+		s.SampledVertices = d.intVal()
+		x.sets = append(x.sets, s)
+	}
+
+	numPats := d.count()
+	x.patterns = make([]core.Pattern, 0, min(numPats, 1<<20))
+	x.patVerts = make([][]string, 0, min(numPats, 1<<20))
+	for i := 0; i < numPats && d.err == nil; i++ {
+		var p core.Pattern
+		na := d.count()
+		p.Attrs = make([]int32, na)
+		for j := range p.Attrs {
+			p.Attrs[j] = int32(d.uvarint())
+		}
+		p.Names = make([]string, na)
+		for j := range p.Names {
+			p.Names[j] = d.str()
+		}
+		nv := d.count()
+		p.Vertices = make([]int32, nv)
+		for j := range p.Vertices {
+			p.Vertices[j] = int32(d.uvarint())
+		}
+		verts := make([]string, nv)
+		for j := range verts {
+			verts[j] = d.str()
+		}
+		p.MinDeg = d.intVal()
+		p.Edges = d.intVal()
+		x.patterns = append(x.patterns, p)
+		x.patVerts = append(x.patVerts, verts)
+	}
+
+	x.mining.SetsEvaluated = int64(d.uvarint())
+	x.mining.SetsEmitted = int64(d.uvarint())
+	x.mining.PatternsEmitted = int64(d.uvarint())
+	x.mining.SearchNodes = int64(d.uvarint())
+	x.mining.SampledVertices = int64(d.uvarint())
+	x.mining.Duration = time.Duration(d.uvarint())
+
+	if d.err != nil {
+		return nil, fmt.Errorf("index: loading snapshot: %w", d.err)
+	}
+	if _, err := d.r.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("index: snapshot has trailing bytes after the payload")
+	}
+	x.freeze()
+	return x, nil
+}
+
+// encoder writes the snapshot primitives, latching the first error.
+type encoder struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func (e *encoder) bytes(b []byte) {
+	if e.err == nil {
+		_, e.err = e.w.Write(b)
+	}
+}
+
+func (e *encoder) byte(b byte) {
+	if e.err == nil {
+		e.err = e.w.WriteByte(b)
+	}
+}
+
+func (e *encoder) uvarint(v uint64) {
+	n := binary.PutUvarint(e.buf[:], v)
+	e.bytes(e.buf[:n])
+}
+
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	if e.err == nil {
+		_, e.err = e.w.WriteString(s)
+	}
+}
+
+func (e *encoder) f64(v float64) {
+	binary.LittleEndian.PutUint64(e.buf[:8], math.Float64bits(v))
+	e.bytes(e.buf[:8])
+}
+
+func (e *encoder) bool(v bool) {
+	if v {
+		e.byte(1)
+	} else {
+		e.byte(0)
+	}
+}
+
+// decoder reads the snapshot primitives, latching the first error.
+type decoder struct {
+	r *bufio.Reader
+	// limit bounds length fields: a count of decoded elements can never
+	// exceed the payload byte size, so larger values are corruption.
+	limit int
+	err   error
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		d.err = err
+		return nil
+	}
+	return b
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	b, err := d.r.ReadByte()
+	if err != nil {
+		d.err = err
+	}
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		d.err = err
+	}
+	return v
+}
+
+// count reads a uvarint that sizes an allocation (element or byte
+// count): no honest count can exceed the payload size in bytes, since
+// each counted element consumes at least one byte, so larger values
+// fail before any allocation.
+func (d *decoder) count() int {
+	v := d.uvarint()
+	if d.err == nil && v > uint64(d.limit) {
+		d.err = fmt.Errorf("corrupt count %d (payload is %d bytes)", v, d.limit)
+		return 0
+	}
+	return int(v)
+}
+
+// intVal reads a uvarint carrying a plain value (support, degree, …):
+// bounded only by the coarse maxSnapshotLen sanity cap, since values
+// may legitimately exceed the payload size.
+func (d *decoder) intVal() int {
+	v := d.uvarint()
+	if d.err == nil && v > maxSnapshotLen {
+		d.err = fmt.Errorf("corrupt value %d", v)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) str() string {
+	n := d.count()
+	return string(d.bytes(n))
+}
+
+func (d *decoder) f64() float64 {
+	b := d.bytes(8)
+	if d.err != nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func (d *decoder) bool() bool { return d.byte() != 0 }

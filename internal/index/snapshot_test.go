@@ -1,0 +1,169 @@
+package index
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+func TestSnapshotRoundTripBitIdentical(t *testing.T) {
+	_, _, x := buildExample(t)
+	var first bytes.Buffer
+	if err := x.Save(&first); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := loaded.Save(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("Save→Load→Save differs: %d vs %d bytes", first.Len(), second.Len())
+	}
+}
+
+func TestSnapshotLoadedIndexAnswersIdentically(t *testing.T) {
+	_, res, x := buildExample(t)
+	var buf bytes.Buffer
+	if err := x.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	y, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(x.Sets(), y.Sets()) {
+		t.Fatal("sets differ after round trip")
+	}
+	if !reflect.DeepEqual(x.Patterns(), y.Patterns()) {
+		t.Fatal("patterns differ after round trip")
+	}
+	if !reflect.DeepEqual(x.MiningStats(), y.MiningStats()) {
+		t.Fatal("mining stats differ after round trip")
+	}
+	xv, xe, xa := x.DatasetShape()
+	yv, ye, ya := y.DatasetShape()
+	if xv != yv || xe != ye || xa != ya || xv != 11 || xe != 19 || xa != 5 {
+		t.Fatalf("dataset shape lost: (%d,%d,%d) vs (%d,%d,%d)", xv, xe, xa, yv, ye, ya)
+	}
+	for _, s := range res.Sets {
+		if _, ok := y.SetByID(s.ID()); !ok {
+			t.Fatalf("loaded index misses set %s", s.ID())
+		}
+	}
+	if !reflect.DeepEqual(x.Supersets([]string{"A"}), y.Supersets([]string{"A"})) {
+		t.Fatal("trie queries differ after round trip")
+	}
+	if !reflect.DeepEqual(x.PatternsWithVertex("6"), y.PatternsWithVertex("6")) {
+		t.Fatal("vertex postings differ after round trip")
+	}
+}
+
+func TestSnapshotCarriesEstimationAndInf(t *testing.T) {
+	_, res, _ := buildExample(t)
+	res.Sets[0].Delta = math.Inf(1)
+	res.Sets[1].Estimated = true
+	res.Sets[1].EpsilonErr = 0.125
+	res.Sets[1].SampledVertices = 185
+	g, _, _ := buildExample(t)
+	x := Build(res, g)
+	var buf bytes.Buffer
+	if err := x.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	y, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(y.Sets()[0].Delta, 1) {
+		t.Fatal("+Inf delta lost")
+	}
+	s := y.Sets()[1]
+	if !s.Estimated || s.EpsilonErr != 0.125 || s.SampledVertices != 185 {
+		t.Fatalf("estimation fields lost: %+v", s)
+	}
+}
+
+// TestSnapshotGolden pins the on-disk format: the committed snapshot of
+// the deterministic paper-example index must keep loading, and saving
+// the freshly built index must reproduce it byte for byte. A diff here
+// means the format changed — bump snapshotVersion and regenerate with
+// `go test ./internal/index -run Golden -update`.
+func TestSnapshotGolden(t *testing.T) {
+	_, _, x := buildExample(t)
+	// Mining is deterministic except for the wall-clock Duration
+	// counter; pin it so the snapshot bytes are reproducible.
+	x.mining.Duration = 0
+	var buf bytes.Buffer
+	if err := x.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "quickstart.idx")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("snapshot differs from golden (%d vs %d bytes); run with -update after a deliberate format change",
+			buf.Len(), len(want))
+	}
+	y, err := Load(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.NumSets() != 3 || y.NumPatterns() != 7 {
+		t.Fatalf("golden snapshot decodes to %d sets / %d patterns", y.NumSets(), y.NumPatterns())
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	_, _, x := buildExample(t)
+	var buf bytes.Buffer
+	if err := x.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := Load(bytes.NewReader(nil)); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("empty file: %v", err)
+	}
+	bad := append([]byte("NOTSCPM"), good[7:]...)
+	if _, err := Load(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic: %v", err)
+	}
+	bad = append([]byte(nil), good...)
+	bad[7] = 99 // version byte
+	if _, err := Load(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("bad version: %v", err)
+	}
+	bad = append([]byte(nil), good...)
+	bad[len(bad)/2] ^= 0xff // flip a payload byte
+	if _, err := Load(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupt payload: %v", err)
+	}
+	bad = append(append([]byte(nil), good...), 0) // trailing garbage
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("trailing bytes must be rejected")
+	}
+	if _, err := Load(bytes.NewReader(good[:len(good)-8])); err == nil {
+		t.Fatal("truncated payload must be rejected")
+	}
+}

@@ -1,0 +1,106 @@
+package index
+
+import "slices"
+
+// trieNode is a node of the attribute-set trie. Each indexed set is a
+// root-to-node path over its sorted attribute ids, so subset and
+// superset queries become ordered walks: every key along a path is
+// strictly larger than its parent's, which is what the pruning in
+// supersets relies on.
+type trieNode struct {
+	// set is the index of the attribute set ending at this node, or -1.
+	set int32
+	// keys are the child edge labels (attribute ids), sorted ascending;
+	// children is aligned with keys.
+	keys     []int32
+	children []*trieNode
+}
+
+// child returns the child along edge a, or nil.
+func (n *trieNode) child(a int32) *trieNode {
+	i, ok := slices.BinarySearch(n.keys, a)
+	if !ok {
+		return nil
+	}
+	return n.children[i]
+}
+
+// insert adds the sorted attribute list as a path ending at set index
+// set. Inserting sets in canonical (Result) order yields a
+// deterministic trie, but no ordering is required for correctness.
+func (n *trieNode) insert(attrs []int32, set int32) {
+	for _, a := range attrs {
+		i, ok := slices.BinarySearch(n.keys, a)
+		if !ok {
+			c := &trieNode{set: -1}
+			n.keys = slices.Insert(n.keys, i, a)
+			n.children = slices.Insert(n.children, i, c)
+		}
+		n = n.children[i]
+	}
+	n.set = set
+}
+
+// exact returns the set index stored at the exact path attrs (sorted),
+// or -1.
+func (n *trieNode) exact(attrs []int32) int32 {
+	for _, a := range attrs {
+		if n = n.child(a); n == nil {
+			return -1
+		}
+	}
+	return n.set
+}
+
+// supersets visits every stored set whose attribute list contains all
+// of attrs (sorted), in ascending set-path order. At each node the walk
+// may descend any edge whose key is ≤ the next required attribute —
+// larger keys can be pruned outright, because path keys only grow and
+// the required attribute could never be matched deeper down.
+func (n *trieNode) supersets(attrs []int32, visit func(set int32)) {
+	if len(attrs) == 0 {
+		n.collect(visit)
+		return
+	}
+	need := attrs[0]
+	for i, k := range n.keys {
+		switch {
+		case k < need:
+			n.children[i].supersets(attrs, visit)
+		case k == need:
+			n.children[i].supersets(attrs[1:], visit)
+		default:
+			return
+		}
+	}
+}
+
+// collect visits every set stored in the subtree.
+func (n *trieNode) collect(visit func(set int32)) {
+	if n.set >= 0 {
+		visit(n.set)
+	}
+	for _, c := range n.children {
+		c.collect(visit)
+	}
+}
+
+// subsets visits every stored set whose attribute list is contained in
+// attrs (sorted): the walk only descends edges labeled with query
+// attributes, reporting each terminal node it passes.
+func (n *trieNode) subsets(attrs []int32, visit func(set int32)) {
+	if n.set >= 0 {
+		visit(n.set)
+	}
+	for i, a := range attrs {
+		if c := n.child(a); c != nil {
+			c.subsets(attrs[i+1:], visit)
+		}
+	}
+}
+
+// sortDedup sorts *attrs ascending and removes duplicates in place.
+func sortDedup(attrs *[]int32) {
+	slices.Sort(*attrs)
+	*attrs = slices.Compact(*attrs)
+}

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// epsCache is a bounded LRU cache with singleflight admission: when
+// several goroutines ask for the same missing key concurrently, exactly
+// one computes it while the rest block on the shared in-flight call and
+// receive its result. This is what keeps hot /epsilon queries
+// sub-millisecond (a map hit under one mutex) and guarantees a burst of
+// identical cold queries costs one quasi-clique search, not N.
+type epsCache struct {
+	mu       sync.Mutex
+	cap      int
+	ll       *list.List               // front = most recently used
+	entries  map[string]*list.Element // key → element holding *cacheEntry
+	inflight map[string]*inflightCall
+}
+
+// cacheEntry is one cached answer.
+type cacheEntry struct {
+	key string
+	val epsilonAnswer
+}
+
+// inflightCall is a computation in progress; waiters block on done.
+type inflightCall struct {
+	done chan struct{}
+	val  epsilonAnswer
+	err  error
+}
+
+// newEpsCache builds a cache bounded to capacity entries (minimum 1).
+func newEpsCache(capacity int) *epsCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &epsCache{
+		cap:      capacity,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*inflightCall),
+	}
+}
+
+// get returns the cached answer for key, refreshing its recency.
+func (c *epsCache) get(key string) (epsilonAnswer, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return epsilonAnswer{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// do returns the answer for key, computing it with fn on a miss.
+// Concurrent callers of the same missing key share one fn invocation
+// (singleflight); a failed computation is not cached, so a later caller
+// retries. The second return reports whether the answer came from the
+// cache (true) rather than from running — or joining — a computation.
+func (c *epsCache) do(key string, fn func() (epsilonAnswer, error)) (val epsilonAnswer, cached bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		val := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return val, true, nil
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		return call.val, false, call.err
+	}
+	call := &inflightCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.mu.Unlock()
+
+	// The cleanup must run even when fn panics (net/http recovers the
+	// serving goroutine, so the process survives): a leaked inflight
+	// entry would block every future request for this key forever. The
+	// panic degrades to an error for the caller and all waiters.
+	defer func() {
+		if r := recover(); r != nil {
+			call.err = fmt.Errorf("epsilon computation panicked: %v", r)
+		}
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if call.err == nil {
+			c.insert(key, call.val)
+		}
+		c.mu.Unlock()
+		close(call.done)
+		val, cached, err = call.val, false, call.err
+	}()
+	call.val, call.err = fn()
+	return
+}
+
+// insert adds a computed answer, evicting the least recently used entry
+// beyond capacity. Callers hold c.mu.
+func (c *epsCache) insert(key string, val epsilonAnswer) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *epsCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,43 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// ShutdownGrace bounds how long Serve waits for in-flight requests
+// after its context is canceled.
+const ShutdownGrace = 5 * time.Second
+
+// Serve runs h on the listener until ctx is canceled, then shuts down
+// gracefully: the listener closes immediately, in-flight requests get
+// ShutdownGrace to finish, and nil is returned for a clean shutdown.
+// Ownership of ln transfers to the HTTP server (it is closed on
+// return).
+func Serve(ctx context.Context, ln net.Listener, h http.Handler) error {
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), ShutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		// Serve has returned ErrServerClosed by now; drain it.
+		<-errCh
+		return nil
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

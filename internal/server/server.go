@@ -1,0 +1,729 @@
+// Package server exposes a pattern index over HTTP: read-only JSON (and
+// NDJSON) endpoints for the mined attribute sets and patterns, plus an
+// on-demand /epsilon endpoint that answers structural-correlation
+// queries for attribute sets the mining run never emitted, by calling
+// the ε-estimation layer through a bounded, singleflight-deduplicated
+// LRU cache.
+//
+// Endpoints (all GET; see docs/FILE_FORMATS.md for the full schemas):
+//
+//	/healthz            liveness + index shape
+//	/stats              index, mining and server counters
+//	/sets               list/filter/rank attribute sets
+//	/sets/{id}          one set by stable id, with its patterns
+//	/patterns           list/filter patterns
+//	/vertices/{v}       patterns containing a vertex label
+//	/epsilon?attrs=...  ε for any attribute set (index, cache or compute)
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/scpm/scpm/internal/core"
+	"github.com/scpm/scpm/internal/epsilon"
+	"github.com/scpm/scpm/internal/graph"
+	"github.com/scpm/scpm/internal/index"
+	"github.com/scpm/scpm/internal/nullmodel"
+)
+
+// DefaultCacheSize bounds the /epsilon LRU when Config.CacheSize is
+// unset.
+const DefaultCacheSize = 1024
+
+// Config assembles a Server. Index is required; Graph and Estimator
+// together enable on-demand /epsilon computation (without them the
+// endpoint still serves indexed sets and fails cleanly otherwise).
+type Config struct {
+	// Index is the pattern index to serve.
+	Index *index.Index
+	// Graph is the attributed graph the index was mined from; needed to
+	// resolve attribute names and member sets for on-demand ε queries.
+	Graph *graph.Graph
+	// Estimator answers on-demand ε queries (exact coverage search or
+	// Hoeffding sampling — core.Params.NewEstimator builds either).
+	Estimator epsilon.Estimator
+	// Model, when set, adds expected_epsilon and delta to computed
+	// answers (indexed answers always carry them).
+	Model nullmodel.Model
+	// CacheSize bounds the /epsilon LRU; ≤ 0 means DefaultCacheSize.
+	CacheSize int
+	// Logger, when set, receives one line per request.
+	Logger *log.Logger
+}
+
+// Server is the HTTP query layer over a pattern index. Build one with
+// New; it is an http.Handler safe for concurrent use.
+type Server struct {
+	idx    *index.Index
+	g      *graph.Graph
+	est    epsilon.Estimator
+	model  nullmodel.Model
+	cache  *epsCache
+	logger *log.Logger
+	mux    *http.ServeMux
+
+	requests        atomic.Int64
+	epsilonQueries  atomic.Int64
+	epsilonIndexed  atomic.Int64
+	cacheHits       atomic.Int64
+	cacheMisses     atomic.Int64
+	searchNodes     atomic.Int64
+	sampledVertices atomic.Int64
+}
+
+// New builds the server and installs its routes.
+func New(cfg Config) (*Server, error) {
+	if cfg.Index == nil {
+		return nil, fmt.Errorf("server: Config.Index is required")
+	}
+	s := &Server{
+		idx:    cfg.Index,
+		g:      cfg.Graph,
+		est:    cfg.Estimator,
+		model:  cfg.Model,
+		cache:  newEpsCache(cmpOr(cfg.CacheSize, DefaultCacheSize)),
+		logger: cfg.Logger,
+		mux:    http.NewServeMux(),
+	}
+	s.get("/healthz", s.handleHealthz)
+	s.get("/stats", s.handleStats)
+	s.get("/sets", s.handleSets)
+	s.get("/sets/{id}", s.handleSetByID)
+	s.get("/patterns", s.handlePatterns)
+	s.get("/vertices/{v}", s.handleVertex)
+	s.get("/epsilon", s.handleEpsilon)
+	// Unknown paths get the JSON error envelope too, not ServeMux's
+	// plain-text 404.
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown path %q", r.URL.Path))
+	})
+	return s, nil
+}
+
+// get registers a GET/HEAD-only route that answers other methods with
+// the documented JSON 405 envelope (a bare method-qualified ServeMux
+// pattern would answer in plain text).
+func (s *Server) get(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", http.MethodGet)
+			writeErr(w, http.StatusMethodNotAllowed, "method not allowed (GET only)")
+			return
+		}
+		h(w, r)
+	})
+}
+
+// cmpOr returns v when positive, else def.
+func cmpOr(v, def int) int {
+	if v > 0 {
+		return v
+	}
+	return def
+}
+
+// ServeHTTP implements http.Handler with request counting and optional
+// logging.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if s.logger == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	start := time.Now()
+	lw := &loggingWriter{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(lw, r)
+	s.logger.Printf("%s %s %d %dB %s", r.Method, r.URL.RequestURI(), lw.status, lw.bytes, time.Since(start).Round(time.Microsecond))
+}
+
+// loggingWriter records the status and size a handler produced.
+type loggingWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+// WriteHeader captures the status code.
+func (l *loggingWriter) WriteHeader(status int) {
+	l.status = status
+	l.ResponseWriter.WriteHeader(status)
+}
+
+// Write counts the response bytes.
+func (l *loggingWriter) Write(b []byte) (int, error) {
+	n, err := l.ResponseWriter.Write(b)
+	l.bytes += n
+	return n, err
+}
+
+// Stats is a point-in-time snapshot of the server counters. The
+// search-node and sampled-vertex totals aggregate every on-demand
+// estimator call the server has made; a cache or index hit adds zero,
+// which is what the serving-layer tests assert.
+type Stats struct {
+	// Requests counts every HTTP request received.
+	Requests int64 `json:"requests"`
+	// EpsilonQueries counts /epsilon requests that reached resolution
+	// (indexed, cached or computed).
+	EpsilonQueries int64 `json:"epsilon_queries"`
+	// EpsilonIndexed counts /epsilon answers served from the index.
+	EpsilonIndexed int64 `json:"epsilon_indexed"`
+	// CacheHits / CacheMisses count on-demand answers served from the
+	// LRU versus computed (joiners of an in-flight computation count as
+	// misses).
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// CacheEntries is the current LRU population.
+	CacheEntries int `json:"cache_entries"`
+	// SearchNodes totals the quasi-clique search nodes spent by
+	// on-demand estimator calls.
+	SearchNodes int64 `json:"search_nodes"`
+	// SampledVertices totals the membership samples drawn by on-demand
+	// estimator calls (sampled mode only).
+	SampledVertices int64 `json:"sampled_vertices"`
+	// OnDemand reports whether /epsilon can compute uncached answers.
+	OnDemand bool `json:"on_demand"`
+}
+
+// Stats returns the current server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:        s.requests.Load(),
+		EpsilonQueries:  s.epsilonQueries.Load(),
+		EpsilonIndexed:  s.epsilonIndexed.Load(),
+		CacheHits:       s.cacheHits.Load(),
+		CacheMisses:     s.cacheMisses.Load(),
+		CacheEntries:    s.cache.len(),
+		SearchNodes:     s.searchNodes.Load(),
+		SampledVertices: s.sampledVertices.Load(),
+		OnDemand:        s.g != nil && s.est != nil,
+	}
+}
+
+// setDTO is the JSON shape of one attribute set, matching the batch
+// export schema (ids shared, delta string-encoded so +Inf survives).
+type setDTO struct {
+	ID              string   `json:"id"`
+	Attrs           []string `json:"attrs"`
+	Support         int      `json:"support"`
+	Epsilon         float64  `json:"epsilon"`
+	ExpectedEpsilon float64  `json:"expected_epsilon"`
+	Delta           string   `json:"delta"`
+	Covered         int      `json:"covered"`
+	Estimated       bool     `json:"estimated,omitempty"`
+	EpsilonErr      float64  `json:"epsilon_err,omitempty"`
+	SampledVertices int      `json:"sampled_vertices,omitempty"`
+	Patterns        int      `json:"patterns"`
+}
+
+// patternDTO is the JSON shape of one pattern; vertices are labels.
+type patternDTO struct {
+	ID          string   `json:"id"`
+	Set         string   `json:"set"`
+	Attrs       []string `json:"attrs"`
+	Vertices    []string `json:"vertices"`
+	Size        int      `json:"size"`
+	MinDeg      int      `json:"min_deg"`
+	Edges       int      `json:"edges"`
+	Density     float64  `json:"density"`
+	EdgeDensity float64  `json:"edge_density"`
+}
+
+// epsilonAnswer is the JSON shape of one /epsilon response. Source is
+// "index", "cache" or "computed".
+type epsilonAnswer struct {
+	ID              string   `json:"id"`
+	Attrs           []string `json:"attrs"`
+	Support         int      `json:"support"`
+	Epsilon         float64  `json:"epsilon"`
+	Covered         int      `json:"covered"`
+	ExpectedEpsilon *float64 `json:"expected_epsilon,omitempty"`
+	Delta           string   `json:"delta,omitempty"`
+	Estimated       bool     `json:"estimated,omitempty"`
+	EpsilonErr      float64  `json:"epsilon_err,omitempty"`
+	SampledVertices int      `json:"sampled_vertices,omitempty"`
+	Source          string   `json:"source"`
+}
+
+func (s *Server) setDTO(i int) setDTO {
+	set := s.idx.Sets()[i]
+	return setDTO{
+		ID:              s.idx.SetID(i),
+		Attrs:           set.Names,
+		Support:         set.Support,
+		Epsilon:         set.Epsilon,
+		ExpectedEpsilon: set.ExpEps,
+		Delta:           core.FormatDelta(set.Delta),
+		Covered:         set.Covered,
+		Estimated:       set.Estimated,
+		EpsilonErr:      set.EpsilonErr,
+		SampledVertices: set.SampledVertices,
+		Patterns:        len(s.idx.PatternsOfSetByIndex(i)),
+	}
+}
+
+func (s *Server) patternDTO(i int) patternDTO {
+	p := s.idx.Patterns()[i]
+	return patternDTO{
+		ID:          s.idx.PatternID(i),
+		Set:         s.idx.PatternSetID(i),
+		Attrs:       p.Names,
+		Vertices:    s.idx.PatternVertexNames(i),
+		Size:        p.Size(),
+		MinDeg:      p.MinDeg,
+		Edges:       p.Edges,
+		Density:     p.Density(),
+		EdgeDensity: p.EdgeDensity(),
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"sets":     s.idx.NumSets(),
+		"patterns": s.idx.NumPatterns(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ist := s.idx.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"index": map[string]any{
+			"sets":             ist.Sets,
+			"patterns":         ist.Patterns,
+			"attributes":       ist.Attributes,
+			"pattern_vertices": ist.PatternVertices,
+		},
+		"mining": map[string]any{
+			"sets_evaluated":   ist.Mining.SetsEvaluated,
+			"sets_emitted":     ist.Mining.SetsEmitted,
+			"patterns_emitted": ist.Mining.PatternsEmitted,
+			"search_nodes":     ist.Mining.SearchNodes,
+			"sampled_vertices": ist.Mining.SampledVertices,
+			"duration_ms":      ist.Mining.Duration.Milliseconds(),
+		},
+		"server": s.Stats(),
+	})
+}
+
+// parseAttrList splits repeated and comma-separated attrs parameters
+// into a deduplicated name list.
+func parseAttrList(vals []string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, v := range vals {
+		for _, name := range strings.Split(v, ",") {
+			name = strings.TrimSpace(name)
+			if name != "" && !seen[name] {
+				seen[name] = true
+				out = append(out, name)
+			}
+		}
+	}
+	return out
+}
+
+func (s *Server) handleSets(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	exact := parseAttrList(q["attrs"])
+	contains := parseAttrList(q["contains"])
+	within := parseAttrList(q["within"])
+	filters := 0
+	for _, f := range [][]string{exact, contains, within} {
+		if len(f) > 0 {
+			filters++
+		}
+	}
+	if filters > 1 {
+		writeErr(w, http.StatusBadRequest, "attrs, contains and within are mutually exclusive")
+		return
+	}
+
+	var idxs []int
+	switch {
+	case len(exact) > 0:
+		if i := s.idx.Exact(exact); i >= 0 {
+			idxs = []int{i}
+		}
+	case len(contains) > 0:
+		idxs = s.idx.Supersets(contains)
+	case len(within) > 0:
+		idxs = s.idx.Subsets(within)
+	default:
+		idxs = make([]int, s.idx.NumSets())
+		for i := range idxs {
+			idxs[i] = i
+		}
+	}
+
+	minSupport, err := intParam(q, "min_support", 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	minEps, err := floatParam(q, "min_eps", 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	minDelta, err := floatParam(q, "min_delta", 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sets := s.idx.Sets()
+	kept := idxs[:0]
+	for _, i := range idxs {
+		if sets[i].Support >= minSupport && sets[i].Epsilon >= minEps && sets[i].Delta >= minDelta {
+			kept = append(kept, i)
+		}
+	}
+	idxs = kept
+
+	if rank := q.Get("rank"); rank != "" {
+		ranking, ok := parseRanking(rank)
+		if !ok {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown rank %q (want support, epsilon or delta)", rank))
+			return
+		}
+		sortByRanking(s.idx.Sets(), idxs, ranking)
+	}
+	k, err := intParam(q, "k", 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if k > 0 && len(idxs) > k {
+		idxs = idxs[:k]
+	}
+
+	if wantNDJSON(r) {
+		writeNDJSON(w, len(idxs), func(i int) any { return s.setDTO(idxs[i]) })
+		return
+	}
+	out := make([]setDTO, len(idxs))
+	for i, si := range idxs {
+		out[i] = s.setDTO(si)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sets": out, "total": len(out)})
+}
+
+func (s *Server) handleSetByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	si := s.idx.SetIndexByID(id)
+	if si < 0 {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("no attribute set with id %q", id))
+		return
+	}
+	pats := s.idx.PatternsOfSetByIndex(si)
+	out := make([]patternDTO, len(pats))
+	for i, pi := range pats {
+		out[i] = s.patternDTO(int(pi))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"set":      s.setDTO(si),
+		"patterns": out,
+	})
+}
+
+func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var idxs []int
+	switch {
+	case q.Get("set") != "":
+		for _, pi := range s.idx.PatternsOfSet(q.Get("set")) {
+			idxs = append(idxs, int(pi))
+		}
+	case q.Get("vertex") != "":
+		idxs = s.idx.PatternsWithVertex(q.Get("vertex"))
+	default:
+		idxs = make([]int, s.idx.NumPatterns())
+		for i := range idxs {
+			idxs[i] = i
+		}
+	}
+	minSize, err := intParam(q, "min_size", 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if minSize > 0 {
+		pats := s.idx.Patterns()
+		kept := idxs[:0]
+		for _, i := range idxs {
+			if pats[i].Size() >= minSize {
+				kept = append(kept, i)
+			}
+		}
+		idxs = kept
+	}
+	limit, err := intParam(q, "limit", 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if limit > 0 && len(idxs) > limit {
+		idxs = idxs[:limit]
+	}
+	if wantNDJSON(r) {
+		writeNDJSON(w, len(idxs), func(i int) any { return s.patternDTO(idxs[i]) })
+		return
+	}
+	out := make([]patternDTO, len(idxs))
+	for i, pi := range idxs {
+		out[i] = s.patternDTO(pi)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"patterns": out, "total": len(out)})
+}
+
+func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
+	label := r.PathValue("v")
+	known := s.idx.HasVertex(label)
+	if !known && s.g != nil {
+		_, known = s.g.VertexID(label)
+	}
+	if !known {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown vertex %q", label))
+		return
+	}
+	pis := s.idx.PatternsWithVertex(label)
+	pats := make([]patternDTO, len(pis))
+	setIDs := make([]string, 0, len(pis))
+	seen := make(map[string]bool)
+	for i, pi := range pis {
+		pats[i] = s.patternDTO(pi)
+		if id := pats[i].Set; !seen[id] {
+			seen[id] = true
+			setIDs = append(setIDs, id)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"vertex":   label,
+		"patterns": pats,
+		"sets":     setIDs,
+	})
+}
+
+func (s *Server) handleEpsilon(w http.ResponseWriter, r *http.Request) {
+	names := parseAttrList(r.URL.Query()["attrs"])
+	if len(names) == 0 {
+		writeErr(w, http.StatusBadRequest, "attrs parameter is required (e.g. /epsilon?attrs=A,B)")
+		return
+	}
+
+	// Fast path: the mining run already scored this exact set.
+	if i := s.idx.Exact(names); i >= 0 {
+		set := s.idx.Sets()[i]
+		s.epsilonQueries.Add(1)
+		s.epsilonIndexed.Add(1)
+		exp := set.ExpEps
+		writeJSON(w, http.StatusOK, epsilonAnswer{
+			ID:              s.idx.SetID(i),
+			Attrs:           set.Names,
+			Support:         set.Support,
+			Epsilon:         set.Epsilon,
+			Covered:         set.Covered,
+			ExpectedEpsilon: &exp,
+			Delta:           core.FormatDelta(set.Delta),
+			Estimated:       set.Estimated,
+			EpsilonErr:      set.EpsilonErr,
+			SampledVertices: set.SampledVertices,
+			Source:          "index",
+		})
+		return
+	}
+
+	if s.g == nil || s.est == nil {
+		writeErr(w, http.StatusNotImplemented, "on-demand epsilon computation is disabled (no graph/estimator configured)")
+		return
+	}
+	attrs := make([]int32, 0, len(names))
+	for _, n := range names {
+		id, ok := s.g.AttrID(n)
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown attribute %q", n))
+			return
+		}
+		attrs = append(attrs, id)
+	}
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i] < attrs[j] })
+
+	key := attrKey(attrs)
+	ans, cached, err := s.cache.do(key, func() (epsilonAnswer, error) {
+		return s.computeEpsilon(attrs)
+	})
+	if err != nil {
+		// A budget-bounded search that ran out is an overload signal,
+		// not a server fault: 503 tells the client the query was too
+		// expensive under the configured budget.
+		status := http.StatusInternalServerError
+		if errors.Is(err, core.ErrBudget) {
+			status = http.StatusServiceUnavailable
+		}
+		writeErr(w, status, err.Error())
+		return
+	}
+	s.epsilonQueries.Add(1)
+	if cached {
+		s.cacheHits.Add(1)
+		ans.Source = "cache"
+	} else {
+		s.cacheMisses.Add(1)
+		ans.Source = "computed"
+	}
+	writeJSON(w, http.StatusOK, ans)
+}
+
+// computeEpsilon answers one uncached /epsilon query through the
+// estimator; it runs inside the cache's singleflight.
+func (s *Server) computeEpsilon(attrs []int32) (epsilonAnswer, error) {
+	names := s.g.AttrSetNames(attrs)
+	ans := epsilonAnswer{
+		ID:    core.SetID(names),
+		Attrs: names,
+	}
+	members := s.g.Members(attrs)
+	ans.Support = members.Count()
+	if ans.Support > 0 {
+		est, err := s.est.Estimate(s.g, attrs, members, members)
+		if err != nil {
+			return epsilonAnswer{}, err
+		}
+		s.searchNodes.Add(est.Nodes)
+		s.sampledVertices.Add(int64(est.SampledVertices))
+		ans.Epsilon = est.Epsilon
+		ans.Covered = est.Covered
+		ans.Estimated = est.Estimated
+		ans.EpsilonErr = est.ErrBound
+		ans.SampledVertices = est.SampledVertices
+	}
+	if s.model != nil {
+		exp := s.model.Exp(ans.Support)
+		ans.ExpectedEpsilon = &exp
+		ans.Delta = core.FormatDelta(core.NormalizeDelta(ans.Epsilon, exp))
+	}
+	return ans, nil
+}
+
+// attrKey renders sorted attribute ids as the cache key.
+func attrKey(attrs []int32) string {
+	var sb strings.Builder
+	for _, a := range attrs {
+		fmt.Fprintf(&sb, "%d,", a)
+	}
+	return sb.String()
+}
+
+// parseRanking maps the rank parameter to a core.Ranking.
+func parseRanking(s string) (core.Ranking, bool) {
+	switch strings.ToLower(s) {
+	case "support", "sigma":
+		return core.BySupport, true
+	case "epsilon", "eps":
+		return core.ByEpsilon, true
+	case "delta":
+		return core.ByDelta, true
+	}
+	return 0, false
+}
+
+// sortByRanking orders set indices by the ranking with the TopSets
+// tie-breaks (support, then canonical attribute order).
+func sortByRanking(sets []core.AttributeSet, idxs []int, r core.Ranking) {
+	sort.SliceStable(idxs, func(a, b int) bool {
+		x, y := sets[idxs[a]], sets[idxs[b]]
+		switch r {
+		case core.BySupport:
+			if x.Support != y.Support {
+				return x.Support > y.Support
+			}
+		case core.ByEpsilon:
+			if x.Epsilon != y.Epsilon {
+				return x.Epsilon > y.Epsilon
+			}
+		case core.ByDelta:
+			if x.Delta != y.Delta {
+				if math.IsInf(x.Delta, 1) {
+					return true
+				}
+				if math.IsInf(y.Delta, 1) {
+					return false
+				}
+				return x.Delta > y.Delta
+			}
+		}
+		if x.Support != y.Support {
+			return x.Support > y.Support
+		}
+		return idxs[a] < idxs[b]
+	})
+}
+
+// intParam parses an optional non-negative integer query parameter.
+func intParam(q map[string][]string, name string, def int) (int, error) {
+	vals := q[name]
+	if len(vals) == 0 || vals[0] == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(vals[0])
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad %s %q (want a non-negative integer)", name, vals[0])
+	}
+	return v, nil
+}
+
+// floatParam parses an optional non-negative float query parameter.
+func floatParam(q map[string][]string, name string, def float64) (float64, error) {
+	vals := q[name]
+	if len(vals) == 0 || vals[0] == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(vals[0], 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad %s %q (want a non-negative number)", name, vals[0])
+	}
+	return v, nil
+}
+
+// wantNDJSON reports whether the request asked for NDJSON output.
+func wantNDJSON(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "ndjson" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+// writeJSON writes one JSON document with the right headers.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+// writeNDJSON streams n items, one JSON object per line.
+func writeNDJSON(w http.ResponseWriter, n int, item func(i int) any) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for i := 0; i < n; i++ {
+		if err := enc.Encode(item(i)); err != nil {
+			return
+		}
+	}
+}
+
+// writeErr writes the JSON error envelope {"error": msg}.
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,47 @@
+// Package version renders the build identity reported by the -version
+// flag of the scpm binaries, backed by runtime/debug.ReadBuildInfo so
+// it works for plain `go build`/`go install` without ldflags.
+package version
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// String renders a one-line build description for the named binary:
+// module version (or "devel"), VCS revision and dirty marker when the
+// build recorded them, and the Go toolchain version.
+func String(binary string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s ", binary)
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		sb.WriteString("(unknown build)")
+		return sb.String()
+	}
+	ver := info.Main.Version
+	if ver == "" || ver == "(devel)" {
+		ver = "devel"
+	}
+	sb.WriteString(ver)
+	var rev, dirty string
+	for _, kv := range info.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			rev = kv.Value
+		case "vcs.modified":
+			if kv.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&sb, " (%s%s)", rev, dirty)
+	}
+	fmt.Fprintf(&sb, " %s", info.GoVersion)
+	return sb.String()
+}

@@ -1,0 +1,81 @@
+package scpm
+
+import (
+	"context"
+	"io"
+	"log"
+	"net"
+	"net/http"
+
+	"github.com/scpm/scpm/internal/index"
+	"github.com/scpm/scpm/internal/server"
+)
+
+// Index is a read-optimized, concurrently-queryable view of one mining
+// run's output: stable-id lookups, an attribute-set trie
+// (exact/subset/superset), inverted postings (attribute → sets, vertex
+// → patterns), top-k rankings and a versioned binary snapshot format.
+// Build one with NewIndex, or restore one with LoadIndex; all methods
+// are safe for concurrent use.
+type Index = index.Index
+
+// IndexStats summarizes an Index's shape (set/pattern/attribute counts
+// plus the producing run's mining counters).
+type IndexStats = index.Stats
+
+// NewIndex builds an Index from a mining result. g must be the graph
+// the result was mined from; it resolves pattern vertex ids to labels
+// so the index and its snapshots are self-contained.
+func NewIndex(res *Result, g *Graph) *Index { return index.Build(res, g) }
+
+// LoadIndex restores an Index from a snapshot written by Index.Save,
+// verifying its magic, version and checksum. The snapshot is
+// self-contained — no graph is needed to serve lookups from it.
+func LoadIndex(r io.Reader) (*Index, error) { return index.Load(r) }
+
+// ServerConfig configures NewServerHandler beyond its required
+// arguments.
+type ServerConfig struct {
+	// CacheSize bounds the /epsilon LRU cache (entries); 0 means the
+	// server default (1024).
+	CacheSize int
+	// Logger, when set, receives one line per request.
+	Logger *log.Logger
+}
+
+// NewServerHandler builds the HTTP query layer over an index: JSON and
+// NDJSON endpoints for sets, patterns and vertices, plus on-demand
+// /epsilon answers for attribute sets the mining run never emitted,
+// computed by p's ε-estimation layer (exact, or sampled under
+// WithEpsilonSampling-style parameters) through a singleflight-
+// deduplicated LRU cache. g may be nil when only indexed lookups are
+// needed (e.g. serving a snapshot without the dataset); /epsilon then
+// answers indexed sets only. See docs/FILE_FORMATS.md for the endpoint
+// reference.
+func NewServerHandler(idx *Index, g *Graph, p Params, cfg ServerConfig) (http.Handler, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	sc := server.Config{
+		Index:     idx,
+		CacheSize: cfg.CacheSize,
+		Logger:    cfg.Logger,
+	}
+	if g != nil {
+		sc.Graph = g
+		sc.Estimator = p.NewEstimator()
+		sc.Model = p.NewModel(g)
+	}
+	return server.New(sc)
+}
+
+// Serve runs h on addr until ctx is canceled, then shuts down
+// gracefully (in-flight requests get a bounded grace period; a clean
+// shutdown returns nil).
+func Serve(ctx context.Context, addr string, h http.Handler) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return server.Serve(ctx, ln, h)
+}
