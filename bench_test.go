@@ -231,9 +231,13 @@ func BenchmarkAblationSCPMVariants(b *testing.B) {
 		b.Run(v.name, func(b *testing.B) {
 			p := experiments.PerfBase(d)
 			v.mod(&p)
+			m, err := NewMiner(WithParams(p))
+			if err != nil {
+				b.Fatal(err)
+			}
 			var sets int
 			for i := 0; i < b.N; i++ {
-				res, err := Mine(d.Graph, p)
+				res, err := m.Mine(context.Background(), d.Graph)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -249,8 +253,12 @@ func BenchmarkAblationSCPMVariants(b *testing.B) {
 func BenchmarkNaiveBaseline(b *testing.B) {
 	d := loadB(b, "smalldblp")
 	p := experiments.PerfBase(d)
+	m, err := NewMiner(WithParams(p), WithNaive())
+	if err != nil {
+		b.Fatal(err)
+	}
 	for i := 0; i < b.N; i++ {
-		if _, err := MineNaive(d.Graph, p); err != nil {
+		if _, err := m.Mine(context.Background(), d.Graph); err != nil {
 			b.Fatal(err)
 		}
 	}

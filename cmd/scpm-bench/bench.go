@@ -21,8 +21,10 @@ import (
 // can detect incompatible changes. v2 added the ε-estimator columns
 // (epsilon_mode, sample_eps, sample_delta, sampled_vertices) and one
 // run per (scale, estimator mode); v3 added the optional serve section
-// written by -exp serve (index build time + endpoint throughput).
-const benchSchema = "scpm-bench/v3"
+// written by -exp serve (index build time + endpoint throughput); v4
+// added the optional update section written by -exp update (full vs
+// incremental remine after single-op graph deltas).
+const benchSchema = "scpm-bench/v4"
 
 // benchRun is one (dataset, scale, estimator mode) measurement.
 type benchRun struct {
@@ -55,15 +57,17 @@ type benchRun struct {
 }
 
 // benchReport is the full content of one BENCH_<dataset>.json file.
-// Mining suites fill Runs; -exp serve fills Serve instead.
+// Mining suites fill Runs; -exp serve fills Serve; -exp update fills
+// Update.
 type benchReport struct {
-	Schema  string       `json:"schema"`
-	Dataset string       `json:"dataset"`
-	Go      string       `json:"go"`
-	GOOS    string       `json:"goos"`
-	GOARCH  string       `json:"goarch"`
-	Runs    []benchRun   `json:"runs,omitempty"`
-	Serve   *serveReport `json:"serve,omitempty"`
+	Schema  string        `json:"schema"`
+	Dataset string        `json:"dataset"`
+	Go      string        `json:"go"`
+	GOOS    string        `json:"goos"`
+	GOARCH  string        `json:"goarch"`
+	Runs    []benchRun    `json:"runs,omitempty"`
+	Serve   *serveReport  `json:"serve,omitempty"`
+	Update  *updateReport `json:"update,omitempty"`
 }
 
 // runBenchSuite generates each dataset at every scale, mines it with

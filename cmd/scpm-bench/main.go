@@ -22,6 +22,10 @@
 //   - "serve" benchmarks the query-serving subsystem on the quickstart
 //     dataset: index build time, snapshot size and queries/sec per
 //     endpoint, written to BENCH_serve.json;
+//   - "update" measures the dynamic-graph path: after a single-edge or
+//     single-attribute delta, a full re-mine of the updated graph is
+//     timed against the incremental Remine from the previous result's
+//     lattice, per dataset (-update-datasets), into BENCH_update.json;
 //   - "bench" mines the synthetic datasets at several scales — once per
 //     ε-estimator mode (exact and sampled) — and writes one
 //     BENCH_<dataset>.json per dataset with wall time, search nodes,
@@ -55,7 +59,7 @@ func runMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("scpm-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp     = fs.String("exp", "all", "experiment id (table1..table4, fig4, fig7, fig8, fig9, fig10, ablation, approx, bench, serve, all)")
+		exp     = fs.String("exp", "all", "experiment id (table1..table4, fig4, fig7, fig8, fig9, fig10, ablation, approx, bench, serve, update, all)")
 		scale   = fs.Float64("scale", 1.0, "dataset scale factor")
 		repeats = fs.Int("repeats", 3, "timing repetitions for fig8 (best-of)")
 		samples = fs.Int("samples", 100, "simulation samples per support value for fig4/7/9")
@@ -67,6 +71,9 @@ func runMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		benchDatasets = fs.String("bench-datasets", "dblp,lastfm,citeseer,dense", "comma-separated datasets for -exp bench")
 
 		approxDataset = fs.String("approx-dataset", "dense", "dataset for -exp approx (exact vs sampled ε)")
+
+		updateDatasets = fs.String("update-datasets", "dblp,dense", "comma-separated datasets for -exp update")
+		updateScale    = fs.Float64("update-scale", 0.2, "dataset scale for -exp update")
 
 		showVer = fs.Bool("version", false, "print version and exit")
 	)
@@ -169,6 +176,8 @@ func runMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return runBenchSuite(ctx, *benchDatasets, *benchScales, *benchOut, stdout)
 		case "serve":
 			return runServeBench(ctx, *benchOut, stdout)
+		case "update":
+			return runUpdateBench(ctx, *updateDatasets, *updateScale, *repeats, *benchOut, stdout)
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}

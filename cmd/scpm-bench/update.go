@@ -1,0 +1,233 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/scpm/scpm/internal/core"
+	"github.com/scpm/scpm/internal/experiments"
+	"github.com/scpm/scpm/internal/graph"
+)
+
+// updateRun is one (dataset, delta kind) measurement of the update
+// experiment: the wall time of a full re-mine of the updated graph
+// versus the incremental remine from the previous result's lattice,
+// with the reuse split that explains the gap.
+type updateRun struct {
+	Dataset string  `json:"dataset"`
+	Scale   float64 `json:"scale"`
+	// Delta names the update shape: "edge" (one new edge) or "attr"
+	// (one attribute set on one vertex).
+	Delta string `json:"delta"`
+	// Ops/DirtyAttrs/DirtyVertices summarize the ChangeSet.
+	Ops         int     `json:"ops"`
+	DirtyAttrs  int     `json:"dirty_attrs"`
+	DirtyVerts  int     `json:"dirty_vertices"`
+	FullMS      float64 `json:"full_ms"`
+	IncMS       float64 `json:"incremental_ms"`
+	Speedup     float64 `json:"speedup"`
+	ReusedSets  int64   `json:"reused_sets"`
+	Recomputed  int64   `json:"recomputed_sets"`
+	FullNodes   int64   `json:"full_search_nodes"`
+	IncNodes    int64   `json:"incremental_search_nodes"`
+	Sets        int     `json:"sets"`
+	Incremental bool    `json:"incremental_wins"`
+}
+
+// updateReport is the "update" section of BENCH_update.json.
+type updateReport struct {
+	Repeats int         `json:"repeats"`
+	Runs    []updateRun `json:"runs"`
+}
+
+// runUpdateBench measures incremental remining against full remining
+// on single-edge and single-attribute deltas over the committed
+// datasets, writing BENCH_update.json.
+func runUpdateBench(ctx context.Context, datasets string, scale float64, repeats int, outDir string, stdout io.Writer) error {
+	if repeats < 1 {
+		repeats = 1
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return fmt.Errorf("update: creating %s: %w", outDir, err)
+	}
+	report := benchReport{
+		Schema:  benchSchema,
+		Dataset: "update",
+		Go:      runtime.Version(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		Update:  &updateReport{Repeats: repeats},
+	}
+	for _, name := range strings.Split(datasets, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		for _, kind := range []string{"edge", "attr"} {
+			run, err := updateOne(ctx, name, scale, kind, repeats)
+			if err != nil {
+				return fmt.Errorf("update %s/%s: %w", name, kind, err)
+			}
+			report.Update.Runs = append(report.Update.Runs, run)
+			fmt.Fprintf(stdout, "update %s %-4s dirtyA=%-3d full=%8.1fms inc=%8.1fms speedup=%5.1fx reused=%d recomputed=%d\n",
+				name, kind, run.DirtyAttrs, run.FullMS, run.IncMS, run.Speedup, run.ReusedSets, run.Recomputed)
+		}
+	}
+	path := filepath.Join(outDir, "BENCH_update.json")
+	if err := writeBenchReport(path, report); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", path)
+	return nil
+}
+
+// singleOpDelta builds the benchmark delta: one edge between the first
+// attribute-disjoint non-adjacent vertex pair (kind "edge"), or one
+// attribute set on the first vertex lacking it (kind "attr") — the
+// shapes a live stream of updates is made of.
+func singleOpDelta(g *graph.Graph, kind string) (*graph.Delta, error) {
+	d := g.NewDelta()
+	n := int32(g.NumVertices())
+	if kind == "attr" {
+		for v := int32(0); v < n; v++ {
+			have := g.VertexAttrs(v)
+			for a := int32(0); a < int32(g.NumAttributes()); a++ {
+				onVertex := false
+				for _, x := range have {
+					if x == a {
+						onVertex = true
+						break
+					}
+				}
+				if !onVertex {
+					return d, d.SetAttr(g.VertexName(v), g.AttrName(a))
+				}
+			}
+		}
+		return nil, fmt.Errorf("no vertex is missing an attribute")
+	}
+	// Edge: prefer an attribute-disjoint pair, falling back to the
+	// first non-adjacent pair.
+	var fu, fv int32 = -1, -1
+	for u := int32(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if g.HasEdge(u, v) {
+				continue
+			}
+			if fu < 0 {
+				fu, fv = u, v
+			}
+			if sharedAttrCount(g.VertexAttrs(u), g.VertexAttrs(v)) == 0 {
+				return d, d.AddEdge(g.VertexName(u), g.VertexName(v))
+			}
+		}
+	}
+	if fu < 0 {
+		return nil, fmt.Errorf("graph is complete")
+	}
+	return d, d.AddEdge(g.VertexName(fu), g.VertexName(fv))
+}
+
+// sharedAttrCount counts common elements of two sorted id lists.
+func sharedAttrCount(a, b []int32) int {
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// updateOne measures one dataset × delta-kind cell.
+func updateOne(ctx context.Context, name string, scale float64, kind string, repeats int) (updateRun, error) {
+	d, err := experiments.Load(name, scale)
+	if err != nil {
+		return updateRun{}, err
+	}
+	p := d.Params()
+	p.RecordLattice = true
+
+	old, err := core.Mine(ctx, d.Graph, p, nil)
+	if err != nil {
+		return updateRun{}, err
+	}
+	delta, err := singleOpDelta(d.Graph, kind)
+	if err != nil {
+		return updateRun{}, err
+	}
+	ng, cs, err := d.Graph.Apply(delta)
+	if err != nil {
+		return updateRun{}, err
+	}
+
+	run := updateRun{
+		Dataset:    name,
+		Scale:      scale,
+		Delta:      kind,
+		Ops:        delta.Ops(),
+		DirtyAttrs: cs.DirtyAttrs.Count(),
+		DirtyVerts: cs.DirtyVertices.Count(),
+	}
+
+	// Full remine: mining the updated graph from scratch (lattice
+	// recording on, like a serving deployment would run it).
+	var fullRes *core.Result
+	run.FullMS = bestOfMS(repeats, func() error {
+		fullRes, err = core.Mine(ctx, ng, p, nil)
+		return err
+	})
+	if err != nil {
+		return updateRun{}, err
+	}
+	// Incremental remine from the previous result.
+	var incRes *core.Result
+	run.IncMS = bestOfMS(repeats, func() error {
+		incRes, err = core.Remine(ctx, ng, p, old, cs, nil)
+		return err
+	})
+	if err != nil {
+		return updateRun{}, err
+	}
+	if len(incRes.Sets) != len(fullRes.Sets) || len(incRes.Patterns) != len(fullRes.Patterns) {
+		return updateRun{}, fmt.Errorf("incremental result diverged: %d/%d sets, %d/%d patterns",
+			len(incRes.Sets), len(fullRes.Sets), len(incRes.Patterns), len(fullRes.Patterns))
+	}
+	run.Speedup = run.FullMS / run.IncMS
+	run.ReusedSets = incRes.Stats.ReusedSets
+	run.Recomputed = incRes.Stats.RecomputedSets
+	run.FullNodes = fullRes.Stats.SearchNodes
+	run.IncNodes = incRes.Stats.SearchNodes
+	run.Sets = len(incRes.Sets)
+	run.Incremental = run.IncMS < run.FullMS
+	return run, nil
+}
+
+// bestOfMS returns the fastest of n timed calls in milliseconds.
+func bestOfMS(n int, fn func() error) float64 {
+	best := 0.0
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		if fn() != nil {
+			return 0
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		if i == 0 || ms < best {
+			best = ms
+		}
+	}
+	return best
+}

@@ -10,6 +10,15 @@
 // layer (exact or sampled, per -eps-mode) behind a singleflight-
 // deduplicated LRU cache, so repeated hot queries cost a map lookup.
 //
+// The served data is live: POST /updates accepts NDJSON graph
+// operations (add/remove edge, add vertex, set/unset attribute),
+// applies them atomically and re-mines incrementally in the
+// background, swapping the refreshed index in without blocking
+// concurrent reads; GET /version reports the data version versus the
+// served version. With -snapshot each published generation also
+// refreshes the snapshot and writes dataset sidecars so a restart
+// resumes the updated data; -no-updates serves a frozen index.
+//
 // Usage:
 //
 //	scpm-serve -attrs graph.attrs -edges graph.edges \
@@ -26,6 +35,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -70,7 +80,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		k         = fs.Int("k", 5, "top-k patterns per attribute set (0 = sets only)")
 		minAttrs  = fs.Int("minattrs", 1, "report only sets with ≥ this many attributes")
 		maxAttrs  = fs.Int("maxattrs", 0, "bound attribute-set size (0 = unbounded)")
-		par       = fs.Int("parallelism", runtime.NumCPU(), "mining worker goroutines")
+		par       = fs.Int("parallel", runtime.NumCPU(), "mining worker goroutines")
+		noUpdates = fs.Bool("no-updates", false, "disable POST /updates (serve a frozen index)")
 		budget    = fs.Int64("budget", 0, "search-node budget per quasi-clique search, for startup mining and each on-demand ε query (0 = unbounded)")
 		epsMode   = fs.String("eps-mode", "exact", "on-demand ε computation: exact or sampled")
 		sampleEps = fs.Float64("sample-eps", 0, "sampled mode: ε̂ half-width bound (0 = default 0.1)")
@@ -78,6 +89,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		seed      = fs.Int64("seed", 0, "sampled mode: sampling seed")
 		showVer   = fs.Bool("version", false, "print version and exit")
 	)
+	// Deprecated alias kept for callers of the pre-unification flag
+	// name (cmd/scpm always said -parallel; scpm-serve now agrees).
+	fs.Var(aliasValue{fs, "parallel"}, "parallelism", "deprecated alias for -parallel")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -86,10 +100,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	g, err := loadGraph(*attrsPath, *edgesPath, *example)
+	g, resumed, err := loadGraph(*attrsPath, *edgesPath, *example, *snapshot)
 	if err != nil {
 		fmt.Fprintln(stderr, "scpm-serve:", err)
 		return 2
+	}
+	if resumed {
+		fmt.Fprintf(stdout, "scpm-serve: resumed updated dataset from %s.{attrs,edges}\n", *snapshot)
 	}
 
 	opts := []scpm.Option{
@@ -103,6 +120,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		scpm.WithMaxAttrs(*maxAttrs),
 		scpm.WithParallelism(*par),
 		scpm.WithSearchBudget(*budget),
+	}
+	if !*noUpdates {
+		// Record the search lattice so POST /updates re-mines
+		// incrementally from the boot result.
+		opts = append(opts, scpm.WithLiveUpdates())
 	}
 	switch strings.ToLower(*epsMode) {
 	case "exact":
@@ -118,7 +140,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	idx, err := buildIndex(ctx, miner, g, *snapshot, stdout)
+	idx, res, err := buildIndex(ctx, miner, g, *snapshot, stdout)
 	if err != nil {
 		if scpm.IsCanceled(err) {
 			return 130
@@ -131,6 +153,33 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	cfg.CacheSize = *cacheSize
 	if !*quiet {
 		cfg.Logger = log.New(stderr, "scpm-serve: ", log.LstdFlags)
+	}
+	if !*noUpdates {
+		cfg.Result = res
+		// Snapshot write-behind: every published generation refreshes
+		// the snapshot so a restart resumes from the updated results.
+		snapshotPath := *snapshot
+		cfg.OnSwap = func(e scpm.SwapEvent) {
+			fmt.Fprintf(stdout, "scpm-serve: serving v%d (%d sets, %d reused / %d recomputed, remine %s)\n",
+				e.Version, len(e.Result.Sets), e.Result.Stats.ReusedSets,
+				e.Result.Stats.RecomputedSets, e.RemineDuration.Round(time.Millisecond))
+			if snapshotPath == "" {
+				return
+			}
+			// Write-behind: refresh the snapshot AND the dataset
+			// sidecars, so a restart resumes the updated data instead of
+			// refusing a snapshot that no longer matches the original
+			// dataset files.
+			if err := saveSnapshot(e.Index, snapshotPath); err != nil {
+				fmt.Fprintln(stderr, "scpm-serve: snapshot write-behind:", err)
+				return
+			}
+			if err := saveDataset(e.Graph, snapshotPath); err != nil {
+				fmt.Fprintln(stderr, "scpm-serve: dataset write-behind:", err)
+				return
+			}
+			fmt.Fprintf(stdout, "scpm-serve: refreshed snapshot %s (v%d)\n", snapshotPath, e.Version)
+		}
 	}
 	handler, err := scpm.NewServerHandler(idx, g, miner.Params(), cfg)
 	if err != nil {
@@ -156,21 +205,54 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// aliasValue forwards a deprecated flag name to its canonical flag, so
+// both spellings set the same value.
+type aliasValue struct {
+	fs     *flag.FlagSet
+	target string
+}
+
+// String implements flag.Value.
+func (a aliasValue) String() string { return "" }
+
+// Set implements flag.Value by delegating to the canonical flag.
+func (a aliasValue) Set(v string) error { return a.fs.Set(a.target, v) }
+
 // loadGraph resolves the dataset selection: two files, or a built-in
-// example.
-func loadGraph(attrsPath, edgesPath, example string) (*scpm.Graph, error) {
-	switch {
-	case example != "":
-		if attrsPath != "" || edgesPath != "" {
-			return nil, errors.New("-example cannot be combined with -attrs/-edges")
-		}
-		if example != "paper" {
-			return nil, fmt.Errorf("unknown -example %q (want paper)", example)
-		}
-		return scpm.PaperExample(), nil
-	case attrsPath == "" || edgesPath == "":
-		return nil, errors.New("-attrs and -edges are required (or use -example paper)")
+// example. When a snapshot with live-update dataset sidecars exists
+// (written by the update path's write-behind), the sidecars win — they
+// are the updated data the snapshot was mined from; the second return
+// reports that resumption.
+func loadGraph(attrsPath, edgesPath, example, snapshot string) (*scpm.Graph, bool, error) {
+	if example != "" && (attrsPath != "" || edgesPath != "") {
+		return nil, false, errors.New("-example cannot be combined with -attrs/-edges")
 	}
+	if example != "" && example != "paper" {
+		return nil, false, fmt.Errorf("unknown -example %q (want paper)", example)
+	}
+	if example == "" && (attrsPath == "" || edgesPath == "") {
+		return nil, false, errors.New("-attrs and -edges are required (or use -example paper)")
+	}
+	if snapshot != "" {
+		if _, err := os.Stat(snapshot); err == nil {
+			g, err := readDatasetFiles(snapshot+".attrs", snapshot+".edges")
+			if err == nil {
+				return g, true, nil
+			}
+			if !errors.Is(err, os.ErrNotExist) {
+				return nil, false, fmt.Errorf("resuming updated dataset: %w", err)
+			}
+		}
+	}
+	if example != "" {
+		return scpm.PaperExample(), false, nil
+	}
+	g, err := readDatasetFiles(attrsPath, edgesPath)
+	return g, false, err
+}
+
+// readDatasetFiles opens and parses one attribute/edge file pair.
+func readDatasetFiles(attrsPath, edgesPath string) (*scpm.Graph, error) {
 	af, err := os.Open(attrsPath)
 	if err != nil {
 		return nil, err
@@ -186,35 +268,41 @@ func loadGraph(attrsPath, edgesPath, example string) (*scpm.Graph, error) {
 
 // buildIndex restores the snapshot when it exists, otherwise mines the
 // graph and (when a snapshot path is configured) persists the result
-// for the next boot.
-func buildIndex(ctx context.Context, miner *scpm.Miner, g *scpm.Graph, snapshot string, stdout io.Writer) (*scpm.Index, error) {
+// for the next boot. It also returns the mining result backing the
+// index — reconstructed from the snapshot tables when one was restored
+// — which is what the live-update path re-mines from.
+func buildIndex(ctx context.Context, miner *scpm.Miner, g *scpm.Graph, snapshot string, stdout io.Writer) (*scpm.Index, *scpm.Result, error) {
 	if snapshot != "" {
 		if f, err := os.Open(snapshot); err == nil {
 			defer f.Close()
 			idx, err := scpm.LoadIndex(f)
 			if err != nil {
-				return nil, fmt.Errorf("loading snapshot %s: %w", snapshot, err)
+				return nil, nil, fmt.Errorf("loading snapshot %s: %w", snapshot, err)
 			}
 			// A snapshot from a different dataset would serve indexed
 			// answers about one graph while computing on-demand answers
 			// against another; refuse the pairing outright.
 			sv, se, sa := idx.DatasetShape()
 			if sv != g.NumVertices() || se != g.NumEdges() || sa != g.NumAttributes() {
-				return nil, fmt.Errorf(
+				return nil, nil, fmt.Errorf(
 					"snapshot %s was mined from a different dataset (|V|=%d |E|=%d |A|=%d, loaded graph has |V|=%d |E|=%d |A|=%d); delete it to re-mine",
 					snapshot, sv, se, sa, g.NumVertices(), g.NumEdges(), g.NumAttributes())
 			}
 			fmt.Fprintf(stdout, "scpm-serve: restored index from %s\n", snapshot)
 			fmt.Fprintln(stdout, "scpm-serve: indexed results reflect the snapshot's mining run; current mining flags apply to on-demand /epsilon only")
-			return idx, nil
+			// A snapshot carries no search lattice, so the first update
+			// triggers a full (rather than incremental) remine; later
+			// ones chain incrementally.
+			res := &scpm.Result{Sets: idx.Sets(), Patterns: idx.Patterns(), Stats: idx.MiningStats()}
+			return idx, res, nil
 		} else if !errors.Is(err, os.ErrNotExist) {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	start := time.Now()
 	res, err := miner.Mine(ctx, g)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	fmt.Fprintf(stdout, "scpm-serve: mined %d sets, %d patterns in %s\n",
 		len(res.Sets), len(res.Patterns), res.Stats.Duration.Round(time.Millisecond))
@@ -222,11 +310,38 @@ func buildIndex(ctx context.Context, miner *scpm.Miner, g *scpm.Graph, snapshot 
 	fmt.Fprintf(stdout, "scpm-serve: index built in %s\n", time.Since(start).Round(time.Millisecond))
 	if snapshot != "" {
 		if err := saveSnapshot(idx, snapshot); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		fmt.Fprintf(stdout, "scpm-serve: wrote snapshot %s\n", snapshot)
 	}
-	return idx, nil
+	return idx, res, nil
+}
+
+// saveDataset writes the updated graph's dataset sidecars next to the
+// snapshot (tmp + rename per file), so a restart can resume the data
+// the snapshot was mined from.
+func saveDataset(g *scpm.Graph, snapshot string) error {
+	var attrs, edges bytes.Buffer
+	if err := scpm.WriteDataset(g, &attrs, &edges); err != nil {
+		return err
+	}
+	for _, f := range []struct {
+		path string
+		data []byte
+	}{
+		{snapshot + ".attrs", attrs.Bytes()},
+		{snapshot + ".edges", edges.Bytes()},
+	} {
+		tmp := f.path + ".tmp"
+		if err := os.WriteFile(tmp, f.data, 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, f.path); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+	}
+	return nil
 }
 
 // saveSnapshot writes the index atomically (tmp file + rename), so a

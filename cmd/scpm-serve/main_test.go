@@ -220,6 +220,146 @@ func TestServeSnapshotDatasetMismatch(t *testing.T) {
 	}
 }
 
+// TestServeLiveUpdates drives the dynamic path over real HTTP: POST an
+// update batch, wait for the background remine to swap, check the
+// version endpoints and the re-served set, then restart from the
+// write-behind snapshot and confirm the updated data survived.
+func TestServeLiveUpdates(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "paper.scpmidx")
+	base, _, shutdown := startServe(t, append([]string{"-snapshot", snap}, paperArgs...)...)
+
+	var ver struct {
+		Served  float64 `json:"served_version"`
+		Data    float64 `json:"data_version"`
+		Enabled bool    `json:"updates_enabled"`
+	}
+	getJSON(t, base+"/version", &ver)
+	if !ver.Enabled || ver.Served != 1 || ver.Data != 1 {
+		t.Fatalf("initial /version = %+v", ver)
+	}
+
+	var before struct {
+		Sets []struct {
+			ID      string `json:"id"`
+			Support int    `json:"support"`
+		} `json:"sets"`
+	}
+	getJSON(t, base+"/sets?attrs=A", &before)
+	if len(before.Sets) != 1 {
+		t.Fatalf("sets?attrs=A = %+v", before.Sets)
+	}
+
+	body := `{"op":"add_vertex","vertex":"12","attrs":["A"]}` + "\n" +
+		`{"op":"add_edge","u":"12","v":"1"}` + "\n"
+	resp, err := http.Post(base+"/updates", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /updates = %d: %s", resp.StatusCode, raw)
+	}
+
+	deadline := time.After(30 * time.Second)
+	for {
+		getJSON(t, base+"/version", &ver)
+		if ver.Served == 2 && ver.Data == 2 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("served version never reached the data head: %+v", ver)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+
+	var after struct {
+		Sets []struct {
+			ID      string `json:"id"`
+			Support int    `json:"support"`
+		} `json:"sets"`
+	}
+	getJSON(t, base+"/sets?attrs=A", &after)
+	if len(after.Sets) != 1 || after.Sets[0].Support != before.Sets[0].Support+1 {
+		t.Fatalf("updated set not re-served: %+v vs %+v", after.Sets, before.Sets)
+	}
+	if after.Sets[0].ID != before.Sets[0].ID {
+		t.Fatal("stable id changed across the update")
+	}
+
+	// Wait for the write-behind to land before shutting down (the swap
+	// publishes before the snapshot refresh is logged).
+	sidecarDeadline := time.After(30 * time.Second)
+	for {
+		if _, err := os.Stat(snap + ".attrs"); err == nil {
+			break
+		}
+		select {
+		case <-sidecarDeadline:
+			t.Fatal("dataset sidecars never written")
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	if code := shutdown(); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+
+	// Restart: the boot must resume the UPDATED dataset + snapshot pair
+	// and serve the post-update support immediately.
+	base2, stdout2, shutdown2 := startServe(t, append([]string{"-snapshot", snap}, paperArgs...)...)
+	if !strings.Contains(stdout2.String(), "resumed updated dataset") {
+		t.Fatalf("restart did not resume sidecars:\n%s", stdout2.String())
+	}
+	var again struct {
+		Sets []struct {
+			Support int `json:"support"`
+		} `json:"sets"`
+	}
+	getJSON(t, base2+"/sets?attrs=A", &again)
+	if len(again.Sets) != 1 || again.Sets[0].Support != before.Sets[0].Support+1 {
+		t.Fatalf("restart lost the update: %+v", again.Sets)
+	}
+	if code := shutdown2(); code != 0 {
+		t.Fatalf("restart exit %d", code)
+	}
+}
+
+// TestServeNoUpdatesFlag pins the -no-updates escape hatch.
+func TestServeNoUpdatesFlag(t *testing.T) {
+	base, _, shutdown := startServe(t, append([]string{"-no-updates"}, paperArgs...)...)
+	resp, err := http.Post(base+"/updates", "application/x-ndjson",
+		strings.NewReader(`{"op":"add_vertex","vertex":"x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("POST /updates with -no-updates = %d", resp.StatusCode)
+	}
+	if code := shutdown(); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+}
+
+// TestServeParallelAlias: both spellings of the worker-count flag are
+// accepted.
+func TestServeParallelAlias(t *testing.T) {
+	for _, flag := range []string{"-parallel", "-parallelism"} {
+		base, _, shutdown := startServe(t, append([]string{flag, "2"}, paperArgs...)...)
+		var health struct {
+			Sets int `json:"sets"`
+		}
+		getJSON(t, base+"/healthz", &health)
+		if health.Sets != 3 {
+			t.Fatalf("%s: healthz = %+v", flag, health)
+		}
+		if code := shutdown(); code != 0 {
+			t.Fatalf("%s: exit %d", flag, code)
+		}
+	}
+}
+
 func TestServeVersionFlag(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run(context.Background(), []string{"-version"}, &stdout, &stderr); code != 0 {

@@ -66,14 +66,32 @@
 //
 // # Migration from the batch-only API
 //
-// The package-level Mine and MineNaive functions predate the Miner and
-// are deprecated but fully supported: Mine(g, p) is equivalent to
+// The package-level Mine and MineNaive functions that predated the
+// Miner have been removed; the old Mine(g, p) call is
 //
 //	m, _ := scpm.NewMiner(scpm.WithParams(p))
 //	res, _ := m.Mine(context.Background(), g)
 //
-// Switch to a Miner to gain cancellation, streaming sinks, the Sets
-// iterator, search budgets and progress reporting.
+// which also gains cancellation, streaming sinks, the Sets iterator,
+// search budgets and progress reporting.
+//
+// # Dynamic graphs
+//
+// A Graph is immutable, but not frozen forever: Graph.NewDelta records
+// a batch of updates (edges added/removed, vertices added, attributes
+// set/unset) and Graph.Apply produces the next graph version plus a
+// ChangeSet naming exactly the attributes the update could have
+// affected. A Miner built WithLiveUpdates records its search lattice,
+// so Miner.Remine re-mines an updated graph incrementally — attribute
+// sets untouched by the update are carried over, everything else is
+// recomputed, and the output is identical to a from-scratch Mine:
+//
+//	m, _ := scpm.NewMiner(scpm.WithParams(p), scpm.WithLiveUpdates())
+//	res, _ := m.Mine(ctx, g)
+//	d := g.NewDelta()
+//	_ = d.AddEdge("alice", "bob")
+//	g2, changes, _ := g.Apply(d)
+//	res2, _ := m.Remine(ctx, g2, res, changes)
 //
 // # Serving mined results
 //

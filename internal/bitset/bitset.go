@@ -92,6 +92,21 @@ func (s *Set) Clone() *Set {
 	return &Set{words: w, n: s.n}
 }
 
+// Grown returns a copy of s whose capacity is at least n: the original
+// elements are preserved and the new tail (if any) is empty. When n does
+// not exceed the current capacity the copy keeps the original capacity,
+// so Grown is always safe to call with a target size that may have
+// shrunk. The dynamic-graph layer uses it to carry covered-vertex sets
+// across graph versions whose vertex count only ever grows.
+func (s *Set) Grown(n int) *Set {
+	if n < s.n {
+		n = s.n
+	}
+	g := New(n)
+	copy(g.words, s.words)
+	return g
+}
+
 // CopyFrom overwrites s with the contents of o. The sets must have the
 // same capacity.
 func (s *Set) CopyFrom(o *Set) {

@@ -201,6 +201,140 @@ func TestEqualAndCopyFrom(t *testing.T) {
 	}
 }
 
+// TestWordBoundarySizes exercises capacities straddling the 64-bit word
+// boundary, where off-by-one word counts or stray high bits would show.
+func TestWordBoundarySizes(t *testing.T) {
+	for _, n := range []int{63, 64, 65} {
+		s := New(n)
+		for v := 0; v < n; v++ {
+			s.Add(v)
+		}
+		if got := s.Count(); got != n {
+			t.Fatalf("n=%d: Count after filling = %d", n, got)
+		}
+		if got := s.Slice(); len(got) != n || int(got[n-1]) != n-1 {
+			t.Fatalf("n=%d: Slice tail = %v", n, got)
+		}
+		if got := s.NextSet(n - 1); got != n-1 {
+			t.Fatalf("n=%d: NextSet(%d) = %d", n, n-1, got)
+		}
+		if got := s.NextSet(n); got != -1 {
+			t.Fatalf("n=%d: NextSet(n) = %d, want -1", n, got)
+		}
+		s.Remove(n - 1)
+		if s.Contains(n-1) || s.Count() != n-1 {
+			t.Fatalf("n=%d: Remove of last element failed", n)
+		}
+		other := New(n)
+		other.Add(0)
+		if got := s.IntersectionCount(other); got != 1 {
+			t.Fatalf("n=%d: IntersectionCount = %d, want 1", n, got)
+		}
+		inv := s.Clone()
+		inv.DifferenceWith(s)
+		if !inv.IsEmpty() {
+			t.Fatalf("n=%d: s \\ s not empty: %v", n, inv)
+		}
+	}
+}
+
+// TestEmptySetOps pins down every operation on empty sets, including the
+// zero-capacity set (a valid value: New(0) and the zero Set).
+func TestEmptySetOps(t *testing.T) {
+	for _, n := range []int{0, 1, 64, 65} {
+		a, b := New(n), New(n)
+		if !a.IsEmpty() || a.Count() != 0 {
+			t.Fatalf("n=%d: empty set reports elements", n)
+		}
+		if got := a.Slice(); len(got) != 0 {
+			t.Fatalf("n=%d: empty Slice = %v", n, got)
+		}
+		if a.NextSet(0) != -1 {
+			t.Fatalf("n=%d: NextSet on empty != -1", n)
+		}
+		if a.IntersectionCount(b) != 0 {
+			t.Fatalf("n=%d: empty IntersectionCount != 0", n)
+		}
+		if !a.ContainsAll(b) || !a.Equal(b) {
+			t.Fatalf("n=%d: empty sets must contain and equal each other", n)
+		}
+		a.IntersectWith(b)
+		a.UnionWith(b)
+		a.DifferenceWith(b)
+		if !a.IsEmpty() {
+			t.Fatalf("n=%d: set ops dirtied an empty set", n)
+		}
+		called := false
+		a.ForEach(func(int) bool { called = true; return true })
+		if called {
+			t.Fatalf("n=%d: ForEach visited elements of an empty set", n)
+		}
+		if got := a.Clone(); !got.IsEmpty() || got.Len() != n {
+			t.Fatalf("n=%d: Clone of empty = %v", n, got)
+		}
+	}
+	var zero Set
+	if !zero.IsEmpty() || zero.Count() != 0 || zero.Len() != 0 {
+		t.Fatal("zero Set is not a valid empty set")
+	}
+}
+
+// TestIntersectionCountAgainstNaive checks IntersectionCount against an
+// element-by-element reference on randomized sets, including boundary
+// capacities.
+func TestIntersectionCountAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 63, 64, 65, 127, 300} {
+		for trial := 0; trial < 20; trial++ {
+			a, b := New(n), New(n)
+			for i := 0; i < n/2+1; i++ {
+				a.Add(rng.Intn(n))
+				b.Add(rng.Intn(n))
+			}
+			naive := 0
+			for v := 0; v < n; v++ {
+				if a.Contains(v) && b.Contains(v) {
+					naive++
+				}
+			}
+			if got := a.IntersectionCount(b); got != naive {
+				t.Fatalf("n=%d: IntersectionCount = %d, naive = %d", n, got, naive)
+			}
+		}
+	}
+}
+
+// TestGrown covers the capacity-growing clone used by the dynamic-graph
+// layer: elements preserved, tail empty, shrink requests ignored.
+func TestGrown(t *testing.T) {
+	s := FromSlice(65, []int32{0, 63, 64})
+	g := s.Grown(130)
+	if g.Len() != 130 {
+		t.Fatalf("Grown capacity = %d, want 130", g.Len())
+	}
+	for _, v := range []int{0, 63, 64} {
+		if !g.Contains(v) {
+			t.Fatalf("Grown lost element %d", v)
+		}
+	}
+	if g.Count() != 3 {
+		t.Fatalf("Grown count = %d, want 3", g.Count())
+	}
+	if g.NextSet(65) != -1 {
+		t.Fatal("Grown tail is not empty")
+	}
+	g.Add(129)
+	if s.Contains(64) != true || s.Count() != 3 {
+		t.Fatal("Grown shares storage with the original")
+	}
+	if shrunk := s.Grown(10); shrunk.Len() != 65 || shrunk.Count() != 3 {
+		t.Fatalf("Grown(10) must keep capacity 65, got %d", shrunk.Len())
+	}
+	if zero := New(0).Grown(70); zero.Len() != 70 || !zero.IsEmpty() {
+		t.Fatalf("Grown from zero capacity = len %d", zero.Len())
+	}
+}
+
 func TestCapacityMismatchPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

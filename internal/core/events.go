@@ -71,6 +71,7 @@ type emitter struct {
 	patterns  atomic.Int64
 	nodes     atomic.Int64
 	sampled   atomic.Int64
+	reused    atomic.Int64
 
 	mu sync.Mutex
 }
@@ -84,15 +85,22 @@ func newEmitter(sink Sink, every int, start time.Time) *emitter {
 
 // snapshot builds a Stats view of the run so far.
 func (e *emitter) snapshot() Stats {
+	evaluated := e.evaluated.Load()
 	return Stats{
-		SetsEvaluated:   e.evaluated.Load(),
+		SetsEvaluated:   evaluated,
 		SetsEmitted:     e.emitted.Load(),
 		PatternsEmitted: e.patterns.Load(),
 		SearchNodes:     e.nodes.Load(),
 		SampledVertices: e.sampled.Load(),
+		ReusedSets:      e.reused.Load(),
+		RecomputedSets:  evaluated,
 		Duration:        time.Since(e.start),
 	}
 }
+
+// noteReused records one attribute set carried over from a previous
+// run's lattice instead of being recomputed.
+func (e *emitter) noteReused() { e.reused.Add(1) }
 
 // noteSampled adds one evaluation's membership-sample count to the run
 // total.

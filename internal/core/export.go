@@ -56,6 +56,8 @@ type jsonStats struct {
 	PatternsEmitted int64  `json:"patterns_emitted"`
 	SearchNodes     int64  `json:"search_nodes"`
 	SampledVertices int64  `json:"sampled_vertices,omitempty"`
+	ReusedSets      int64  `json:"reused_sets,omitempty"`
+	RecomputedSets  int64  `json:"recomputed_sets,omitempty"`
 	DurationMS      int64  `json:"duration_ms"`
 	Duration        string `json:"duration"`
 }
@@ -70,6 +72,8 @@ func (r *Result) WriteJSON(w io.Writer, g *graph.Graph) error {
 			PatternsEmitted: r.Stats.PatternsEmitted,
 			SearchNodes:     r.Stats.SearchNodes,
 			SampledVertices: r.Stats.SampledVertices,
+			ReusedSets:      r.Stats.ReusedSets,
+			RecomputedSets:  r.Stats.RecomputedSets,
 			DurationMS:      r.Stats.Duration.Milliseconds(),
 			Duration:        r.Stats.Duration.String(),
 		},

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/scpm/scpm/internal/bitset"
+	"github.com/scpm/scpm/internal/epsilon"
+	"github.com/scpm/scpm/internal/graph"
+)
+
+// Lattice is the memoized attribute-set search lattice of one mining
+// run: for every evaluated set it retains exactly what a later
+// incremental run needs to carry the evaluation over without touching
+// the quasi-clique engine — the ε estimate, the covered-set hand-downs
+// (Theorem 3) and the mined patterns. Results record one when
+// Params.RecordLattice is set; Remine consumes it.
+//
+// The paper's ε(S) depends only on V(S) and the subgraph it induces,
+// so a graph update leaves every attribute set disjoint from the
+// ChangeSet's dirty attributes bit-identical (see graph.ChangeSet);
+// those are the entries a Remine replays from here.
+type Lattice struct {
+	// version is the data version of the graph the lattice was
+	// recorded against; Remine requires the ChangeSet it is given to
+	// start exactly there, so a skipped intermediate update cannot
+	// silently replay stale evaluations.
+	version uint64
+	mu      sync.Mutex
+	m       map[string]*latticeEntry
+}
+
+// latticeEntry memoizes one evaluated attribute set.
+type latticeEntry struct {
+	// members is V(S) with sigma = |V(S)|, retained so a replay skips
+	// the Eclat tidset intersection entirely for clean sets (the
+	// dominant cost on attribute-heavy datasets).
+	members *bitset.Set
+	sigma   int
+	// The ε estimate's scalar fields, verbatim.
+	eps             float64
+	covered         int
+	kmass           float64
+	estimated       bool
+	errBound        float64
+	sampledVertices int
+	// handdown is the estimator's covered-set hand-down as returned
+	// (the exact K_S in exact mode, the sampled superset otherwise).
+	handdown *bitset.Set
+	// exact is the lazily-refined exact K_S hand-down, recorded only
+	// when the run computed it (sampled mode, emitted set); nil
+	// otherwise.
+	exact *bitset.Set
+	// pats are the patterns mined for the set when the run mined them
+	// (hasPats distinguishes "mined, none found" from "never mined").
+	pats    []Pattern
+	hasPats bool
+}
+
+// newLattice builds an empty lattice for the given graph data version.
+func newLattice(version uint64) *Lattice {
+	return &Lattice{version: version, m: make(map[string]*latticeEntry)}
+}
+
+// Size returns the number of memoized attribute sets.
+func (l *Lattice) Size() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.m)
+}
+
+// get looks up a memoized evaluation. It is called without the lock by
+// Remine workers: the consumed lattice belongs to a finished run and
+// is never written again.
+func (l *Lattice) get(key string) (*latticeEntry, bool) {
+	e, ok := l.m[key]
+	return e, ok
+}
+
+// put records an evaluation; workers of the recording run call it
+// concurrently.
+func (l *Lattice) put(key string, e *latticeEntry) {
+	l.mu.Lock()
+	l.m[key] = e
+	l.mu.Unlock()
+}
+
+// grownTo returns s at capacity n, reusing s itself when it already
+// has that capacity (recorded bitsets are immutable, so sharing across
+// lattices and graph versions is safe).
+func grownTo(s *bitset.Set, n int) *bitset.Set {
+	if s == nil || s.Len() == n {
+		return s
+	}
+	return s.Grown(n)
+}
+
+// estimate reconstitutes the memoized evaluation as an ε estimate over
+// a graph with n vertices.
+func (e *latticeEntry) estimate(n int) epsilon.Estimate {
+	return epsilon.Estimate{
+		Epsilon:         e.eps,
+		Covered:         e.covered,
+		Handdown:        grownTo(e.handdown, n),
+		KMass:           e.kmass,
+		Estimated:       e.estimated,
+		SampledVertices: e.sampledVertices,
+		ErrBound:        e.errBound,
+	}
+}
+
+// Remine incrementally re-mines g — a graph obtained from a previous
+// version by one or more Graph.Apply updates — reusing the previous
+// run's result where the update provably cannot have changed it.
+//
+// old must be the result of mining the previous graph version with the
+// same Params (thresholds, γ, min_size, ε mode, seed …) and with
+// RecordLattice set; changes must be the ChangeSet of the update (or
+// the Merge of the consecutive ChangeSets) leading from that version
+// to g. Remine then walks the same search lattice a full Mine of g
+// would, but every attribute set disjoint from changes.DirtyAttrs is
+// replayed from the recorded lattice instead of re-searched: its ε,
+// covered counts and patterns are carried over by value, only the
+// δ-normalization is re-derived (the null model depends on the global
+// degree distribution, so δ can shift for every set after any edge
+// change). Stats.ReusedSets / Stats.RecomputedSets report the split.
+//
+// The output is identical — sets, ε, δ, patterns and therefore stable
+// ids — to Mine(ctx, g, p, sink), in both exact and sampled ε modes
+// (sampled estimates are deterministic in the seed and the set, and
+// clean sets replay the exact covered-set hand-downs, so the sampling
+// chain replays bit-for-bit).
+//
+// When old carries no lattice or changes is nil, Remine degrades to a
+// full Mine (everything recomputed, ReusedSets = 0). Context and sink
+// follow the Mine contract.
+func Remine(ctx context.Context, g *graph.Graph, p Params, old *Result, changes *graph.ChangeSet, sink Sink) (*Result, error) {
+	if old == nil || old.lattice == nil || changes == nil {
+		return mine(ctx, g, p, sink, nil, nil)
+	}
+	if got, want := changes.DirtyAttrs.Len(), g.NumAttributes(); got != want {
+		return nil, fmt.Errorf("core: change set covers %d attributes, graph has %d (stale ChangeSet?)", got, want)
+	}
+	if changes.ToVersion != g.Version() {
+		return nil, fmt.Errorf("core: change set leads to graph version %d, got version %d", changes.ToVersion, g.Version())
+	}
+	if changes.FromVersion != old.lattice.version {
+		return nil, fmt.Errorf("core: change set starts at graph version %d but the old result was mined at version %d (merge the intermediate ChangeSets)",
+			changes.FromVersion, old.lattice.version)
+	}
+	return mine(ctx, g, p, sink, old.lattice, changes)
+}

@@ -96,6 +96,13 @@ type Params struct {
 	// with ErrBudget, returning the partial result mined so far.
 	SearchBudget int64
 
+	// RecordLattice makes the run memoize every evaluated attribute set
+	// (ε, covered-set hand-downs, mined patterns) into the Result, so a
+	// later Remine can carry clean evaluations over instead of
+	// recomputing them. Costs memory proportional to the number of
+	// evaluated sets times |V| bits; off by default.
+	RecordLattice bool
+
 	// ProgressEvery sets how many attribute-set evaluations elapse
 	// between Sink.OnProgress callbacks; ≤ 0 means the default of 64.
 	// Ignored when no sink is attached.

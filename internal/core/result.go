@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -155,6 +156,14 @@ type Stats struct {
 	// SampledVertices counts the membership samples drawn by the
 	// sampled ε estimator across all evaluations (0 in exact mode).
 	SampledVertices int64
+	// ReusedSets counts attribute sets whose evaluation was carried
+	// over from a previous run's lattice by Remine instead of being
+	// recomputed (always 0 for a full Mine).
+	ReusedSets int64
+	// RecomputedSets counts attribute sets whose ε the run actually
+	// computed — for a full Mine it equals SetsEvaluated; for a Remine
+	// the ReusedSets/RecomputedSets split is the incremental saving.
+	RecomputedSets int64
 	// Duration is the wall-clock mining time.
 	Duration time.Duration
 }
@@ -166,7 +175,17 @@ type Result struct {
 	Sets     []AttributeSet
 	Patterns []Pattern
 	Stats    Stats
+
+	// lattice memoizes every evaluated attribute set of the run when
+	// Params.RecordLattice is on; Remine consumes it to skip clean
+	// evaluations. nil otherwise.
+	lattice *Lattice
 }
+
+// HasLattice reports whether the result carries the memoized search
+// lattice Remine needs for incremental re-mining (recorded when
+// Params.RecordLattice is set).
+func (r *Result) HasLattice() bool { return r.lattice != nil }
 
 // SetByNames finds an attribute set result by its names (any order),
 // or nil.
@@ -205,12 +224,16 @@ func (r *Result) PatternsOf(attrs []int32) []Pattern {
 	return out
 }
 
+// attrKey renders sorted attribute ids as a compact map key. It sits
+// on the lattice replay hot path (one call per evaluated set), so it
+// avoids fmt.
 func attrKey(attrs []int32) string {
-	var sb strings.Builder
+	buf := make([]byte, 0, 8*len(attrs))
 	for _, a := range attrs {
-		fmt.Fprintf(&sb, "%d,", a)
+		buf = strconv.AppendInt(buf, int64(a), 10)
+		buf = append(buf, ',')
 	}
-	return sb.String()
+	return string(buf)
 }
 
 // sortResult puts sets and patterns in canonical order.

@@ -36,6 +36,14 @@ var ErrBudget = quasiclique.ErrBudget
 // as mining proceeds (see Sink for the delivery contract); pass nil for
 // batch-only operation.
 func Mine(ctx context.Context, g *graph.Graph, p Params, sink Sink) (*Result, error) {
+	return mine(ctx, g, p, sink, nil, nil)
+}
+
+// mine is the shared walk behind Mine and Remine: when reuse and
+// changes are non-nil, evaluations of attribute sets disjoint from the
+// dirty attributes are replayed from the recorded lattice instead of
+// recomputed.
+func mine(ctx context.Context, g *graph.Graph, p Params, sink Sink, reuse *Lattice, changes *graph.ChangeSet) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -51,6 +59,11 @@ func Mine(ctx context.Context, g *graph.Graph, p Params, sink Sink) (*Result, er
 		exactEst: epsilon.NewExact(p.QuasiCliqueParams(), qcOpts),
 		model:    p.model(g),
 		em:       newEmitter(sink, p.ProgressEvery, start),
+		reuse:    reuse,
+		changes:  changes,
+	}
+	if p.RecordLattice {
+		m.record = newLattice(g.Version())
 	}
 	// Theorem 5's pruning bound needs εexp(σmin) once.
 	m.expSigmaMin = m.model.Exp(p.SigmaMin)
@@ -61,11 +74,17 @@ func Mine(ctx context.Context, g *graph.Graph, p Params, sink Sink) (*Result, er
 	singles := m.frequentSingles()
 	level1 := make([]evalOutcome, len(singles))
 	runErr := m.forEach(ctx, len(singles), func(i int) error {
-		a := singles[i]
-		members := g.AttrMembers(a)
-		out, err := m.evaluate([]int32{a}, members, members)
+		attrs := []int32{singles[i]}
+		out, handled, err := m.replay(attrs)
 		if err != nil {
 			return err
+		}
+		if !handled {
+			members := g.AttrMembers(singles[i])
+			out, err = m.evaluate(attrs, members, members)
+			if err != nil {
+				return err
+			}
 		}
 		level1[i] = out
 		return nil
@@ -80,6 +99,7 @@ func Mine(ctx context.Context, g *graph.Graph, p Params, sink Sink) (*Result, er
 		}
 	}
 	if runErr != nil {
+		res.lattice = m.record
 		return finalizeResult(res, m.em, runErr)
 	}
 
@@ -107,6 +127,7 @@ func Mine(ctx context.Context, g *graph.Graph, p Params, sink Sink) (*Result, er
 		res.Sets = append(res.Sets, b.Sets...)
 		res.Patterns = append(res.Patterns, b.Patterns...)
 	}
+	res.lattice = m.record
 	return finalizeResult(res, m.em, runErr)
 }
 
@@ -136,6 +157,13 @@ type miner struct {
 	model       nullmodel.Model
 	em          *emitter
 	expSigmaMin float64
+
+	// Incremental re-mining state: reuse is the previous run's lattice
+	// and changes the graph update it is valid across (both nil for a
+	// full mine); record, when non-nil, collects this run's lattice.
+	reuse   *Lattice
+	changes *graph.ChangeSet
+	record  *Lattice
 }
 
 // classItem is a node of the attribute-set search tree: the set, its
@@ -153,6 +181,12 @@ type evalOutcome struct {
 	survive bool
 	set     *AttributeSet
 	pats    []Pattern
+}
+
+// childAttrs forms the attribute set of the child obtained by
+// extending item with its sibling's last attribute.
+func childAttrs(item, sib classItem) []int32 {
+	return append(append(make([]int32, 0, len(item.attrs)+1), item.attrs...), sib.attrs[len(sib.attrs)-1])
 }
 
 // frequentSingles returns the attribute ids with support ≥ σmin,
@@ -243,21 +277,41 @@ func (m *miner) extendSubtree(ctx context.Context, item classItem, siblings []cl
 		if ctx.Err() != nil {
 			return quasiclique.Canceled(ctx)
 		}
-		members := item.members.Intersect(sib.members)
-		if members.Count() < m.p.SigmaMin {
-			continue
+		var (
+			attrs   []int32
+			res     evalOutcome
+			handled bool
+			err     error
+		)
+		// Incremental runs consult the lattice before doing any tidset
+		// work — a clean cached child costs one map lookup instead of a
+		// bitset intersection plus a coverage search.
+		if m.reuse != nil {
+			attrs = childAttrs(item, sib)
+			res, handled, err = m.replay(attrs)
+			if err != nil {
+				return err
+			}
 		}
-		attrs := append(append([]int32(nil), item.attrs...), sib.attrs[len(sib.attrs)-1])
-		// Theorem 3: quasi-cliques of G(S) lie inside both parents'
-		// covered sets, so the search may be restricted to their
-		// intersection.
-		candidates := members
-		if !m.p.DisableVertexPruning {
-			candidates = item.covered.Intersect(sib.covered)
-		}
-		res, err := m.evaluate(attrs, members, candidates)
-		if err != nil {
-			return err
+		if !handled {
+			members := item.members.Intersect(sib.members)
+			if members.Count() < m.p.SigmaMin {
+				continue
+			}
+			if attrs == nil {
+				attrs = childAttrs(item, sib)
+			}
+			// Theorem 3: quasi-cliques of G(S) lie inside both parents'
+			// covered sets, so the search may be restricted to their
+			// intersection.
+			candidates := members
+			if !m.p.DisableVertexPruning {
+				candidates = item.covered.Intersect(sib.covered)
+			}
+			res, err = m.evaluate(attrs, members, candidates)
+			if err != nil {
+				return err
+			}
 		}
 		m.collect(out, res)
 		if res.survive {
@@ -284,7 +338,6 @@ func (m *miner) extendSubtree(ctx context.Context, item classItem, siblings []cl
 // the pruning rules below rely on, so Theorems 3–5 stay sound in both
 // modes.
 func (m *miner) evaluate(attrs []int32, members, candidates *bitset.Set) (evalOutcome, error) {
-	sigma := members.Count()
 	est, err := m.est.Estimate(m.g, attrs, members, candidates)
 	if err != nil {
 		return evalOutcome{}, err
@@ -292,11 +345,58 @@ func (m *miner) evaluate(attrs []int32, members, candidates *bitset.Set) (evalOu
 	m.em.noteEvaluated()
 	m.em.noteSearchNodes(est.Nodes)
 	m.em.noteSampled(int64(est.SampledVertices))
+	return m.score(attrKey(attrs), attrs, members, members.Count(), est, nil)
+}
+
+// replay serves one attribute set from the previous run's lattice when
+// the update provably left it unchanged: a set disjoint from the dirty
+// attributes has identical V(S) and G(S) in both graph versions, so
+// the memoized evaluation — member set included, which skips even the
+// Eclat tidset intersection — is the current one. Only the
+// δ-normalization (recomputed by score either way) can differ. handled
+// reports whether the cache answered.
+func (m *miner) replay(attrs []int32) (out evalOutcome, handled bool, err error) {
+	if m.reuse == nil || m.changes.Touches(attrs) {
+		return evalOutcome{}, false, nil
+	}
+	key := attrKey(attrs)
+	ent, ok := m.reuse.get(key)
+	if !ok {
+		return evalOutcome{}, false, nil
+	}
+	m.em.noteReused()
+	members := grownTo(ent.members, m.g.NumVertices())
+	out, err = m.score(key, attrs, members, ent.sigma, ent.estimate(m.g.NumVertices()), ent)
+	return out, true, err
+}
+
+// score turns one ε estimate — freshly computed, or replayed from a
+// previous run's lattice (cached non-nil) — into the evaluation
+// outcome: survival under Theorems 4–5, emission against the output
+// thresholds, and pattern mining for qualifying sets. It also records
+// the evaluation into the run's lattice when recording is on.
+func (m *miner) score(key string, attrs []int32, members *bitset.Set, sigma int, est epsilon.Estimate, cached *latticeEntry) (evalOutcome, error) {
 	eps := est.Epsilon
 	expEps := m.model.Exp(sigma)
 	delta := NormalizeDelta(eps, expEps)
 
 	out := evalOutcome{item: classItem{attrs: attrs, members: members, covered: est.Handdown}}
+
+	var rec *latticeEntry
+	if m.record != nil {
+		rec = &latticeEntry{
+			members:         members,
+			sigma:           sigma,
+			eps:             eps,
+			covered:         est.Covered,
+			kmass:           est.KMass,
+			estimated:       est.Estimated,
+			errBound:        est.ErrBound,
+			sampledVertices: est.SampledVertices,
+			handdown:        est.Handdown,
+		}
+		m.record.put(key, rec)
+	}
 
 	// Theorem 4 (ε) and Theorem 5 (δ) survival bounds: a superset S'
 	// has ε(S')·σ(S') ≤ ε(S)·σ(S) = |K_S|, so S is extended only when
@@ -333,23 +433,38 @@ func (m *miner) evaluate(attrs []int32, members, candidates *bitset.Set) (evalOu
 		if (m.p.K > 0 || m.p.AllPatterns) && !est.Handdown.IsEmpty() {
 			base := est.Handdown
 			if est.Estimated {
-				exact, err := m.exactEst.Estimate(m.g, attrs, members, est.Handdown)
-				if err != nil {
-					return evalOutcome{}, err
+				if cached != nil && cached.exact != nil {
+					base = grownTo(cached.exact, m.g.NumVertices())
+				} else {
+					exact, err := m.exactEst.Estimate(m.g, attrs, members, est.Handdown)
+					if err != nil {
+						return evalOutcome{}, err
+					}
+					m.em.noteSearchNodes(exact.Nodes)
+					base = exact.Handdown
 				}
-				m.em.noteSearchNodes(exact.Nodes)
-				base = exact.Handdown
 				// The exact K_S is in hand now — hand it down to the
 				// children instead of the looser sampled superset, just
 				// like exact mode would (Theorem 3).
 				out.item.covered = base
+				if rec != nil {
+					rec.exact = base
+				}
 			}
 			if !base.IsEmpty() {
-				pats, err := m.topPatterns(sorted, base)
-				if err != nil {
-					return evalOutcome{}, err
+				if cached != nil && cached.hasPats {
+					out.pats = cached.pats
+				} else {
+					pats, err := m.topPatterns(sorted, base)
+					if err != nil {
+						return evalOutcome{}, err
+					}
+					out.pats = pats
 				}
-				out.pats = pats
+				if rec != nil {
+					rec.pats = out.pats
+					rec.hasPats = true
+				}
 			}
 		}
 	}

@@ -189,6 +189,7 @@ func (b *Builder) Build() (*Graph, error) {
 		nameIndex:   nameIndex,
 		numEdges:    int(w / 2),
 		attrMembers: attrMembers,
+		version:     1,
 	}, nil
 }
 

@@ -1,0 +1,611 @@
+package graph
+
+import (
+	"fmt"
+	"slices"
+
+	"github.com/scpm/scpm/internal/bitset"
+)
+
+// Delta accumulates a batch of updates against one immutable base
+// graph: edge additions and removals, new vertices, and per-vertex
+// attribute set/unset toggles. Build one with Graph.NewDelta, record
+// operations (each validated immediately against the base graph plus
+// the pending operations), then produce the next graph version with
+// Graph.Apply.
+//
+// A Delta is strict: each edge pair and each (vertex, attribute) pair
+// of a pre-existing vertex admits at most one operation per batch,
+// additions of existing edges/attributes and removals of absent ones
+// are errors, and vertex names must be unique. This keeps every
+// recorded operation a real net change, so the ChangeSet reported by
+// Apply is exact. (Attribute operations on a vertex added by the same
+// delta simply amend its pending attribute list — they are part of
+// the addition, validated against the pending state, and not counted
+// as toggles.)
+//
+// Vertices are append-only — existing vertex and attribute ids stay
+// stable across Apply, which is what lets mined results, covered-set
+// hand-downs and cache keys survive updates.
+//
+// A Delta is not safe for concurrent use; Apply does not consume it
+// (the same Delta can be inspected afterwards) but reusing it across
+// graphs is rejected.
+type Delta struct {
+	g *Graph
+
+	// Appended vertices, in add order; ids follow the base graph's.
+	newNames []string
+	newAttrs [][]int32
+	newIndex map[string]int32
+
+	// Attributes interned by this delta, ids following the base graph's.
+	newAttrNames []string
+	newAttrIndex map[string]int32
+
+	// edges maps a canonical (min,max) vertex pair to its operation:
+	// true = add, false = remove.
+	edges map[[2]int32]bool
+
+	// toggles maps (vertex, attribute) to its operation: true = set,
+	// false = unset. Only base-graph vertices appear here; attribute
+	// edits on vertices added by this delta mutate newAttrs directly.
+	toggles map[[2]int32]bool
+
+	setCount, unsetCount int
+}
+
+// NewDelta starts an empty update batch against g.
+func (g *Graph) NewDelta() *Delta {
+	return &Delta{
+		g:            g,
+		newIndex:     make(map[string]int32),
+		newAttrIndex: make(map[string]int32),
+		edges:        make(map[[2]int32]bool),
+		toggles:      make(map[[2]int32]bool),
+	}
+}
+
+// Empty reports whether the delta records no operations.
+func (d *Delta) Empty() bool {
+	return len(d.newNames) == 0 && len(d.edges) == 0 && len(d.toggles) == 0
+}
+
+// Ops returns the number of recorded operations (each added vertex,
+// edge operation and attribute toggle counts as one).
+func (d *Delta) Ops() int {
+	return len(d.newNames) + len(d.edges) + len(d.toggles)
+}
+
+// vertexID resolves a vertex name against the base graph and the
+// pending additions.
+func (d *Delta) vertexID(name string) (int32, bool) {
+	if id, ok := d.g.VertexID(name); ok {
+		return id, true
+	}
+	if id, ok := d.newIndex[name]; ok {
+		return id, true
+	}
+	return -1, false
+}
+
+// internAttr resolves an attribute name, creating a pending id on
+// first use of a name the base graph has never seen.
+func (d *Delta) internAttr(name string) int32 {
+	if id, ok := d.g.AttrID(name); ok {
+		return id
+	}
+	if id, ok := d.newAttrIndex[name]; ok {
+		return id
+	}
+	id := int32(d.g.NumAttributes() + len(d.newAttrNames))
+	d.newAttrIndex[name] = id
+	d.newAttrNames = append(d.newAttrNames, name)
+	return id
+}
+
+// AddVertex records a new vertex with the given unique name and
+// attribute names (deduplicated; unseen attribute names are interned).
+func (d *Delta) AddVertex(name string, attrs ...string) error {
+	if _, dup := d.vertexID(name); dup {
+		return fmt.Errorf("graph: delta: vertex %q already exists", name)
+	}
+	ids := make([]int32, len(attrs))
+	for i, a := range attrs {
+		ids[i] = d.internAttr(a)
+	}
+	id := int32(d.g.NumVertices() + len(d.newNames))
+	d.newIndex[name] = id
+	d.newNames = append(d.newNames, name)
+	d.newAttrs = append(d.newAttrs, dedupSorted(ids))
+	return nil
+}
+
+// edgeKey canonicalizes an endpoint pair, rejecting self-loops and
+// unknown names.
+func (d *Delta) edgeKey(a, b string) ([2]int32, error) {
+	u, ok := d.vertexID(a)
+	if !ok {
+		return [2]int32{}, fmt.Errorf("graph: delta: unknown vertex %q", a)
+	}
+	v, ok := d.vertexID(b)
+	if !ok {
+		return [2]int32{}, fmt.Errorf("graph: delta: unknown vertex %q", b)
+	}
+	if u == v {
+		return [2]int32{}, fmt.Errorf("graph: delta: self-loop on vertex %q", a)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int32{u, v}, nil
+}
+
+// hasBaseEdge reports whether {u, v} is an edge of the base graph
+// (pending vertices have no base edges).
+func (d *Delta) hasBaseEdge(u, v int32) bool {
+	n := int32(d.g.NumVertices())
+	return u < n && v < n && d.g.HasEdge(u, v)
+}
+
+// AddEdge records the undirected edge {a, b} between existing or
+// pending vertices. Adding an edge the base graph already has, or
+// operating twice on the same pair, is an error.
+func (d *Delta) AddEdge(a, b string) error {
+	key, err := d.edgeKey(a, b)
+	if err != nil {
+		return err
+	}
+	if _, dup := d.edges[key]; dup {
+		return fmt.Errorf("graph: delta: duplicate operation on edge {%s, %s}", a, b)
+	}
+	if d.hasBaseEdge(key[0], key[1]) {
+		return fmt.Errorf("graph: delta: edge {%s, %s} already exists", a, b)
+	}
+	d.edges[key] = true
+	return nil
+}
+
+// RemoveEdge records the removal of the undirected edge {a, b}, which
+// must exist in the base graph.
+func (d *Delta) RemoveEdge(a, b string) error {
+	key, err := d.edgeKey(a, b)
+	if err != nil {
+		return err
+	}
+	if _, dup := d.edges[key]; dup {
+		return fmt.Errorf("graph: delta: duplicate operation on edge {%s, %s}", a, b)
+	}
+	if !d.hasBaseEdge(key[0], key[1]) {
+		return fmt.Errorf("graph: delta: edge {%s, %s} does not exist", a, b)
+	}
+	d.edges[key] = false
+	return nil
+}
+
+// pendingHasAttr reports whether pending vertex id v (≥ |V| of the
+// base graph) carries attribute a.
+func (d *Delta) pendingHasAttr(v, a int32) bool {
+	attrs := d.newAttrs[int(v)-d.g.NumVertices()]
+	_, ok := slices.BinarySearch(attrs, a)
+	return ok
+}
+
+// setPendingAttr edits a pending vertex's attribute list in place.
+func (d *Delta) setPendingAttr(v, a int32, add bool) {
+	i := int(v) - d.g.NumVertices()
+	attrs := d.newAttrs[i]
+	if add {
+		pos, _ := slices.BinarySearch(attrs, a)
+		d.newAttrs[i] = slices.Insert(attrs, pos, a)
+	} else {
+		pos, _ := slices.BinarySearch(attrs, a)
+		d.newAttrs[i] = slices.Delete(attrs, pos, pos+1)
+	}
+}
+
+// baseHasAttr reports whether base vertex v carries attribute a (which
+// may be a pending attribute id, carried by no base vertex).
+func (d *Delta) baseHasAttr(v, a int32) bool {
+	if int(a) >= d.g.NumAttributes() {
+		return false
+	}
+	attrs := d.g.VertexAttrs(v)
+	_, ok := slices.BinarySearch(attrs, a)
+	return ok
+}
+
+// SetAttr records adding the named attribute to the named vertex. The
+// vertex must exist (in the base graph or pending); the attribute name
+// is interned on first use. Setting an attribute the vertex already
+// carries, or toggling the same (vertex, attribute) pair twice, is an
+// error.
+func (d *Delta) SetAttr(vertex, attr string) error {
+	v, ok := d.vertexID(vertex)
+	if !ok {
+		return fmt.Errorf("graph: delta: unknown vertex %q", vertex)
+	}
+	a := d.internAttr(attr)
+	if v >= int32(d.g.NumVertices()) {
+		if d.pendingHasAttr(v, a) {
+			return fmt.Errorf("graph: delta: vertex %q already has attribute %q", vertex, attr)
+		}
+		// Editing a vertex added by this delta just amends its pending
+		// attribute list — the vertex has no previous state, so this is
+		// part of the addition, not a toggle, and the ChangeSet tallies
+		// only count toggles on pre-existing vertices.
+		d.setPendingAttr(v, a, true)
+		return nil
+	}
+	key := [2]int32{v, a}
+	if _, dup := d.toggles[key]; dup {
+		return fmt.Errorf("graph: delta: duplicate toggle of attribute %q on vertex %q", attr, vertex)
+	}
+	if d.baseHasAttr(v, a) {
+		return fmt.Errorf("graph: delta: vertex %q already has attribute %q", vertex, attr)
+	}
+	d.toggles[key] = true
+	d.setCount++
+	return nil
+}
+
+// UnsetAttr records removing the named attribute from the named
+// vertex, which must currently carry it.
+func (d *Delta) UnsetAttr(vertex, attr string) error {
+	v, ok := d.vertexID(vertex)
+	if !ok {
+		return fmt.Errorf("graph: delta: unknown vertex %q", vertex)
+	}
+	a := d.internAttr(attr)
+	if v >= int32(d.g.NumVertices()) {
+		if !d.pendingHasAttr(v, a) {
+			return fmt.Errorf("graph: delta: vertex %q does not have attribute %q", vertex, attr)
+		}
+		d.setPendingAttr(v, a, false)
+		return nil
+	}
+	key := [2]int32{v, a}
+	if _, dup := d.toggles[key]; dup {
+		return fmt.Errorf("graph: delta: duplicate toggle of attribute %q on vertex %q", attr, vertex)
+	}
+	if !d.baseHasAttr(v, a) {
+		return fmt.Errorf("graph: delta: vertex %q does not have attribute %q", vertex, attr)
+	}
+	d.toggles[key] = false
+	d.unsetCount++
+	return nil
+}
+
+// ChangeSet reports exactly which parts of the data a Graph.Apply
+// touched, in terms the mining layers consume.
+//
+// The load-bearing guarantee is on DirtyAttrs: for any attribute set S
+// with S ∩ DirtyAttrs = ∅, both V(S) and the induced subgraph G(S) are
+// identical in the old and new graphs, so every result derived from S
+// alone — support, ε(S), K_S, its quasi-cliques — carries over
+// unchanged. (Attribute toggles dirty the toggled attribute; a changed
+// edge {u, v} only alters G(S) when both endpoints lie in V(S), which
+// forces S ⊆ F(u) ∩ F(v), so marking that intersection dirty covers
+// every affected set; a new vertex joins V(S) only for S within its
+// attribute set.) Normalized correlations (δ) are NOT covered: the
+// null model depends on the global degree distribution, so δ must be
+// re-normalized for every set after any edge change.
+type ChangeSet struct {
+	// FromVersion and ToVersion are the data versions the change leads
+	// between (ToVersion = FromVersion + 1 for a single Apply; merged
+	// change sets span more).
+	FromVersion, ToVersion uint64
+
+	// DirtyVertices are the vertices whose adjacency or attribute list
+	// changed, plus all added vertices, as a bitset over the new
+	// graph's vertex ids.
+	DirtyVertices *bitset.Set
+
+	// DirtyAttrs is the sound over-approximation of the affected
+	// attributes described above, over the new graph's attribute ids.
+	DirtyAttrs *bitset.Set
+
+	// Operation tallies.
+	AddedVertices int
+	AddedEdges    int
+	RemovedEdges  int
+	AttrsSet      int
+	AttrsUnset    int
+}
+
+// Touches reports whether any of the given attribute ids is dirty —
+// the test the incremental miner applies to decide whether an
+// attribute set can be carried over.
+func (c *ChangeSet) Touches(attrs []int32) bool {
+	for _, a := range attrs {
+		if c.DirtyAttrs.Contains(int(a)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Merge folds a later change set into c, producing the change set of
+// the composed update (dirty sets union, counters sum, version range
+// extended). o must start where c ends.
+func (c *ChangeSet) Merge(o *ChangeSet) error {
+	if o.FromVersion != c.ToVersion {
+		return fmt.Errorf("graph: merging change set v%d→v%d onto v%d→v%d",
+			o.FromVersion, o.ToVersion, c.FromVersion, c.ToVersion)
+	}
+	c.ToVersion = o.ToVersion
+	// The later set's bitsets are at least as large (vertices and
+	// attributes are append-only), so grow ours and union.
+	c.DirtyVertices = c.DirtyVertices.Grown(o.DirtyVertices.Len())
+	c.DirtyVertices.UnionWith(o.DirtyVertices)
+	c.DirtyAttrs = c.DirtyAttrs.Grown(o.DirtyAttrs.Len())
+	c.DirtyAttrs.UnionWith(o.DirtyAttrs)
+	c.AddedVertices += o.AddedVertices
+	c.AddedEdges += o.AddedEdges
+	c.RemovedEdges += o.RemovedEdges
+	c.AttrsSet += o.AttrsSet
+	c.AttrsUnset += o.AttrsUnset
+	return nil
+}
+
+// String summarizes the change set for logs.
+func (c *ChangeSet) String() string {
+	return fmt.Sprintf("changes{v%d→v%d +V=%d +E=%d -E=%d ±attr=%d dirtyV=%d dirtyA=%d}",
+		c.FromVersion, c.ToVersion, c.AddedVertices, c.AddedEdges, c.RemovedEdges,
+		c.AttrsSet+c.AttrsUnset, c.DirtyVertices.Count(), c.DirtyAttrs.Count())
+}
+
+// Apply produces the next version of the graph with the delta's
+// operations applied, plus the exact ChangeSet. The receiver is not
+// modified — both versions stay valid and immutable, and untouched
+// adjacency runs, attribute runs and vertical-index bitsets are reused
+// (shared by reference where capacities allow, bulk-copied otherwise)
+// rather than recomputed: only the dirty vertices' runs are rebuilt.
+func (g *Graph) Apply(d *Delta) (*Graph, *ChangeSet, error) {
+	if d.g != g {
+		return nil, nil, fmt.Errorf("graph: delta was built against a different graph")
+	}
+	n := g.NumVertices()
+	nNew := n + len(d.newNames)
+	oldA := g.NumAttributes()
+	aNew := oldA + len(d.newAttrNames)
+
+	// Per-vertex edge add/remove lists, sorted, plus the touched map.
+	adds := make(map[int32][]int32)
+	rems := make(map[int32][]int32)
+	addedEdges, removedEdges := 0, 0
+	for e, isAdd := range d.edges {
+		u, v := e[0], e[1]
+		if isAdd {
+			adds[u] = append(adds[u], v)
+			adds[v] = append(adds[v], u)
+			addedEdges++
+		} else {
+			rems[u] = append(rems[u], v)
+			rems[v] = append(rems[v], u)
+			removedEdges++
+		}
+	}
+	for _, m := range []map[int32][]int32{adds, rems} {
+		for v := range m {
+			slices.Sort(m[v])
+		}
+	}
+
+	// Adjacency CSR: offsets are rewritten for every vertex (they are
+	// cheap), the neighbor arena is bulk-copied span by span between
+	// dirty vertices and merge-rebuilt only for them.
+	off := make([]int64, nNew+1)
+	arena := make([]int32, 0, int64(len(g.nbrs))+2*int64(addedEdges)-2*int64(removedEdges))
+	spanStart := 0 // first old vertex of the current untouched span
+	flush := func(until int) {
+		if spanStart < until {
+			arena = append(arena, g.nbrs[g.off[spanStart]:g.off[until]]...)
+			spanStart = until
+		}
+	}
+	for v := 0; v < n; v++ {
+		av, rv := adds[int32(v)], rems[int32(v)]
+		if len(av) == 0 && len(rv) == 0 {
+			off[v+1] = off[v] + int64(g.Degree(int32(v)))
+			continue
+		}
+		flush(v)
+		spanStart = v + 1
+		arena = mergeRun(arena, g.Neighbors(int32(v)), av, rv)
+		off[v+1] = int64(len(arena))
+	}
+	flush(n)
+	// New vertices: adjacency comes from the add lists alone.
+	for v := n; v < nNew; v++ {
+		arena = append(arena, adds[int32(v)]...)
+		off[v+1] = int64(len(arena))
+	}
+
+	// Attribute CSR: same span-copy scheme keyed on toggled vertices.
+	tsets := make(map[int32][]int32)
+	for key, isSet := range d.toggles {
+		v := key[0]
+		if isSet {
+			tsets[v] = append(tsets[v], key[1])
+		} else {
+			tsets[v] = append(tsets[v], -key[1]-1) // negative encodes unset
+		}
+	}
+	attrOff := make([]int64, nNew+1)
+	attrArena := make([]int32, 0, len(g.attrArena)+d.setCount-d.unsetCount+totalLen(d.newAttrs))
+	spanStart = 0
+	flushAttrs := func(until int) {
+		if spanStart < until {
+			attrArena = append(attrArena, g.attrArena[g.attrOff[spanStart]:g.attrOff[until]]...)
+			spanStart = until
+		}
+	}
+	for v := 0; v < n; v++ {
+		ops := tsets[int32(v)]
+		if len(ops) == 0 {
+			attrOff[v+1] = attrOff[v] + (g.attrOff[v+1] - g.attrOff[v])
+			continue
+		}
+		var setIDs, unsetIDs []int32
+		for _, op := range ops {
+			if op >= 0 {
+				setIDs = append(setIDs, op)
+			} else {
+				unsetIDs = append(unsetIDs, -op-1)
+			}
+		}
+		slices.Sort(setIDs)
+		slices.Sort(unsetIDs)
+		flushAttrs(v)
+		spanStart = v + 1
+		attrArena = mergeRun(attrArena, g.VertexAttrs(int32(v)), setIDs, unsetIDs)
+		attrOff[v+1] = int64(len(attrArena))
+	}
+	flushAttrs(n)
+	for i, attrs := range d.newAttrs {
+		attrArena = append(attrArena, attrs...)
+		attrOff[n+i+1] = int64(len(attrArena))
+	}
+
+	// Vertical index. Attributes whose member set is untouched are
+	// shared by reference when the vertex capacity is unchanged, and
+	// grown otherwise; dirty-membership attributes are cloned and
+	// patched.
+	memberDirty := bitset.New(aNew)
+	for key := range d.toggles {
+		memberDirty.Add(int(key[1]))
+	}
+	for _, attrs := range d.newAttrs {
+		for _, a := range attrs {
+			memberDirty.Add(int(a))
+		}
+	}
+	attrMembers := make([]*bitset.Set, aNew)
+	for a := 0; a < oldA; a++ {
+		if !memberDirty.Contains(a) && nNew == n {
+			attrMembers[a] = g.attrMembers[a]
+		} else {
+			attrMembers[a] = g.attrMembers[a].Grown(nNew)
+		}
+	}
+	for a := oldA; a < aNew; a++ {
+		attrMembers[a] = bitset.New(nNew)
+	}
+	for key, isSet := range d.toggles {
+		if isSet {
+			attrMembers[key[1]].Add(int(key[0]))
+		} else {
+			attrMembers[key[1]].Remove(int(key[0]))
+		}
+	}
+	for i, attrs := range d.newAttrs {
+		for _, a := range attrs {
+			attrMembers[a].Add(n + i)
+		}
+	}
+
+	// Name tables.
+	attrNames := append(append(make([]string, 0, aNew), g.attrNames...), d.newAttrNames...)
+	attrIndex := make(map[string]int32, aNew)
+	for i, name := range attrNames {
+		attrIndex[name] = int32(i)
+	}
+	vertexNames := append(append(make([]string, 0, nNew), g.vertexNames...), d.newNames...)
+	nameIndex := make(map[string]int32, nNew)
+	for i, name := range vertexNames {
+		nameIndex[name] = int32(i)
+	}
+
+	ng := &Graph{
+		off:         off,
+		nbrs:        arena,
+		attrOff:     attrOff,
+		attrArena:   attrArena,
+		attrNames:   attrNames,
+		attrIndex:   attrIndex,
+		vertexNames: vertexNames,
+		nameIndex:   nameIndex,
+		numEdges:    g.numEdges + addedEdges - removedEdges,
+		attrMembers: attrMembers,
+		version:     g.version + 1,
+	}
+
+	// ChangeSet: dirty vertices are the edge endpoints, toggled
+	// vertices and additions; dirty attributes are the toggled and
+	// new-vertex attributes plus F(u) ∩ F(v) for every changed edge
+	// (see the ChangeSet doc for why that is sound), taken over the
+	// NEW attribute lists — toggled attributes are dirty regardless,
+	// which covers the old lists.
+	dirtyV := bitset.New(nNew)
+	dirtyA := memberDirty // already holds toggled + new-vertex attrs
+	for e := range d.edges {
+		dirtyV.Add(int(e[0]))
+		dirtyV.Add(int(e[1]))
+		markCommonAttrs(dirtyA, ng.VertexAttrs(e[0]), ng.VertexAttrs(e[1]))
+	}
+	for key := range d.toggles {
+		dirtyV.Add(int(key[0]))
+	}
+	for v := n; v < nNew; v++ {
+		dirtyV.Add(v)
+	}
+
+	return ng, &ChangeSet{
+		FromVersion:   g.version,
+		ToVersion:     ng.version,
+		DirtyVertices: dirtyV,
+		DirtyAttrs:    dirtyA,
+		AddedVertices: len(d.newNames),
+		AddedEdges:    addedEdges,
+		RemovedEdges:  removedEdges,
+		AttrsSet:      d.setCount,
+		AttrsUnset:    d.unsetCount,
+	}, nil
+}
+
+// mergeRun appends (base ∪ add) \ remove to dst in one linear merge;
+// all three inputs are sorted ascending and disjoint where the delta
+// invariants require (add ∩ base = ∅, remove ⊆ base).
+func mergeRun(dst, base, add, remove []int32) []int32 {
+	ai, ri := 0, 0
+	for _, x := range base {
+		for ai < len(add) && add[ai] < x {
+			dst = append(dst, add[ai])
+			ai++
+		}
+		if ri < len(remove) && remove[ri] == x {
+			ri++
+			continue
+		}
+		dst = append(dst, x)
+	}
+	return append(dst, add[ai:]...)
+}
+
+// markCommonAttrs adds the intersection of two sorted attribute lists
+// to the dirty set.
+func markCommonAttrs(dirty *bitset.Set, a, b []int32) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dirty.Add(int(a[i]))
+			i++
+			j++
+		}
+	}
+}
+
+// totalLen sums the lengths of the attribute lists.
+func totalLen(lists [][]int32) int {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	return total
+}

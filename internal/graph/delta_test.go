@@ -1,0 +1,485 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// applyOps mirrors a recorded delta onto a fresh Builder so tests can
+// compare Apply's incremental CSR rebuild against a from-scratch build.
+type refOp struct {
+	kind  string // add_vertex, add_edge, remove_edge, set_attr, unset_attr
+	a, b  string
+	attrs []string
+}
+
+// buildRef replays the base graph's content plus the ops into a new
+// Builder. Edge removals and attribute unsets are applied by filtering.
+func buildRef(t *testing.T, g *Graph, ops []refOp) *Graph {
+	t.Helper()
+	removedEdge := make(map[[2]string]bool)
+	unset := make(map[[2]string]bool)
+	set := make(map[string][]string)
+	var added []refOp
+	for _, op := range ops {
+		switch op.kind {
+		case "remove_edge":
+			u, v := op.a, op.b
+			if u > v {
+				u, v = v, u
+			}
+			removedEdge[[2]string{u, v}] = true
+		case "unset_attr":
+			unset[[2]string{op.a, op.b}] = true
+		case "set_attr":
+			set[op.a] = append(set[op.a], op.b)
+		default:
+			added = append(added, op)
+		}
+	}
+
+	b := NewBuilder()
+	// Attribute ids must come out identical to Apply's (append-only
+	// interning), so intern the base vocabulary first, in id order.
+	for a := int32(0); a < int32(g.NumAttributes()); a++ {
+		b.InternAttr(g.AttrName(a))
+	}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		name := g.VertexName(v)
+		var attrs []string
+		for _, a := range g.VertexAttrs(v) {
+			an := g.AttrName(a)
+			if !unset[[2]string{name, an}] {
+				attrs = append(attrs, an)
+			}
+		}
+		attrs = append(attrs, set[name]...)
+		if _, err := b.AddVertex(name, attrs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, op := range added {
+		if op.kind == "add_vertex" {
+			if _, err := b.AddVertex(op.a, op.attrs...); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for u := int32(0); u < int32(g.NumVertices()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if v <= u {
+				continue
+			}
+			un, vn := g.VertexName(u), g.VertexName(v)
+			a, c := un, vn
+			if a > c {
+				a, c = c, a
+			}
+			if removedEdge[[2]string{a, c}] {
+				continue
+			}
+			if err := b.AddEdgeByName(un, vn); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, op := range added {
+		if op.kind == "add_edge" {
+			if err := b.AddEdgeByName(op.a, op.b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ref, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
+// equalGraphs compares every observable surface of two graphs.
+func equalGraphs(t *testing.T, label string, got, want *Graph) {
+	t.Helper()
+	if got.NumVertices() != want.NumVertices() || got.NumEdges() != want.NumEdges() ||
+		got.NumAttributes() != want.NumAttributes() {
+		t.Fatalf("%s: shape %v vs %v", label, got, want)
+	}
+	for v := int32(0); v < int32(want.NumVertices()); v++ {
+		if got.VertexName(v) != want.VertexName(v) {
+			t.Fatalf("%s: vertex %d name %q vs %q", label, v, got.VertexName(v), want.VertexName(v))
+		}
+		if !slices.Equal(got.Neighbors(v), want.Neighbors(v)) {
+			t.Fatalf("%s: vertex %d neighbors %v vs %v", label, v, got.Neighbors(v), want.Neighbors(v))
+		}
+		if !slices.Equal(got.VertexAttrs(v), want.VertexAttrs(v)) {
+			t.Fatalf("%s: vertex %d attrs %v vs %v", label, v, got.VertexAttrs(v), want.VertexAttrs(v))
+		}
+	}
+	for a := int32(0); a < int32(want.NumAttributes()); a++ {
+		if got.AttrName(a) != want.AttrName(a) {
+			t.Fatalf("%s: attr %d name %q vs %q", label, a, got.AttrName(a), want.AttrName(a))
+		}
+		if !got.AttrMembers(a).Equal(want.AttrMembers(a)) {
+			t.Fatalf("%s: attr %q members %v vs %v", label, want.AttrName(a), got.AttrMembers(a), want.AttrMembers(a))
+		}
+	}
+}
+
+func smallGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	verts := []struct {
+		name  string
+		attrs []string
+	}{
+		{"v0", []string{"A", "B"}},
+		{"v1", []string{"A"}},
+		{"v2", []string{"B", "C"}},
+		{"v3", []string{"A", "C"}},
+		{"v4", nil},
+	}
+	for _, v := range verts {
+		if _, err := b.AddVertex(v.name, v.attrs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{{"v0", "v1"}, {"v0", "v2"}, {"v1", "v2"}, {"v2", "v3"}, {"v3", "v4"}} {
+		if err := b.AddEdgeByName(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestApplyBasic(t *testing.T) {
+	g := smallGraph(t)
+	if g.Version() != 1 {
+		t.Fatalf("fresh graph version = %d, want 1", g.Version())
+	}
+	d := g.NewDelta()
+	if !d.Empty() {
+		t.Fatal("new delta not empty")
+	}
+	ops := []refOp{
+		{kind: "add_vertex", a: "v5", attrs: []string{"A", "D"}},
+		{kind: "add_edge", a: "v5", b: "v0"},
+		{kind: "add_edge", a: "v1", b: "v3"},
+		{kind: "remove_edge", a: "v2", b: "v3"},
+		{kind: "set_attr", a: "v4", b: "B"},
+		{kind: "unset_attr", a: "v0", b: "A"},
+	}
+	if err := d.AddVertex("v5", "A", "D"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge("v5", "v0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge("v1", "v3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveEdge("v2", "v3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetAttr("v4", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.UnsetAttr("v0", "A"); err != nil {
+		t.Fatal(err)
+	}
+	if d.Ops() != 6 {
+		t.Fatalf("Ops = %d, want 6", d.Ops())
+	}
+
+	ng, cs, err := g.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalGraphs(t, "basic", ng, buildRef(t, g, ops))
+	if ng.Version() != 2 || cs.FromVersion != 1 || cs.ToVersion != 2 {
+		t.Fatalf("versions: graph %d, change %d→%d", ng.Version(), cs.FromVersion, cs.ToVersion)
+	}
+	if cs.AddedVertices != 1 || cs.AddedEdges != 2 || cs.RemovedEdges != 1 || cs.AttrsSet != 1 || cs.AttrsUnset != 1 {
+		t.Fatalf("change counters: %+v", cs)
+	}
+	// The base graph is untouched.
+	if g.NumVertices() != 5 || g.NumEdges() != 5 || g.Version() != 1 {
+		t.Fatalf("base graph mutated: %v v%d", g, g.Version())
+	}
+	if g.HasEdge(1, 3) {
+		t.Fatal("base graph gained an edge")
+	}
+	if !ng.HasEdge(1, 3) || ng.HasEdge(2, 3) {
+		t.Fatal("new graph edges wrong")
+	}
+	// Dirty attributes must include the toggled A/B, and D (new vertex).
+	for _, name := range []string{"A", "B", "D"} {
+		id, ok := ng.AttrID(name)
+		if !ok || !cs.DirtyAttrs.Contains(int(id)) {
+			t.Fatalf("attribute %q should be dirty: %v", name, cs)
+		}
+	}
+}
+
+// TestApplySharesCleanMembers pins the copy-on-write behavior: with no
+// vertex additions, untouched vertical-index bitsets are shared by
+// reference between versions.
+func TestApplySharesCleanMembers(t *testing.T) {
+	g := smallGraph(t)
+	d := g.NewDelta()
+	// v0-v4 edge touches no common attribute (v4 has none), so only the
+	// endpoints' shared attrs go dirty — here, none.
+	if err := d.AddEdge("v0", "v4"); err != nil {
+		t.Fatal(err)
+	}
+	ng, cs, err := g.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.DirtyAttrs.Count() != 0 {
+		t.Fatalf("no common attrs on the new edge, dirty = %v", cs.DirtyAttrs)
+	}
+	for a := int32(0); a < int32(g.NumAttributes()); a++ {
+		if ng.AttrMembers(a) != g.AttrMembers(a) {
+			t.Fatalf("attr %d members not shared", a)
+		}
+	}
+	if cs.DirtyVertices.Count() != 2 {
+		t.Fatalf("dirty vertices = %v, want the two endpoints", cs.DirtyVertices)
+	}
+}
+
+func TestDeltaValidation(t *testing.T) {
+	g := smallGraph(t)
+	d := g.NewDelta()
+	cases := []struct {
+		name string
+		op   func() error
+	}{
+		{"duplicate vertex", func() error { return d.AddVertex("v0") }},
+		{"unknown endpoint", func() error { return d.AddEdge("v0", "nope") }},
+		{"self-loop", func() error { return d.AddEdge("v1", "v1") }},
+		{"existing edge", func() error { return d.AddEdge("v0", "v1") }},
+		{"missing edge remove", func() error { return d.RemoveEdge("v0", "v3") }},
+		{"set existing attr", func() error { return d.SetAttr("v0", "A") }},
+		{"unset missing attr", func() error { return d.UnsetAttr("v0", "C") }},
+		{"unset unknown vertex", func() error { return d.UnsetAttr("nope", "A") }},
+	}
+	for _, c := range cases {
+		if err := c.op(); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+	// Duplicate ops on the same pair.
+	if err := d.AddEdge("v1", "v4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge("v4", "v1"); err == nil {
+		t.Error("duplicate edge op accepted")
+	}
+	if err := d.RemoveEdge("v1", "v4"); err == nil {
+		t.Error("remove of pending-added edge accepted")
+	}
+	if err := d.SetAttr("v4", "Z"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.UnsetAttr("v4", "Z"); err == nil {
+		t.Error("duplicate toggle accepted")
+	}
+	// A delta from another graph is rejected by Apply.
+	other := smallGraph(t)
+	if _, _, err := other.Apply(d); err == nil {
+		t.Error("cross-graph delta accepted")
+	}
+}
+
+// TestDeltaPendingVertexEdits: attribute toggles on a vertex added in
+// the same delta edit its pending list rather than recording toggles.
+func TestDeltaPendingVertexEdits(t *testing.T) {
+	g := smallGraph(t)
+	d := g.NewDelta()
+	if err := d.AddVertex("v9", "A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetAttr("v9", "E"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.UnsetAttr("v9", "A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.UnsetAttr("v9", "A"); err == nil {
+		t.Fatal("double unset on pending vertex accepted")
+	}
+	ng, _, err := g.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v9, ok := ng.VertexID("v9")
+	if !ok {
+		t.Fatal("v9 missing")
+	}
+	e, _ := ng.AttrID("E")
+	if attrs := ng.VertexAttrs(v9); len(attrs) != 1 || attrs[0] != e {
+		t.Fatalf("v9 attrs = %v, want [E]", attrs)
+	}
+}
+
+// TestApplyRandomizedAgainstRebuild cross-checks Apply against a
+// from-scratch Builder on randomized graphs and deltas, and verifies
+// the ChangeSet guarantee: attribute sets disjoint from DirtyAttrs
+// keep V(S) and G(S) bit-identical.
+func TestApplyRandomizedAgainstRebuild(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		n := 10 + rng.Intn(30)
+		numAttrs := 3 + rng.Intn(5)
+		b := NewBuilder()
+		for v := 0; v < n; v++ {
+			var attrs []string
+			for a := 0; a < numAttrs; a++ {
+				if rng.Float64() < 0.4 {
+					attrs = append(attrs, fmt.Sprintf("a%d", a))
+				}
+			}
+			if _, err := b.AddVertex(fmt.Sprintf("v%d", v), attrs...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				if err := b.AddEdge(int32(u), int32(v)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		d := g.NewDelta()
+		var ops []refOp
+		vname := func(v int) string { return fmt.Sprintf("v%d", v) }
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			switch rng.Intn(5) {
+			case 0: // add vertex
+				name := fmt.Sprintf("w%d-%d", trial, i)
+				var attrs []string
+				for a := 0; a < numAttrs+1; a++ {
+					if rng.Float64() < 0.3 {
+						attrs = append(attrs, fmt.Sprintf("a%d", a))
+					}
+				}
+				if err := d.AddVertex(name, attrs...); err == nil {
+					ops = append(ops, refOp{kind: "add_vertex", a: name, attrs: attrs})
+				}
+			case 1: // add edge
+				u, v := vname(rng.Intn(n)), vname(rng.Intn(n))
+				if err := d.AddEdge(u, v); err == nil {
+					ops = append(ops, refOp{kind: "add_edge", a: u, b: v})
+				}
+			case 2: // remove edge
+				u := int32(rng.Intn(n))
+				nbrs := g.Neighbors(u)
+				if len(nbrs) == 0 {
+					continue
+				}
+				v := nbrs[rng.Intn(len(nbrs))]
+				if err := d.RemoveEdge(vname(int(u)), vname(int(v))); err == nil {
+					ops = append(ops, refOp{kind: "remove_edge", a: vname(int(u)), b: vname(int(v))})
+				}
+			case 3: // set attr
+				v, a := vname(rng.Intn(n)), fmt.Sprintf("a%d", rng.Intn(numAttrs+1))
+				if err := d.SetAttr(v, a); err == nil {
+					ops = append(ops, refOp{kind: "set_attr", a: v, b: a})
+				}
+			case 4: // unset attr
+				v, a := vname(rng.Intn(n)), fmt.Sprintf("a%d", rng.Intn(numAttrs))
+				if err := d.UnsetAttr(v, a); err == nil {
+					ops = append(ops, refOp{kind: "unset_attr", a: v, b: a})
+				}
+			}
+		}
+
+		ng, cs, err := g.Apply(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalGraphs(t, fmt.Sprintf("trial %d", trial), ng, buildRef(t, g, ops))
+
+		// The clean-set guarantee, over all 1- and 2-attribute sets of
+		// the OLD vocabulary that avoid the dirty attributes.
+		for a := int32(0); a < int32(g.NumAttributes()); a++ {
+			for b2 := a; b2 < int32(g.NumAttributes()); b2++ {
+				S := []int32{a}
+				if b2 > a {
+					S = []int32{a, b2}
+				}
+				if cs.Touches(S) {
+					continue
+				}
+				oldM := g.Members(S)
+				newM := ng.Members(S)
+				if !oldM.Grown(ng.NumVertices()).Equal(newM) {
+					t.Fatalf("trial %d: clean set %v changed members", trial, S)
+				}
+				oldSub := g.InducedByMembers(oldM)
+				newSub := ng.InducedByMembers(newM)
+				if !slices.Equal(oldSub.Orig, newSub.Orig) {
+					t.Fatalf("trial %d: clean set %v changed induced vertices", trial, S)
+				}
+				for li := int32(0); li < int32(oldSub.NumVertices()); li++ {
+					if !slices.Equal(oldSub.Neighbors(li), newSub.Neighbors(li)) {
+						t.Fatalf("trial %d: clean set %v changed induced adjacency at %d", trial, S, li)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestChangeSetMerge checks version chaining and dirty-set unioning
+// across consecutive deltas.
+func TestChangeSetMerge(t *testing.T) {
+	g := smallGraph(t)
+	d1 := g.NewDelta()
+	if err := d1.SetAttr("v1", "C"); err != nil {
+		t.Fatal(err)
+	}
+	g2, cs1, err := g.Apply(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := g2.NewDelta()
+	if err := d2.AddVertex("v5", "D"); err != nil {
+		t.Fatal(err)
+	}
+	g3, cs2, err := g2.Apply(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs1.Merge(cs2); err != nil {
+		t.Fatal(err)
+	}
+	if cs1.FromVersion != 1 || cs1.ToVersion != 3 || g3.Version() != 3 {
+		t.Fatalf("merged versions %d→%d, graph v%d", cs1.FromVersion, cs1.ToVersion, g3.Version())
+	}
+	cID, _ := g3.AttrID("C")
+	dID, _ := g3.AttrID("D")
+	if !cs1.DirtyAttrs.Contains(int(cID)) || !cs1.DirtyAttrs.Contains(int(dID)) {
+		t.Fatalf("merged dirty attrs missing: %v", cs1.DirtyAttrs)
+	}
+	if cs1.AddedVertices != 1 || cs1.AttrsSet != 1 {
+		t.Fatalf("merged counters: %+v", cs1)
+	}
+	// Out-of-order merges are rejected.
+	if err := cs2.Merge(cs2); err == nil {
+		t.Fatal("merging a change set onto itself must fail")
+	}
+}

@@ -50,7 +50,18 @@ type Graph struct {
 	// attrMembers[a] is the set of vertices carrying attribute a
 	// (the vertical index used for induced subgraphs and Eclat).
 	attrMembers []*bitset.Set
+
+	// version tags this immutable snapshot of the data: Builder.Build
+	// produces version 1 and every Apply increments it. The serving
+	// layer uses it to tag cache entries and report what data a result
+	// reflects.
+	version uint64
 }
+
+// Version returns the graph's data version: 1 for a freshly built
+// graph, incremented by every Apply. The zero-value empty graph is
+// version 0.
+func (g *Graph) Version() uint64 { return g.version }
 
 // NumVertices returns |V|.
 func (g *Graph) NumVertices() int { return len(g.vertexNames) }

@@ -78,18 +78,24 @@ func Build(res *core.Result, g *graph.Graph) *Index {
 }
 
 // freeze rebuilds every derived structure from the canonical tables.
-// It runs after Build copies a Result and after Load decodes a
-// snapshot; both paths converge here, so a loaded index answers queries
-// identically to a freshly built one.
+// It runs after Build copies a Result, after Load decodes a snapshot
+// and after Rebuild matches donor content; all paths converge here, so
+// every index answers queries identically however it was constructed.
+// Pre-filled (non-empty) id entries are kept — that is how Rebuild
+// carries interned ids over — and only missing ones are hashed.
 func (x *Index) freeze() {
-	x.setIDs = make([]string, len(x.sets))
+	if x.setIDs == nil {
+		x.setIDs = make([]string, len(x.sets))
+	}
 	x.byID = make(map[string]int32, len(x.sets))
 	x.root = &trieNode{set: -1}
 	x.attrPost = make(map[string]*bitset.Set)
 	x.attrIDs = make(map[string]int32)
 	for i := range x.sets {
 		s := &x.sets[i]
-		x.setIDs[i] = s.ID()
+		if x.setIDs[i] == "" {
+			x.setIDs[i] = s.ID()
+		}
 		x.byID[x.setIDs[i]] = int32(i)
 		x.root.insert(s.Attrs, int32(i))
 		for j, name := range s.Names {
@@ -103,15 +109,23 @@ func (x *Index) freeze() {
 		}
 	}
 
-	x.patIDs = make([]string, len(x.patterns))
-	x.patSetIDs = make([]string, len(x.patterns))
+	if x.patIDs == nil {
+		x.patIDs = make([]string, len(x.patterns))
+	}
+	if x.patSetIDs == nil {
+		x.patSetIDs = make([]string, len(x.patterns))
+	}
 	x.patByID = make(map[string]int32, len(x.patterns))
 	x.patsOf = make([][]int32, len(x.sets))
 	x.vertPost = make(map[string]*bitset.Set)
 	for i := range x.patterns {
 		p := &x.patterns[i]
-		x.patIDs[i] = p.ID()
-		x.patSetIDs[i] = p.SetID()
+		if x.patIDs[i] == "" {
+			x.patIDs[i] = p.ID()
+		}
+		if x.patSetIDs[i] == "" {
+			x.patSetIDs[i] = p.SetID()
+		}
 		x.patByID[x.patIDs[i]] = int32(i)
 		if si, ok := x.byID[x.patSetIDs[i]]; ok {
 			x.patsOf[si] = append(x.patsOf[si], int32(i))

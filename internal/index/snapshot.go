@@ -22,8 +22,10 @@ import (
 // them deterministically, which keeps the format minimal and makes
 // Save→Load→Save bit-identical by construction.
 const (
-	snapshotMagic   = "SCPMIDX"
-	snapshotVersion = 1
+	snapshotMagic = "SCPMIDX"
+	// Version 2 added the incremental-mining counters (ReusedSets,
+	// RecomputedSets) to the stats block.
+	snapshotVersion = 2
 	// maxSnapshotLen is the coarse sanity cap on plain value fields
 	// (support, degree, dataset shape). Allocation-sizing counts are
 	// bounded much tighter — by the payload byte size (decoder.count).
@@ -89,6 +91,8 @@ func (x *Index) Save(w io.Writer) error {
 	e.uvarint(uint64(x.mining.PatternsEmitted))
 	e.uvarint(uint64(x.mining.SearchNodes))
 	e.uvarint(uint64(x.mining.SampledVertices))
+	e.uvarint(uint64(x.mining.ReusedSets))
+	e.uvarint(uint64(x.mining.RecomputedSets))
 	e.uvarint(uint64(x.mining.Duration))
 
 	if e.err != nil {
@@ -199,6 +203,8 @@ func Load(r io.Reader) (*Index, error) {
 	x.mining.PatternsEmitted = int64(d.uvarint())
 	x.mining.SearchNodes = int64(d.uvarint())
 	x.mining.SampledVertices = int64(d.uvarint())
+	x.mining.ReusedSets = int64(d.uvarint())
+	x.mining.RecomputedSets = int64(d.uvarint())
 	x.mining.Duration = time.Duration(d.uvarint())
 
 	if d.err != nil {

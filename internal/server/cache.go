@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+
+	"github.com/scpm/scpm/internal/bitset"
 )
 
 // epsCache is a bounded LRU cache with singleflight admission: when
@@ -12,18 +14,31 @@ import (
 // receive its result. This is what keeps hot /epsilon queries
 // sub-millisecond (a map hit under one mutex) and guarantees a burst of
 // identical cold queries costs one quasi-clique search, not N.
+//
+// Every entry is tagged with the graph version it was computed at.
+// When a live update swaps the serving generation, invalidate drops
+// exactly the entries whose attribute set intersects the update's
+// dirty attributes — clean answers are provably unchanged (see
+// graph.ChangeSet) and keep serving — and bumps the cache's version so
+// computations still in flight against the old generation cannot
+// poison the cache with stale answers.
 type epsCache struct {
 	mu       sync.Mutex
 	cap      int
+	version  uint64                   // current graph version; gates insertions
 	ll       *list.List               // front = most recently used
 	entries  map[string]*list.Element // key → element holding *cacheEntry
 	inflight map[string]*inflightCall
 }
 
-// cacheEntry is one cached answer.
+// cacheEntry is one cached answer with its provenance: the attribute
+// ids it answers for (the invalidation key) and the graph version it
+// was computed at.
 type cacheEntry struct {
-	key string
-	val epsilonAnswer
+	key     string
+	attrs   []int32
+	version uint64
+	val     epsilonAnswer
 }
 
 // inflightCall is a computation in progress; waiters block on done.
@@ -63,7 +78,13 @@ func (c *epsCache) get(key string) (epsilonAnswer, bool) {
 // (singleflight); a failed computation is not cached, so a later caller
 // retries. The second return reports whether the answer came from the
 // cache (true) rather than from running — or joining — a computation.
-func (c *epsCache) do(key string, fn func() (epsilonAnswer, error)) (val epsilonAnswer, cached bool, err error) {
+//
+// attrs and version tag the computation: the answer is only admitted
+// to the cache when the cache's version still equals version when the
+// computation finishes, so an answer computed against a generation
+// that was swapped out mid-flight is returned to its waiters but never
+// cached.
+func (c *epsCache) do(key string, attrs []int32, version uint64, fn func() (epsilonAnswer, error)) (val epsilonAnswer, cached bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
@@ -90,8 +111,8 @@ func (c *epsCache) do(key string, fn func() (epsilonAnswer, error)) (val epsilon
 		}
 		c.mu.Lock()
 		delete(c.inflight, key)
-		if call.err == nil {
-			c.insert(key, call.val)
+		if call.err == nil && c.version == version {
+			c.insert(key, attrs, version, call.val)
 		}
 		c.mu.Unlock()
 		close(call.done)
@@ -103,17 +124,49 @@ func (c *epsCache) do(key string, fn func() (epsilonAnswer, error)) (val epsilon
 
 // insert adds a computed answer, evicting the least recently used entry
 // beyond capacity. Callers hold c.mu.
-func (c *epsCache) insert(key string, val epsilonAnswer) {
+func (c *epsCache) insert(key string, attrs []int32, version uint64, val epsilonAnswer) {
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).val = val
+		ent := el.Value.(*cacheEntry)
+		ent.val = val
+		ent.version = version
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, attrs: attrs, version: version, val: val})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// setVersion pins the graph version newly computed answers are
+// admitted under (boot-time wiring).
+func (c *epsCache) setVersion(v uint64) {
+	c.mu.Lock()
+	c.version = v
+	c.mu.Unlock()
+}
+
+// invalidate drops every cached answer whose attribute set intersects
+// the dirty attributes of a just-published update and advances the
+// cache to the new graph version. Entries left behind are exactly the
+// provably-unchanged ones; they keep serving across versions.
+func (c *epsCache) invalidate(dirty *bitset.Set, newVersion uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.version = newVersion
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		ent := el.Value.(*cacheEntry)
+		for _, a := range ent.attrs {
+			if dirty.Contains(int(a)) {
+				c.ll.Remove(el)
+				delete(c.entries, ent.key)
+				break
+			}
+		}
+		el = next
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -43,34 +44,71 @@ const DefaultCacheSize = 1024
 // Config assembles a Server. Index is required; Graph and Estimator
 // together enable on-demand /epsilon computation (without them the
 // endpoint still serves indexed sets and fails cleanly otherwise).
+// Result and Params together additionally enable the live-update path
+// (POST /updates → background incremental remine → atomic index swap).
 type Config struct {
 	// Index is the pattern index to serve.
 	Index *index.Index
 	// Graph is the attributed graph the index was mined from; needed to
-	// resolve attribute names and member sets for on-demand ε queries.
+	// resolve attribute names and member sets for on-demand ε queries,
+	// and to apply live updates.
 	Graph *graph.Graph
 	// Estimator answers on-demand ε queries (exact coverage search or
 	// Hoeffding sampling — core.Params.NewEstimator builds either).
 	Estimator epsilon.Estimator
 	// Model, when set, adds expected_epsilon and delta to computed
-	// answers (indexed answers always carry them).
+	// answers (indexed answers always carry them). After a live update
+	// the server re-derives the model for each new graph version via
+	// Params.NewModel.
 	Model nullmodel.Model
+	// Result is the mining result Index was built from. Together with
+	// Params it enables POST /updates: the server re-mines
+	// incrementally from it after each accepted update batch. Mine it
+	// with RecordLattice for incremental (rather than full) remines.
+	Result *core.Result
+	// Params is the parameter block the result was mined with; the
+	// update path re-mines with it (RecordLattice is forced on so
+	// consecutive updates stay incremental).
+	Params *core.Params
+	// OnSwap, when set, is called after each background remine
+	// publishes a new serving generation — the snapshot write-behind
+	// hook. Calls are sequential.
+	OnSwap func(SwapEvent)
 	// CacheSize bounds the /epsilon LRU; ≤ 0 means DefaultCacheSize.
 	CacheSize int
 	// Logger, when set, receives one line per request.
 	Logger *log.Logger
 }
 
+// generation is one immutable serving state: a graph version with the
+// index, result and null model derived from it. Readers grab the
+// current generation once per request; the update path builds the next
+// one off to the side and publishes it with a single atomic store.
+type generation struct {
+	version uint64
+	g       *graph.Graph
+	res     *core.Result
+	idx     *index.Index
+	model   nullmodel.Model
+}
+
 // Server is the HTTP query layer over a pattern index. Build one with
 // New; it is an http.Handler safe for concurrent use.
 type Server struct {
-	idx    *index.Index
-	g      *graph.Graph
+	gen    atomic.Pointer[generation]
 	est    epsilon.Estimator
-	model  nullmodel.Model
 	cache  *epsCache
 	logger *log.Logger
 	mux    *http.ServeMux
+
+	// Live-update state; see updates.go. updateMu guards the data head
+	// (headG, pending, remining) — never held while serving reads.
+	params   *core.Params
+	onSwap   func(SwapEvent)
+	updateMu sync.Mutex
+	headG    *graph.Graph
+	pending  *graph.ChangeSet
+	remining bool
 
 	requests        atomic.Int64
 	epsilonQueries  atomic.Int64
@@ -79,6 +117,9 @@ type Server struct {
 	cacheMisses     atomic.Int64
 	searchNodes     atomic.Int64
 	sampledVertices atomic.Int64
+	updatesAccepted atomic.Int64
+	remines         atomic.Int64
+	lastRemineErr   atomic.Pointer[string]
 }
 
 // New builds the server and installs its routes.
@@ -87,13 +128,28 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: Config.Index is required")
 	}
 	s := &Server{
-		idx:    cfg.Index,
-		g:      cfg.Graph,
 		est:    cfg.Estimator,
-		model:  cfg.Model,
 		cache:  newEpsCache(cmpOr(cfg.CacheSize, DefaultCacheSize)),
 		logger: cfg.Logger,
 		mux:    http.NewServeMux(),
+		onSwap: cfg.OnSwap,
+	}
+	gen := &generation{
+		g:     cfg.Graph,
+		res:   cfg.Result,
+		idx:   cfg.Index,
+		model: cfg.Model,
+	}
+	if cfg.Graph != nil {
+		gen.version = cfg.Graph.Version()
+	}
+	s.gen.Store(gen)
+	s.cache.setVersion(gen.version)
+	if cfg.Params != nil && cfg.Result != nil && cfg.Graph != nil {
+		p := *cfg.Params
+		p.RecordLattice = true
+		s.params = &p
+		s.headG = cfg.Graph
 	}
 	s.get("/healthz", s.handleHealthz)
 	s.get("/stats", s.handleStats)
@@ -102,6 +158,8 @@ func New(cfg Config) (*Server, error) {
 	s.get("/patterns", s.handlePatterns)
 	s.get("/vertices/{v}", s.handleVertex)
 	s.get("/epsilon", s.handleEpsilon)
+	s.get("/version", s.handleVersion)
+	s.mux.HandleFunc("/updates", s.handleUpdates)
 	// Unknown paths get the JSON error envelope too, not ServeMux's
 	// plain-text 404.
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -193,10 +251,17 @@ type Stats struct {
 	SampledVertices int64 `json:"sampled_vertices"`
 	// OnDemand reports whether /epsilon can compute uncached answers.
 	OnDemand bool `json:"on_demand"`
+	// LiveUpdates reports whether POST /updates is enabled.
+	LiveUpdates bool `json:"live_updates"`
+	// UpdatesAccepted counts accepted update batches.
+	UpdatesAccepted int64 `json:"updates_accepted"`
+	// Remines counts background remines that published a generation.
+	Remines int64 `json:"remines"`
 }
 
 // Stats returns the current server counters.
 func (s *Server) Stats() Stats {
+	gen := s.gen.Load()
 	return Stats{
 		Requests:        s.requests.Load(),
 		EpsilonQueries:  s.epsilonQueries.Load(),
@@ -206,7 +271,10 @@ func (s *Server) Stats() Stats {
 		CacheEntries:    s.cache.len(),
 		SearchNodes:     s.searchNodes.Load(),
 		SampledVertices: s.sampledVertices.Load(),
-		OnDemand:        s.g != nil && s.est != nil,
+		OnDemand:        gen.g != nil && s.est != nil,
+		LiveUpdates:     s.params != nil,
+		UpdatesAccepted: s.updatesAccepted.Load(),
+		Remines:         s.remines.Load(),
 	}
 }
 
@@ -255,10 +323,10 @@ type epsilonAnswer struct {
 	Source          string   `json:"source"`
 }
 
-func (s *Server) setDTO(i int) setDTO {
-	set := s.idx.Sets()[i]
+func setDTOOf(idx *index.Index, i int) setDTO {
+	set := idx.Sets()[i]
 	return setDTO{
-		ID:              s.idx.SetID(i),
+		ID:              idx.SetID(i),
 		Attrs:           set.Names,
 		Support:         set.Support,
 		Epsilon:         set.Epsilon,
@@ -268,17 +336,17 @@ func (s *Server) setDTO(i int) setDTO {
 		Estimated:       set.Estimated,
 		EpsilonErr:      set.EpsilonErr,
 		SampledVertices: set.SampledVertices,
-		Patterns:        len(s.idx.PatternsOfSetByIndex(i)),
+		Patterns:        len(idx.PatternsOfSetByIndex(i)),
 	}
 }
 
-func (s *Server) patternDTO(i int) patternDTO {
-	p := s.idx.Patterns()[i]
+func patternDTOOf(idx *index.Index, i int) patternDTO {
+	p := idx.Patterns()[i]
 	return patternDTO{
-		ID:          s.idx.PatternID(i),
-		Set:         s.idx.PatternSetID(i),
+		ID:          idx.PatternID(i),
+		Set:         idx.PatternSetID(i),
 		Attrs:       p.Names,
-		Vertices:    s.idx.PatternVertexNames(i),
+		Vertices:    idx.PatternVertexNames(i),
 		Size:        p.Size(),
 		MinDeg:      p.MinDeg,
 		Edges:       p.Edges,
@@ -288,15 +356,17 @@ func (s *Server) patternDTO(i int) patternDTO {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	gen := s.gen.Load()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
-		"sets":     s.idx.NumSets(),
-		"patterns": s.idx.NumPatterns(),
+		"sets":     gen.idx.NumSets(),
+		"patterns": gen.idx.NumPatterns(),
+		"version":  gen.version,
 	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	ist := s.idx.Stats()
+	ist := s.gen.Load().idx.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"index": map[string]any{
 			"sets":             ist.Sets,
@@ -334,6 +404,7 @@ func parseAttrList(vals []string) []string {
 }
 
 func (s *Server) handleSets(w http.ResponseWriter, r *http.Request) {
+	idx := s.gen.Load().idx
 	q := r.URL.Query()
 	exact := parseAttrList(q["attrs"])
 	contains := parseAttrList(q["contains"])
@@ -352,15 +423,15 @@ func (s *Server) handleSets(w http.ResponseWriter, r *http.Request) {
 	var idxs []int
 	switch {
 	case len(exact) > 0:
-		if i := s.idx.Exact(exact); i >= 0 {
+		if i := idx.Exact(exact); i >= 0 {
 			idxs = []int{i}
 		}
 	case len(contains) > 0:
-		idxs = s.idx.Supersets(contains)
+		idxs = idx.Supersets(contains)
 	case len(within) > 0:
-		idxs = s.idx.Subsets(within)
+		idxs = idx.Subsets(within)
 	default:
-		idxs = make([]int, s.idx.NumSets())
+		idxs = make([]int, idx.NumSets())
 		for i := range idxs {
 			idxs[i] = i
 		}
@@ -381,7 +452,7 @@ func (s *Server) handleSets(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	sets := s.idx.Sets()
+	sets := idx.Sets()
 	kept := idxs[:0]
 	for _, i := range idxs {
 		if sets[i].Support >= minSupport && sets[i].Epsilon >= minEps && sets[i].Delta >= minDelta {
@@ -396,7 +467,7 @@ func (s *Server) handleSets(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown rank %q (want support, epsilon or delta)", rank))
 			return
 		}
-		sortByRanking(s.idx.Sets(), idxs, ranking)
+		sortByRanking(idx.Sets(), idxs, ranking)
 	}
 	k, err := intParam(q, "k", 0)
 	if err != nil {
@@ -408,46 +479,48 @@ func (s *Server) handleSets(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if wantNDJSON(r) {
-		writeNDJSON(w, len(idxs), func(i int) any { return s.setDTO(idxs[i]) })
+		writeNDJSON(w, len(idxs), func(i int) any { return setDTOOf(idx, idxs[i]) })
 		return
 	}
 	out := make([]setDTO, len(idxs))
 	for i, si := range idxs {
-		out[i] = s.setDTO(si)
+		out[i] = setDTOOf(idx, si)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"sets": out, "total": len(out)})
 }
 
 func (s *Server) handleSetByID(w http.ResponseWriter, r *http.Request) {
+	idx := s.gen.Load().idx
 	id := r.PathValue("id")
-	si := s.idx.SetIndexByID(id)
+	si := idx.SetIndexByID(id)
 	if si < 0 {
 		writeErr(w, http.StatusNotFound, fmt.Sprintf("no attribute set with id %q", id))
 		return
 	}
-	pats := s.idx.PatternsOfSetByIndex(si)
+	pats := idx.PatternsOfSetByIndex(si)
 	out := make([]patternDTO, len(pats))
 	for i, pi := range pats {
-		out[i] = s.patternDTO(int(pi))
+		out[i] = patternDTOOf(idx, int(pi))
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"set":      s.setDTO(si),
+		"set":      setDTOOf(idx, si),
 		"patterns": out,
 	})
 }
 
 func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
+	idx := s.gen.Load().idx
 	q := r.URL.Query()
 	var idxs []int
 	switch {
 	case q.Get("set") != "":
-		for _, pi := range s.idx.PatternsOfSet(q.Get("set")) {
+		for _, pi := range idx.PatternsOfSet(q.Get("set")) {
 			idxs = append(idxs, int(pi))
 		}
 	case q.Get("vertex") != "":
-		idxs = s.idx.PatternsWithVertex(q.Get("vertex"))
+		idxs = idx.PatternsWithVertex(q.Get("vertex"))
 	default:
-		idxs = make([]int, s.idx.NumPatterns())
+		idxs = make([]int, idx.NumPatterns())
 		for i := range idxs {
 			idxs[i] = i
 		}
@@ -458,7 +531,7 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if minSize > 0 {
-		pats := s.idx.Patterns()
+		pats := idx.Patterns()
 		kept := idxs[:0]
 		for _, i := range idxs {
 			if pats[i].Size() >= minSize {
@@ -476,32 +549,33 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 		idxs = idxs[:limit]
 	}
 	if wantNDJSON(r) {
-		writeNDJSON(w, len(idxs), func(i int) any { return s.patternDTO(idxs[i]) })
+		writeNDJSON(w, len(idxs), func(i int) any { return patternDTOOf(idx, idxs[i]) })
 		return
 	}
 	out := make([]patternDTO, len(idxs))
 	for i, pi := range idxs {
-		out[i] = s.patternDTO(pi)
+		out[i] = patternDTOOf(idx, pi)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"patterns": out, "total": len(out)})
 }
 
 func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
+	gen := s.gen.Load()
 	label := r.PathValue("v")
-	known := s.idx.HasVertex(label)
-	if !known && s.g != nil {
-		_, known = s.g.VertexID(label)
+	known := gen.idx.HasVertex(label)
+	if !known && gen.g != nil {
+		_, known = gen.g.VertexID(label)
 	}
 	if !known {
 		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown vertex %q", label))
 		return
 	}
-	pis := s.idx.PatternsWithVertex(label)
+	pis := gen.idx.PatternsWithVertex(label)
 	pats := make([]patternDTO, len(pis))
 	setIDs := make([]string, 0, len(pis))
 	seen := make(map[string]bool)
 	for i, pi := range pis {
-		pats[i] = s.patternDTO(pi)
+		pats[i] = patternDTOOf(gen.idx, pi)
 		if id := pats[i].Set; !seen[id] {
 			seen[id] = true
 			setIDs = append(setIDs, id)
@@ -515,6 +589,7 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleEpsilon(w http.ResponseWriter, r *http.Request) {
+	gen := s.gen.Load()
 	names := parseAttrList(r.URL.Query()["attrs"])
 	if len(names) == 0 {
 		writeErr(w, http.StatusBadRequest, "attrs parameter is required (e.g. /epsilon?attrs=A,B)")
@@ -522,13 +597,13 @@ func (s *Server) handleEpsilon(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Fast path: the mining run already scored this exact set.
-	if i := s.idx.Exact(names); i >= 0 {
-		set := s.idx.Sets()[i]
+	if i := gen.idx.Exact(names); i >= 0 {
+		set := gen.idx.Sets()[i]
 		s.epsilonQueries.Add(1)
 		s.epsilonIndexed.Add(1)
 		exp := set.ExpEps
 		writeJSON(w, http.StatusOK, epsilonAnswer{
-			ID:              s.idx.SetID(i),
+			ID:              gen.idx.SetID(i),
 			Attrs:           set.Names,
 			Support:         set.Support,
 			Epsilon:         set.Epsilon,
@@ -543,13 +618,13 @@ func (s *Server) handleEpsilon(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if s.g == nil || s.est == nil {
+	if gen.g == nil || s.est == nil {
 		writeErr(w, http.StatusNotImplemented, "on-demand epsilon computation is disabled (no graph/estimator configured)")
 		return
 	}
 	attrs := make([]int32, 0, len(names))
 	for _, n := range names {
-		id, ok := s.g.AttrID(n)
+		id, ok := gen.g.AttrID(n)
 		if !ok {
 			writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown attribute %q", n))
 			return
@@ -559,9 +634,19 @@ func (s *Server) handleEpsilon(w http.ResponseWriter, r *http.Request) {
 	sort.Slice(attrs, func(i, j int) bool { return attrs[i] < attrs[j] })
 
 	key := attrKey(attrs)
-	ans, cached, err := s.cache.do(key, func() (epsilonAnswer, error) {
-		return s.computeEpsilon(attrs)
+	ans, cached, err := s.cache.do(key, attrs, gen.version, func() (epsilonAnswer, error) {
+		return computeEpsilon(gen, s, attrs)
 	})
+	// δ-normalization is applied at serve time against the CURRENT
+	// generation's null model, never cached: the model shifts with the
+	// global degree distribution on every edge/vertex update, so a
+	// cached ε (which stays valid for clean sets) must not freeze the
+	// expected ε it was first served with.
+	if err == nil && gen.model != nil {
+		exp := gen.model.Exp(ans.Support)
+		ans.ExpectedEpsilon = &exp
+		ans.Delta = core.FormatDelta(core.NormalizeDelta(ans.Epsilon, exp))
+	}
 	if err != nil {
 		// A budget-bounded search that ran out is an overload signal,
 		// not a server fault: 503 tells the client the query was too
@@ -585,17 +670,20 @@ func (s *Server) handleEpsilon(w http.ResponseWriter, r *http.Request) {
 }
 
 // computeEpsilon answers one uncached /epsilon query through the
-// estimator; it runs inside the cache's singleflight.
-func (s *Server) computeEpsilon(attrs []int32) (epsilonAnswer, error) {
-	names := s.g.AttrSetNames(attrs)
+// estimator against one consistent generation; it runs inside the
+// cache's singleflight. The answer carries only the ε computation —
+// δ-normalization is applied by the handler per serve, so cached
+// answers track the current null model.
+func computeEpsilon(gen *generation, s *Server, attrs []int32) (epsilonAnswer, error) {
+	names := gen.g.AttrSetNames(attrs)
 	ans := epsilonAnswer{
 		ID:    core.SetID(names),
 		Attrs: names,
 	}
-	members := s.g.Members(attrs)
+	members := gen.g.Members(attrs)
 	ans.Support = members.Count()
 	if ans.Support > 0 {
-		est, err := s.est.Estimate(s.g, attrs, members, members)
+		est, err := s.est.Estimate(gen.g, attrs, members, members)
 		if err != nil {
 			return epsilonAnswer{}, err
 		}
@@ -606,11 +694,6 @@ func (s *Server) computeEpsilon(attrs []int32) (epsilonAnswer, error) {
 		ans.Estimated = est.Estimated
 		ans.EpsilonErr = est.ErrBound
 		ans.SampledVertices = est.SampledVertices
-	}
-	if s.model != nil {
-		exp := s.model.Exp(ans.Support)
-		ans.ExpectedEpsilon = &exp
-		ans.Delta = core.FormatDelta(core.NormalizeDelta(ans.Epsilon, exp))
 	}
 	return ans, nil
 }

@@ -146,6 +146,15 @@ func WithSeed(seed int64) Option { return func(m *Miner) { m.p.Seed = seed } }
 // ErrBudget and the partial result.
 func WithSearchBudget(n int64) Option { return func(m *Miner) { m.p.SearchBudget = n } }
 
+// WithLiveUpdates makes every run record its search lattice into the
+// Result, enabling incremental re-mining after graph updates: apply a
+// batch of changes with Graph.NewDelta + Graph.Apply, then call
+// Miner.Remine with the old result and the ChangeSet — only attribute
+// sets the update could have affected are recomputed. Costs memory
+// proportional to the evaluated lattice; leave it off for one-shot
+// batch runs.
+func WithLiveUpdates() Option { return func(m *Miner) { m.p.RecordLattice = true } }
+
 // WithProgressEvery sets how many attribute-set evaluations elapse
 // between Sink.OnProgress callbacks (default 64).
 func WithProgressEvery(n int) Option { return func(m *Miner) { m.p.ProgressEvery = n } }
@@ -170,6 +179,27 @@ func (m *Miner) Params() Params { return m.p }
 // context.Cause(ctx)); on budget exhaustion likewise with ErrBudget.
 func (m *Miner) Mine(ctx context.Context, g *Graph) (*Result, error) {
 	return m.run(ctx, g, nil)
+}
+
+// Remine incrementally re-mines g — a graph produced from a previous
+// version by Graph.Apply — reusing old (the previous version's result,
+// mined by this same Miner with WithLiveUpdates) wherever changes
+// proves the update cannot have altered it: attribute sets disjoint
+// from the dirty attributes are carried over by value, only their
+// δ-normalization is re-derived, and everything else is recomputed.
+// The output is identical to Mine(ctx, g) — sets, ε, δ, patterns,
+// stable ids — in both exact and sampled ε modes, with the savings
+// reported in Stats.ReusedSets versus Stats.RecomputedSets.
+//
+// When old carries no recorded lattice (mined without WithLiveUpdates)
+// or changes is nil, Remine degrades to a correct full re-mine with
+// zero reuse. The naive baseline (WithNaive) has no incremental path;
+// Remine then ignores old and mines fully.
+func (m *Miner) Remine(ctx context.Context, g *Graph, old *Result, changes *ChangeSet) (*Result, error) {
+	if m.naive {
+		return core.MineNaive(ctx, g, m.p, nil)
+	}
+	return core.Remine(ctx, g, m.p, old, changes, nil)
 }
 
 // Stream mines g, pushing every qualifying attribute set and pattern to

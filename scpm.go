@@ -1,7 +1,6 @@
 package scpm
 
 import (
-	"context"
 	"io"
 
 	"github.com/scpm/scpm/internal/core"
@@ -33,6 +32,19 @@ func ReadDataset(attrs, edges io.Reader) (*Graph, error) {
 func WriteDataset(g *Graph, attrs, edges io.Writer) error {
 	return graph.WriteDataset(g, attrs, edges)
 }
+
+// Delta accumulates a batch of updates against one immutable Graph —
+// edge additions/removals, new vertices, attribute set/unset toggles —
+// each validated as it is recorded. Start one with Graph.NewDelta and
+// produce the next graph version with Graph.Apply.
+type Delta = graph.Delta
+
+// ChangeSet reports exactly what a Graph.Apply touched: dirty vertices
+// and — crucially for incremental re-mining — the sound
+// over-approximation of the attributes whose sets may have changed.
+// Attribute sets disjoint from the dirty attributes are provably
+// unaffected by the update.
+type ChangeSet = graph.ChangeSet
 
 // Params configures a mining run; see the field documentation of
 // core.Params (re-exported here) for the full reference.
@@ -80,31 +92,6 @@ const (
 	EpsilonExact   = core.EpsilonExact
 	EpsilonSampled = core.EpsilonSampled
 )
-
-// Mine runs the SCPM algorithm on g: it identifies the attribute sets
-// with support ≥ σmin, structural correlation ≥ εmin and normalized
-// structural correlation ≥ δmin, and mines the top-k quasi-cliques each
-// induces.
-//
-// Deprecated: build a Miner instead — NewMiner(WithParams(p)) followed
-// by Miner.Mine(ctx, g) — which adds cancellation, streaming sinks and
-// the Sets iterator. This wrapper runs with context.Background and no
-// sink.
-func Mine(g *Graph, p Params) (*Result, error) {
-	return core.Mine(context.Background(), g, p, nil)
-}
-
-// MineNaive runs the naive baseline (Eclat × full quasi-clique
-// enumeration). It produces the same output as Mine but without the
-// SCPM search and pruning strategies; use it for cross-checking or
-// benchmarking.
-//
-// Deprecated: build a Miner with WithNaive instead —
-// NewMiner(WithParams(p), WithNaive()) followed by Miner.Mine(ctx, g).
-// This wrapper runs with context.Background and no sink.
-func MineNaive(g *Graph, p Params) (*Result, error) {
-	return core.MineNaive(context.Background(), g, p, nil)
-}
 
 // TopSets returns the n best attribute sets of a result under the given
 // ranking (σ, ε or δ), as in the paper's case-study tables.

@@ -2,12 +2,28 @@ package scpm_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
 
 	scpm "github.com/scpm/scpm"
 )
+
+// mine runs a batch mine through the Miner API with the given
+// parameter block (the facade's only mining entry point).
+func mine(t *testing.T, g *scpm.Graph, p scpm.Params, extra ...scpm.Option) *scpm.Result {
+	t.Helper()
+	m, err := scpm.NewMiner(append([]scpm.Option{scpm.WithParams(p)}, extra...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Mine(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
 
 // TestQuickstartFlow exercises the public API end to end the way the
 // doc.go example does.
@@ -31,10 +47,7 @@ func TestQuickstartFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := scpm.Mine(g, scpm.Params{SigmaMin: 2, Gamma: 1, MinSize: 3, K: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := mine(t, g, scpm.Params{SigmaMin: 2, Gamma: 1, MinSize: 3, K: 2})
 	set := res.SetByNames("db", "go")
 	if set == nil || set.Epsilon != 1 {
 		t.Fatalf("expected ε=1 for {db,go}: %+v", set)
@@ -51,14 +64,8 @@ func TestQuickstartFlow(t *testing.T) {
 func TestPaperExampleThroughFacade(t *testing.T) {
 	g := scpm.PaperExample()
 	p := scpm.Params{SigmaMin: 3, Gamma: 0.6, MinSize: 4, EpsMin: 0.5, K: 10}
-	res, err := scpm.Mine(g, p)
-	if err != nil {
-		t.Fatal(err)
-	}
-	naive, err := scpm.MineNaive(g, p)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := mine(t, g, p)
+	naive := mine(t, g, p, scpm.WithNaive())
 	if len(res.Sets) != 3 || len(naive.Sets) != 3 || len(res.Patterns) != 7 {
 		t.Fatalf("unexpected counts: %d sets, %d patterns", len(res.Sets), len(res.Patterns))
 	}
@@ -101,9 +108,7 @@ func TestNullModelsThroughFacade(t *testing.T) {
 		}
 	}
 	p.Model = sim
-	if _, err := scpm.Mine(g, p); err != nil {
-		t.Fatal(err)
-	}
+	mine(t, g, p)
 }
 
 func TestFindQuasiCliques(t *testing.T) {
@@ -156,10 +161,7 @@ func TestGenerateThroughFacade(t *testing.T) {
 	if g.NumVertices() != 300 || len(gt.Communities) != 6 {
 		t.Fatalf("unexpected generation: %v, %d communities", g, len(gt.Communities))
 	}
-	res, err := scpm.Mine(g, scpm.Params{SigmaMin: 4, Gamma: 0.5, MinSize: 4, K: 1, MaxAttrs: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := mine(t, g, scpm.Params{SigmaMin: 4, Gamma: 0.5, MinSize: 4, K: 1, MaxAttrs: 2})
 	if len(res.Sets) == 0 {
 		t.Fatal("no sets mined from generated graph")
 	}

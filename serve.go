@@ -33,6 +33,23 @@ func NewIndex(res *Result, g *Graph) *Index { return index.Build(res, g) }
 // self-contained — no graph is needed to serve lookups from it.
 func LoadIndex(r io.Reader) (*Index, error) { return index.Load(r) }
 
+// LiveIndex is an atomically swappable handle on an immutable Index —
+// the copy-on-write primitive behind the live-update path. Readers
+// call Index() and query the snapshot they got; a concurrent Swap
+// (typically of an Index.Rebuild over a Remine result) never blocks
+// them. scpm-serve wires this up automatically; embedders serving an
+// index in-process use it directly.
+type LiveIndex = index.Live
+
+// NewLiveIndex wraps an index in a live handle.
+func NewLiveIndex(x *Index) *LiveIndex { return index.NewLive(x) }
+
+// SwapEvent describes one live-update generation swap: the new graph
+// version, the incremental mining result and the rebuilt index that
+// now serve reads. It is the payload of ServerConfig.OnSwap — the
+// snapshot write-behind hook.
+type SwapEvent = server.SwapEvent
+
 // ServerConfig configures NewServerHandler beyond its required
 // arguments.
 type ServerConfig struct {
@@ -41,6 +58,17 @@ type ServerConfig struct {
 	CacheSize int
 	// Logger, when set, receives one line per request.
 	Logger *log.Logger
+	// Result, when set together with a non-nil graph, enables the live
+	// update path: POST /updates applies NDJSON graph operations and a
+	// background incremental remine (Miner.Remine semantics) republishes
+	// the index with an atomic swap readers never block on. Result must
+	// be the result the index was built from; mine it with
+	// WithLiveUpdates so the first remine is already incremental.
+	Result *Result
+	// OnSwap, when set, is called after every background remine
+	// publishes a new generation — write the snapshot there to keep it
+	// warm behind the served data.
+	OnSwap func(SwapEvent)
 }
 
 // NewServerHandler builds the HTTP query layer over an index: JSON and
@@ -50,8 +78,9 @@ type ServerConfig struct {
 // WithEpsilonSampling-style parameters) through a singleflight-
 // deduplicated LRU cache. g may be nil when only indexed lookups are
 // needed (e.g. serving a snapshot without the dataset); /epsilon then
-// answers indexed sets only. See docs/FILE_FORMATS.md for the endpoint
-// reference.
+// answers indexed sets only. With ServerConfig.Result set the handler
+// additionally accepts live updates (POST /updates, GET /version). See
+// docs/FILE_FORMATS.md for the endpoint reference.
 func NewServerHandler(idx *Index, g *Graph, p Params, cfg ServerConfig) (http.Handler, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -60,11 +89,16 @@ func NewServerHandler(idx *Index, g *Graph, p Params, cfg ServerConfig) (http.Ha
 		Index:     idx,
 		CacheSize: cfg.CacheSize,
 		Logger:    cfg.Logger,
+		OnSwap:    cfg.OnSwap,
 	}
 	if g != nil {
 		sc.Graph = g
 		sc.Estimator = p.NewEstimator()
 		sc.Model = p.NewModel(g)
+		if cfg.Result != nil {
+			sc.Result = cfg.Result
+			sc.Params = &p
+		}
 	}
 	return server.New(sc)
 }

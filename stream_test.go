@@ -430,23 +430,69 @@ func TestQuasiCliqueHelpersValidate(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWrappersStillWork: the pre-Miner entry points keep
-// compiling and agree with the new API.
-func TestDeprecatedWrappersStillWork(t *testing.T) {
+// TestWithParamsMatchesOptions: seeding a Miner from a whole parameter
+// block (the migration path of the removed package-level Mine shim)
+// produces the same output as the equivalent functional options.
+func TestWithParamsMatchesOptions(t *testing.T) {
 	g := scpm.PaperExample()
 	p := scpm.Params{SigmaMin: 3, Gamma: 0.6, MinSize: 4, EpsMin: 0.5, K: 10}
-	old, err := scpm.Mine(g, p)
+	fromParams, err := scpm.NewMiner(scpm.WithParams(p))
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := scpm.NewMiner(scpm.WithParams(p))
+	old, err := fromParams.Mine(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := m.Mine(context.Background(), g)
+	res, err := paperMiner(t).Mine(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	equalStrings(t, "wrapper sets", setKeys(old.Sets), setKeys(res.Sets))
-	equalStrings(t, "wrapper patterns", patternKeys(old.Patterns), patternKeys(res.Patterns))
+	equalStrings(t, "params sets", setKeys(old.Sets), setKeys(res.Sets))
+	equalStrings(t, "params patterns", patternKeys(old.Patterns), patternKeys(res.Patterns))
+}
+
+// TestRemineThroughFacade: the live-update flow end to end on the
+// public API — mine with WithLiveUpdates, apply a delta, Remine, and
+// match a from-scratch mine of the updated graph.
+func TestRemineThroughFacade(t *testing.T) {
+	ctx := context.Background()
+	g := scpm.PaperExample()
+	m := paperMiner(t, scpm.WithLiveUpdates())
+	old, err := m.Mine(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !old.HasLattice() {
+		t.Fatal("WithLiveUpdates run did not record a lattice")
+	}
+
+	d := g.NewDelta()
+	if err := d.AddVertex("12", "A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge("12", "1"); err != nil {
+		t.Fatal(err)
+	}
+	ng, cs, err := g.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.Version() != 2 || cs.ToVersion != 2 {
+		t.Fatalf("versions after apply: graph %d, changes →%d", ng.Version(), cs.ToVersion)
+	}
+
+	scratch, err := m.Mine(ctx, ng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := m.Remine(ctx, ng, old, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalStrings(t, "remine sets", setKeys(inc.Sets), setKeys(scratch.Sets))
+	equalStrings(t, "remine patterns", patternKeys(inc.Patterns), patternKeys(scratch.Patterns))
+	if inc.Stats.ReusedSets == 0 {
+		t.Fatalf("facade remine reused nothing: %+v", inc.Stats)
+	}
 }
