@@ -23,8 +23,11 @@ import (
 // run per (scale, estimator mode); v3 added the optional serve section
 // written by -exp serve (index build time + endpoint throughput); v4
 // added the optional update section written by -exp update (full vs
-// incremental remine after single-op graph deltas).
-const benchSchema = "scpm-bench/v4"
+// incremental remine after single-op graph deltas); v5 added the
+// optional shard section written by -exp shard (1/2/4-shard mining
+// wall time vs single-process, plus scatter-gather gateway throughput
+// vs a direct server).
+const benchSchema = "scpm-bench/v5"
 
 // benchRun is one (dataset, scale, estimator mode) measurement.
 type benchRun struct {
@@ -58,7 +61,7 @@ type benchRun struct {
 
 // benchReport is the full content of one BENCH_<dataset>.json file.
 // Mining suites fill Runs; -exp serve fills Serve; -exp update fills
-// Update.
+// Update; -exp shard fills Shard.
 type benchReport struct {
 	Schema  string        `json:"schema"`
 	Dataset string        `json:"dataset"`
@@ -68,6 +71,7 @@ type benchReport struct {
 	Runs    []benchRun    `json:"runs,omitempty"`
 	Serve   *serveReport  `json:"serve,omitempty"`
 	Update  *updateReport `json:"update,omitempty"`
+	Shard   *shardReport  `json:"shard,omitempty"`
 }
 
 // runBenchSuite generates each dataset at every scale, mines it with

@@ -26,6 +26,11 @@
 //     single-attribute delta, a full re-mine of the updated graph is
 //     timed against the incremental Remine from the previous result's
 //     lattice, per dataset (-update-datasets), into BENCH_update.json;
+//   - "shard" measures the sharded deployment: mining each dataset
+//     (-shard-datasets) as 1, 2 and 4 lattice partitions in parallel
+//     (merge verified against the single-process result) and the
+//     scatter-gather gateway's throughput fronting two replicas versus
+//     a direct server, into BENCH_shard.json;
 //   - "bench" mines the synthetic datasets at several scales — once per
 //     ε-estimator mode (exact and sampled) — and writes one
 //     BENCH_<dataset>.json per dataset with wall time, search nodes,
@@ -59,7 +64,7 @@ func runMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("scpm-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp     = fs.String("exp", "all", "experiment id (table1..table4, fig4, fig7, fig8, fig9, fig10, ablation, approx, bench, serve, update, all)")
+		exp     = fs.String("exp", "all", "experiment id (table1..table4, fig4, fig7, fig8, fig9, fig10, ablation, approx, bench, serve, update, shard, all)")
 		scale   = fs.Float64("scale", 1.0, "dataset scale factor")
 		repeats = fs.Int("repeats", 3, "timing repetitions for fig8 (best-of)")
 		samples = fs.Int("samples", 100, "simulation samples per support value for fig4/7/9")
@@ -74,6 +79,9 @@ func runMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 		updateDatasets = fs.String("update-datasets", "dblp,dense", "comma-separated datasets for -exp update")
 		updateScale    = fs.Float64("update-scale", 0.2, "dataset scale for -exp update")
+
+		shardDatasets = fs.String("shard-datasets", "dblp,dense", "comma-separated datasets for -exp shard")
+		shardScale    = fs.Float64("shard-scale", 0.2, "dataset scale for -exp shard")
 
 		showVer = fs.Bool("version", false, "print version and exit")
 	)
@@ -178,6 +186,8 @@ func runMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return runServeBench(ctx, *benchOut, stdout)
 		case "update":
 			return runUpdateBench(ctx, *updateDatasets, *updateScale, *repeats, *benchOut, stdout)
+		case "shard":
+			return runShardBench(ctx, *shardDatasets, *shardScale, *repeats, *benchOut, stdout)
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}

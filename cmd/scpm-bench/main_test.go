@@ -174,6 +174,58 @@ func TestBenchVersionFlag(t *testing.T) {
 	}
 }
 
+// TestBenchShard runs the shard experiment on one small dataset and
+// validates the report shape: three shard widths per dataset, merges
+// verified, and a populated gateway-vs-direct comparison.
+func TestBenchShard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard bench mines three widths and drives 20k gateway requests")
+	}
+	dir := t.TempDir()
+	code, out, errOut := runBench(t, "-exp", "shard", "-out", dir,
+		"-shard-datasets", "dense", "-shard-scale", "0.1", "-repeats", "1")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "merge_ok=true") {
+		t.Fatalf("summary missing merge verification:\n%s", out)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_shard.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("invalid BENCH_shard.json: %v", err)
+	}
+	if report.Schema != benchSchema || report.Shard == nil {
+		t.Fatalf("report envelope: %s", raw)
+	}
+	sh := report.Shard
+	if len(sh.Mining) != len(shardBenchCounts) {
+		t.Fatalf("got %d mining rows, want %d", len(sh.Mining), len(shardBenchCounts))
+	}
+	for i, run := range sh.Mining {
+		if run.Shards != shardBenchCounts[i] || !run.MergeVerified {
+			t.Errorf("row %d: %+v", i, run)
+		}
+		if run.WallMS <= 0 || run.SingleMS <= 0 || run.Sets == 0 {
+			t.Errorf("row %d: missing measurements: %+v", i, run)
+		}
+		if run.Sets != sh.Mining[0].Sets || run.Patterns != sh.Mining[0].Patterns {
+			t.Errorf("row %d: result counts differ across widths: %+v", i, run)
+		}
+	}
+	if sh.Gateway == nil || sh.Gateway.Shards != 2 || len(sh.Gateway.Endpoints) == 0 {
+		t.Fatalf("gateway section: %+v", sh.Gateway)
+	}
+	for _, ep := range sh.Gateway.Endpoints {
+		if ep.GatewayQPS <= 0 || ep.DirectQPS <= 0 {
+			t.Errorf("endpoint %s: non-positive qps: %+v", ep.Name, ep)
+		}
+	}
+}
+
 // TestBenchServe runs the serve experiment end to end (a reduced check:
 // the full request volume runs in CI) and validates the report shape.
 func TestBenchServe(t *testing.T) {

@@ -27,6 +27,13 @@
 //
 //	scpm-serve -example paper -sigma 3 -gamma 0.6 -minsize 4 -eps 0.5 -k 10
 //
+// With -shard k/N the process mines and serves only shard k's slice
+// of an N-way partition of the attribute-set lattice (plan the
+// partition and write its manifest with scpm-gateway -plan); N such
+// replicas behind scpm-gateway answer queries exactly like one
+// unsharded server. Updates re-derive the partition per graph version,
+// so POST /updates keeps working against sharded replicas.
+//
 // With -snapshot the index is loaded from the file when it exists;
 // otherwise the dataset is mined and the snapshot written there, so the
 // second boot skips mining entirely. The process serves until SIGINT/
@@ -81,6 +88,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		minAttrs  = fs.Int("minattrs", 1, "report only sets with ≥ this many attributes")
 		maxAttrs  = fs.Int("maxattrs", 0, "bound attribute-set size (0 = unbounded)")
 		par       = fs.Int("parallel", runtime.NumCPU(), "mining worker goroutines")
+		shardSpec = fs.String("shard", "", `serve one slice of a sharded deployment, as "k/N" (e.g. 0/2): mine only the lattice partition shard k owns and serve it behind scpm-gateway`)
 		noUpdates = fs.Bool("no-updates", false, "disable POST /updates (serve a frozen index)")
 		budget    = fs.Int64("budget", 0, "search-node budget per quasi-clique search, for startup mining and each on-demand ε query (0 = unbounded)")
 		epsMode   = fs.String("eps-mode", "exact", "on-demand ε computation: exact or sampled")
@@ -89,9 +97,6 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		seed      = fs.Int64("seed", 0, "sampled mode: sampling seed")
 		showVer   = fs.Bool("version", false, "print version and exit")
 	)
-	// Deprecated alias kept for callers of the pre-unification flag
-	// name (cmd/scpm always said -parallel; scpm-serve now agrees).
-	fs.Var(aliasValue{fs, "parallel"}, "parallelism", "deprecated alias for -parallel")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -125,6 +130,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		// Record the search lattice so POST /updates re-mines
 		// incrementally from the boot result.
 		opts = append(opts, scpm.WithLiveUpdates())
+	}
+	if *shardSpec != "" {
+		k, n, err := parseShard(*shardSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, "scpm-serve:", err)
+			return 2
+		}
+		opts = append(opts, scpm.WithShard(k, n))
+		fmt.Fprintf(stdout, "scpm-serve: serving shard %d/%d of the attribute-set lattice\n", k, n)
 	}
 	switch strings.ToLower(*epsMode) {
 	case "exact":
@@ -205,18 +219,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// aliasValue forwards a deprecated flag name to its canonical flag, so
-// both spellings set the same value.
-type aliasValue struct {
-	fs     *flag.FlagSet
-	target string
+// parseShard parses the -shard "k/N" spec.
+func parseShard(spec string) (k, n int, err error) {
+	if _, err := fmt.Sscanf(spec, "%d/%d", &k, &n); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q (want k/N, e.g. 0/2)", spec)
+	}
+	if n < 1 || k < 0 || k >= n {
+		return 0, 0, fmt.Errorf("bad -shard %q: shard index must be in 0…%d", spec, n-1)
+	}
+	return k, n, nil
 }
-
-// String implements flag.Value.
-func (a aliasValue) String() string { return "" }
-
-// Set implements flag.Value by delegating to the canonical flag.
-func (a aliasValue) Set(v string) error { return a.fs.Set(a.target, v) }
 
 // loadGraph resolves the dataset selection: two files, or a built-in
 // example. When a snapshot with live-update dataset sidecars exists

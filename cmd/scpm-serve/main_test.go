@@ -342,21 +342,76 @@ func TestServeNoUpdatesFlag(t *testing.T) {
 	}
 }
 
-// TestServeParallelAlias: both spellings of the worker-count flag are
-// accepted.
-func TestServeParallelAlias(t *testing.T) {
-	for _, flag := range []string{"-parallel", "-parallelism"} {
-		base, _, shutdown := startServe(t, append([]string{flag, "2"}, paperArgs...)...)
-		var health struct {
-			Sets int `json:"sets"`
-		}
-		getJSON(t, base+"/healthz", &health)
-		if health.Sets != 3 {
-			t.Fatalf("%s: healthz = %+v", flag, health)
+// TestServeParallelFlag: the canonical worker-count flag works and the
+// long-deprecated -parallelism alias (removed with the sharding flags)
+// is rejected.
+func TestServeParallelFlag(t *testing.T) {
+	base, _, shutdown := startServe(t, append([]string{"-parallel", "2"}, paperArgs...)...)
+	var health struct {
+		Sets int `json:"sets"`
+	}
+	getJSON(t, base+"/healthz", &health)
+	if health.Sets != 3 {
+		t.Fatalf("healthz = %+v", health)
+	}
+	if code := shutdown(); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), append([]string{"-parallelism", "2"}, paperArgs...), &stdout, &stderr); code != 2 {
+		t.Fatalf("-parallelism accepted (exit %d), want flag error", code)
+	}
+}
+
+// TestServeSharded boots every shard of a 2-way split and checks the
+// slices are disjoint and together cover the unsharded index.
+func TestServeSharded(t *testing.T) {
+	type setsPayload struct {
+		Sets []struct {
+			ID string `json:"id"`
+		} `json:"sets"`
+		Total int `json:"total"`
+	}
+	var whole setsPayload
+	base, _, shutdown := startServe(t, paperArgs...)
+	getJSON(t, base+"/sets", &whole)
+	if code := shutdown(); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if whole.Total == 0 {
+		t.Fatal("unsharded serve has no sets")
+	}
+
+	seen := make(map[string]int)
+	shardTotal := 0
+	for k := 0; k < 2; k++ {
+		base, _, shutdown := startServe(t, append([]string{"-shard", fmt.Sprintf("%d/2", k)}, paperArgs...)...)
+		var slice setsPayload
+		getJSON(t, base+"/sets", &slice)
+		shardTotal += slice.Total
+		for _, s := range slice.Sets {
+			seen[s.ID]++
 		}
 		if code := shutdown(); code != 0 {
-			t.Fatalf("%s: exit %d", flag, code)
+			t.Fatalf("shard %d: exit %d", k, code)
 		}
+	}
+	if shardTotal != whole.Total {
+		t.Fatalf("shards serve %d sets, unsharded serves %d", shardTotal, whole.Total)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("set %s served by %d shards", id, n)
+		}
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), append([]string{"-shard", "2/2"}, paperArgs...), &stdout, &stderr); code != 2 {
+		t.Fatalf("-shard 2/2 accepted (exit %d)", code)
+	}
+	if code := run(context.Background(), append([]string{"-shard", "bogus"}, paperArgs...), &stdout, &stderr); code != 2 {
+		t.Fatalf("-shard bogus accepted (exit %d)", code)
 	}
 }
 

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+)
+
+// MergeResults combines the per-shard results of a partitioned mining
+// run (Params.ShardOwner) into the single-process result, deterministically:
+// sets and patterns are concatenated and re-sorted into the canonical
+// order, the stats counters are summed, and the recorded lattices are
+// unioned. When every shard of a disjoint, complete partition mined the
+// same graph with the same parameters, the merged output — sets, ε, δ,
+// patterns, stable ids, counter totals and the lattice a later Remine
+// consumes — is bit-identical to one Mine over the whole lattice; only
+// Stats.Duration differs (it reports the slowest shard, the wall time
+// of a perfectly parallel run).
+//
+// Overlapping partitions are caught: a set emitted by two shards is a
+// partition bug, and MergeResults refuses to merge it rather than
+// silently double-reporting. Lattices must all come from the same graph
+// version; the merged result carries a lattice only when every part
+// recorded one (a single lattice-less shard would leave holes that a
+// Remine would silently treat as never-evaluated).
+func MergeResults(parts ...*Result) (*Result, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("core: MergeResults needs at least one result")
+	}
+	merged := &Result{}
+	allLattices := true
+	seen := make(map[string]bool)
+	for i, part := range parts {
+		if part == nil {
+			return nil, fmt.Errorf("core: MergeResults part %d is nil", i)
+		}
+		for _, s := range part.Sets {
+			key := attrKey(s.Attrs)
+			if seen[key] {
+				return nil, fmt.Errorf("core: attribute set {%s} emitted by more than one shard (overlapping partition?)", s.Key())
+			}
+			seen[key] = true
+		}
+		merged.Sets = append(merged.Sets, part.Sets...)
+		merged.Patterns = append(merged.Patterns, part.Patterns...)
+		merged.Stats.SetsEvaluated += part.Stats.SetsEvaluated
+		merged.Stats.SetsEmitted += part.Stats.SetsEmitted
+		merged.Stats.PatternsEmitted += part.Stats.PatternsEmitted
+		merged.Stats.SearchNodes += part.Stats.SearchNodes
+		merged.Stats.SampledVertices += part.Stats.SampledVertices
+		merged.Stats.ReusedSets += part.Stats.ReusedSets
+		merged.Stats.RecomputedSets += part.Stats.RecomputedSets
+		if part.Stats.Duration > merged.Stats.Duration {
+			merged.Stats.Duration = part.Stats.Duration
+		}
+		if part.lattice == nil {
+			allLattices = false
+		}
+	}
+	if allLattices {
+		lat, err := mergeLattices(parts)
+		if err != nil {
+			return nil, err
+		}
+		merged.lattice = lat
+	}
+	sortResult(merged)
+	return merged, nil
+}
+
+// mergeLattices unions the per-shard lattices into one. Entries are
+// disjoint by the prefix ownership rule (muted evaluations are never
+// recorded), so the union is a plain map copy.
+func mergeLattices(parts []*Result) (*Lattice, error) {
+	version := parts[0].lattice.version
+	out := newLattice(version)
+	for i, part := range parts {
+		if part.lattice.version != version {
+			return nil, fmt.Errorf("core: shard %d lattice is at graph version %d, shard 0 at %d",
+				i, part.lattice.version, version)
+		}
+		for key, ent := range part.lattice.m {
+			out.m[key] = ent
+		}
+	}
+	return out, nil
+}

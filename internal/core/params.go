@@ -96,6 +96,21 @@ type Params struct {
 	// with ErrBudget, returning the partial result mined so far.
 	SearchBudget int64
 
+	// ShardOwner, when non-nil, restricts the run to one partition of
+	// the attribute-set lattice: only the top-level Eclat subtrees whose
+	// root attribute the function claims — and the size-1 sets of those
+	// roots — are emitted, recorded into the lattice and counted in the
+	// stats. Non-owned frequent singles are still evaluated (their member
+	// sets, covered-set hand-downs and Theorem-4/5 survival verdicts feed
+	// the owned subtrees' right-sibling lists bit-identically to a
+	// single-process run) but contribute nothing to the output, so
+	// MergeResults over a disjoint, complete family of owners reproduces
+	// the single-process run exactly. The function receives the graph
+	// being mined so ownership can be re-derived per graph version during
+	// incremental remines. internal/shard constructs these functions;
+	// leave nil to mine the whole lattice.
+	ShardOwner func(g *graph.Graph, root int32) bool
+
 	// RecordLattice makes the run memoize every evaluated attribute set
 	// (ε, covered-set hand-downs, mined patterns) into the Result, so a
 	// later Remine can carry clean evaluations over instead of

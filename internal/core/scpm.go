@@ -65,23 +65,30 @@ func mine(ctx context.Context, g *graph.Graph, p Params, sink Sink, reuse *Latti
 	if p.RecordLattice {
 		m.record = newLattice(g.Version())
 	}
+	if p.ShardOwner != nil {
+		m.owner = func(root int32) bool { return p.ShardOwner(g, root) }
+	}
 	// Theorem 5's pruning bound needs εexp(σmin) once.
 	m.expSigmaMin = m.model.Exp(p.SigmaMin)
 
 	// Level 1 (Algorithm 2 lines 3–15): evaluate every frequent
 	// attribute. These evaluations are independent, so they parallelize
-	// directly.
+	// directly. A sharded run evaluates every single — the non-owned
+	// ones muted, because their hand-downs and survival verdicts feed
+	// the owned subtrees' sibling lists — but emits/records/counts only
+	// the owned slice.
 	singles := m.frequentSingles()
 	level1 := make([]evalOutcome, len(singles))
 	runErr := m.forEach(ctx, len(singles), func(i int) error {
 		attrs := []int32{singles[i]}
-		out, handled, err := m.replay(attrs)
+		muted := m.owner != nil && !m.owner(singles[i])
+		out, handled, err := m.replay(attrs, muted)
 		if err != nil {
 			return err
 		}
 		if !handled {
 			members := g.AttrMembers(singles[i])
-			out, err = m.evaluate(attrs, members, members)
+			out, err = m.evaluate(attrs, members, members, muted)
 			if err != nil {
 				return err
 			}
@@ -115,8 +122,14 @@ func mine(ctx context.Context, g *graph.Graph, p Params, sink Sink, reuse *Latti
 
 	// enumerate-patterns (Algorithm 3): each top-level subtree is
 	// independent given its right-sibling list, so subtrees parallelize.
+	// A sharded run descends only the subtrees it owns; every attribute
+	// set below an owned root belongs to this shard by the prefix
+	// ownership rule, so everything in the subtree is unmuted.
 	buckets := make([]*Result, len(survivors))
 	runErr = m.forEach(ctx, len(survivors), func(i int) error {
+		if m.owner != nil && !m.owner(survivors[i].attrs[0]) {
+			return nil
+		}
 		buckets[i] = &Result{}
 		return m.extendSubtree(ctx, survivors[i], survivors[i+1:], buckets[i])
 	})
@@ -157,6 +170,10 @@ type miner struct {
 	model       nullmodel.Model
 	em          *emitter
 	expSigmaMin float64
+
+	// owner, when non-nil, claims the top-level roots this run owns
+	// (Params.ShardOwner bound to the mined graph); nil owns everything.
+	owner func(root int32) bool
 
 	// Incremental re-mining state: reuse is the previous run's lattice
 	// and changes the graph update it is valid across (both nil for a
@@ -288,7 +305,7 @@ func (m *miner) extendSubtree(ctx context.Context, item classItem, siblings []cl
 		// bitset intersection plus a coverage search.
 		if m.reuse != nil {
 			attrs = childAttrs(item, sib)
-			res, handled, err = m.replay(attrs)
+			res, handled, err = m.replay(attrs, false)
 			if err != nil {
 				return err
 			}
@@ -308,7 +325,7 @@ func (m *miner) extendSubtree(ctx context.Context, item classItem, siblings []cl
 			if !m.p.DisableVertexPruning {
 				candidates = item.covered.Intersect(sib.covered)
 			}
-			res, err = m.evaluate(attrs, members, candidates)
+			res, err = m.evaluate(attrs, members, candidates, false)
 			if err != nil {
 				return err
 			}
@@ -337,15 +354,22 @@ func (m *miner) extendSubtree(ctx context.Context, item classItem, siblings []cl
 // estimate carries the covered-set hand-down and the |K_S| upper bound
 // the pruning rules below rely on, so Theorems 3–5 stay sound in both
 // modes.
-func (m *miner) evaluate(attrs []int32, members, candidates *bitset.Set) (evalOutcome, error) {
+//
+// muted marks a non-owned level-1 evaluation of a sharded run: the item
+// (hand-down included) is computed bit-identically, but nothing is
+// emitted, recorded or counted — the owning shard does that exactly
+// once.
+func (m *miner) evaluate(attrs []int32, members, candidates *bitset.Set, muted bool) (evalOutcome, error) {
 	est, err := m.est.Estimate(m.g, attrs, members, candidates)
 	if err != nil {
 		return evalOutcome{}, err
 	}
-	m.em.noteEvaluated()
-	m.em.noteSearchNodes(est.Nodes)
-	m.em.noteSampled(int64(est.SampledVertices))
-	return m.score(attrKey(attrs), attrs, members, members.Count(), est, nil)
+	if !muted {
+		m.em.noteEvaluated()
+		m.em.noteSearchNodes(est.Nodes)
+		m.em.noteSampled(int64(est.SampledVertices))
+	}
+	return m.score(attrKey(attrs), attrs, members, members.Count(), est, nil, muted)
 }
 
 // replay serves one attribute set from the previous run's lattice when
@@ -355,7 +379,7 @@ func (m *miner) evaluate(attrs []int32, members, candidates *bitset.Set) (evalOu
 // Eclat tidset intersection — is the current one. Only the
 // δ-normalization (recomputed by score either way) can differ. handled
 // reports whether the cache answered.
-func (m *miner) replay(attrs []int32) (out evalOutcome, handled bool, err error) {
+func (m *miner) replay(attrs []int32, muted bool) (out evalOutcome, handled bool, err error) {
 	if m.reuse == nil || m.changes.Touches(attrs) {
 		return evalOutcome{}, false, nil
 	}
@@ -364,9 +388,11 @@ func (m *miner) replay(attrs []int32) (out evalOutcome, handled bool, err error)
 	if !ok {
 		return evalOutcome{}, false, nil
 	}
-	m.em.noteReused()
+	if !muted {
+		m.em.noteReused()
+	}
 	members := grownTo(ent.members, m.g.NumVertices())
-	out, err = m.score(key, attrs, members, ent.sigma, ent.estimate(m.g.NumVertices()), ent)
+	out, err = m.score(key, attrs, members, ent.sigma, ent.estimate(m.g.NumVertices()), ent, muted)
 	return out, true, err
 }
 
@@ -375,7 +401,12 @@ func (m *miner) replay(attrs []int32) (out evalOutcome, handled bool, err error)
 // outcome: survival under Theorems 4–5, emission against the output
 // thresholds, and pattern mining for qualifying sets. It also records
 // the evaluation into the run's lattice when recording is on.
-func (m *miner) score(key string, attrs []int32, members *bitset.Set, sigma int, est epsilon.Estimate, cached *latticeEntry) (evalOutcome, error) {
+//
+// A muted call (non-owned level-1 single of a sharded run) produces the
+// same classItem — including the lazy exact hand-down refinement of
+// sampled mode, which siblings' children consume — but suppresses
+// emission, pattern mining, lattice recording and counter updates.
+func (m *miner) score(key string, attrs []int32, members *bitset.Set, sigma int, est epsilon.Estimate, cached *latticeEntry, muted bool) (evalOutcome, error) {
 	eps := est.Epsilon
 	expEps := m.model.Exp(sigma)
 	delta := NormalizeDelta(eps, expEps)
@@ -383,7 +414,7 @@ func (m *miner) score(key string, attrs []int32, members *bitset.Set, sigma int,
 	out := evalOutcome{item: classItem{attrs: attrs, members: members, covered: est.Handdown}}
 
 	var rec *latticeEntry
-	if m.record != nil {
+	if m.record != nil && !muted {
 		rec = &latticeEntry{
 			members:         members,
 			sigma:           sigma,
@@ -413,17 +444,19 @@ func (m *miner) score(key string, attrs []int32, members *bitset.Set, sigma int,
 	if eps >= m.p.EpsMin && delta >= m.p.DeltaMin && len(attrs) >= m.p.minAttrs() {
 		sorted := append([]int32(nil), attrs...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		out.set = &AttributeSet{
-			Attrs:           sorted,
-			Names:           m.g.AttrSetNames(sorted),
-			Support:         sigma,
-			Epsilon:         eps,
-			ExpEps:          expEps,
-			Delta:           delta,
-			Covered:         est.Covered,
-			Estimated:       est.Estimated,
-			EpsilonErr:      est.ErrBound,
-			SampledVertices: est.SampledVertices,
+		if !muted {
+			out.set = &AttributeSet{
+				Attrs:           sorted,
+				Names:           m.g.AttrSetNames(sorted),
+				Support:         sigma,
+				Epsilon:         eps,
+				ExpEps:          expEps,
+				Delta:           delta,
+				Covered:         est.Covered,
+				Estimated:       est.Estimated,
+				EpsilonErr:      est.ErrBound,
+				SampledVertices: est.SampledVertices,
+			}
 		}
 		// Patterns are mined from K_S. An estimated evaluation does not
 		// know K_S, so it is computed lazily here — restricted to the
@@ -440,18 +473,23 @@ func (m *miner) score(key string, attrs []int32, members *bitset.Set, sigma int,
 					if err != nil {
 						return evalOutcome{}, err
 					}
-					m.em.noteSearchNodes(exact.Nodes)
+					if !muted {
+						m.em.noteSearchNodes(exact.Nodes)
+					}
 					base = exact.Handdown
 				}
 				// The exact K_S is in hand now — hand it down to the
 				// children instead of the looser sampled superset, just
-				// like exact mode would (Theorem 3).
+				// like exact mode would (Theorem 3). Muted evaluations
+				// refine too: a sibling's child in an owned subtree
+				// intersects this hand-down, so it must match the
+				// single-process one bit for bit.
 				out.item.covered = base
 				if rec != nil {
 					rec.exact = base
 				}
 			}
-			if !base.IsEmpty() {
+			if !base.IsEmpty() && !muted {
 				if cached != nil && cached.hasPats {
 					out.pats = cached.pats
 				} else {

@@ -1,0 +1,771 @@
+// Package gateway is the scatter-gather query front for a sharded SCPM
+// deployment: one HTTP handler fanning queries out to N scpm-serve
+// replicas — each serving one lattice partition per the shard manifest
+// — and merging the answers so clients see the same responses a
+// single-process server would produce.
+//
+// Routing follows the manifest's ownership rule. Queries whose answer
+// lives on exactly one shard (/epsilon, /sets/{id}) go to that shard
+// alone and are proxied verbatim; enumeration queries (/sets,
+// /patterns, /vertices/{v}) scatter to every shard and gather into the
+// canonical order, which is byte-identical to single-process output
+// because the partitions are disjoint slices of one canonically-sorted
+// result. Ranked queries merge per-shard top-k lists under the same
+// comparator the shards use. POST /updates forwards the NDJSON batch
+// to every shard; /version aggregates the per-shard versions into a
+// version vector and flags skew; /healthz reports per-shard
+// reachability.
+//
+// A slow or dead replica degrades, not fails, scatter queries: its
+// slice is dropped from the merge and the response carries the
+// PartialHeader header naming the missing shards (see
+// docs/FILE_FORMATS.md). Only a single-owner query whose owning shard
+// is down answers 503.
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/scpm/scpm/internal/server"
+	"github.com/scpm/scpm/internal/shard"
+)
+
+// PartialHeader is the response header naming the shards (comma-
+// separated indices) whose slice is missing from a degraded
+// scatter-gather answer.
+const PartialHeader = "X-Scpm-Partial-Shards"
+
+// DefaultTimeout bounds each per-shard subrequest when
+// Config.Timeout is unset.
+const DefaultTimeout = 10 * time.Second
+
+// maxUpdateBody bounds one forwarded POST /updates body, matching the
+// shard servers' own limit.
+const maxUpdateBody = 32 << 20
+
+// Config assembles a Gateway.
+type Config struct {
+	// Manifest is the shard map (shard count, ownership, dataset
+	// shape); required.
+	Manifest *shard.Manifest
+	// Shards holds one base URL per shard, indexed by shard number —
+	// e.g. "http://127.0.0.1:8081". Must match Manifest.Shards.
+	Shards []string
+	// Timeout bounds each per-shard subrequest; 0 means DefaultTimeout.
+	Timeout time.Duration
+	// Client issues the subrequests; nil uses http.DefaultClient (the
+	// per-shard timeout still applies through request contexts).
+	Client *http.Client
+	// Logger, when set, receives one line per gateway request.
+	Logger *log.Logger
+}
+
+// Gateway is the scatter-gather handler. Build one with New; it is an
+// http.Handler safe for concurrent use.
+type Gateway struct {
+	man     *shard.Manifest
+	shards  []string
+	client  *http.Client
+	timeout time.Duration
+	logger  *log.Logger
+	mux     *http.ServeMux
+	attrID  map[string]int32
+}
+
+// New builds the gateway and installs its routes.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.Manifest == nil {
+		return nil, fmt.Errorf("gateway: Config.Manifest is required")
+	}
+	if err := cfg.Manifest.Verify(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Shards) != cfg.Manifest.Shards {
+		return nil, fmt.Errorf("gateway: %d shard URLs for a %d-shard manifest", len(cfg.Shards), cfg.Manifest.Shards)
+	}
+	gw := &Gateway{
+		man:     cfg.Manifest,
+		shards:  make([]string, len(cfg.Shards)),
+		client:  cfg.Client,
+		timeout: cfg.Timeout,
+		logger:  cfg.Logger,
+		mux:     http.NewServeMux(),
+		attrID:  make(map[string]int32),
+	}
+	for i, u := range cfg.Shards {
+		gw.shards[i] = strings.TrimRight(u, "/")
+	}
+	if gw.client == nil {
+		gw.client = http.DefaultClient
+	}
+	if gw.timeout <= 0 {
+		gw.timeout = DefaultTimeout
+	}
+	for _, r := range cfg.Manifest.Roots {
+		gw.attrID[r.Attr] = r.ID
+	}
+	gw.mux.HandleFunc("GET /healthz", gw.handleHealthz)
+	gw.mux.HandleFunc("GET /stats", gw.handleStats)
+	gw.mux.HandleFunc("GET /sets", gw.handleSets)
+	gw.mux.HandleFunc("GET /sets/{id}", gw.handleSetByID)
+	gw.mux.HandleFunc("GET /patterns", gw.handlePatterns)
+	gw.mux.HandleFunc("GET /vertices/{v}", gw.handleVertex)
+	gw.mux.HandleFunc("GET /epsilon", gw.handleEpsilon)
+	gw.mux.HandleFunc("GET /version", gw.handleVersion)
+	gw.mux.HandleFunc("POST /updates", gw.handleUpdates)
+	gw.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown path %q", r.URL.Path))
+	})
+	return gw, nil
+}
+
+// ServeHTTP implements http.Handler with optional logging.
+func (gw *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if gw.logger == nil {
+		gw.mux.ServeHTTP(w, r)
+		return
+	}
+	start := time.Now()
+	gw.mux.ServeHTTP(w, r)
+	gw.logger.Printf("%s %s %s", r.Method, r.URL.RequestURI(), time.Since(start).Round(time.Microsecond))
+}
+
+// shardResp is one shard's answer to a scattered subrequest.
+type shardResp struct {
+	shard  int
+	status int
+	body   []byte
+	err    error
+}
+
+// ok reports a transport-level success with HTTP 200.
+func (r shardResp) ok() bool { return r.err == nil && r.status == http.StatusOK }
+
+// down reports a shard that could not answer at all: unreachable,
+// timed out, or 5xx.
+func (r shardResp) down() bool { return r.err != nil || r.status >= 500 }
+
+// fetch issues one subrequest to one shard under the gateway timeout.
+func (gw *Gateway) fetch(ctx context.Context, k int, method, pathAndQuery string, body []byte) shardResp {
+	ctx, cancel := context.WithTimeout(ctx, gw.timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, gw.shards[k]+pathAndQuery, rd)
+	if err != nil {
+		return shardResp{shard: k, err: err}
+	}
+	resp, err := gw.client.Do(req)
+	if err != nil {
+		return shardResp{shard: k, err: err}
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return shardResp{shard: k, err: err}
+	}
+	return shardResp{shard: k, status: resp.StatusCode, body: b}
+}
+
+// scatter fans one subrequest out to every shard concurrently and
+// gathers the answers, indexed by shard.
+func (gw *Gateway) scatter(ctx context.Context, method, pathAndQuery string, body []byte) []shardResp {
+	out := make([]shardResp, len(gw.shards))
+	var wg sync.WaitGroup
+	for k := range gw.shards {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			out[k] = gw.fetch(ctx, k, method, pathAndQuery, body)
+		}(k)
+	}
+	wg.Wait()
+	return out
+}
+
+// partition splits scatter answers into served slices, shards that are
+// down, and (when one shard rejected the query with a 4xx) the client
+// error to relay — the query is equally invalid on every shard, so one
+// rejection speaks for all.
+func partition(resps []shardResp) (served []shardResp, down []int, clientErr *shardResp) {
+	for i := range resps {
+		r := resps[i]
+		switch {
+		case r.ok():
+			served = append(served, r)
+		case r.down():
+			down = append(down, r.shard)
+		case r.status >= 400 && r.status < 500:
+			if clientErr == nil {
+				clientErr = &resps[i]
+			}
+		}
+	}
+	return served, down, clientErr
+}
+
+// degrade annotates a partial scatter answer: the PartialHeader names
+// the shards whose slice is missing.
+func degrade(w http.ResponseWriter, down []int) {
+	if len(down) == 0 {
+		return
+	}
+	strs := make([]string, len(down))
+	for i, k := range down {
+		strs[i] = strconv.Itoa(k)
+	}
+	w.Header().Set(PartialHeader, strings.Join(strs, ","))
+}
+
+// relay copies a shard's response verbatim — status, JSON body, and
+// (when degraded) the partial header.
+func relay(w http.ResponseWriter, r shardResp) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(r.status)
+	w.Write(r.body) //nolint:errcheck // client gone; nothing to do
+}
+
+// attrIDs maps a DTO's attribute names through the manifest to ids for
+// canonical ordering. Names outside the manifest (grown by live
+// updates past the plan) sort after all planned ids, by name.
+func (gw *Gateway) attrIDs(names []string) []int32 {
+	out := make([]int32, len(names))
+	for i, n := range names {
+		if id, ok := gw.attrID[n]; ok {
+			out[i] = id
+		} else {
+			out[i] = math.MaxInt32
+		}
+	}
+	return out
+}
+
+// compareAttrs is the canonical attribute-set order: size first, then
+// elementwise ids — the same order core.sortResult and the index use.
+func compareAttrs(a, b []int32) int {
+	if len(a) != len(b) {
+		return len(a) - len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return int(a[i]) - int(b[i])
+		}
+	}
+	return 0
+}
+
+// writeJSON writes one JSON document exactly like the shard servers
+// do (indent 2, sorted map keys), so merged responses stay
+// byte-identical to single-process ones.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+// writeNDJSON streams items one JSON object per line.
+func writeNDJSON(w http.ResponseWriter, n int, item func(i int) any) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for i := 0; i < n; i++ {
+		if err := enc.Encode(item(i)); err != nil {
+			return
+		}
+	}
+}
+
+// writeErr writes the JSON error envelope {"error": msg}.
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// wantNDJSON reports whether the client asked for NDJSON output.
+func wantNDJSON(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "ndjson" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+// shardQuery renders the query to forward to shards: the client's
+// query minus the format selector (the gateway always gathers JSON and
+// re-encodes in the client's requested format).
+func shardQuery(r *http.Request) string {
+	q := r.URL.Query()
+	q.Del("format")
+	if enc := q.Encode(); enc != "" {
+		return "?" + enc
+	}
+	return ""
+}
+
+// handleSets scatters GET /sets and merges the per-shard slices into
+// canonical (or ranked) order.
+func (gw *Gateway) handleSets(w http.ResponseWriter, r *http.Request) {
+	resps := gw.scatter(r.Context(), http.MethodGet, "/sets"+shardQuery(r), nil)
+	served, down, clientErr := partition(resps)
+	if clientErr != nil {
+		relay(w, *clientErr)
+		return
+	}
+	if len(served) == 0 {
+		writeErr(w, http.StatusServiceUnavailable, "no shard answered /sets")
+		return
+	}
+
+	type keyed struct {
+		dto server.SetDTO
+		ids []int32
+	}
+	var all []keyed
+	for _, resp := range served {
+		var payload struct {
+			Sets []server.SetDTO `json:"sets"`
+		}
+		if err := json.Unmarshal(resp.body, &payload); err != nil {
+			writeErr(w, http.StatusBadGateway, fmt.Sprintf("shard %d: malformed /sets payload: %v", resp.shard, err))
+			return
+		}
+		for _, dto := range payload.Sets {
+			all = append(all, keyed{dto: dto, ids: gw.attrIDs(dto.Attrs)})
+		}
+	}
+
+	if rank := r.URL.Query().Get("rank"); rank != "" {
+		cmp, ok := rankingComparator(rank)
+		if !ok {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown rank %q (want support, epsilon or delta)", rank))
+			return
+		}
+		sort.SliceStable(all, func(i, j int) bool {
+			if c := cmp(all[i].dto, all[j].dto); c != 0 {
+				return c > 0
+			}
+			if all[i].dto.Support != all[j].dto.Support {
+				return all[i].dto.Support > all[j].dto.Support
+			}
+			return compareAttrs(all[i].ids, all[j].ids) < 0
+		})
+	} else {
+		sort.SliceStable(all, func(i, j int) bool {
+			return compareAttrs(all[i].ids, all[j].ids) < 0
+		})
+	}
+	if k, err := strconv.Atoi(r.URL.Query().Get("k")); err == nil && k > 0 && len(all) > k {
+		all = all[:k]
+	}
+
+	degrade(w, down)
+	if wantNDJSON(r) {
+		writeNDJSON(w, len(all), func(i int) any { return all[i].dto })
+		return
+	}
+	out := make([]server.SetDTO, len(all))
+	for i := range all {
+		out[i] = all[i].dto
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sets": out, "total": len(out)})
+}
+
+// rankingComparator maps the rank parameter to a three-way comparator
+// mirroring the shards' own ranking (higher is better).
+func rankingComparator(rank string) (func(a, b server.SetDTO) int, bool) {
+	cmpF := func(x, y float64) int {
+		switch {
+		case x > y:
+			return 1
+		case x < y:
+			return -1
+		default:
+			return 0
+		}
+	}
+	switch strings.ToLower(rank) {
+	case "support", "sigma":
+		return func(a, b server.SetDTO) int { return a.Support - b.Support }, true
+	case "epsilon", "eps":
+		return func(a, b server.SetDTO) int { return cmpF(a.Epsilon, b.Epsilon) }, true
+	case "delta":
+		return func(a, b server.SetDTO) int { return cmpF(parseDelta(a.Delta), parseDelta(b.Delta)) }, true
+	}
+	return nil, false
+}
+
+// parseDelta decodes the string-encoded δ ("inf" or a decimal).
+func parseDelta(s string) float64 {
+	if s == "inf" {
+		return math.Inf(1)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// handleSetByID scatters GET /sets/{id}: the owning shard answers 200
+// and its response is relayed verbatim; uniform 404 from every live
+// shard means the id does not exist.
+func (gw *Gateway) handleSetByID(w http.ResponseWriter, r *http.Request) {
+	path := "/sets/" + r.PathValue("id")
+	resps := gw.scatter(r.Context(), http.MethodGet, path, nil)
+	var notFound *shardResp
+	var down []int
+	for i := range resps {
+		switch {
+		case resps[i].ok():
+			relay(w, resps[i])
+			return
+		case resps[i].down():
+			down = append(down, resps[i].shard)
+		case resps[i].status == http.StatusNotFound && notFound == nil:
+			notFound = &resps[i]
+		}
+	}
+	if len(down) > 0 {
+		// The id might live on a dead shard; absence is not provable.
+		degrade(w, down)
+		writeErr(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("set not found on any reachable shard, and shard(s) %v did not answer", down))
+		return
+	}
+	if notFound != nil {
+		relay(w, *notFound)
+		return
+	}
+	writeErr(w, http.StatusBadGateway, "no shard produced a usable /sets/{id} answer")
+}
+
+// handlePatterns scatters GET /patterns and merges slices canonically.
+func (gw *Gateway) handlePatterns(w http.ResponseWriter, r *http.Request) {
+	resps := gw.scatter(r.Context(), http.MethodGet, "/patterns"+shardQuery(r), nil)
+	served, down, clientErr := partition(resps)
+	if clientErr != nil {
+		relay(w, *clientErr)
+		return
+	}
+	if len(served) == 0 {
+		writeErr(w, http.StatusServiceUnavailable, "no shard answered /patterns")
+		return
+	}
+	type keyed struct {
+		dto server.PatternDTO
+		ids []int32
+	}
+	var all []keyed
+	for _, resp := range served {
+		var payload struct {
+			Patterns []server.PatternDTO `json:"patterns"`
+		}
+		if err := json.Unmarshal(resp.body, &payload); err != nil {
+			writeErr(w, http.StatusBadGateway, fmt.Sprintf("shard %d: malformed /patterns payload: %v", resp.shard, err))
+			return
+		}
+		for _, dto := range payload.Patterns {
+			all = append(all, keyed{dto: dto, ids: gw.attrIDs(dto.Attrs)})
+		}
+	}
+	// Patterns of one attribute set all live on the owning shard and
+	// arrive pre-sorted (size desc, density desc); a stable merge on
+	// the canonical set order alone reproduces the global order.
+	sort.SliceStable(all, func(i, j int) bool {
+		return compareAttrs(all[i].ids, all[j].ids) < 0
+	})
+	if limit, err := strconv.Atoi(r.URL.Query().Get("limit")); err == nil && limit > 0 && len(all) > limit {
+		all = all[:limit]
+	}
+	degrade(w, down)
+	if wantNDJSON(r) {
+		writeNDJSON(w, len(all), func(i int) any { return all[i].dto })
+		return
+	}
+	out := make([]server.PatternDTO, len(all))
+	for i := range all {
+		out[i] = all[i].dto
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"patterns": out, "total": len(out)})
+}
+
+// handleVertex scatters GET /vertices/{v} and merges the per-shard
+// pattern lists; a vertex is known if any shard knows it.
+func (gw *Gateway) handleVertex(w http.ResponseWriter, r *http.Request) {
+	label := r.PathValue("v")
+	resps := gw.scatter(r.Context(), http.MethodGet, "/vertices/"+label, nil)
+	served, down, _ := partition(resps)
+	if len(served) == 0 {
+		if len(down) > 0 {
+			degrade(w, down)
+			writeErr(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("no reachable shard knows vertex %q, and shard(s) %v did not answer", label, down))
+			return
+		}
+		for i := range resps {
+			if resps[i].status == http.StatusNotFound {
+				relay(w, resps[i])
+				return
+			}
+		}
+		writeErr(w, http.StatusBadGateway, "no shard produced a usable /vertices answer")
+		return
+	}
+	type keyed struct {
+		dto server.PatternDTO
+		ids []int32
+	}
+	var all []keyed
+	for _, resp := range served {
+		var payload struct {
+			Patterns []server.PatternDTO `json:"patterns"`
+		}
+		if err := json.Unmarshal(resp.body, &payload); err != nil {
+			writeErr(w, http.StatusBadGateway, fmt.Sprintf("shard %d: malformed /vertices payload: %v", resp.shard, err))
+			return
+		}
+		for _, dto := range payload.Patterns {
+			all = append(all, keyed{dto: dto, ids: gw.attrIDs(dto.Attrs)})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		return compareAttrs(all[i].ids, all[j].ids) < 0
+	})
+	pats := make([]server.PatternDTO, len(all))
+	var setIDs []string
+	seen := make(map[string]bool)
+	for i := range all {
+		pats[i] = all[i].dto
+		if id := pats[i].Set; !seen[id] {
+			seen[id] = true
+			setIDs = append(setIDs, id)
+		}
+	}
+	if setIDs == nil {
+		setIDs = []string{}
+	}
+	degrade(w, down)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"vertex":   label,
+		"patterns": pats,
+		"sets":     setIDs,
+	})
+}
+
+// handleEpsilon routes GET /epsilon to the single shard owning the
+// queried attribute set and relays its answer verbatim.
+func (gw *Gateway) handleEpsilon(w http.ResponseWriter, r *http.Request) {
+	names := parseAttrList(r.URL.Query()["attrs"])
+	if len(names) == 0 {
+		writeErr(w, http.StatusBadRequest, "attrs parameter is required (e.g. /epsilon?attrs=A,B)")
+		return
+	}
+	owner := gw.man.Route(names)
+	resp := gw.fetch(r.Context(), owner, http.MethodGet, "/epsilon"+shardQuery(r), nil)
+	if resp.err != nil {
+		writeErr(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("owning shard %d is unreachable: %v", owner, resp.err))
+		return
+	}
+	relay(w, resp)
+}
+
+// parseAttrList splits repeated and comma-separated attrs parameters
+// into a deduplicated name list, mirroring the shard servers.
+func parseAttrList(vals []string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, v := range vals {
+		for _, name := range strings.Split(v, ",") {
+			name = strings.TrimSpace(name)
+			if name != "" && !seen[name] {
+				seen[name] = true
+				out = append(out, name)
+			}
+		}
+	}
+	return out
+}
+
+// handleStats scatters GET /stats and reports the per-shard documents
+// plus summed index totals.
+func (gw *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	resps := gw.scatter(r.Context(), http.MethodGet, "/stats", nil)
+	served, down, _ := partition(resps)
+	perShard := make([]any, len(gw.shards))
+	totalSets, totalPatterns := 0, 0
+	for k := range perShard {
+		perShard[k] = map[string]any{"shard": k, "error": "unreachable"}
+	}
+	for _, resp := range served {
+		var doc map[string]any
+		if err := json.Unmarshal(resp.body, &doc); err != nil {
+			continue
+		}
+		doc["shard"] = resp.shard
+		perShard[resp.shard] = doc
+		if idx, ok := doc["index"].(map[string]any); ok {
+			if v, ok := idx["sets"].(float64); ok {
+				totalSets += int(v)
+			}
+			if v, ok := idx["patterns"].(float64); ok {
+				totalPatterns += int(v)
+			}
+		}
+	}
+	degrade(w, down)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"index":  map[string]any{"sets": totalSets, "patterns": totalPatterns},
+		"shards": perShard,
+	})
+}
+
+// shardVersion is one shard's entry in the aggregated version vector.
+type shardVersion struct {
+	Shard         int    `json:"shard"`
+	ServedVersion uint64 `json:"served_version"`
+	DataVersion   uint64 `json:"data_version"`
+	Reachable     bool   `json:"reachable"`
+	Error         string `json:"error,omitempty"`
+}
+
+// versionVector gathers every shard's /version into the vector plus a
+// skew verdict: true when reachable shards serve different versions
+// (or lag their own data head).
+func (gw *Gateway) versionVector(ctx context.Context) ([]shardVersion, bool, []int) {
+	resps := gw.scatter(ctx, http.MethodGet, "/version", nil)
+	vec := make([]shardVersion, len(gw.shards))
+	var down []int
+	skew := false
+	var seenServed *uint64
+	for _, resp := range resps {
+		sv := shardVersion{Shard: resp.shard}
+		switch {
+		case resp.err != nil:
+			sv.Error = resp.err.Error()
+		case resp.status != http.StatusOK:
+			sv.Error = fmt.Sprintf("status %d", resp.status)
+		default:
+			var doc struct {
+				ServedVersion uint64 `json:"served_version"`
+				DataVersion   uint64 `json:"data_version"`
+			}
+			if err := json.Unmarshal(resp.body, &doc); err != nil {
+				sv.Error = fmt.Sprintf("malformed /version: %v", err)
+				break
+			}
+			sv.Reachable = true
+			sv.ServedVersion = doc.ServedVersion
+			sv.DataVersion = doc.DataVersion
+			if doc.ServedVersion != doc.DataVersion {
+				skew = true
+			}
+			if seenServed == nil {
+				v := doc.ServedVersion
+				seenServed = &v
+			} else if *seenServed != doc.ServedVersion {
+				skew = true
+			}
+		}
+		if !sv.Reachable {
+			down = append(down, resp.shard)
+		}
+		vec[resp.shard] = sv
+	}
+	return vec, skew, down
+}
+
+// handleVersion is GET /version: the aggregated version vector.
+func (gw *Gateway) handleVersion(w http.ResponseWriter, r *http.Request) {
+	vec, skew, down := gw.versionVector(r.Context())
+	degrade(w, down)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"shards": vec,
+		"skew":   skew,
+	})
+}
+
+// handleHealthz reports per-shard reachability and version skew. The
+// gateway itself always answers 200 — "degraded" in the body is the
+// operational signal.
+func (gw *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	vec, skew, down := gw.versionVector(r.Context())
+	status := "ok"
+	if skew || len(down) > 0 {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": status,
+		"shards": vec,
+		"skew":   skew,
+	})
+}
+
+// handleUpdates forwards one POST /updates NDJSON batch to every
+// shard, so all replicas apply the same delta and re-mine their slice.
+func (gw *Gateway) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxUpdateBody))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("reading update body: %v", err))
+		return
+	}
+	resps := gw.scatter(r.Context(), http.MethodPost, "/updates", body)
+	perShard := make([]any, len(gw.shards))
+	accepted := 0
+	var down []int
+	var clientErr *shardResp
+	for i := range resps {
+		resp := resps[i]
+		entry := map[string]any{"shard": resp.shard}
+		switch {
+		case resp.err != nil:
+			entry["error"] = resp.err.Error()
+			down = append(down, resp.shard)
+		case resp.status == http.StatusAccepted:
+			accepted++
+			var doc map[string]any
+			if json.Unmarshal(resp.body, &doc) == nil {
+				entry["response"] = doc
+			}
+		default:
+			entry["status"] = resp.status
+			if resp.status >= 400 && resp.status < 500 && clientErr == nil {
+				clientErr = &resps[i]
+			} else if resp.status >= 500 {
+				down = append(down, resp.shard)
+			}
+		}
+		perShard[resp.shard] = entry
+	}
+	if clientErr != nil && accepted == 0 {
+		// Uniformly rejected input: relay the shard's 4xx.
+		relay(w, *clientErr)
+		return
+	}
+	status := http.StatusAccepted
+	if accepted < len(gw.shards) {
+		// A divergent write: some shards applied the batch, others did
+		// not. 502 tells the operator the replicas have drifted (and
+		// /version will flag the skew) — clients must not retry blindly.
+		status = http.StatusBadGateway
+	}
+	degrade(w, down)
+	writeJSON(w, status, map[string]any{
+		"forwarded": len(gw.shards),
+		"accepted":  accepted,
+		"shards":    perShard,
+	})
+}

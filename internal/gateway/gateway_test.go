@@ -1,0 +1,357 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/scpm/scpm/internal/core"
+	"github.com/scpm/scpm/internal/graph"
+	"github.com/scpm/scpm/internal/index"
+	"github.com/scpm/scpm/internal/server"
+	"github.com/scpm/scpm/internal/shard"
+)
+
+// testGraph builds the randomized attributed graph the shard
+// equivalence tests use.
+func testGraph(t *testing.T, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	const n = 160
+	const numAttrs = 6
+	b := graph.NewBuilder()
+	for v := 0; v < n; v++ {
+		var attrs []string
+		for a := 0; a < numAttrs; a++ {
+			if rng.Float64() < 0.55 {
+				attrs = append(attrs, fmt.Sprintf("a%d", a))
+			}
+		}
+		if _, err := b.AddVertex(fmt.Sprintf("v%d", v), attrs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			if err := b.AddEdge(int32(u), int32(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for c := 0; c < 10; c++ {
+		var group []int32
+		for len(group) < 6 {
+			group = append(group, int32(rng.Intn(n)))
+		}
+		for i := 0; i < len(group); i++ {
+			for j := i + 1; j < len(group); j++ {
+				if group[i] != group[j] && rng.Float64() < 0.9 {
+					if err := b.AddEdge(group[i], group[j]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func testParams() core.Params {
+	return core.Params{
+		SigmaMin:      20,
+		Gamma:         0.5,
+		MinSize:       4,
+		EpsMin:        0.05,
+		K:             3,
+		MaxAttrs:      3,
+		RecordLattice: true,
+	}
+}
+
+// bootServer mines with p and serves the result — p carries the
+// ShardOwner for replica servers and none for the reference server.
+func bootServer(t *testing.T, g *graph.Graph, p core.Params) *httptest.Server {
+	t.Helper()
+	res, err := core.Mine(context.Background(), g, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := index.Build(res, g)
+	srv, err := server.New(server.Config{
+		Index:     idx,
+		Graph:     g,
+		Estimator: p.NewEstimator(),
+		Model:     p.NewModel(g),
+		Result:    res,
+		Params:    &p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// bootCluster boots n shard replicas, a reference single-process
+// server over the same graph, and the gateway in front of the
+// replicas.
+func bootCluster(t *testing.T, seed int64, n int) (gw, single *httptest.Server, man *shard.Manifest, replicas []*httptest.Server) {
+	t.Helper()
+	p := testParams()
+	g := testGraph(t, seed)
+	man, err := shard.BuildManifest(g, p.SigmaMin, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := make([]string, n)
+	for k := 0; k < n; k++ {
+		// Each replica mines the same graph value; updates re-derive
+		// ownership per version through the dynamic ShardOwner.
+		ts := bootServer(t, g, shard.Params(p, k, n))
+		replicas = append(replicas, ts)
+		urls[k] = ts.URL
+	}
+	single = bootServer(t, g, p)
+	h, err := New(Config{Manifest: man, Shards: urls, Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw = httptest.NewServer(h)
+	t.Cleanup(gw.Close)
+	return gw, single, man, replicas
+}
+
+func get(t *testing.T, base, path string) (int, http.Header, string) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, string(b)
+}
+
+// requireSame asserts the gateway's answer is byte-identical to the
+// single-process server's.
+func requireSame(t *testing.T, gw, single *httptest.Server, path string) {
+	t.Helper()
+	gs, _, gb := get(t, gw.URL, path)
+	ss, _, sb := get(t, single.URL, path)
+	if gs != ss {
+		t.Fatalf("GET %s: gateway %d, single-process %d", path, gs, ss)
+	}
+	if gb != sb {
+		t.Fatalf("GET %s: gateway and single-process responses differ\ngateway:\n%s\nsingle:\n%s", path, gb, sb)
+	}
+}
+
+// TestGatewayMatchesSingleProcess is the scatter-gather equivalence
+// test: every merged or routed read answers byte-for-byte what one
+// un-sharded server answers.
+func TestGatewayMatchesSingleProcess(t *testing.T) {
+	gw, single, man, _ := bootCluster(t, 41, 2)
+
+	paths := []string{
+		"/sets",
+		"/sets?format=ndjson",
+		"/sets?rank=epsilon&k=3",
+		"/sets?rank=support",
+		"/sets?rank=delta&k=5",
+		"/sets?min_support=25",
+		"/patterns",
+		"/patterns?format=ndjson",
+		"/patterns?min_size=4",
+	}
+	for _, p := range paths {
+		requireSame(t, gw, single, p)
+	}
+
+	// Single-owner routes: every emitted set's id page and ε answer.
+	status, _, body := get(t, single.URL, "/sets")
+	if status != http.StatusOK {
+		t.Fatalf("/sets on reference server: %d", status)
+	}
+	ids := extract(body, `"id": "`)
+	if len(ids) == 0 {
+		t.Fatal("reference server serves no sets")
+	}
+	for _, id := range ids {
+		requireSame(t, gw, single, "/sets/"+id)
+	}
+	attrLists := extractAttrLists(body)
+	for _, attrs := range attrLists {
+		requireSame(t, gw, single, "/epsilon?attrs="+attrs)
+	}
+	// On-demand ε for a set the mining run never emitted: pairs of
+	// manifest roots not in the index still answer identically.
+	if len(man.Roots) >= 2 {
+		q := man.Roots[0].Attr + "," + man.Roots[len(man.Roots)-1].Attr
+		requireSame(t, gw, single, "/epsilon?attrs="+q)
+	}
+
+	// A vertex lookup merges patterns across shards.
+	_, _, pbody := get(t, single.URL, "/patterns?limit=1")
+	if i := strings.Index(pbody, `"vertices": [`); i >= 0 {
+		rest := pbody[i+len(`"vertices": [`):]
+		if j := strings.Index(rest, `"`); j >= 0 {
+			if k := strings.Index(rest[j+1:], `"`); k >= 0 {
+				requireSame(t, gw, single, "/vertices/"+rest[j+1:j+1+k])
+			}
+		}
+	}
+
+	// Errors relay too.
+	requireSame(t, gw, single, "/epsilon")
+	requireSame(t, gw, single, "/sets?rank=bogus")
+	requireSame(t, gw, single, "/sets/no-such-id")
+}
+
+// extract pulls the quoted values following each occurrence of marker.
+func extract(body, marker string) []string {
+	var out []string
+	for i := strings.Index(body, marker); i >= 0; i = strings.Index(body, marker) {
+		body = body[i+len(marker):]
+		if j := strings.Index(body, `"`); j >= 0 {
+			out = append(out, body[:j])
+			body = body[j:]
+		}
+	}
+	return out
+}
+
+// extractAttrLists renders each set's attrs array as a comma query.
+func extractAttrLists(body string) []string {
+	var out []string
+	rest := body
+	for {
+		i := strings.Index(rest, `"attrs": [`)
+		if i < 0 {
+			return out
+		}
+		rest = rest[i+len(`"attrs": [`):]
+		j := strings.Index(rest, `]`)
+		if j < 0 {
+			return out
+		}
+		segment := rest[:j]
+		rest = rest[j:]
+		var names []string
+		for _, q := range strings.Split(segment, ",") {
+			q = strings.Trim(strings.TrimSpace(q), `"`)
+			if q != "" {
+				names = append(names, q)
+			}
+		}
+		if len(names) > 0 {
+			out = append(out, strings.Join(names, ","))
+		}
+	}
+}
+
+// TestGatewayPartialDegradation kills one replica and asserts scatter
+// reads degrade to partial results with the documented header — never
+// a 500 — while single-owner reads for the dead shard answer 503.
+func TestGatewayPartialDegradation(t *testing.T) {
+	gw, _, man, replicas := bootCluster(t, 43, 2)
+
+	// Choose an attribute owned by each shard before killing one.
+	ownedBy := map[int]string{}
+	for _, r := range man.Roots {
+		if _, ok := ownedBy[r.Shard]; !ok {
+			ownedBy[r.Shard] = r.Attr
+		}
+	}
+	if len(ownedBy) < 2 {
+		t.Skip("plan assigned all roots to one shard; degradation not observable")
+	}
+	replicas[1].Close()
+
+	status, hdr, body := get(t, gw.URL, "/sets")
+	if status != http.StatusOK {
+		t.Fatalf("/sets with a dead shard: status %d body %s", status, body)
+	}
+	if got := hdr.Get(PartialHeader); got != "1" {
+		t.Fatalf("/sets partial header = %q, want \"1\"", got)
+	}
+	if !strings.Contains(body, `"sets"`) {
+		t.Fatalf("/sets degraded body lost its shape: %s", body)
+	}
+
+	// The live shard's single-owner answers still work…
+	status, _, _ = get(t, gw.URL, "/epsilon?attrs="+ownedBy[0])
+	if status != http.StatusOK {
+		t.Fatalf("/epsilon for live shard's attr: %d", status)
+	}
+	// …the dead shard's answer 503.
+	status, _, body = get(t, gw.URL, "/epsilon?attrs="+ownedBy[1])
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("/epsilon for dead shard's attr: %d (%s), want 503", status, body)
+	}
+
+	// Health reports the degradation.
+	status, _, body = get(t, gw.URL, "/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("/healthz: %d", status)
+	}
+	if !strings.Contains(body, `"status": "degraded"`) {
+		t.Fatalf("/healthz does not report degraded: %s", body)
+	}
+}
+
+// TestGatewayUpdateRoundTrip forwards one update batch through the
+// gateway and asserts every replica applies it and converges to the
+// same new version with no skew.
+func TestGatewayUpdateRoundTrip(t *testing.T) {
+	gw, _, _, replicas := bootCluster(t, 47, 2)
+
+	ops := `{"op":"add_vertex","vertex":"fresh1","attrs":["a0","a1"]}` + "\n" +
+		`{"op":"add_edge","u":"fresh1","v":"v1"}` + "\n"
+	resp, err := http.Post(gw.URL+"/updates", "application/x-ndjson", strings.NewReader(ops))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /updates: %d (%s)", resp.StatusCode, b)
+	}
+	if !strings.Contains(string(b), `"accepted": 2`) {
+		t.Fatalf("gateway did not forward to both shards: %s", b)
+	}
+
+	// Both replicas must converge: served == data on each, and the
+	// aggregated vector must settle with no skew.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		_, _, body := get(t, gw.URL, "/version")
+		if strings.Contains(body, `"skew": false`) && !strings.Contains(body, `"served_version": 0,`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replicas did not converge: %s", body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for k, ts := range replicas {
+		_, _, body := get(t, ts.URL, "/version")
+		if !strings.Contains(body, `"remines": 1`) || strings.Contains(body, `"served_version": 1,`) {
+			t.Fatalf("shard %d did not remine and bump its served version: %s", k, body)
+		}
+	}
+}

@@ -38,13 +38,13 @@ type cacheEntry struct {
 	key     string
 	attrs   []int32
 	version uint64
-	val     epsilonAnswer
+	val     EpsilonAnswer
 }
 
 // inflightCall is a computation in progress; waiters block on done.
 type inflightCall struct {
 	done chan struct{}
-	val  epsilonAnswer
+	val  EpsilonAnswer
 	err  error
 }
 
@@ -62,12 +62,12 @@ func newEpsCache(capacity int) *epsCache {
 }
 
 // get returns the cached answer for key, refreshing its recency.
-func (c *epsCache) get(key string) (epsilonAnswer, bool) {
+func (c *epsCache) get(key string) (EpsilonAnswer, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
-		return epsilonAnswer{}, false
+		return EpsilonAnswer{}, false
 	}
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).val, true
@@ -84,7 +84,7 @@ func (c *epsCache) get(key string) (epsilonAnswer, bool) {
 // computation finishes, so an answer computed against a generation
 // that was swapped out mid-flight is returned to its waiters but never
 // cached.
-func (c *epsCache) do(key string, attrs []int32, version uint64, fn func() (epsilonAnswer, error)) (val epsilonAnswer, cached bool, err error) {
+func (c *epsCache) do(key string, attrs []int32, version uint64, fn func() (EpsilonAnswer, error)) (val EpsilonAnswer, cached bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
@@ -124,7 +124,7 @@ func (c *epsCache) do(key string, attrs []int32, version uint64, fn func() (epsi
 
 // insert adds a computed answer, evicting the least recently used entry
 // beyond capacity. Callers hold c.mu.
-func (c *epsCache) insert(key string, attrs []int32, version uint64, val epsilonAnswer) {
+func (c *epsCache) insert(key string, attrs []int32, version uint64, val EpsilonAnswer) {
 	if el, ok := c.entries[key]; ok {
 		ent := el.Value.(*cacheEntry)
 		ent.val = val

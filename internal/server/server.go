@@ -278,9 +278,9 @@ func (s *Server) Stats() Stats {
 	}
 }
 
-// setDTO is the JSON shape of one attribute set, matching the batch
+// SetDTO is the JSON shape of one attribute set, matching the batch
 // export schema (ids shared, delta string-encoded so +Inf survives).
-type setDTO struct {
+type SetDTO struct {
 	ID              string   `json:"id"`
 	Attrs           []string `json:"attrs"`
 	Support         int      `json:"support"`
@@ -294,8 +294,8 @@ type setDTO struct {
 	Patterns        int      `json:"patterns"`
 }
 
-// patternDTO is the JSON shape of one pattern; vertices are labels.
-type patternDTO struct {
+// PatternDTO is the JSON shape of one pattern; vertices are labels.
+type PatternDTO struct {
 	ID          string   `json:"id"`
 	Set         string   `json:"set"`
 	Attrs       []string `json:"attrs"`
@@ -307,9 +307,9 @@ type patternDTO struct {
 	EdgeDensity float64  `json:"edge_density"`
 }
 
-// epsilonAnswer is the JSON shape of one /epsilon response. Source is
+// EpsilonAnswer is the JSON shape of one /epsilon response. Source is
 // "index", "cache" or "computed".
-type epsilonAnswer struct {
+type EpsilonAnswer struct {
 	ID              string   `json:"id"`
 	Attrs           []string `json:"attrs"`
 	Support         int      `json:"support"`
@@ -323,9 +323,12 @@ type epsilonAnswer struct {
 	Source          string   `json:"source"`
 }
 
-func setDTOOf(idx *index.Index, i int) setDTO {
+// SetDTOOf renders set i of the index as its response DTO. Exported
+// (with the DTO types) so the scatter-gather gateway re-encodes merged
+// responses with exactly the field set and order a shard serves.
+func SetDTOOf(idx *index.Index, i int) SetDTO {
 	set := idx.Sets()[i]
-	return setDTO{
+	return SetDTO{
 		ID:              idx.SetID(i),
 		Attrs:           set.Names,
 		Support:         set.Support,
@@ -340,9 +343,10 @@ func setDTOOf(idx *index.Index, i int) setDTO {
 	}
 }
 
-func patternDTOOf(idx *index.Index, i int) patternDTO {
+// PatternDTOOf renders pattern i of the index as its response DTO.
+func PatternDTOOf(idx *index.Index, i int) PatternDTO {
 	p := idx.Patterns()[i]
-	return patternDTO{
+	return PatternDTO{
 		ID:          idx.PatternID(i),
 		Set:         idx.PatternSetID(i),
 		Attrs:       p.Names,
@@ -479,12 +483,12 @@ func (s *Server) handleSets(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if wantNDJSON(r) {
-		writeNDJSON(w, len(idxs), func(i int) any { return setDTOOf(idx, idxs[i]) })
+		writeNDJSON(w, len(idxs), func(i int) any { return SetDTOOf(idx, idxs[i]) })
 		return
 	}
-	out := make([]setDTO, len(idxs))
+	out := make([]SetDTO, len(idxs))
 	for i, si := range idxs {
-		out[i] = setDTOOf(idx, si)
+		out[i] = SetDTOOf(idx, si)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"sets": out, "total": len(out)})
 }
@@ -498,12 +502,12 @@ func (s *Server) handleSetByID(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	pats := idx.PatternsOfSetByIndex(si)
-	out := make([]patternDTO, len(pats))
+	out := make([]PatternDTO, len(pats))
 	for i, pi := range pats {
-		out[i] = patternDTOOf(idx, int(pi))
+		out[i] = PatternDTOOf(idx, int(pi))
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"set":      setDTOOf(idx, si),
+		"set":      SetDTOOf(idx, si),
 		"patterns": out,
 	})
 }
@@ -549,12 +553,12 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 		idxs = idxs[:limit]
 	}
 	if wantNDJSON(r) {
-		writeNDJSON(w, len(idxs), func(i int) any { return patternDTOOf(idx, idxs[i]) })
+		writeNDJSON(w, len(idxs), func(i int) any { return PatternDTOOf(idx, idxs[i]) })
 		return
 	}
-	out := make([]patternDTO, len(idxs))
+	out := make([]PatternDTO, len(idxs))
 	for i, pi := range idxs {
-		out[i] = patternDTOOf(idx, pi)
+		out[i] = PatternDTOOf(idx, pi)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"patterns": out, "total": len(out)})
 }
@@ -571,11 +575,11 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	pis := gen.idx.PatternsWithVertex(label)
-	pats := make([]patternDTO, len(pis))
+	pats := make([]PatternDTO, len(pis))
 	setIDs := make([]string, 0, len(pis))
 	seen := make(map[string]bool)
 	for i, pi := range pis {
-		pats[i] = patternDTOOf(gen.idx, pi)
+		pats[i] = PatternDTOOf(gen.idx, pi)
 		if id := pats[i].Set; !seen[id] {
 			seen[id] = true
 			setIDs = append(setIDs, id)
@@ -602,7 +606,7 @@ func (s *Server) handleEpsilon(w http.ResponseWriter, r *http.Request) {
 		s.epsilonQueries.Add(1)
 		s.epsilonIndexed.Add(1)
 		exp := set.ExpEps
-		writeJSON(w, http.StatusOK, epsilonAnswer{
+		writeJSON(w, http.StatusOK, EpsilonAnswer{
 			ID:              gen.idx.SetID(i),
 			Attrs:           set.Names,
 			Support:         set.Support,
@@ -634,7 +638,7 @@ func (s *Server) handleEpsilon(w http.ResponseWriter, r *http.Request) {
 	sort.Slice(attrs, func(i, j int) bool { return attrs[i] < attrs[j] })
 
 	key := attrKey(attrs)
-	ans, cached, err := s.cache.do(key, attrs, gen.version, func() (epsilonAnswer, error) {
+	ans, cached, err := s.cache.do(key, attrs, gen.version, func() (EpsilonAnswer, error) {
 		return computeEpsilon(gen, s, attrs)
 	})
 	// δ-normalization is applied at serve time against the CURRENT
@@ -674,9 +678,9 @@ func (s *Server) handleEpsilon(w http.ResponseWriter, r *http.Request) {
 // cache's singleflight. The answer carries only the ε computation —
 // δ-normalization is applied by the handler per serve, so cached
 // answers track the current null model.
-func computeEpsilon(gen *generation, s *Server, attrs []int32) (epsilonAnswer, error) {
+func computeEpsilon(gen *generation, s *Server, attrs []int32) (EpsilonAnswer, error) {
 	names := gen.g.AttrSetNames(attrs)
-	ans := epsilonAnswer{
+	ans := EpsilonAnswer{
 		ID:    core.SetID(names),
 		Attrs: names,
 	}
@@ -685,7 +689,7 @@ func computeEpsilon(gen *generation, s *Server, attrs []int32) (epsilonAnswer, e
 	if ans.Support > 0 {
 		est, err := s.est.Estimate(gen.g, attrs, members, members)
 		if err != nil {
-			return epsilonAnswer{}, err
+			return EpsilonAnswer{}, err
 		}
 		s.searchNodes.Add(est.Nodes)
 		s.sampledVertices.Add(int64(est.SampledVertices))

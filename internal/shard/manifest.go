@@ -1,0 +1,221 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+
+	"github.com/scpm/scpm/internal/graph"
+)
+
+// ManifestFormat identifies the shard manifest file format; see
+// docs/FILE_FORMATS.md for the full spec.
+const ManifestFormat = "scpm-manifest/v1"
+
+// RootAssignment records one frequent root attribute's place in the
+// plan: its name, id and support in the planned graph, its rank in
+// extension order, and the shard owning its subtree.
+type RootAssignment struct {
+	Attr    string `json:"attr"`
+	ID      int32  `json:"id"`
+	Support int    `json:"support"`
+	Rank    int    `json:"rank"`
+	Shard   int    `json:"shard"`
+}
+
+// Manifest is the versioned, checksummed shard map: which shard owns
+// which lattice prefix, against which dataset, and where each shard's
+// snapshot lives. scpm-serve -shard boots its slice from it and
+// scpm-gateway routes single-owner queries with it.
+type Manifest struct {
+	// Format is always ManifestFormat.
+	Format string `json:"format"`
+	// Shards is the number of partitions N.
+	Shards int `json:"shards"`
+	// SigmaMin is the support threshold the plan was derived under.
+	SigmaMin int `json:"sigma_min"`
+	// Vertices, Edges, Attributes pin the dataset shape the plan was
+	// derived from, mirroring the index snapshot's shape check.
+	Vertices   int `json:"vertices"`
+	Edges      int `json:"edges"`
+	Attributes int `json:"attributes"`
+	// GraphVersion is the data version the plan was derived at.
+	GraphVersion uint64 `json:"graph_version"`
+	// Roots lists every frequent single in extension order (rank
+	// ascending) with its shard assignment.
+	Roots []RootAssignment `json:"roots"`
+	// Snapshots holds one per-shard snapshot path, indexed by shard;
+	// empty strings mean "mine at boot".
+	Snapshots []string `json:"snapshots,omitempty"`
+	// Checksum is the FNV-1a/64 hex digest of the manifest JSON with
+	// this field empty; Load refuses a manifest whose digest mismatches.
+	Checksum string `json:"checksum"`
+}
+
+// BuildManifest plans g into n shards and renders the plan as a sealed
+// manifest. snapshots, when non-nil, must carry one path per shard.
+func BuildManifest(g *graph.Graph, sigmaMin, n int, snapshots []string) (*Manifest, error) {
+	if snapshots != nil && len(snapshots) != n {
+		return nil, fmt.Errorf("shard: %d snapshot paths for %d shards", len(snapshots), n)
+	}
+	parts, err := Plan(g, sigmaMin, n)
+	if err != nil {
+		return nil, err
+	}
+	shardOf := make(map[int32]int)
+	for _, p := range parts {
+		for _, a := range p.Roots {
+			shardOf[a] = p.Shard
+		}
+	}
+	m := &Manifest{
+		Format:       ManifestFormat,
+		Shards:       n,
+		SigmaMin:     sigmaMin,
+		Vertices:     g.NumVertices(),
+		Edges:        g.NumEdges(),
+		Attributes:   g.NumAttributes(),
+		GraphVersion: g.Version(),
+		Snapshots:    snapshots,
+	}
+	for rank, r := range rankedRoots(g, sigmaMin) {
+		m.Roots = append(m.Roots, RootAssignment{
+			Attr:    g.AttrName(r.attr),
+			ID:      r.attr,
+			Support: r.support,
+			Rank:    rank,
+			Shard:   shardOf[r.attr],
+		})
+	}
+	m.Seal()
+	return m, nil
+}
+
+// Seal computes and installs the checksum.
+func (m *Manifest) Seal() {
+	m.Checksum = ""
+	m.Checksum = m.digest()
+}
+
+// Verify checks the format marker and the checksum.
+func (m *Manifest) Verify() error {
+	if m.Format != ManifestFormat {
+		return fmt.Errorf("shard: manifest format %q, want %q", m.Format, ManifestFormat)
+	}
+	if m.Shards < 1 {
+		return fmt.Errorf("shard: manifest declares %d shards", m.Shards)
+	}
+	if m.Snapshots != nil && len(m.Snapshots) != m.Shards {
+		return fmt.Errorf("shard: manifest lists %d snapshots for %d shards", len(m.Snapshots), m.Shards)
+	}
+	want := m.Checksum
+	cp := *m
+	cp.Checksum = ""
+	if got := cp.digest(); got != want {
+		return fmt.Errorf("shard: manifest checksum %s, computed %s (corrupt or hand-edited manifest)", want, got)
+	}
+	for i, r := range m.Roots {
+		if r.Rank != i {
+			return fmt.Errorf("shard: manifest root %d has rank %d (roots must be listed in rank order)", i, r.Rank)
+		}
+		if r.Shard < 0 || r.Shard >= m.Shards {
+			return fmt.Errorf("shard: manifest root %q assigned to shard %d of %d", r.Attr, r.Shard, m.Shards)
+		}
+	}
+	return nil
+}
+
+// digest renders the FNV-1a/64 hex digest of the manifest's JSON.
+func (m *Manifest) digest() string {
+	b, err := json.Marshal(m)
+	if err != nil {
+		// Manifest is plain data; Marshal cannot fail.
+		panic(err)
+	}
+	h := fnv.New64a()
+	h.Write(b) //nolint:errcheck // hash writes never fail
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// WriteManifest seals m and writes it atomically (tmp + rename).
+func WriteManifest(m *Manifest, path string) error {
+	m.Seal()
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// LoadManifest reads and verifies a manifest file.
+func LoadManifest(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("shard: parsing manifest %s: %w", path, err)
+	}
+	if err := m.Verify(); err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return &m, nil
+}
+
+// Rank returns the extension-order rank of an attribute name, or -1
+// when the attribute is not a frequent root of the plan.
+func (m *Manifest) Rank(attr string) int {
+	for _, r := range m.Roots {
+		if r.Attr == attr {
+			return r.Rank
+		}
+	}
+	return -1
+}
+
+// AttrID maps an attribute name to its id in the planned graph;
+// ok is false for attributes that are not frequent roots.
+func (m *Manifest) AttrID(attr string) (int32, bool) {
+	for _, r := range m.Roots {
+		if r.Attr == attr {
+			return r.ID, true
+		}
+	}
+	return 0, false
+}
+
+// Route returns the shard owning the attribute set named by attrs: the
+// shard of the set's minimal attribute in extension order — where the
+// mining run indexed it, if it qualified. Sets containing no frequent
+// root cannot be indexed anywhere; they route by a deterministic hash
+// of the sorted names (any shard computes the same on-demand answer,
+// the hash just spreads the load).
+func (m *Manifest) Route(attrs []string) int {
+	best := -1
+	for _, a := range attrs {
+		if r := m.Rank(a); r >= 0 && (best < 0 || r < best) {
+			best = r
+		}
+	}
+	if best >= 0 {
+		return m.Roots[best].Shard
+	}
+	sorted := append([]string(nil), attrs...)
+	sort.Strings(sorted)
+	h := fnv.New64a()
+	for _, a := range sorted {
+		fmt.Fprintf(h, "%s\x00", a)
+	}
+	return int(h.Sum64() % uint64(m.Shards))
+}

@@ -1,0 +1,130 @@
+package shard
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	g := testGraph(t, 1234)
+	snaps := []string{"s0.scpmidx", "s1.scpmidx", "s2.scpmidx"}
+	m, err := BuildManifest(g, 20, 3, snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("fresh manifest fails verification: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := WriteManifest(m, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shards != 3 || got.SigmaMin != 20 || len(got.Snapshots) != 3 {
+		t.Fatalf("round-trip mangled manifest: %+v", got)
+	}
+	if got.Vertices != g.NumVertices() || got.Edges != g.NumEdges() || got.Attributes != g.NumAttributes() {
+		t.Fatalf("round-trip mangled dataset shape: %+v", got)
+	}
+	if len(got.Roots) == 0 {
+		t.Fatal("manifest lists no frequent roots")
+	}
+	for i, r := range got.Roots {
+		if r.Rank != i {
+			t.Fatalf("root %d has rank %d", i, r.Rank)
+		}
+		if i > 0 {
+			prev := got.Roots[i-1]
+			if r.Support < prev.Support || (r.Support == prev.Support && r.ID < prev.ID) {
+				t.Fatalf("roots not in extension order at rank %d: %+v after %+v", i, r, prev)
+			}
+		}
+	}
+}
+
+func TestManifestChecksumTamper(t *testing.T) {
+	g := testGraph(t, 1235)
+	m, err := BuildManifest(g, 20, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := WriteManifest(m, path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a shard assignment without resealing.
+	tampered := strings.Replace(string(b), `"shard": 0`, `"shard": 1`, 1)
+	if tampered == string(b) {
+		t.Fatal("test graph produced no shard-0 root to tamper with")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(path); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("LoadManifest accepted a tampered manifest (err=%v)", err)
+	}
+}
+
+// TestManifestRouting asserts the gateway's routing contract: every
+// set a shard's mining run emits routes (by its attribute names) back
+// to exactly that shard.
+func TestManifestRouting(t *testing.T) {
+	ctx := context.Background()
+	g := testGraph(t, 1236)
+	p := testParams()["exact"]
+	const n = 3
+	m, err := BuildManifest(g, p.SigmaMin, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed := 0
+	for k := 0; k < n; k++ {
+		res, err := Mine(ctx, g, p, k, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range res.Sets {
+			if got := m.Route(s.Names); got != k {
+				t.Fatalf("set %v mined by shard %d but routed to %d", s.Names, k, got)
+			}
+			routed++
+		}
+	}
+	if routed == 0 {
+		t.Fatal("no sets mined; routing property vacuous")
+	}
+	// Sets with no frequent attribute route deterministically in range.
+	s1 := m.Route([]string{"no-such-attr"})
+	s2 := m.Route([]string{"no-such-attr"})
+	if s1 != s2 || s1 < 0 || s1 >= n {
+		t.Fatalf("hash routing unstable or out of range: %d, %d", s1, s2)
+	}
+}
+
+func TestManifestErrors(t *testing.T) {
+	g := testGraph(t, 1237)
+	if _, err := BuildManifest(g, 20, 2, []string{"only-one"}); err == nil {
+		t.Error("BuildManifest accepted 1 snapshot path for 2 shards")
+	}
+	if _, err := BuildManifest(g, 0, 2, nil); err == nil {
+		t.Error("BuildManifest accepted sigmaMin=0")
+	}
+	m, err := BuildManifest(g, 20, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Format = "bogus/v9"
+	if err := m.Verify(); err == nil {
+		t.Error("Verify accepted a bogus format marker")
+	}
+}

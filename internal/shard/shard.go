@@ -1,0 +1,246 @@
+// Package shard partitions the SCPM attribute-set lattice into
+// disjoint Eclat DFS prefixes so independent processes can mine one
+// slice each, and merges the per-shard results back into output
+// bit-identical to a single-process run.
+//
+// # Ownership rule
+//
+// Algorithm 2's Eclat enumeration roots one DFS subtree at every
+// frequent single attribute, visits the roots in extension order —
+// support ascending, attribute id breaking ties — and extends the
+// subtree rooted at position i only with the roots to its right
+// (positions i+1…). Every attribute set the search can ever evaluate
+// therefore lives in exactly one subtree: the one rooted at the set's
+// minimal attribute in extension order. Assigning each root to exactly
+// one shard hence assigns each attribute SET to exactly one shard —
+// the size-1-set ownership rule. A singleton {a} belongs to the shard
+// owning root a; a larger set belongs to the shard owning its first
+// attribute in extension order. TestOwnershipPartition asserts this
+// exactly-one-owner property on randomized graphs.
+//
+// # Why shard-local pruning is sound
+//
+// The pruning rules of Theorems 3–5 only ever pass information DOWN
+// one subtree, never across subtrees:
+//
+//   - Theorem 3 (vertex pruning) restricts the coverage search of a
+//     set S ∪ {a} to the covered sets handed down from its parents S
+//     and {a}. Both hand-downs originate inside the subtree being
+//     extended — S is an ancestor in the same subtree, and {a} is a
+//     level-1 evaluation every shard performs itself.
+//   - Theorems 4–5 (set pruning) drop an extension candidate based on
+//     that candidate's own ε and δ upper bounds, computed from its
+//     members and covered set — again level-1 state, or state local to
+//     the subtree.
+//
+// So a shard that (a) evaluates ALL frequent singles — muted, see
+// below — and (b) walks only the subtrees it owns, makes exactly the
+// pruning decisions the single-process run makes inside those
+// subtrees. No information a non-owned subtree would have produced is
+// ever consumed. core.Params.ShardOwner implements the muted
+// evaluation: non-owned level-1 singles are fully evaluated (their
+// member sets, covered-set hand-downs and survival verdicts feed the
+// owned subtrees' right-sibling candidate lists bit-identically,
+// including the lazy exact hand-down refinement of sampled mode) but
+// are suppressed from the result, the recorded lattice and the stats
+// counters. The per-shard outputs are therefore disjoint slices of the
+// single-process output, and their stats counters sum to the
+// single-process counters exactly; TestShardMergeEquivalence asserts
+// both, in exact and sampled ε modes, across 1–4 shards.
+//
+// # Balance
+//
+// Plan weighs the subtree rooted at rank i by its candidate 1-sets —
+// the root plus its len(roots)−1−i right siblings, the size of the
+// extension candidate list Algorithm 2 hands that subtree — and
+// assigns roots to shards greedily, heaviest first onto the currently
+// lightest shard. The weights are known before mining (they depend
+// only on level-1 supports), the assignment is deterministic, and on
+// the committed datasets it lands within 2× of ideal balance
+// (TestPlanBalance).
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/scpm/scpm/internal/core"
+	"github.com/scpm/scpm/internal/graph"
+)
+
+// Partition is one shard's slice of the lattice: the top-level Eclat
+// roots it owns and their summed candidate-1-set weight.
+type Partition struct {
+	// Shard is this partition's index in 0…N-1.
+	Shard int
+	// N is the total number of shards in the plan.
+	N int
+	// Roots lists the owned root attribute ids, in extension order.
+	Roots []int32
+	// Weight sums the owned subtrees' candidate 1-sets — the balance
+	// measure Plan optimizes.
+	Weight int
+
+	owns map[int32]bool
+}
+
+// Owns reports whether this partition owns the subtree rooted at the
+// given attribute id (and with it every attribute set whose first
+// attribute in extension order it is).
+func (p *Partition) Owns(root int32) bool { return p.owns[root] }
+
+// Plan splits g's attribute-set lattice into n disjoint partitions.
+// The frequent singles (support ≥ sigmaMin) are ranked in extension
+// order — support ascending, id ascending — matching the order the
+// miner sorts surviving roots into, so a set's first attribute in
+// extension order is well defined whether or not every single survives
+// Theorem-4/5 pruning. The root at rank i weighs len(roots)−i
+// (its candidate 1-set list: itself plus its right siblings); roots
+// are assigned heaviest-first to the currently lightest shard, ties to
+// the lowest shard index, which is deterministic for a given graph.
+//
+// Every frequent single lands in exactly one partition. Shards may own
+// zero roots when n exceeds the number of frequent singles; they mine
+// (and serve) empty slices, which Merge handles.
+func Plan(g *graph.Graph, sigmaMin, n int) ([]Partition, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: plan needs n ≥ 1 shards, got %d", n)
+	}
+	if sigmaMin < 1 {
+		return nil, fmt.Errorf("shard: plan needs sigmaMin ≥ 1, got %d", sigmaMin)
+	}
+	roots := rankedRoots(g, sigmaMin)
+	parts := make([]Partition, n)
+	for s := range parts {
+		parts[s] = Partition{Shard: s, N: n, owns: make(map[int32]bool)}
+	}
+	for rank, r := range roots {
+		weight := len(roots) - rank
+		best := 0
+		for s := 1; s < n; s++ {
+			if parts[s].Weight < parts[best].Weight {
+				best = s
+			}
+		}
+		parts[best].Roots = append(parts[best].Roots, r.attr)
+		parts[best].Weight += weight
+		parts[best].owns[r.attr] = true
+	}
+	return parts, nil
+}
+
+// rankedRoot is one frequent single in extension order.
+type rankedRoot struct {
+	attr    int32
+	support int
+}
+
+// rankedRoots lists the frequent singles of g in extension order
+// (support ascending, id ascending) — the order Algorithm 2 visits
+// top-level subtrees in.
+func rankedRoots(g *graph.Graph, sigmaMin int) []rankedRoot {
+	var roots []rankedRoot
+	for a := int32(0); a < int32(g.NumAttributes()); a++ {
+		if sup := g.AttrSupport(a); sup >= sigmaMin {
+			roots = append(roots, rankedRoot{attr: a, support: sup})
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		if roots[i].support != roots[j].support {
+			return roots[i].support < roots[j].support
+		}
+		return roots[i].attr < roots[j].attr
+	})
+	return roots
+}
+
+// Owner returns a core.Params.ShardOwner claiming shard k of n. The
+// plan is re-derived (and cached) per graph version, so live updates
+// that shift level-1 supports re-partition deterministically — every
+// replica planning against the same graph version derives the same
+// assignment. The returned function is safe for concurrent use by the
+// miner's level-1 workers.
+//
+// Owner panics when k is outside 0…n-1; validate shard coordinates at
+// the flag/API boundary.
+func Owner(sigmaMin, k, n int) func(*graph.Graph, int32) bool {
+	if n < 1 || k < 0 || k >= n {
+		panic(fmt.Sprintf("shard: invalid shard %d/%d", k, n))
+	}
+	var (
+		mu      sync.Mutex
+		version uint64
+		have    bool
+		owns    map[int32]bool
+	)
+	return func(g *graph.Graph, root int32) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if !have || g.Version() != version {
+			parts, err := Plan(g, sigmaMin, n)
+			if err != nil {
+				// Plan only fails on invalid sigmaMin/n, both validated
+				// before mining starts.
+				panic(err)
+			}
+			owns = parts[k].owns
+			version = g.Version()
+			have = true
+		}
+		return owns[root]
+	}
+}
+
+// Params returns p restricted to shard k of n: a copy with ShardOwner
+// installed (derived from p.SigmaMin). The result of mining with it is
+// shard k's slice; Merge over all n slices reproduces mining with p.
+func Params(p core.Params, k, n int) core.Params {
+	p.ShardOwner = Owner(p.SigmaMin, k, n)
+	return p
+}
+
+// Mine mines shard k of n on g — the slice of Mine(g, p) owned by
+// partition k of Plan(g, p.SigmaMin, n).
+func Mine(ctx context.Context, g *graph.Graph, p core.Params, k, n int) (*core.Result, error) {
+	if n < 1 || k < 0 || k >= n {
+		return nil, fmt.Errorf("shard: invalid shard %d/%d", k, n)
+	}
+	return core.Mine(ctx, g, Params(p, k, n), nil)
+}
+
+// MineAll mines all n shards concurrently (one goroutine per shard,
+// each with p.Parallelism workers inside) and merges the slices. The
+// output is bit-identical to core.Mine(ctx, g, p, nil) apart from
+// Stats.Duration, which reports the slowest shard.
+func MineAll(ctx context.Context, g *graph.Graph, p core.Params, n int) (*core.Result, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: MineAll needs n ≥ 1 shards, got %d", n)
+	}
+	parts := make([]*core.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for k := 0; k < n; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			parts[k], errs[k] = Mine(ctx, g, p, k, n)
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return Merge(parts...)
+}
+
+// Merge combines per-shard results into the single-process result —
+// core.MergeResults re-exported at the subsystem boundary. Sets,
+// patterns, stats counters and recorded lattices all merge; a merged
+// lattice feeds core.Remine exactly like a single-process one.
+func Merge(parts ...*core.Result) (*core.Result, error) {
+	return core.MergeResults(parts...)
+}

@@ -3,10 +3,12 @@ package scpm
 import (
 	"context"
 	"errors"
+	"fmt"
 	"iter"
 	"runtime"
 
 	"github.com/scpm/scpm/internal/core"
+	"github.com/scpm/scpm/internal/shard"
 )
 
 // Sink receives mining events while a run is in flight. Callbacks are
@@ -44,8 +46,10 @@ var ErrBudget = core.ErrBudget
 //
 // All three honor context cancellation mid-search.
 type Miner struct {
-	p     core.Params
-	naive bool
+	p      core.Params
+	naive  bool
+	shardK int
+	shardN int
 }
 
 // Option configures a Miner.
@@ -62,8 +66,26 @@ func NewMiner(opts ...Option) (*Miner, error) {
 	if err := m.p.Validate(); err != nil {
 		return nil, err
 	}
+	if m.shardN > 1 {
+		// Resolved after all options so the owner sees the final σmin.
+		if m.shardK < 0 || m.shardK >= m.shardN {
+			return nil, fmt.Errorf("scpm: WithShard(%d, %d): shard index must be in 0…%d", m.shardK, m.shardN, m.shardN-1)
+		}
+		if m.naive {
+			return nil, fmt.Errorf("scpm: WithShard cannot be combined with WithNaive (the baseline has no partitioned path)")
+		}
+		m.p.ShardOwner = shard.Owner(m.p.SigmaMin, m.shardK, m.shardN)
+	}
 	return m, nil
 }
+
+// MergeResults deterministically combines the results of n WithShard
+// runs over the same graph and options into the unsharded result:
+// sets and patterns re-sort into canonical order, stats counters sum
+// (Duration reports the slowest shard), recorded lattices union — so
+// the merged result feeds Remine exactly like an unsharded one.
+// Overlapping shard results are rejected.
+func MergeResults(parts ...*Result) (*Result, error) { return core.MergeResults(parts...) }
 
 // WithSigmaMin sets the minimum attribute-set support σmin (≥ 1).
 func WithSigmaMin(n int) Option { return func(m *Miner) { m.p.SigmaMin = n } }
@@ -110,6 +132,20 @@ func WithParallelism(n int) Option {
 		}
 		m.p.Parallelism = n
 	}
+}
+
+// WithShard restricts the run to shard k of an n-way partition of the
+// attribute-set lattice (0 ≤ k < n): only the Eclat subtrees the
+// partition planner assigns to shard k are emitted, recorded and
+// counted, so n such runs (same graph, same options, k = 0…n-1) mine
+// disjoint slices whose MergeResults reproduces the unsharded run
+// bit-identically — in exact and sampled ε modes, stats counters
+// included (only Duration differs: merged runs report the slowest
+// shard). The partition is re-derived deterministically per graph
+// version, so Remine after updates stays correctly sharded. n ≤ 1
+// disables sharding.
+func WithShard(k, n int) Option {
+	return func(m *Miner) { m.shardK, m.shardN = k, n }
 }
 
 // WithNullModel plugs a null model supplying εexp for δ normalization;
