@@ -26,8 +26,11 @@ import (
 // incremental remine after single-op graph deltas); v5 added the
 // optional shard section written by -exp shard (1/2/4-shard mining
 // wall time vs single-process, plus scatter-gather gateway throughput
-// vs a direct server).
-const benchSchema = "scpm-bench/v5"
+// vs a direct server); v6 added the parallelism column (the -parallel
+// worker count a run was mined with — search_nodes and the result
+// columns are identical for every value; only the timing and
+// allocation columns move).
+const benchSchema = "scpm-bench/v6"
 
 // benchRun is one (dataset, scale, estimator mode) measurement.
 type benchRun struct {
@@ -40,6 +43,11 @@ type benchRun struct {
 	Gamma    float64 `json:"gamma"`
 	MinSize  int     `json:"min_size"`
 	K        int     `json:"k"`
+
+	// Parallelism is the worker count the run was mined with. The
+	// result and search_nodes columns are deterministic across values
+	// (per-worker counters summed at merge); wall/alloc columns are not.
+	Parallelism int `json:"parallelism"`
 
 	// EpsilonMode is "exact" or "sampled"; the sampling columns are
 	// omitted for exact runs.
@@ -78,7 +86,7 @@ type benchReport struct {
 // the dataset's paper parameters and writes BENCH_<dataset>.json into
 // outDir. Generation and mining are deterministic, so two runs on the
 // same machine differ only in the timing and allocation columns.
-func runBenchSuite(ctx context.Context, datasets string, scales string, outDir string, stdout io.Writer) error {
+func runBenchSuite(ctx context.Context, datasets string, scales string, parallel int, outDir string, stdout io.Writer) error {
 	scaleList, err := parseScales(scales)
 	if err != nil {
 		return err
@@ -100,7 +108,7 @@ func runBenchSuite(ctx context.Context, datasets string, scales string, outDir s
 		}
 		for _, scale := range scaleList {
 			for _, mode := range []core.EpsilonMode{core.EpsilonExact, core.EpsilonSampled} {
-				run, err := benchOne(ctx, name, scale, mode)
+				run, err := benchOne(ctx, name, scale, mode, parallel)
 				if err != nil {
 					return fmt.Errorf("bench %s@%g/%v: %w", name, scale, mode, err)
 				}
@@ -129,12 +137,16 @@ const (
 // benchOne mines one generated dataset and measures the run. Only the
 // mining phase is measured; dataset generation happens before the
 // clocks start (and is cached across scales by the experiments loader).
-func benchOne(ctx context.Context, name string, scale float64, mode core.EpsilonMode) (benchRun, error) {
+func benchOne(ctx context.Context, name string, scale float64, mode core.EpsilonMode, parallel int) (benchRun, error) {
 	d, err := experiments.Load(name, scale)
 	if err != nil {
 		return benchRun{}, err
 	}
 	p := d.Params()
+	if parallel < 1 {
+		parallel = 1
+	}
+	p.Parallelism = parallel
 	if mode == core.EpsilonSampled {
 		p.EpsilonMode = core.EpsilonSampled
 		p.SampleEps = benchSampleEps
@@ -194,6 +206,7 @@ func benchOne(ctx context.Context, name string, scale float64, mode core.Epsilon
 		Gamma:           p.Gamma,
 		MinSize:         p.MinSize,
 		K:               p.K,
+		Parallelism:     parallel,
 		EpsilonMode:     p.EpsilonMode.String(),
 		WallMS:          float64(wall.Microseconds()) / 1000,
 		Sets:            len(res.Sets),

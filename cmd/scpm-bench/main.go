@@ -74,6 +74,7 @@ func runMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		benchOut      = fs.String("out", ".", "directory for the BENCH_<dataset>.json files written by -exp bench")
 		benchScales   = fs.String("bench-scales", "0.1,0.2,0.4", "comma-separated dataset scales for -exp bench")
 		benchDatasets = fs.String("bench-datasets", "dblp,lastfm,citeseer,dense", "comma-separated datasets for -exp bench")
+		benchParallel = fs.Int("parallel", 1, "mining worker goroutines for -exp bench (recorded in the JSON; result and search-node columns are identical for every value)")
 
 		approxDataset = fs.String("approx-dataset", "dense", "dataset for -exp approx (exact vs sampled ε)")
 
@@ -181,7 +182,7 @@ func runMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			}
 			fmt.Fprintln(stdout, r.Format())
 		case "bench":
-			return runBenchSuite(ctx, *benchDatasets, *benchScales, *benchOut, stdout)
+			return runBenchSuite(ctx, *benchDatasets, *benchScales, *benchParallel, *benchOut, stdout)
 		case "serve":
 			return runServeBench(ctx, *benchOut, stdout)
 		case "update":

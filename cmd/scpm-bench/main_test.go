@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/scpm/scpm/internal/core"
 )
 
 func runBench(t *testing.T, args ...string) (int, string, string) {
@@ -136,6 +138,43 @@ func TestBenchBaselineJSON(t *testing.T) {
 	}
 	if report.Runs[0].Scale >= report.Runs[2].Scale {
 		t.Errorf("runs not in scale order: %g, %g", report.Runs[0].Scale, report.Runs[2].Scale)
+	}
+}
+
+// TestBenchParallelDeterministicSearchNodes pins the counter contract
+// of the v6 schema: the same (dataset, scale, mode) benchmarked at
+// -parallel 1 and -parallel 4 must report identical search_nodes and
+// result counts — only the timing/allocation columns may move — and
+// the worker count must be recorded in the run.
+func TestBenchParallelDeterministicSearchNodes(t *testing.T) {
+	ctx := context.Background()
+	for _, mode := range []core.EpsilonMode{core.EpsilonExact, core.EpsilonSampled} {
+		seq, err := benchOne(ctx, "dense", 0.1, mode, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := benchOne(ctx, "dense", 0.1, mode, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Parallelism != 1 || par.Parallelism != 4 {
+			t.Errorf("%v: parallelism recorded as (%d, %d), want (1, 4)", mode, seq.Parallelism, par.Parallelism)
+		}
+		if seq.SearchNodes == 0 {
+			t.Fatalf("%v: sequential run reports zero search nodes", mode)
+		}
+		if par.SearchNodes != seq.SearchNodes {
+			t.Errorf("%v: search_nodes = %d at -parallel 4, want %d (same as -parallel 1)",
+				mode, par.SearchNodes, seq.SearchNodes)
+		}
+		if par.SetsEvaluated != seq.SetsEvaluated || par.Sets != seq.Sets || par.Patterns != seq.Patterns {
+			t.Errorf("%v: result counts differ across -parallel: (%d,%d,%d) vs (%d,%d,%d)",
+				mode, par.SetsEvaluated, par.Sets, par.Patterns, seq.SetsEvaluated, seq.Sets, seq.Patterns)
+		}
+		if par.SampledVertices != seq.SampledVertices {
+			t.Errorf("%v: sampled_vertices = %d at -parallel 4, want %d",
+				mode, par.SampledVertices, seq.SampledVertices)
+		}
 	}
 }
 

@@ -29,6 +29,25 @@ func New(n int) *Set {
 	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
 }
 
+// NewSlab returns k empty sets of capacity n whose word storage shares
+// one contiguous arena: two allocations total instead of 2k. The
+// quasi-clique engine uses it for its per-vertex adjacency and
+// distance-2 indexes, whose per-set allocation otherwise dominates the
+// allocation profile of short searches. The returned sets are owned by
+// the caller; take the address of an element to use pointer methods.
+func NewSlab(n, k int) []Set {
+	if n < 0 || k < 0 {
+		panic(fmt.Sprintf("bitset: negative slab dimensions %d x %d", n, k))
+	}
+	words := (n + wordBits - 1) / wordBits
+	arena := make([]uint64, words*k)
+	sets := make([]Set, k)
+	for i := range sets {
+		sets[i] = Set{words: arena[i*words : (i+1)*words : (i+1)*words], n: n}
+	}
+	return sets
+}
+
 // FromSlice returns a set of capacity n containing every value of vs.
 func FromSlice(n int, vs []int32) *Set {
 	s := New(n)
@@ -83,6 +102,23 @@ func (s *Set) Clear() {
 	for i := range s.words {
 		s.words[i] = 0
 	}
+}
+
+// Reset reinitializes s to an empty set of n bits, reusing the backing
+// array when its capacity allows. Scratch sets that outlive one use —
+// e.g. a per-store seed buffer rebuilt for graphs of varying size —
+// call Reset instead of allocating a fresh Set each round.
+func (s *Set) Reset(n int) {
+	words := (n + 63) >> 6
+	if cap(s.words) < words {
+		s.words = make([]uint64, words)
+	} else {
+		s.words = s.words[:words]
+		for i := range s.words {
+			s.words[i] = 0
+		}
+	}
+	s.n = n
 }
 
 // Clone returns a copy of s.
@@ -158,12 +194,50 @@ func (s *Set) Union(o *Set) *Set {
 	return r
 }
 
-// IntersectionCount returns |s ∩ o| without allocating.
-func (s *Set) IntersectionCount(o *Set) int {
+// IntersectCount returns |s ∩ o| without allocating: one branchless
+// AND+popcount pass over the word arrays. This is the membership-count
+// kernel of the quasi-clique engine's degree computations.
+func (s *Set) IntersectCount(o *Set) int {
 	s.mustMatch(o)
 	c := 0
 	for i, w := range s.words {
 		c += bits.OnesCount64(w & o.words[i])
+	}
+	return c
+}
+
+// IntersectCount2 returns (|s ∩ a|, |s ∩ b|) in a single pass over s's
+// words — the fused kernel behind the engine's indeg/exdeg split, where
+// one adjacency set is counted against two scratch sets at once.
+func (s *Set) IntersectCount2(a, b *Set) (ca, cb int) {
+	s.mustMatch(a)
+	s.mustMatch(b)
+	for i, w := range s.words {
+		ca += bits.OnesCount64(w & a.words[i])
+		cb += bits.OnesCount64(w & b.words[i])
+	}
+	return ca, cb
+}
+
+// AndInto sets s = a ∩ b without allocating, overwriting s's contents
+// (s is caller-owned scratch). All three sets must share one capacity.
+func (s *Set) AndInto(a, b *Set) {
+	s.mustMatch(a)
+	s.mustMatch(b)
+	for i := range s.words {
+		s.words[i] = a.words[i] & b.words[i]
+	}
+}
+
+// AndWithCount replaces s with s ∩ o and returns the resulting count in
+// the same word-at-a-time pass.
+func (s *Set) AndWithCount(o *Set) int {
+	s.mustMatch(o)
+	c := 0
+	for i := range s.words {
+		w := s.words[i] & o.words[i]
+		s.words[i] = w
+		c += bits.OnesCount64(w)
 	}
 	return c
 }

@@ -131,7 +131,7 @@ func TestQuickAgainstMapReference(t *testing.T) {
 				return false
 			}
 		}
-		if sa.IntersectionCount(sb) != inter.Count() {
+		if sa.IntersectCount(sb) != inter.Count() {
 			return false
 		}
 		if sa.ContainsAll(inter) != true {
@@ -227,8 +227,8 @@ func TestWordBoundarySizes(t *testing.T) {
 		}
 		other := New(n)
 		other.Add(0)
-		if got := s.IntersectionCount(other); got != 1 {
-			t.Fatalf("n=%d: IntersectionCount = %d, want 1", n, got)
+		if got := s.IntersectCount(other); got != 1 {
+			t.Fatalf("n=%d: IntersectCount = %d, want 1", n, got)
 		}
 		inv := s.Clone()
 		inv.DifferenceWith(s)
@@ -252,8 +252,8 @@ func TestEmptySetOps(t *testing.T) {
 		if a.NextSet(0) != -1 {
 			t.Fatalf("n=%d: NextSet on empty != -1", n)
 		}
-		if a.IntersectionCount(b) != 0 {
-			t.Fatalf("n=%d: empty IntersectionCount != 0", n)
+		if a.IntersectCount(b) != 0 {
+			t.Fatalf("n=%d: empty IntersectCount != 0", n)
 		}
 		if !a.ContainsAll(b) || !a.Equal(b) {
 			t.Fatalf("n=%d: empty sets must contain and equal each other", n)
@@ -279,10 +279,10 @@ func TestEmptySetOps(t *testing.T) {
 	}
 }
 
-// TestIntersectionCountAgainstNaive checks IntersectionCount against an
+// TestIntersectCountAgainstNaive checks IntersectCount against an
 // element-by-element reference on randomized sets, including boundary
 // capacities.
-func TestIntersectionCountAgainstNaive(t *testing.T) {
+func TestIntersectCountAgainstNaive(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for _, n := range []int{1, 63, 64, 65, 127, 300} {
 		for trial := 0; trial < 20; trial++ {
@@ -297,8 +297,8 @@ func TestIntersectionCountAgainstNaive(t *testing.T) {
 					naive++
 				}
 			}
-			if got := a.IntersectionCount(b); got != naive {
-				t.Fatalf("n=%d: IntersectionCount = %d, naive = %d", n, got, naive)
+			if got := a.IntersectCount(b); got != naive {
+				t.Fatalf("n=%d: IntersectCount = %d, naive = %d", n, got, naive)
 			}
 		}
 	}
@@ -353,7 +353,7 @@ func TestNegativeCapacityPanics(t *testing.T) {
 	New(-1)
 }
 
-func BenchmarkIntersectionCount(b *testing.B) {
+func BenchmarkIntersectCount(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	const n = 1 << 16
 	x, y := New(n), New(n)
@@ -363,6 +363,6 @@ func BenchmarkIntersectionCount(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = x.IntersectionCount(y)
+		_ = x.IntersectCount(y)
 	}
 }

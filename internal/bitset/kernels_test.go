@@ -1,0 +1,121 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAndIntoAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				a.Add(i)
+			}
+			if rng.Intn(3) == 0 {
+				b.Add(i)
+			}
+		}
+		dst := New(n)
+		// Pre-dirty the scratch to prove AndInto overwrites fully.
+		for i := 0; i < n; i += 2 {
+			dst.Add(i)
+		}
+		dst.AndInto(a, b)
+		for i := 0; i < n; i++ {
+			want := a.Contains(i) && b.Contains(i)
+			if dst.Contains(i) != want {
+				t.Fatalf("n=%d AndInto bit %d = %v, want %v", n, i, dst.Contains(i), want)
+			}
+		}
+	}
+}
+
+func TestIntersectCount2AgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		s, a, b := New(n), New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				s.Add(i)
+			}
+			if rng.Intn(3) == 0 {
+				a.Add(i)
+			}
+			if rng.Intn(4) == 0 {
+				b.Add(i)
+			}
+		}
+		ca, cb := s.IntersectCount2(a, b)
+		if wa, wb := s.IntersectCount(a), s.IntersectCount(b); ca != wa || cb != wb {
+			t.Fatalf("n=%d IntersectCount2 = (%d,%d), want (%d,%d)", n, ca, cb, wa, wb)
+		}
+	}
+}
+
+func TestAndWithCountAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		s, o := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				s.Add(i)
+			}
+			if rng.Intn(2) == 0 {
+				o.Add(i)
+			}
+		}
+		want := s.IntersectCount(o)
+		ref := s.Intersect(o)
+		if got := s.AndWithCount(o); got != want {
+			t.Fatalf("n=%d AndWithCount = %d, want %d", n, got, want)
+		}
+		if !s.Equal(ref) {
+			t.Fatalf("n=%d AndWithCount left %v, want %v", n, s, ref)
+		}
+	}
+}
+
+func TestNewSlab(t *testing.T) {
+	slab := NewSlab(130, 5)
+	if len(slab) != 5 {
+		t.Fatalf("len = %d, want 5", len(slab))
+	}
+	for i := range slab {
+		if slab[i].Len() != 130 || !slab[i].IsEmpty() {
+			t.Fatalf("slab[%d] = cap %d empty %v", i, slab[i].Len(), slab[i].IsEmpty())
+		}
+	}
+	// Writes to one slab member must not leak into its neighbors even
+	// at word boundaries.
+	slab[2].Add(0)
+	slab[2].Add(129)
+	for i := range slab {
+		if i != 2 && !slab[i].IsEmpty() {
+			t.Fatalf("slab[%d] dirtied by writes to slab[2]", i)
+		}
+	}
+	if slab[2].Count() != 2 {
+		t.Fatalf("slab[2].Count = %d, want 2", slab[2].Count())
+	}
+	// Zero-capacity and zero-count slabs are fine.
+	if got := NewSlab(0, 3); len(got) != 3 {
+		t.Fatalf("NewSlab(0,3) len = %d", len(got))
+	}
+	if got := NewSlab(10, 0); len(got) != 0 {
+		t.Fatalf("NewSlab(10,0) len = %d", len(got))
+	}
+}
+
+func TestNewSlabNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSlab(-1, 2) did not panic")
+		}
+	}()
+	NewSlab(-1, 2)
+}

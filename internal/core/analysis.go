@@ -53,7 +53,7 @@ func DedupPatterns(pats []Pattern, numVertices int, threshold float64) []Pattern
 		bs := bitset.FromSlice(numVertices, p.Vertices)
 		dup := false
 		for _, k := range seen {
-			inter := k.set.IntersectionCount(bs)
+			inter := k.set.IntersectCount(bs)
 			union := k.size + p.Size() - inter
 			if union > 0 && float64(inter)/float64(union) >= threshold {
 				dup = true

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/scpm/scpm/internal/graph"
+)
+
+// parityOwner is a minimal complete, disjoint 2-shard partition of the
+// level-1 roots: shard k owns the attributes whose id has parity k.
+// (internal/shard builds balanced partitions; the property under test —
+// merge equivalence — only needs completeness and disjointness, and an
+// inline owner avoids the import cycle.)
+func parityOwner(k int) func(*graph.Graph, int32) bool {
+	return func(_ *graph.Graph, root int32) bool { return int(root)%2 == k }
+}
+
+// TestCertSharingEquivalence is the certificate-store soundness
+// property test: mining with the cross-set coverage certificate store
+// (the default) must produce output bit-identical to mining with
+// DisableCertSharing — sets, ε, δ, patterns and stable ids — in exact
+// and sampled ε modes, sequentially and with parallel workers, and the
+// equivalence must survive the full result lifecycle: an incremental
+// Remine chained on top, and a 2-shard mine + merge. Only search-node
+// counts may differ.
+func TestCertSharingEquivalence(t *testing.T) {
+	ctx := context.Background()
+	for mode, base := range remineParams() {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s-parallel%d", mode, workers), func(t *testing.T) {
+				p := base
+				p.Parallelism = workers
+				off := p
+				off.DisableCertSharing = true
+
+				for trial := 0; trial < 3; trial++ {
+					g := remineGraph(t, int64(1300+trial))
+					resOn, err := Mine(ctx, g, p, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					resOff, err := Mine(ctx, g, off, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					label := fmt.Sprintf("%s trial %d", mode, trial)
+					requireEqualResults(t, label+" mine", resOn, resOff)
+
+					// Chained Remine: both pipelines absorb the same delta.
+					rng := rand.New(rand.NewSource(int64(1700 + trial)))
+					d := randomRemineDelta(t, g, rng)
+					ng, cs, err := g.Apply(d)
+					if err != nil {
+						t.Fatal(err)
+					}
+					incOn, err := Remine(ctx, ng, p, resOn, cs, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					incOff, err := Remine(ctx, ng, off, resOff, cs, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireEqualResults(t, label+" remine", incOn, incOff)
+
+					// 2-shard mine + merge on each side, checked against the
+					// unsharded certificate-sharing run.
+					merged := make(map[string]*Result, 2)
+					for name, pp := range map[string]Params{"on": p, "off": off} {
+						parts := make([]*Result, 2)
+						for k := 0; k < 2; k++ {
+							sp := pp
+							sp.ShardOwner = parityOwner(k)
+							if parts[k], err = Mine(ctx, g, sp, nil); err != nil {
+								t.Fatal(err)
+							}
+						}
+						if merged[name], err = MergeResults(parts...); err != nil {
+							t.Fatal(err)
+						}
+					}
+					requireEqualResults(t, label+" sharded on/off", merged["on"], merged["off"])
+					requireEqualResults(t, label+" sharded vs whole", merged["on"], resOn)
+				}
+			})
+		}
+	}
+}
+
+// TestCertSharingReducesSearch pins that the store actually does
+// something: on a graph with overlapping attribute-correlated cliques,
+// the shared-certificate run must spend strictly fewer search nodes
+// than the disabled run while producing the same output (covered by
+// TestCertSharingEquivalence).
+func TestCertSharingReducesSearch(t *testing.T) {
+	ctx := context.Background()
+	p := remineParams()["exact"]
+	g := remineGraph(t, 4242)
+	on, err := Mine(ctx, g, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := p
+	off.DisableCertSharing = true
+	base, err := Mine(ctx, g, off, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Stats.SearchNodes >= base.Stats.SearchNodes {
+		t.Fatalf("cert sharing did not reduce search: %d nodes with store, %d without",
+			on.Stats.SearchNodes, base.Stats.SearchNodes)
+	}
+	t.Logf("search nodes: %d with certificate store, %d without", on.Stats.SearchNodes, base.Stats.SearchNodes)
+}

@@ -102,19 +102,37 @@ func (e *emitter) snapshot() Stats {
 // run's lattice instead of being recomputed.
 func (e *emitter) noteReused() { e.reused.Add(1) }
 
-// noteSampled adds one evaluation's membership-sample count to the run
-// total.
-func (e *emitter) noteSampled(n int64) {
-	if n != 0 {
-		e.sampled.Add(n)
-	}
+// tally is a per-worker counter block for the scheduling-sensitive run
+// totals: search nodes and membership samples, the columns the bench
+// JSON reports. Each forEach worker accumulates locally and merges into
+// the emitter exactly once when it finishes, so a run's totals are a
+// plain sum of per-evaluation counts — identical for every Parallelism
+// value — and the evaluation hot path pays no atomic traffic.
+type tally struct {
+	nodes   int64
+	sampled int64
 }
 
-// noteSearchNodes adds one coverage search's node count to the run
-// total (the bench harness reports it as nodes visited).
-func (e *emitter) noteSearchNodes(n int64) {
-	if n != 0 {
-		e.nodes.Add(n)
+// noteSampled adds one evaluation's membership-sample count.
+func (t *tally) noteSampled(n int64) { t.sampled += n }
+
+// noteSearchNodes adds one coverage search's node count (the bench
+// harness reports the run total as nodes visited).
+func (t *tally) noteSearchNodes(n int64) { t.nodes += n }
+
+// merge folds one worker's tally into the run counters. Progress
+// snapshots taken before a worker merges lag its in-flight counts; the
+// final snapshot runs after every worker has merged and is exact. A
+// nil emitter (dispatcher tests) discards the tally.
+func (e *emitter) merge(t *tally) {
+	if e == nil {
+		return
+	}
+	if t.nodes != 0 {
+		e.nodes.Add(t.nodes)
+	}
+	if t.sampled != 0 {
+		e.sampled.Add(t.sampled)
 	}
 }
 

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestStatsDeterministicAcrossParallelism is the counter-determinism
+// regression test: the BENCH-reported run totals — search_nodes,
+// sets_evaluated, sampled_vertices — must be identical whether the run
+// uses 1, 4 or 8 workers. Workers tally locally and the emitter sums
+// the tallies at merge, so the totals are order-independent sums of
+// per-evaluation counts; this test pins that property (and, via
+// requireEqualResults, that the mined output itself is unchanged).
+func TestStatsDeterministicAcrossParallelism(t *testing.T) {
+	ctx := context.Background()
+	for mode, base := range remineParams() {
+		t.Run(mode, func(t *testing.T) {
+			g := remineGraph(t, 2024)
+			p := base
+			p.Parallelism = 1
+			want, err := Mine(ctx, g, p, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.Stats.SearchNodes == 0 {
+				t.Fatal("baseline run reports zero search nodes; test graph too small")
+			}
+			for _, workers := range []int{4, 8} {
+				pw := base
+				pw.Parallelism = workers
+				got, err := Mine(ctx, g, pw, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Stats.SearchNodes != want.Stats.SearchNodes {
+					t.Errorf("parallel=%d: search_nodes = %d, want %d (parallel=1)",
+						workers, got.Stats.SearchNodes, want.Stats.SearchNodes)
+				}
+				if got.Stats.SetsEvaluated != want.Stats.SetsEvaluated {
+					t.Errorf("parallel=%d: sets_evaluated = %d, want %d",
+						workers, got.Stats.SetsEvaluated, want.Stats.SetsEvaluated)
+				}
+				if got.Stats.SampledVertices != want.Stats.SampledVertices {
+					t.Errorf("parallel=%d: sampled_vertices = %d, want %d",
+						workers, got.Stats.SampledVertices, want.Stats.SampledVertices)
+				}
+				requireEqualResults(t, fmt.Sprintf("%s parallel=%d", mode, workers), got, want)
+			}
+		})
+	}
+}

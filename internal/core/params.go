@@ -131,6 +131,11 @@ type Params struct {
 	// DisableSetPruning turns off the Theorem-4/5 attribute-set
 	// pruning, so every frequent set is extended.
 	DisableSetPruning bool
+	// DisableCertSharing turns off the cross-set coverage certificate
+	// store, so every ε evaluation proves coverage from scratch.
+	// Results are bit-identical either way; only search-node counts
+	// change.
+	DisableCertSharing bool
 	// DisableLookahead, DisableDiameterPruning and DisableJumps are
 	// forwarded to the quasi-clique engine.
 	DisableLookahead       bool

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -79,16 +80,20 @@ func mine(ctx context.Context, g *graph.Graph, p Params, sink Sink, reuse *Latti
 	// the owned slice.
 	singles := m.frequentSingles()
 	level1 := make([]evalOutcome, len(singles))
-	runErr := m.forEach(ctx, len(singles), func(i int) error {
+	runErr := m.forEach(ctx, len(singles), func(i int, tl *tally) error {
 		attrs := []int32{singles[i]}
 		muted := m.owner != nil && !m.owner(singles[i])
-		out, handled, err := m.replay(attrs, muted)
+		// Each level-1 evaluation gets its own certificate store, which
+		// then travels down its subtree (walked sequentially below), so
+		// certificate reuse never crosses a scheduling boundary.
+		store := m.newCertStore()
+		out, handled, err := m.replay(attrs, muted, store, tl)
 		if err != nil {
 			return err
 		}
 		if !handled {
 			members := g.AttrMembers(singles[i])
-			out, err = m.evaluate(attrs, members, members, muted)
+			out, err = m.evaluate(attrs, members, members, muted, store, tl)
 			if err != nil {
 				return err
 			}
@@ -126,12 +131,12 @@ func mine(ctx context.Context, g *graph.Graph, p Params, sink Sink, reuse *Latti
 	// set below an owned root belongs to this shard by the prefix
 	// ownership rule, so everything in the subtree is unmuted.
 	buckets := make([]*Result, len(survivors))
-	runErr = m.forEach(ctx, len(survivors), func(i int) error {
+	runErr = m.forEach(ctx, len(survivors), func(i int, tl *tally) error {
 		if m.owner != nil && !m.owner(survivors[i].attrs[0]) {
 			return nil
 		}
 		buckets[i] = &Result{}
-		return m.extendSubtree(ctx, survivors[i], survivors[i+1:], buckets[i])
+		return m.extendSubtree(ctx, survivors[i], survivors[i+1:], buckets[i], tl)
 	})
 	for _, b := range buckets {
 		if b == nil {
@@ -190,6 +195,12 @@ type classItem struct {
 	attrs   []int32
 	members *bitset.Set
 	covered *bitset.Set
+	// certs is the coverage certificate store shared by this item's
+	// whole subtree. It is created once per level-1 evaluation and
+	// handed down; the subtree is walked sequentially, so the store
+	// needs no locking and the per-set search-node counts stay
+	// independent of worker scheduling. Nil when sharing is disabled.
+	certs *epsilon.CertStore
 }
 
 // evalOutcome couples an evaluated item with its bucket contributions.
@@ -229,14 +240,20 @@ func (m *miner) frequentSingles() []int32 {
 // error to arrive wins (recorded exactly once through errOnce); workers
 // that already claimed a task finish it, but no new tasks are claimed
 // after the failure is published.
-func (m *miner) forEach(ctx context.Context, n int, fn func(i int) error) error {
+//
+// Each worker owns a tally for the scheduling-sensitive counters and
+// merges it into the emitter when it exits (errors included), so the
+// run totals are identical for every Parallelism value.
+func (m *miner) forEach(ctx context.Context, n int, fn func(i int, tl *tally) error) error {
 	workers := m.p.Parallelism
 	if workers <= 1 || n <= 1 {
+		var tl tally
+		defer m.em.merge(&tl)
 		for i := 0; i < n; i++ {
 			if ctx.Err() != nil {
 				return quasiclique.Canceled(ctx)
 			}
-			if err := fn(i); err != nil {
+			if err := fn(i, &tl); err != nil {
 				return err
 			}
 		}
@@ -260,6 +277,8 @@ func (m *miner) forEach(ctx context.Context, n int, fn func(i int) error) error 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var tl tally
+			defer m.em.merge(&tl)
 			for !failed.Load() {
 				i := next.Add(1) - 1
 				if i >= int64(n) {
@@ -269,7 +288,7 @@ func (m *miner) forEach(ctx context.Context, n int, fn func(i int) error) error 
 				if err != nil {
 					err = quasiclique.Canceled(ctx)
 				} else {
-					err = fn(int(i))
+					err = fn(int(i), &tl)
 				}
 				if err != nil {
 					record(err)
@@ -285,7 +304,7 @@ func (m *miner) forEach(ctx context.Context, n int, fn func(i int) error) error 
 // extendSubtree explores all attribute sets extending item with
 // attributes from its right-sibling list (Algorithm 3), collecting
 // emissions into out.
-func (m *miner) extendSubtree(ctx context.Context, item classItem, siblings []classItem, out *Result) error {
+func (m *miner) extendSubtree(ctx context.Context, item classItem, siblings []classItem, out *Result, tl *tally) error {
 	if m.p.MaxAttrs > 0 && len(item.attrs) >= m.p.MaxAttrs {
 		return nil
 	}
@@ -305,7 +324,7 @@ func (m *miner) extendSubtree(ctx context.Context, item classItem, siblings []cl
 		// bitset intersection plus a coverage search.
 		if m.reuse != nil {
 			attrs = childAttrs(item, sib)
-			res, handled, err = m.replay(attrs, false)
+			res, handled, err = m.replay(attrs, false, item.certs, tl)
 			if err != nil {
 				return err
 			}
@@ -325,7 +344,7 @@ func (m *miner) extendSubtree(ctx context.Context, item classItem, siblings []cl
 			if !m.p.DisableVertexPruning {
 				candidates = item.covered.Intersect(sib.covered)
 			}
-			res, err = m.evaluate(attrs, members, candidates, false)
+			res, err = m.evaluate(attrs, members, candidates, false, item.certs, tl)
 			if err != nil {
 				return err
 			}
@@ -336,7 +355,7 @@ func (m *miner) extendSubtree(ctx context.Context, item classItem, siblings []cl
 		}
 	}
 	for i := range children {
-		if err := m.extendSubtree(ctx, children[i], children[i+1:], out); err != nil {
+		if err := m.extendSubtree(ctx, children[i], children[i+1:], out, tl); err != nil {
 			return err
 		}
 	}
@@ -359,17 +378,27 @@ func (m *miner) extendSubtree(ctx context.Context, item classItem, siblings []cl
 // (hand-down included) is computed bit-identically, but nothing is
 // emitted, recorded or counted — the owning shard does that exactly
 // once.
-func (m *miner) evaluate(attrs []int32, members, candidates *bitset.Set, muted bool) (evalOutcome, error) {
-	est, err := m.est.Estimate(m.g, attrs, members, candidates)
+func (m *miner) evaluate(attrs []int32, members, candidates *bitset.Set, muted bool, certs *epsilon.CertStore, tl *tally) (evalOutcome, error) {
+	est, err := m.est.EstimateWithCerts(m.g, attrs, members, candidates, certs)
 	if err != nil {
 		return evalOutcome{}, err
 	}
 	if !muted {
 		m.em.noteEvaluated()
-		m.em.noteSearchNodes(est.Nodes)
-		m.em.noteSampled(int64(est.SampledVertices))
+		tl.noteSearchNodes(est.Nodes)
+		tl.noteSampled(int64(est.SampledVertices))
 	}
-	return m.score(attrKey(attrs), attrs, members, members.Count(), est, nil, muted)
+	return m.score(attrKey(attrs), attrs, members, members.Count(), est, nil, muted, certs, tl)
+}
+
+// newCertStore returns a fresh certificate store, or nil when sharing
+// is disabled (a nil store degrades every consumer to store-free
+// behavior).
+func (m *miner) newCertStore() *epsilon.CertStore {
+	if m.p.DisableCertSharing {
+		return nil
+	}
+	return epsilon.NewCertStore()
 }
 
 // replay serves one attribute set from the previous run's lattice when
@@ -379,7 +408,7 @@ func (m *miner) evaluate(attrs []int32, members, candidates *bitset.Set, muted b
 // Eclat tidset intersection — is the current one. Only the
 // δ-normalization (recomputed by score either way) can differ. handled
 // reports whether the cache answered.
-func (m *miner) replay(attrs []int32, muted bool) (out evalOutcome, handled bool, err error) {
+func (m *miner) replay(attrs []int32, muted bool, certs *epsilon.CertStore, tl *tally) (out evalOutcome, handled bool, err error) {
 	if m.reuse == nil || m.changes.Touches(attrs) {
 		return evalOutcome{}, false, nil
 	}
@@ -392,7 +421,7 @@ func (m *miner) replay(attrs []int32, muted bool) (out evalOutcome, handled bool
 		m.em.noteReused()
 	}
 	members := grownTo(ent.members, m.g.NumVertices())
-	out, err = m.score(key, attrs, members, ent.sigma, ent.estimate(m.g.NumVertices()), ent, muted)
+	out, err = m.score(key, attrs, members, ent.sigma, ent.estimate(m.g.NumVertices()), ent, muted, certs, tl)
 	return out, true, err
 }
 
@@ -406,12 +435,12 @@ func (m *miner) replay(attrs []int32, muted bool) (out evalOutcome, handled bool
 // same classItem — including the lazy exact hand-down refinement of
 // sampled mode, which siblings' children consume — but suppresses
 // emission, pattern mining, lattice recording and counter updates.
-func (m *miner) score(key string, attrs []int32, members *bitset.Set, sigma int, est epsilon.Estimate, cached *latticeEntry, muted bool) (evalOutcome, error) {
+func (m *miner) score(key string, attrs []int32, members *bitset.Set, sigma int, est epsilon.Estimate, cached *latticeEntry, muted bool, certs *epsilon.CertStore, tl *tally) (evalOutcome, error) {
 	eps := est.Epsilon
 	expEps := m.model.Exp(sigma)
 	delta := NormalizeDelta(eps, expEps)
 
-	out := evalOutcome{item: classItem{attrs: attrs, members: members, covered: est.Handdown}}
+	out := evalOutcome{item: classItem{attrs: attrs, members: members, covered: est.Handdown, certs: certs}}
 
 	var rec *latticeEntry
 	if m.record != nil && !muted {
@@ -443,7 +472,7 @@ func (m *miner) score(key string, attrs []int32, members *bitset.Set, sigma int,
 
 	if eps >= m.p.EpsMin && delta >= m.p.DeltaMin && len(attrs) >= m.p.minAttrs() {
 		sorted := append([]int32(nil), attrs...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		slices.Sort(sorted)
 		if !muted {
 			out.set = &AttributeSet{
 				Attrs:           sorted,
@@ -469,12 +498,12 @@ func (m *miner) score(key string, attrs []int32, members *bitset.Set, sigma int,
 				if cached != nil && cached.exact != nil {
 					base = grownTo(cached.exact, m.g.NumVertices())
 				} else {
-					exact, err := m.exactEst.Estimate(m.g, attrs, members, est.Handdown)
+					exact, err := m.exactEst.EstimateWithCerts(m.g, attrs, members, est.Handdown, certs)
 					if err != nil {
 						return evalOutcome{}, err
 					}
 					if !muted {
-						m.em.noteSearchNodes(exact.Nodes)
+						tl.noteSearchNodes(exact.Nodes)
 					}
 					base = exact.Handdown
 				}

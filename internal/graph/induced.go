@@ -112,19 +112,33 @@ func (g *Graph) inducedFromSorted(orig []int32, members *bitset.Set) *Subgraph {
 		degSum += int64(g.Degree(v))
 	}
 	nbrs := make([]int32, 0, degSum)
-	// localOf: binary search over orig (sorted). For the typical
-	// |orig| ≪ |V| this avoids allocating an n-sized translation array.
-	localOf := func(v int32) int32 {
-		i, _ := slices.BinarySearch(orig, v)
-		return int32(i)
-	}
-	for li, v := range orig {
-		for _, u := range g.Neighbors(v) {
-			if members.Contains(int(u)) {
-				nbrs = append(nbrs, localOf(u))
-			}
+	if degSum >= int64(g.NumVertices()) {
+		// Dense member set: a parent-sized translation array makes each
+		// surviving edge O(1) instead of a binary search over orig.
+		localOf := make([]int32, g.NumVertices())
+		for li, v := range orig {
+			localOf[v] = int32(li)
 		}
-		off[li+1] = int64(len(nbrs))
+		for li, v := range orig {
+			for _, u := range g.Neighbors(v) {
+				if members.Contains(int(u)) {
+					nbrs = append(nbrs, localOf[u])
+				}
+			}
+			off[li+1] = int64(len(nbrs))
+		}
+	} else {
+		// Sparse member set (|edges| below parent n): binary search over
+		// orig avoids allocating and zeroing the translation array.
+		for li, v := range orig {
+			for _, u := range g.Neighbors(v) {
+				if members.Contains(int(u)) {
+					i, _ := slices.BinarySearch(orig, u)
+					nbrs = append(nbrs, int32(i))
+				}
+			}
+			off[li+1] = int64(len(nbrs))
+		}
 	}
 	return &Subgraph{Orig: orig, off: off, nbrs: nbrs}
 }

@@ -25,21 +25,38 @@ import (
 // Engine's queries combined (the natural per-induced-graph budget).
 type Engine struct {
 	e     *engine
-	found *bitset.Set // vertices proven to be inside some quasi-clique
+	ov    *orderedView // queries run in degeneracy-relabeled id space
+	found *bitset.Set  // vertices proven covered, in relabeled ids
 
 	// component decomposition, built lazily on the first query that can
 	// use it (γ ≥ 0.5 and the split enabled)
 	compsBuilt bool
 	compOf     []int32 // component index per vertex, -1 when dead
 	comps      [][]int32
+
+	candsBuf []int32 // reusable root-candidate buffer (one per query)
+
+	certSink func(q []int32) // see SetCertSink
+	certBuf  []int32
 }
 
+// SetCertSink registers fn to receive every quasi-clique the engine's
+// queries report, in g's vertex ids sorted ascending. The slice is
+// reused across calls; receivers copy what they keep. Callers use the
+// sink to harvest coverage certificates from anchored searches (the
+// sets remain quasi-cliques in any graph that contains them induced).
+func (q *Engine) SetCertSink(fn func(q []int32)) { q.certSink = fn }
+
 // NewEngine validates the parameters and builds a query handle for g.
+// Like Coverage, the internal search runs on a degeneracy-relabeled
+// copy of g (the CoversVertex verdict is a property of the vertex, not
+// of the labeling), so queries translate v at the boundary.
 func NewEngine(g *Graph, p Params, o Options) (*Engine, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &Engine{e: newEngine(g, p, o), found: bitset.New(g.n)}, nil
+	ov := newOrderedView(g)
+	return &Engine{e: newEngine(ov.g, p, o), ov: ov, found: bitset.New(g.n)}, nil
 }
 
 // NodesVisited reports the total number of candidate-tree nodes
@@ -56,6 +73,7 @@ func (q *Engine) CoversVertex(v int32) (bool, error) {
 	if v < 0 || int(v) >= q.e.g.n {
 		return false, nil
 	}
+	v = q.ov.newOf[v] // relabeled id space from here on
 	// Peeled vertices cannot be members (Algorithm 1 line 4), and
 	// vertices already seen inside a reported quasi-clique need no
 	// further search.
@@ -85,31 +103,42 @@ func (q *Engine) CoversVertex(v int32) (bool, error) {
 			for _, u := range set {
 				q.found.Add(int(u))
 			}
+			if q.certSink != nil {
+				q.certBuf = q.certBuf[:0]
+				for _, u := range set {
+					q.certBuf = append(q.certBuf, q.ov.origOf[u])
+				}
+				slices.Sort(q.certBuf)
+				q.certSink(q.certBuf)
+			}
 			covered = true
 			return false
 		},
 	}
-	_, err := q.e.runFrontier(node{x: []int32{v}, cands: cands}, h)
+	_, err := q.e.runFrontier(node{x: []int32{v}, cands: cands, ext: -1}, h)
 	if err != nil {
 		return false, err
 	}
 	return covered, nil
 }
 
-// candsFor returns a fresh sorted candidate slice (v excluded) for the
-// search anchored at v. For γ ≥ 0.5 every quasi-clique has diameter
-// ≤ 2, so a quasi-clique containing v lies entirely inside N₂(v) — the
-// engine's precomputed distance-2 set — which shrinks the candidates
-// from v's whole component to a degree-squared-sized neighborhood.
-// Otherwise the candidates are v's component (or the whole peeled set
-// when the split is unsound or disabled). A fresh slice is required
-// because refinement filters the root's candidate slice in place.
+// candsFor returns a sorted candidate slice (v excluded) for the search
+// anchored at v, in relabeled ids. For γ ≥ 0.5 every quasi-clique has
+// diameter ≤ 2, so a quasi-clique containing v lies entirely inside
+// N₂(v) — the engine's precomputed distance-2 set — which shrinks the
+// candidates from v's whole component to a degree-squared-sized
+// neighborhood. Otherwise the candidates are v's component (or the
+// whole peeled set when the split is unsound or disabled). The slice is
+// a per-Engine buffer (refinement filters the root's candidates in
+// place, and each query's search completes before the next begins).
 func (q *Engine) candsFor(v int32) []int32 {
 	if q.e.n2 != nil && q.e.n2[v] != nil {
-		return dropSorted(q.e.n2[v].Slice(), v)
+		q.candsBuf = q.e.n2[v].AppendTo(q.candsBuf[:0])
+		return dropSorted(q.candsBuf, v)
 	}
 	if q.e.p.Gamma < 0.5 || q.e.o.DisableComponentSplit {
-		return dropSorted(q.e.alive.Slice(), v)
+		q.candsBuf = q.e.alive.AppendTo(q.candsBuf[:0])
+		return dropSorted(q.candsBuf, v)
 	}
 	if !q.compsBuilt {
 		q.comps = q.e.g.components(q.e.alive)
@@ -128,7 +157,8 @@ func (q *Engine) candsFor(v int32) []int32 {
 	if ci < 0 {
 		return nil
 	}
-	return dropSorted(append([]int32(nil), q.comps[ci]...), v)
+	q.candsBuf = append(q.candsBuf[:0], q.comps[ci]...)
+	return dropSorted(q.candsBuf, v)
 }
 
 // dropSorted removes v from the ascending slice xs in place (no-op when

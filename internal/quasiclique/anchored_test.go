@@ -108,6 +108,61 @@ func TestCoversVertexBudget(t *testing.T) {
 	}
 }
 
+// TestCoversVertexDegenerateShapes sweeps the anchored query over graph
+// shapes that stress boundary paths the random property test rarely
+// hits: isolated vertices, γ = 1.0 (pure cliques), min_size exceeding
+// every component, and a single vertex. Each shape is verified vertex
+// by vertex against the exhaustive brute-force coverage.
+func TestCoversVertexDegenerateShapes(t *testing.T) {
+	triangle := [][2]int32{{0, 1}, {1, 2}, {0, 2}}
+	clique4 := [][2]int32{{4, 5}, {4, 6}, {4, 7}, {5, 6}, {5, 7}, {6, 7}}
+	shapes := []struct {
+		name  string
+		n     int
+		edges [][2]int32
+		p     Params
+	}{
+		{"isolated-only", 6, nil, Params{Gamma: 0.5, MinSize: 2}},
+		{"isolated-plus-triangle", 8, triangle, Params{Gamma: 0.6, MinSize: 3}},
+		{"clique-gamma-1", 8, append(append([][2]int32{}, triangle...), clique4...), Params{Gamma: 1.0, MinSize: 3}},
+		{"minsize-exceeds-components", 8, append(append([][2]int32{}, triangle...), clique4...), Params{Gamma: 0.5, MinSize: 5}},
+		{"single-vertex", 1, nil, Params{Gamma: 1.0, MinSize: 2}},
+		{"path-gamma-1", 5, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}}, Params{Gamma: 1.0, MinSize: 2}},
+	}
+	for _, s := range shapes {
+		t.Run(s.name, func(t *testing.T) {
+			g := buildGraph(s.n, s.edges)
+			want, err := BruteCoverage(g, s.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, o := range []Options{{}, {Order: BFS}} {
+				eng, err := NewEngine(g, s.p, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := int32(0); v < int32(g.NumVertices()); v++ {
+					got, err := eng.CoversVertex(v)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != want.Contains(int(v)) {
+						t.Errorf("opts %+v: CoversVertex(%d) = %v, brute = %v",
+							o, v, got, want.Contains(int(v)))
+					}
+				}
+				cov, err := Coverage(g, s.p, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !cov.Covered.Equal(want) {
+					t.Errorf("opts %+v: Coverage = %v, brute = %v", o, cov.Covered, want)
+				}
+			}
+		})
+	}
+}
+
 // TestCoversVertexCacheShortCircuits checks that a vertex proven covered
 // by an earlier query's reported quasi-clique is answered without any
 // additional search nodes.

@@ -4,20 +4,33 @@ import (
 	"github.com/scpm/scpm/internal/bitset"
 )
 
-// node is one entry of Algorithm 1's qcCands structure: a vertex set X
-// (ascending) plus its candidate extensions (ascending, every candidate
-// greater than max(X), so each vertex subset occurs exactly once in the
-// search tree).
+// node is one entry of Algorithm 1's qcCands structure: a vertex set
+// X = x ∪ {ext} (ascending; ext = -1 at a root) plus its candidate
+// extensions (ascending, every candidate greater than ext, so each
+// vertex subset occurs exactly once in the search tree).
+//
+// Nodes are LAZY: x and cands are read-only views into the parent's
+// materialized block (parent X and the suffix of the parent's refined
+// candidates). A node copies the candidate suffix — and merges ext into
+// X — only when it is actually processed, so pruned children cost no
+// memory traffic at all and an expanded node writes |X|+|cands| words
+// instead of one copy per child. Under DFS the materialized blocks live
+// in the engine arena with stack discipline: popTo is the arena
+// watermark to restore once this node's subtree completes (a node's
+// block must outlive its children, which read it through their views).
 type node struct {
 	x     []int32
 	cands []int32
+	ext   int32
+	popTo int32
 }
 
 // hooks let the three mining modes customize the generic search.
 type hooks struct {
 	// prune skips a node entirely when it returns true (e.g. the
-	// covered-candidate pruning of §3.2.2 or top-k size pruning).
-	prune func(x, cands []int32) bool
+	// covered-candidate pruning of §3.2.2 or top-k size pruning). The
+	// node's vertex set is x ∪ {ext} (ext < 0 at a root).
+	prune func(x []int32, ext int32, cands []int32) bool
 	// report is invoked with a quasi-clique (degree constraint and
 	// min-size already checked). Returning false aborts the search.
 	// The slice may alias an engine scratch buffer: it is valid only
@@ -29,6 +42,11 @@ type hooks struct {
 	needLocalMax bool
 }
 
+// adjBitsetMaxN caps the graphs for which the engine materializes
+// per-vertex adjacency bitsets (n²/8 bytes; 2 MiB at the cap). Above it
+// the degree kernels fall back to neighbor-list iteration.
+const adjBitsetMaxN = 4096
+
 // engine runs the shared candidate-tree search.
 type engine struct {
 	g     *Graph
@@ -36,16 +54,33 @@ type engine struct {
 	o     Options
 	alive *bitset.Set
 	n2    []*bitset.Set
+	adj   []bitset.Set // slab-backed adjacency rows; nil above adjBitsetMaxN
 	nodes int64
 
 	// scratch, reused across nodes so the refine / forced-candidate /
 	// lookahead hot paths allocate nothing per node
-	inX       *bitset.Set
-	inC       *bitset.Set
-	inU       *bitset.Set
-	degs      []int
-	unionBuf  []int32
-	forcedBuf []int32
+	inX        *bitset.Set
+	inC        *bitset.Set
+	inU        *bitset.Set
+	d2buf      *bitset.Set
+	degs       []int
+	hist       []int32
+	degIn      []int32 // |N(v) ∩ X| per vertex, valid within one refine
+	degEx      []int32 // |N(v) ∩ cands| per vertex, valid within one refine
+	minDegTab  []int32 // MinDegree(s) by s — the ceil/γ math, precomputed
+	maxSizeTab []int32 // MaxSizeFor(avail) by avail, precomputed
+	unionBuf   []int32
+	forcedBuf  []int32
+	xmat       []int32    // X = parent x + ext, materialized per node
+	xbufs      [2][]int32 // rotating jump-merge buffers (inputs alternate)
+
+	// DFS node arena: each expanded node materializes one block (its
+	// refined candidates followed by its X) and the block is reclaimed,
+	// stack-style, when the node's subtree completes. kids is the
+	// per-process scratch for building a node's children.
+	arena []int32
+	kids  []node
+	front []node
 }
 
 func newEngine(g *Graph, p Params, o Options) *engine {
@@ -54,13 +89,41 @@ func newEngine(g *Graph, p Params, o Options) *engine {
 		p:     p,
 		o:     o,
 		alive: g.Peel(p.MinDegree(p.MinSize)),
-		inX:   bitset.New(g.n),
-		inC:   bitset.New(g.n),
-		inU:   bitset.New(g.n),
 		degs:  make([]int, g.n),
+	}
+	// All four scratch bitsets come from one slab, and the five int32
+	// scratch/table arrays from one block: engines are built once per
+	// induced graph, so their fixed setup allocations are a measurable
+	// slice of a whole mine's allocation count.
+	sets := bitset.NewSlab(g.n, 4)
+	e.inX, e.inC, e.inU = &sets[0], &sets[1], &sets[2]
+	ints := make([]int32, 5*g.n+4)
+	e.degIn, ints = ints[:g.n:g.n], ints[g.n:]
+	e.degEx, ints = ints[:g.n:g.n], ints[g.n:]
+	e.hist, ints = ints[:g.n+1:g.n+1], ints[g.n+1:]
+	// The degree-threshold formulas are pure functions of their integer
+	// argument (≤ n+1); tabulating them takes the float ceil math off
+	// the refine hot path.
+	e.minDegTab, ints = ints[:g.n+2:g.n+2], ints[g.n+2:]
+	for s := range e.minDegTab {
+		e.minDegTab[s] = int32(p.MinDegree(s))
+	}
+	e.maxSizeTab = ints[: g.n+1 : g.n+1]
+	for avail := range e.maxSizeTab {
+		e.maxSizeTab[avail] = int32(p.MaxSizeFor(avail))
 	}
 	if p.Gamma >= 0.5 && !o.DisableDiameterPruning {
 		e.n2 = g.distance2(e.alive)
+		e.d2buf = &sets[3]
+	}
+	if g.n > 0 && g.n <= adjBitsetMaxN {
+		e.adj = bitset.NewSlab(g.n, g.n)
+		for v := 0; v < g.n; v++ {
+			row := &e.adj[v]
+			for _, u := range g.neighbors(int32(v)) {
+				row.Add(int(u))
+			}
+		}
 	}
 	return e
 }
@@ -92,7 +155,7 @@ func (e *engine) run(h hooks) error {
 		}
 	}
 	for _, root := range roots {
-		stop, err := e.runFrontier(node{x: nil, cands: root}, h)
+		stop, err := e.runFrontier(node{x: nil, cands: root, ext: -1}, h)
 		if err != nil || stop {
 			return err
 		}
@@ -103,8 +166,10 @@ func (e *engine) run(h hooks) error {
 // runFrontier drains one component's candidate tree. It reports whether
 // a hook requested a global stop.
 func (e *engine) runFrontier(rootNode node, h hooks) (bool, error) {
-	frontier := []node{rootNode}
+	e.arena = e.arena[:0]
+	frontier := append(e.front[:0], rootNode)
 	head := 0
+	defer func() { e.front = frontier[:0] }()
 	for {
 		var nd node
 		if e.o.Order == BFS {
@@ -142,6 +207,12 @@ func (e *engine) runFrontier(rootNode node, h hooks) (bool, error) {
 		if e.o.Order == BFS {
 			frontier = append(frontier, children...)
 		} else {
+			if len(children) == 0 {
+				// nd is a leaf, so its subtree is complete: restore the
+				// arena watermark (this also discards nd's own block if
+				// one was materialized before the node died).
+				e.arena = e.arena[:nd.popTo]
+			}
 			for i := len(children) - 1; i >= 0; i-- {
 				frontier = append(frontier, children[i])
 			}
@@ -149,15 +220,38 @@ func (e *engine) runFrontier(rootNode node, h hooks) (bool, error) {
 	}
 }
 
-// process handles one node: pruning, candidate refinement, forced-
-// vertex jumps, lookahead, quasi-clique reporting and child generation.
+// process handles one node: pruning, candidate materialization and
+// refinement, forced-vertex jumps, lookahead, quasi-clique reporting
+// and child generation.
 func (e *engine) process(nd node, h hooks) (stop bool, children []node) {
 	x, cands := nd.x, nd.cands
-	if len(x)+len(cands) < e.p.MinSize {
+	xlen := len(x)
+	if nd.ext >= 0 {
+		xlen++
+	}
+	if xlen+len(cands) < e.p.MinSize {
 		return false, nil
 	}
-	if h.prune != nil && h.prune(x, cands) {
+	if h.prune != nil && h.prune(x, nd.ext, cands) {
 		return false, nil
+	}
+
+	// Materialize: X = x ∪ {ext} into the rotating X buffers (jumps may
+	// grow it further), candidates into this node's own block — the
+	// arena top under DFS, a fresh buffer under BFS — where refinement
+	// is free to filter in place without touching the parent's data.
+	useArena := e.o.Order != BFS
+	blockStart := len(e.arena)
+	if useArena {
+		e.arena = append(e.arena, cands...)
+		cands = e.arena[blockStart:]
+	} else {
+		buf := make([]int32, 0, xlen+len(cands))
+		cands = append(buf, cands...)
+	}
+	if nd.ext >= 0 {
+		e.xmat = appendInsertSorted(e.xmat[:0], x, nd.ext)
+		x = e.xmat
 	}
 	var dead bool
 	x, cands, dead = e.refineAndJump(x, cands)
@@ -193,35 +287,47 @@ func (e *engine) process(nd node, h hooks) (stop bool, children []node) {
 
 	// Generate extensions (Algorithm 1 line 15). Child i keeps only the
 	// candidates after position i, so once the remaining pool is too
-	// small to ever reach min_size no further child can succeed. All
-	// children share one backing arena — a single allocation instead of
-	// two per child; each child's slices are capacity-clamped subslices,
-	// so later in-place filtering of one child can never touch another.
+	// small to ever reach min_size no further child can succeed. The
+	// children are views into this node's block: the (possibly jump-
+	// grown) X slides in behind the refined candidates so the block is
+	// self-contained, and each child records just its extension vertex.
 	nkids := 0
-	arenaLen := 0
 	for i := range cands {
 		if len(x)+1+(len(cands)-i-1) < e.p.MinSize {
 			break
 		}
 		nkids++
-		arenaLen += len(x) + len(cands) - i
 	}
 	if nkids == 0 {
 		return false, nil
 	}
-	arena := make([]int32, 0, arenaLen)
-	children = make([]node, 0, nkids)
+	var xs, cs []int32
+	if useArena {
+		e.arena = e.arena[:blockStart+len(cands)] // drop the refine gap
+		e.arena = append(e.arena, x...)
+		end := len(e.arena)
+		mid := end - len(x)
+		xs = e.arena[mid:end:end]
+		cs = e.arena[blockStart:mid:mid]
+	} else {
+		// cands' backing was sized for the candidate copy plus X, and
+		// jumps only move vertices from cands to X, so this append
+		// cannot reallocate away from the children's views.
+		cs = cands
+		xs = append(cands, x...)[len(cands):]
+	}
+	top := int32(len(e.arena))
+	children = e.kids[:0]
 	for i := 0; i < nkids; i++ {
-		start := len(arena)
-		arena = appendInsertSorted(arena, x, cands[i])
-		mid := len(arena)
-		arena = append(arena, cands[i+1:]...)
-		end := len(arena)
 		children = append(children, node{
-			x:     arena[start:mid:mid],
-			cands: arena[mid:end:end],
+			x:     xs,
+			cands: cs[i+1:],
+			ext:   cs[i],
+			popTo: top,
 		})
 	}
+	children[nkids-1].popTo = nd.popTo
+	e.kids = children
 	return false, children
 }
 
@@ -240,7 +346,11 @@ func (e *engine) process(nd node, h hooks) (stop bool, children []node) {
 //
 // Both jumps commit vertices instead of branching on them, collapsing
 // dense regions that would otherwise be enumerated subset by subset.
+// The merged X lives in a pair of alternating per-engine buffers (the
+// previous merge is an input to the next), valid until the next node is
+// processed.
 func (e *engine) refineAndJump(x, cands []int32) (nx, ncands []int32, dead bool) {
+	which := 0
 	for {
 		cands, dead = e.refine(x, cands)
 		if dead {
@@ -253,20 +363,24 @@ func (e *engine) refineAndJump(x, cands []int32) (nx, ncands []int32, dead bool)
 		if len(forced) == 0 {
 			return x, cands, false
 		}
-		x = mergeSorted(x, forced)
+		merged := mergeSortedInto(e.xbufs[which][:0], x, forced)
+		e.xbufs[which] = merged
+		which ^= 1
+		x = merged
 		cands = removeSorted(cands, forced)
 	}
 }
 
 // forcedCandidates returns candidates that every valid quasi-clique of
 // the branch must include (empty when no jump applies). It relies on
-// the scratch bitsets e.inX/e.inC left by refine. The returned slice
-// aliases a per-engine scratch buffer: it is invalidated by the next
-// forcedCandidates call, so callers consume it before looping.
+// the scratch bitsets e.inX/e.inC and the degree arrays left at their
+// fixpoint by refine. The returned slice aliases a per-engine scratch
+// buffer: it is invalidated by the next forcedCandidates call, so
+// callers consume it before looping.
 func (e *engine) forcedCandidates(x, cands []int32) []int32 {
-	minNeedX := e.p.MinDegree(maxInt(e.p.MinSize, len(x)))
+	minNeedX := int(e.minDegTab[maxInt(e.p.MinSize, len(x))])
 	for _, v := range x {
-		in, ex := e.splitDegree(v)
+		in, ex := int(e.degIn[v]), int(e.degEx[v])
 		if ex > 0 && in+ex == minNeedX {
 			forced := e.forcedBuf[:0]
 			for _, u := range e.g.neighbors(v) {
@@ -279,8 +393,7 @@ func (e *engine) forcedCandidates(x, cands []int32) []int32 {
 		}
 	}
 	for _, u := range cands {
-		in, ex := e.splitDegree(u)
-		if in == len(x) && ex == len(cands)-1 {
+		if int(e.degIn[u]) == len(x) && int(e.degEx[u]) == len(cands)-1 {
 			e.forcedBuf = append(e.forcedBuf[:0], u)
 			return e.forcedBuf
 		}
@@ -297,11 +410,6 @@ func appendInsertSorted(dst, xs []int32, v int32) []int32 {
 	dst = append(dst, xs[:i]...)
 	dst = append(dst, v)
 	return append(dst, xs[i:]...)
-}
-
-// mergeSorted merges two disjoint sorted slices into a new slice.
-func mergeSorted(a, b []int32) []int32 {
-	return mergeSortedInto(make([]int32, 0, len(a)+len(b)), a, b)
 }
 
 // mergeSortedInto merges two disjoint sorted slices onto dst.
@@ -348,12 +456,19 @@ func (e *engine) fill(s *bitset.Set, vs []int32) {
 // refine applies the candidate quasi-clique pruning of §3.2.2:
 //
 //   - distance pruning: for γ ≥ 0.5 every quasi-clique has diameter ≤ 2,
-//     so candidates farther than 2 from any member of X are dropped;
+//     so candidates farther than 2 from any member of X are dropped
+//     (folded into one scratch set with the AND kernels, then a single
+//     membership test per candidate);
 //   - degree feasibility: members of X (and candidates, were they to
 //     join) must be able to reach ⌈γ(s−1)⌉ neighbors using only X and
 //     the surviving candidates; otherwise the branch (or candidate) dies;
 //   - size upper bound: the attainable size min over X of
-//     MaxSizeFor(indeg+exdeg) must reach max(min_size, |X|).
+//     MaxSizeFor(indeg+exdeg), tightened by candidate counting — a
+//     final size s requires s−|X| candidates whose own attainable size
+//     reaches s, and the feasible sizes form a downward-closed prefix,
+//     so one descending scan over a histogram of per-candidate bounds
+//     finds the largest feasible size. s=|X| is always feasible, so the
+//     bound can never suppress reporting X itself.
 //
 // The degree loop iterates to a fixpoint because dropping a candidate
 // reduces the extension degrees of the others. Returns the surviving
@@ -364,58 +479,95 @@ func (e *engine) refine(x, cands []int32) ([]int32, bool) {
 		return cands, false
 	}
 	e.fill(e.inX, x)
-
-	if e.n2 != nil {
-		w := 0
-		for _, u := range cands {
-			ok := true
-			for _, xv := range x {
-				if !e.n2[xv].Contains(int(u)) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				cands[w] = u
-				w++
-			}
-		}
-		cands = cands[:w]
+	e.inC.Clear()
+	for _, u := range cands {
+		e.inC.Add(int(u))
 	}
 
-	minNeedX := e.p.MinDegree(maxInt(e.p.MinSize, len(x)))
-	minNeedC := e.p.MinDegree(maxInt(e.p.MinSize, len(x)+1))
-	for {
-		e.inC.Clear()
-		for _, u := range cands {
-			e.inC.Add(int(u))
+	if e.n2 != nil {
+		// Fold the distance-2 sets of X into the candidate bitset with
+		// the AND kernels; the surviving candidates stream back out in
+		// ascending order, which is exactly the filtered slice.
+		e.d2buf.AndInto(e.inC, e.n2[x[0]])
+		for _, xv := range x[1:] {
+			e.d2buf.IntersectWith(e.n2[xv])
 		}
+		cands = e.d2buf.AppendTo(cands[:0])
+		e.inC.CopyFrom(e.d2buf)
+	}
+
+	minNeedX := int(e.minDegTab[maxInt(e.p.MinSize, len(x))])
+	minNeedC := int(e.minDegTab[maxInt(e.p.MinSize, len(x)+1)])
+
+	// Degrees are computed once with the fused AND+popcount kernel and
+	// then maintained incrementally: dropping a candidate decrements the
+	// extension degree of its neighbors. The elimination fixpoint is
+	// unique whatever the order of drops, so eager in-scan elimination
+	// reaches exactly the candidate set (and verdict) that per-round
+	// recomputation would.
+	for _, v := range x {
+		in, ex := e.splitDegree(v)
+		e.degIn[v], e.degEx[v] = int32(in), int32(ex)
+	}
+	for _, u := range cands {
+		in, ex := e.splitDegree(u)
+		e.degIn[u], e.degEx[u] = int32(in), int32(ex)
+	}
+	for {
 		maxSize := len(x) + len(cands)
 		for _, v := range x {
-			in, ex := e.splitDegree(v)
-			avail := in + ex
+			avail := int(e.degIn[v] + e.degEx[v])
 			if avail < minNeedX {
 				return nil, true
 			}
-			if ms := e.p.MaxSizeFor(avail); ms < maxSize {
+			if ms := int(e.maxSizeTab[avail]); ms < maxSize {
 				maxSize = ms
 			}
 		}
 		if maxSize < e.p.MinSize || maxSize < len(x) {
 			return nil, true
 		}
+		hist := e.hist[:maxSize+1]
+		for i := range hist {
+			hist[i] = 0
+		}
 		changed := false
 		w := 0
 		for _, u := range cands {
-			in, ex := e.splitDegree(u)
-			if in+ex < minNeedC {
+			avail := int(e.degIn[u] + e.degEx[u])
+			if avail < minNeedC {
 				changed = true
+				e.inC.Remove(int(u))
+				for _, nb := range e.g.neighbors(u) {
+					e.degEx[nb]--
+				}
 				continue
+			}
+			if ms := int(e.maxSizeTab[avail]); ms >= maxSize {
+				hist[maxSize]++
+			} else {
+				hist[ms]++
 			}
 			cands[w] = u
 			w++
 		}
 		cands = cands[:w]
+		// Candidate-count size bound: scan feasible sizes downward.
+		bound := len(x)
+		cum := 0
+		for s := maxSize; s > len(x); s-- {
+			cum += int(hist[s])
+			if cum >= s-len(x) {
+				bound = s
+				break
+			}
+		}
+		if bound < maxSize {
+			maxSize = bound
+		}
+		if maxSize < e.p.MinSize || maxSize < len(x) {
+			return nil, true
+		}
 		if !changed {
 			return cands, false
 		}
@@ -426,8 +578,13 @@ func (e *engine) refine(x, cands []int32) ([]int32, bool) {
 }
 
 // splitDegree returns |N(v) ∩ X| and |N(v) ∩ cands| using the scratch
-// bitsets prepared by refine.
+// bitsets prepared by refine: one fused AND+popcount pass over the
+// adjacency row when the bitset index exists, a neighbor-list walk
+// otherwise.
 func (e *engine) splitDegree(v int32) (in, ex int) {
+	if e.adj != nil {
+		return e.adj[v].IntersectCount2(e.inX, e.inC)
+	}
 	for _, u := range e.g.neighbors(v) {
 		if e.inX.Contains(int(u)) {
 			in++

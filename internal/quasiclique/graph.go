@@ -123,19 +123,24 @@ func (g *Graph) Peel(minDeg int) *bitset.Set {
 // component as an independent sub-problem.
 func (g *Graph) components(alive *bitset.Set) [][]int32 {
 	seen := bitset.New(g.n)
-	var out [][]int32
+	// All components share one arena sized by the alive count; the DFS
+	// appends each component's vertices contiguously and the result
+	// slices are views, so the allocation count is independent of how
+	// many components the graph splits into.
+	arena := make([]int32, 0, alive.Count())
+	var bounds []int
 	var stack []int32
 	for s := alive.NextSet(0); s >= 0; s = alive.NextSet(s + 1) {
 		if seen.Contains(s) {
 			continue
 		}
-		var comp []int32
+		bounds = append(bounds, len(arena))
 		stack = append(stack[:0], int32(s))
 		seen.Add(s)
 		for len(stack) > 0 {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			comp = append(comp, v)
+			arena = append(arena, v)
 			for _, u := range g.neighbors(v) {
 				if alive.Contains(int(u)) && !seen.Contains(int(u)) {
 					seen.Add(int(u))
@@ -143,8 +148,15 @@ func (g *Graph) components(alive *bitset.Set) [][]int32 {
 				}
 			}
 		}
-		slices.Sort(comp)
-		out = append(out, comp)
+		slices.Sort(arena[bounds[len(bounds)-1]:])
+	}
+	out := make([][]int32, len(bounds))
+	for i, b := range bounds {
+		end := len(arena)
+		if i+1 < len(bounds) {
+			end = bounds[i+1]
+		}
+		out[i] = arena[b:end:end]
 	}
 	return out
 }
@@ -155,11 +167,16 @@ func (g *Graph) components(alive *bitset.Set) [][]int32 {
 // γ ≥ 0.5.
 func (g *Graph) distance2(alive *bitset.Set) []*bitset.Set {
 	n2 := make([]*bitset.Set, g.n)
+	// One slab for all alive rows: 3 allocations instead of 2 per
+	// vertex, and the rows land contiguously for the AND-fold in refine.
+	slab := bitset.NewSlab(g.n, alive.Count())
+	next := 0
 	for v := 0; v < g.n; v++ {
 		if !alive.Contains(v) {
 			continue
 		}
-		s := bitset.New(g.n)
+		s := &slab[next]
+		next++
 		s.Add(v)
 		for _, u := range g.neighbors(int32(v)) {
 			if !alive.Contains(int(u)) {

@@ -1,6 +1,7 @@
 package quasiclique
 
 import (
+	"slices"
 	"sort"
 
 	"github.com/scpm/scpm/internal/bitset"
@@ -30,7 +31,7 @@ func EnumerateMaximal(g *Graph, p Params, o Options) ([]Pattern, error) {
 	for i, q := range maximal {
 		out[i] = g.makePattern(q)
 	}
-	sort.Slice(out, func(i, j int) bool { return ComparePatterns(out[i], out[j]) < 0 })
+	slices.SortFunc(out, func(a, b Pattern) int { return ComparePatterns(a, b) })
 	return out, nil
 }
 
@@ -48,20 +49,56 @@ type CoverageResult struct {
 // covered-candidate pruning — nodes whose X ∪ candExts is entirely
 // covered are skipped — and stops as soon as every surviving vertex is
 // covered. The frontier order (BFS or DFS) comes from o.Order.
+//
+// The search runs on a degeneracy-relabeled copy of the graph (see
+// orderedView): K is a set, so the answer is independent of vertex
+// labels and is translated back to g's ids on the way out, while the
+// relabeled candidate ordering shrinks the search tree.
 func Coverage(g *Graph, p Params, o Options) (CoverageResult, error) {
+	return CoverageSeeded(g, p, o, nil, nil)
+}
+
+// CoverageSeeded is Coverage with a certificate interface: seed (may be
+// nil) is a set of g's vertices already proven covered — each must be a
+// member of some γ-quasi-clique of g of size ≥ min_size — and emit
+// (when non-nil) receives every quasi-clique the search reports, in g's
+// vertex ids sorted ascending (the slice is reused across calls;
+// receivers copy what they keep). Seeding never changes the returned
+// covered set — K is a fixed property of the graph, and the search
+// still visits every branch that could cover an unseeded vertex — it
+// only removes the work of re-proving what the seed already certifies,
+// so Nodes shrinks while Covered stays bit-identical.
+func CoverageSeeded(g *Graph, p Params, o Options, seed *bitset.Set, emit func(q []int32)) (CoverageResult, error) {
 	if err := p.Validate(); err != nil {
 		return CoverageResult{}, err
 	}
-	e := newEngine(g, p, o)
-	covered := bitset.New(g.n)
+	ov := newOrderedView(g)
+	e := newEngine(ov.g, p, o)
+	covered := bitset.New(g.n) // new-id space during the search
 	total := e.alive.Count()
 	nCovered := 0
+	if seed != nil {
+		for v := seed.NextSet(0); v >= 0; v = seed.NextSet(v + 1) {
+			nv := int(ov.newOf[v])
+			// Valid certificates only name vertices that survive the
+			// peel, but tolerate stray seeds: counting a dead vertex
+			// would break the covered-vs-alive early stop.
+			if e.alive.Contains(nv) && !covered.Contains(nv) {
+				covered.Add(nv)
+				nCovered++
+			}
+		}
+	}
+	var emitBuf []int32
 	h := hooks{
-		prune: func(x, cands []int32) bool {
+		prune: func(x []int32, ext int32, cands []int32) bool {
 			for _, v := range x {
 				if !covered.Contains(int(v)) {
 					return false
 				}
+			}
+			if ext >= 0 && !covered.Contains(int(ext)) {
+				return false
 			}
 			for _, v := range cands {
 				if !covered.Contains(int(v)) {
@@ -77,14 +114,29 @@ func Coverage(g *Graph, p Params, o Options) (CoverageResult, error) {
 					nCovered++
 				}
 			}
+			if emit != nil {
+				emitBuf = emitBuf[:0]
+				for _, v := range q {
+					emitBuf = append(emitBuf, ov.origOf[v])
+				}
+				slices.Sort(emitBuf)
+				emit(emitBuf)
+			}
 			return nCovered < total
 		},
 	}
-	err := e.run(h)
-	if err != nil {
-		return CoverageResult{}, err
+	// When the seed already covers every surviving vertex the search
+	// would prune everything node by node; skip it outright.
+	if nCovered < total {
+		if err := e.run(h); err != nil {
+			return CoverageResult{}, err
+		}
 	}
-	return CoverageResult{Covered: covered, Nodes: e.nodes}, nil
+	out := bitset.New(g.n)
+	for v := covered.NextSet(0); v >= 0; v = covered.NextSet(v + 1) {
+		out.Add(int(ov.origOf[v]))
+	}
+	return CoverageResult{Covered: out, Nodes: e.nodes}, nil
 }
 
 // TopK mines the k most relevant patterns of g: largest size first,
@@ -116,10 +168,13 @@ func TopK(g *Graph, p Params, k int, o Options) ([]Pattern, error) {
 	maxPruneNeed := 0
 	h := hooks{
 		needLocalMax: true,
-		prune: func(x, cands []int32) bool {
-			need := col.sizeNeeded(p.MinSize)
-			if len(x)+len(cands) < need {
-				if need > p.MinSize && need > maxPruneNeed {
+		prune: func(x []int32, ext int32, cands []int32) bool {
+			size := len(x) + len(cands)
+			if ext >= 0 {
+				size++
+			}
+			if size < col.sizeNeeded(p.MinSize) {
+				if need := col.sizeNeeded(p.MinSize); need > p.MinSize && need > maxPruneNeed {
 					maxPruneNeed = need
 				}
 				return true
@@ -228,7 +283,7 @@ func (c *collector) finalize() []Pattern {
 	for _, q := range maximal {
 		out = append(out, c.g.makePattern(q))
 	}
-	sort.Slice(out, func(i, j int) bool { return ComparePatterns(out[i], out[j]) < 0 })
+	slices.SortFunc(out, func(a, b Pattern) int { return ComparePatterns(a, b) })
 	if len(out) > c.k {
 		out = out[:c.k]
 	}

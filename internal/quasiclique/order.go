@@ -1,0 +1,98 @@
+package quasiclique
+
+import "slices"
+
+// orderedView relabels a graph by degeneracy (k-core) order: new id i is
+// the i-th vertex removed by the iterative minimum-degree peel, so every
+// vertex has at most degeneracy(G) neighbors with larger new ids. The
+// candidate tree extends vertex sets with ascending ids only, which
+// under this labeling means every branch vertex contributes its small
+// "later" neighborhood instead of an arbitrary one — the candidate
+// ordering that pruning-based quasi-clique enumeration wants (Uno-style
+// orderings; see docs/ARCHITECTURE.md). Set-valued searches (coverage,
+// anchored membership) run entirely in new-id space and unmap their
+// answers at the boundary, so outputs are bit-identical to the unordered
+// search; only the node count changes.
+type orderedView struct {
+	g      *Graph
+	origOf []int32 // new id -> original id
+	newOf  []int32 // original id -> new id
+}
+
+// degeneracyOrder returns the vertices of g in degeneracy order using
+// the O(n+m) bin-sort peel (Matula–Beck). Ties start in ascending-id
+// order; the whole procedure is a deterministic function of the graph.
+func degeneracyOrder(g *Graph) []int32 {
+	n := g.n
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(int32(v))
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// vert holds the vertices sorted by current degree; bin[d] is the
+	// start of degree-d's run, pos[v] the index of v inside vert.
+	bin := make([]int, maxDeg+2)
+	for v := 0; v < n; v++ {
+		bin[deg[v]+1]++
+	}
+	for d := 1; d <= maxDeg+1; d++ {
+		bin[d] += bin[d-1]
+	}
+	vert := make([]int32, n)
+	pos := make([]int, n)
+	fill := append([]int(nil), bin[:maxDeg+1]...)
+	for v := 0; v < n; v++ {
+		pos[v] = fill[deg[v]]
+		vert[pos[v]] = int32(v)
+		fill[deg[v]]++
+	}
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		for _, u := range g.neighbors(v) {
+			if pos[u] <= i {
+				continue
+			}
+			// Move u to the front of its degree bin, then shrink its
+			// degree by one so the bin boundary slides over it.
+			du := deg[u]
+			pu, pw := pos[u], bin[du]
+			if w := vert[pw]; w != u {
+				vert[pu], vert[pw] = w, u
+				pos[w], pos[u] = pu, pw
+			}
+			bin[du]++
+			deg[u]--
+		}
+	}
+	return vert
+}
+
+// newOrderedView builds the degeneracy-relabeled CSR for g.
+func newOrderedView(g *Graph) *orderedView {
+	order := degeneracyOrder(g)
+	n := g.n
+	newOf := make([]int32, n)
+	for i, v := range order {
+		newOf[v] = int32(i)
+	}
+	off := make([]int64, n+1)
+	for i, v := range order {
+		off[i+1] = off[i] + int64(g.Degree(v))
+	}
+	nbrs := make([]int32, off[n])
+	for i, v := range order {
+		row := nbrs[off[i]:off[i+1]]
+		for j, u := range g.neighbors(v) {
+			row[j] = newOf[u]
+		}
+		slices.Sort(row)
+	}
+	return &orderedView{
+		g:      &Graph{off: off, nbrs: nbrs, n: n},
+		origOf: order,
+		newOf:  newOf,
+	}
+}

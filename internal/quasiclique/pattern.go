@@ -1,10 +1,6 @@
 package quasiclique
 
-import (
-	"fmt"
-
-	"github.com/scpm/scpm/internal/bitset"
-)
+import "fmt"
 
 // Pattern is a mined quasi-clique together with its quality metrics.
 type Pattern struct {
@@ -46,14 +42,24 @@ func (p Pattern) String() string {
 // makePattern computes the metrics of a vertex set known to be a
 // quasi-clique.
 func (g *Graph) makePattern(q []int32) Pattern {
-	in := bitset.FromSlice(g.n, q)
 	minDeg := g.n
 	edges := 0
 	for _, v := range q {
-		d := 0
-		for _, u := range g.neighbors(v) {
-			if in.Contains(int(u)) {
+		// q and the neighbor row are both sorted ascending, so the
+		// internal degree is a two-pointer intersection count — no
+		// membership bitset needed.
+		nbrs := g.neighbors(v)
+		d, i, j := 0, 0, 0
+		for i < len(q) && j < len(nbrs) {
+			switch {
+			case q[i] < nbrs[j]:
+				i++
+			case q[i] > nbrs[j]:
+				j++
+			default:
 				d++
+				i++
+				j++
 			}
 		}
 		edges += d
@@ -107,26 +113,21 @@ func subsetOfSorted(a, b []int32) bool {
 // set of the list (and duplicates), implementing containment maximality.
 // Sets must each be sorted ascending; n is the graph size.
 func filterContained(n int, sets [][]int32) [][]int32 {
-	type item struct {
-		set []int32
-		bs  *bitset.Set
-	}
-	items := make([]item, len(sets))
-	for i, s := range sets {
-		items[i] = item{set: s, bs: bitset.FromSlice(n, s)}
-	}
+	items := make([][]int32, len(sets))
+	copy(items, sets)
 	// larger sets first so containment tests only look at kept sets
 	for i := 1; i < len(items); i++ {
-		for j := i; j > 0 && len(items[j].set) > len(items[j-1].set); j-- {
+		for j := i; j > 0 && len(items[j]) > len(items[j-1]); j-- {
 			items[j], items[j-1] = items[j-1], items[j]
 		}
 	}
-	var kept []item
 	var out [][]int32
 	for _, it := range items {
 		contained := false
-		for _, k := range kept {
-			if len(k.set) >= len(it.set) && k.bs.ContainsAll(it.bs) {
+		for _, k := range out {
+			// Sets are sorted ascending, so containment is a two-pointer
+			// merge — no per-set bitsets.
+			if len(k) >= len(it) && subsetOfSorted(it, k) {
 				contained = true
 				break
 			}
@@ -134,8 +135,7 @@ func filterContained(n int, sets [][]int32) [][]int32 {
 		if contained {
 			continue
 		}
-		kept = append(kept, it)
-		out = append(out, it.set)
+		out = append(out, it)
 	}
 	return out
 }

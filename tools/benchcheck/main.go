@@ -1,0 +1,124 @@
+// Command benchcheck compares a candidate BENCH_<dataset>.json against
+// a committed baseline and enforces the search-node regression gate:
+// any run whose search_nodes grew more than -tolerance (default 5%)
+// over the baseline run with the same (scale, epsilon_mode) fails the
+// check. search_nodes is deterministic — same input, same count, on
+// any machine at any -parallel value — so the gate has no noise floor.
+//
+// Wall-clock and allocation columns are advisory only: CI machines are
+// too noisy to gate on, so deltas are printed benchstat-style for the
+// reviewer and never affect the exit code.
+//
+// Usage:
+//
+//	benchcheck -baseline BENCH_dense.json -candidate out/BENCH_dense.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// run mirrors the benchRun columns the gate consumes; unknown fields
+// are ignored so the tool tolerates additive schema growth.
+type run struct {
+	Scale       float64 `json:"scale"`
+	EpsilonMode string  `json:"epsilon_mode"`
+	WallMS      float64 `json:"wall_ms"`
+	SearchNodes int64   `json:"search_nodes"`
+	Allocs      uint64  `json:"allocs"`
+}
+
+type report struct {
+	Schema  string `json:"schema"`
+	Dataset string `json:"dataset"`
+	Runs    []run  `json:"runs"`
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "committed baseline BENCH_*.json")
+	candidate := flag.String("candidate", "", "freshly generated BENCH_*.json to check")
+	tolerance := flag.Float64("tolerance", 0.05, "allowed fractional search_nodes growth over baseline")
+	flag.Parse()
+	if *baseline == "" || *candidate == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -baseline and -candidate are required")
+		os.Exit(2)
+	}
+	if err := check(*baseline, *candidate, *tolerance, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func load(path string) (report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return report{}, err
+	}
+	var r report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Runs) == 0 {
+		return report{}, fmt.Errorf("%s: no runs", path)
+	}
+	return r, nil
+}
+
+// key identifies the baseline run a candidate run is compared against.
+func key(r run) string { return fmt.Sprintf("%g/%s", r.Scale, r.EpsilonMode) }
+
+func check(basePath, candPath string, tolerance float64, out io.Writer) error {
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	cand, err := load(candPath)
+	if err != nil {
+		return err
+	}
+	if base.Dataset != cand.Dataset {
+		return fmt.Errorf("dataset mismatch: baseline %q vs candidate %q", base.Dataset, cand.Dataset)
+	}
+	byKey := make(map[string]run, len(base.Runs))
+	for _, r := range base.Runs {
+		byKey[key(r)] = r
+	}
+	var failures int
+	for _, c := range cand.Runs {
+		b, ok := byKey[key(c)]
+		if !ok {
+			fmt.Fprintf(out, "%-16s  new run, no baseline — skipped\n", key(c))
+			continue
+		}
+		nodesDelta := delta(float64(b.SearchNodes), float64(c.SearchNodes))
+		wallDelta := delta(b.WallMS, c.WallMS)
+		allocDelta := delta(float64(b.Allocs), float64(c.Allocs))
+		verdict := "ok"
+		if float64(c.SearchNodes) > float64(b.SearchNodes)*(1+tolerance) {
+			verdict = fmt.Sprintf("FAIL (> +%.0f%%)", tolerance*100)
+			failures++
+		}
+		fmt.Fprintf(out, "%-16s  search_nodes %8d → %8d (%+7.2f%%)  %s\n",
+			key(c), b.SearchNodes, c.SearchNodes, nodesDelta, verdict)
+		fmt.Fprintf(out, "%-16s  wall_ms      %8.1f → %8.1f (%+7.2f%%)  advisory\n",
+			"", b.WallMS, c.WallMS, wallDelta)
+		fmt.Fprintf(out, "%-16s  allocs       %8d → %8d (%+7.2f%%)  advisory\n",
+			"", b.Allocs, c.Allocs, allocDelta)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d run(s) regressed search_nodes beyond %.0f%% on %s", failures, tolerance*100, base.Dataset)
+	}
+	return nil
+}
+
+// delta returns the percent change from old to new (0 when old is 0).
+func delta(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}

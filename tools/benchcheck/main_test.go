@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name, dataset string, nodes int64) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	content := `{
+  "schema": "scpm-bench/v6",
+  "dataset": "` + dataset + `",
+  "runs": [
+    {"scale": 0.1, "epsilon_mode": "exact", "wall_ms": 50.0, "search_nodes": ` +
+		itoa(nodes) + `, "allocs": 9000}
+  ]
+}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func itoa(n int64) string {
+	var b []byte
+	if n == 0 {
+		return "0"
+	}
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestCheckPassesWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", "dense", 10000)
+	cand := writeReport(t, dir, "cand.json", "dense", 10400) // +4%
+	var out bytes.Buffer
+	if err := check(base, cand, 0.05, &out); err != nil {
+		t.Fatalf("within-tolerance growth rejected: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Fatalf("missing verdict:\n%s", out.String())
+	}
+}
+
+func TestCheckFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", "dense", 10000)
+	cand := writeReport(t, dir, "cand.json", "dense", 10600) // +6%
+	var out bytes.Buffer
+	err := check(base, cand, 0.05, &out)
+	if err == nil {
+		t.Fatalf("+6%% search_nodes accepted:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("missing FAIL verdict:\n%s", out.String())
+	}
+}
+
+func TestCheckImprovementPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", "dense", 10000)
+	cand := writeReport(t, dir, "cand.json", "dense", 4000)
+	var out bytes.Buffer
+	if err := check(base, cand, 0.05, &out); err != nil {
+		t.Fatalf("improvement rejected: %v", err)
+	}
+}
+
+func TestCheckDatasetMismatch(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", "dense", 10000)
+	cand := writeReport(t, dir, "cand.json", "dblp", 10000)
+	if err := check(base, cand, 0.05, &bytes.Buffer{}); err == nil {
+		t.Fatal("dataset mismatch accepted")
+	}
+}
