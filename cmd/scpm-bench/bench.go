@@ -29,8 +29,15 @@ import (
 // vs a direct server); v6 added the parallelism column (the -parallel
 // worker count a run was mined with — search_nodes and the result
 // columns are identical for every value; only the timing and
-// allocation columns move).
-const benchSchema = "scpm-bench/v6"
+// allocation columns move); v7 reworked the shard section's mining
+// methodology — per-shard walls are measured sequentially with sealed
+// level-1 verdicts injected (core.ComputeLevel1 timed once as
+// verdict_ms) and wall_ms models the deployment critical path
+// verdict_ms + max(shard_walls_ms) + merge_ms, with the per-run
+// replayed-verdict count in reused_verdicts — so speedups reflect
+// shards on separate machines rather than goroutines contending for
+// one CPU.
+const benchSchema = "scpm-bench/v7"
 
 // benchRun is one (dataset, scale, estimator mode) measurement.
 type benchRun struct {

@@ -251,6 +251,24 @@ func TestBenchShard(t *testing.T) {
 		if run.WallMS <= 0 || run.SingleMS <= 0 || run.Sets == 0 {
 			t.Errorf("row %d: missing measurements: %+v", i, run)
 		}
+		if run.VerdictMS <= 0 || run.MergeMS < 0 || len(run.ShardWallsMS) != run.Shards {
+			t.Errorf("row %d: critical-path breakdown incomplete: %+v", i, run)
+		}
+		maxShard := 0.0
+		for _, w := range run.ShardWallsMS {
+			if w <= 0 {
+				t.Errorf("row %d: non-positive shard wall: %+v", i, run)
+			}
+			if w > maxShard {
+				maxShard = w
+			}
+		}
+		if got, want := run.WallMS, run.VerdictMS+maxShard+run.MergeMS; got != want {
+			t.Errorf("row %d: wall_ms %g ≠ verdict+max(shard)+merge %g", i, got, want)
+		}
+		if run.ReusedVerdicts == 0 {
+			t.Errorf("row %d: shards replayed no sealed verdicts: %+v", i, run)
+		}
 		if run.Sets != sh.Mining[0].Sets || run.Patterns != sh.Mining[0].Patterns {
 			t.Errorf("row %d: result counts differ across widths: %+v", i, run)
 		}

@@ -20,8 +20,12 @@
 // X-Scpm-Partial-Shards header) instead of failing them.
 //
 // Planning (-plan N) partitions a dataset's attribute-set lattice into
-// N shards and writes the checksummed manifest the serving mode and
-// scpm-serve -shard consume:
+// N shards, evaluates every level-1 single once, and writes the
+// checksummed v2 manifest — plan plus sealed verdicts — that the
+// serving mode and scpm-serve -manifest consume; replicas booting from
+// it replay the sealed evaluations instead of repeating them. The
+// mining flags (-gamma, -minsize, -eps, …) must match what the
+// replicas will run with; -seal=false writes a plan-only v1 manifest:
 //
 //	scpm-gateway -plan 2 -attrs graph.attrs -edges graph.edges \
 //	             -sigma 100 -out manifest.json
@@ -71,6 +75,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		sigmaMin     = fs.Int("sigma", 100, "plan mode: minimum support σmin the shards will mine with")
 		out          = fs.String("out", "manifest.json", "plan mode: manifest output path")
 		snapshots    = fs.String("snapshots", "", "plan mode: comma-separated per-shard snapshot paths to record in the manifest")
+		seal         = fs.Bool("seal", true, "plan mode: evaluate level 1 once and seal the verdicts into a v2 manifest (false writes a plan-only v1 manifest)")
+		gamma        = fs.Float64("gamma", 0.5, "plan mode: quasi-clique density γmin the shards will mine with")
+		minSize      = fs.Int("minsize", 5, "plan mode: minimum quasi-clique size")
+		epsMin       = fs.Float64("eps", 0, "plan mode: minimum structural correlation εmin")
+		deltaMin     = fs.Float64("delta", 0, "plan mode: minimum normalized structural correlation δmin")
+		topK         = fs.Int("k", 5, "plan mode: top-k patterns per attribute set (0 = sets only)")
+		minAttrs     = fs.Int("minattrs", 1, "plan mode: report only sets with ≥ this many attributes")
+		maxAttrs     = fs.Int("maxattrs", 0, "plan mode: bound attribute-set size (0 = unbounded)")
+		budget       = fs.Int64("budget", 0, "plan mode: search-node budget per quasi-clique search (0 = unbounded)")
+		epsMode      = fs.String("eps-mode", "exact", "plan mode: ε computation the shards will mine with: exact or sampled")
+		sampleEps    = fs.Float64("sample-eps", 0, "plan mode: sampled mode ε̂ half-width bound (0 = default 0.1)")
+		sampleDel    = fs.Float64("sample-delta", 0, "plan mode: sampled mode per-set failure probability (0 = default 0.05)")
+		seed         = fs.Int64("seed", 0, "plan mode: sampled mode sampling seed")
 		showVer      = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -82,7 +99,31 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *planN > 0 {
-		return runPlan(*planN, *attrsPath, *edgesPath, *example, *sigmaMin, *out, *snapshots, stdout, stderr)
+		popts := []scpm.Option{
+			scpm.WithSigmaMin(*sigmaMin),
+			scpm.WithGamma(*gamma),
+			scpm.WithMinSize(*minSize),
+			scpm.WithEpsMin(*epsMin),
+			scpm.WithDeltaMin(*deltaMin),
+			scpm.WithTopK(*topK),
+			scpm.WithMinAttrs(*minAttrs),
+			scpm.WithMaxAttrs(*maxAttrs),
+			scpm.WithSearchBudget(*budget),
+		}
+		switch strings.ToLower(*epsMode) {
+		case "exact":
+		case "sampled":
+			popts = append(popts, scpm.WithEpsilonSampling(*sampleEps, *sampleDel), scpm.WithSeed(*seed))
+		default:
+			fmt.Fprintf(stderr, "scpm-gateway: unknown -eps-mode %q (want exact or sampled)\n", *epsMode)
+			return 2
+		}
+		miner, err := scpm.NewMiner(popts...)
+		if err != nil {
+			fmt.Fprintln(stderr, "scpm-gateway:", err)
+			return 2
+		}
+		return runPlan(ctx, *planN, *attrsPath, *edgesPath, *example, miner.Params(), *seal, *out, *snapshots, stdout, stderr)
 	}
 
 	if *manifestPath == "" {
@@ -131,8 +172,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 }
 
 // runPlan loads the dataset, partitions its lattice and writes the
-// sealed manifest.
-func runPlan(n int, attrsPath, edgesPath, example string, sigmaMin int, out, snapshots string, stdout, stderr io.Writer) int {
+// sealed manifest — v2 with every level-1 verdict baked in unless
+// -seal=false asked for a plan-only v1.
+func runPlan(ctx context.Context, n int, attrsPath, edgesPath, example string, p scpm.Params, seal bool, out, snapshots string, stdout, stderr io.Writer) int {
 	g, err := loadGraph(attrsPath, edgesPath, example)
 	if err != nil {
 		fmt.Fprintln(stderr, "scpm-gateway:", err)
@@ -144,7 +186,12 @@ func runPlan(n int, attrsPath, edgesPath, example string, sigmaMin int, out, sna
 			snaps = append(snaps, strings.TrimSpace(s))
 		}
 	}
-	man, err := shard.BuildManifest(g, sigmaMin, n, snaps)
+	var man *shard.Manifest
+	if seal {
+		man, err = shard.BuildManifestSealed(ctx, g, p, n, snaps)
+	} else {
+		man, err = shard.BuildManifest(g, p.SigmaMin, n, snaps)
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "scpm-gateway:", err)
 		return 2
@@ -159,6 +206,9 @@ func runPlan(n int, attrsPath, edgesPath, example string, sigmaMin int, out, sna
 	}
 	fmt.Fprintf(stdout, "scpm-gateway: planned %d frequent roots over %d shards (roots per shard: %v)\n",
 		len(man.Roots), n, perShard)
+	if man.Level1 != nil {
+		fmt.Fprintf(stdout, "scpm-gateway: sealed %d level-1 verdicts (%s)\n", len(man.Level1.Verdicts), man.Format)
+	}
 	fmt.Fprintf(stdout, "scpm-gateway: wrote manifest %s\n", out)
 	return 0
 }

@@ -34,6 +34,13 @@
 // unsharded server. Updates re-derive the partition per graph version,
 // so POST /updates keeps working against sharded replicas.
 //
+// With -manifest the shard map comes from the planner's manifest
+// instead, and a v2 manifest's sealed level-1 verdicts are replayed at
+// boot — the replica skips every level-1 coverage search while mining
+// byte-identical output. The mining flags must match the parameters
+// the manifest was sealed under (scpm-gateway -plan shares their
+// defaults); a mismatch fails loudly at boot.
+//
 // With -snapshot the index is loaded from the file when it exists;
 // otherwise the dataset is mined and the snapshot written there, so the
 // second boot skips mining entirely. The process serves until SIGINT/
@@ -89,6 +96,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		maxAttrs  = fs.Int("maxattrs", 0, "bound attribute-set size (0 = unbounded)")
 		par       = fs.Int("parallel", runtime.NumCPU(), "mining worker goroutines")
 		shardSpec = fs.String("shard", "", `serve one slice of a sharded deployment, as "k/N" (e.g. 0/2): mine only the lattice partition shard k owns and serve it behind scpm-gateway`)
+		manifest  = fs.String("manifest", "", "shard manifest file (scpm-gateway -plan): drive -shard ownership from the manifest and replay its sealed level-1 verdicts (v2) instead of re-searching them")
 		noUpdates = fs.Bool("no-updates", false, "disable POST /updates (serve a frozen index)")
 		budget    = fs.Int64("budget", 0, "search-node budget per quasi-clique search, for startup mining and each on-demand ε query (0 = unbounded)")
 		epsMode   = fs.String("eps-mode", "exact", "on-demand ε computation: exact or sampled")
@@ -131,7 +139,36 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		// incrementally from the boot result.
 		opts = append(opts, scpm.WithLiveUpdates())
 	}
-	if *shardSpec != "" {
+	switch {
+	case *manifest != "":
+		man, err := scpm.LoadShardManifest(*manifest)
+		if err != nil {
+			fmt.Fprintln(stderr, "scpm-serve:", err)
+			return 2
+		}
+		k := 0
+		if *shardSpec != "" {
+			var n int
+			if k, n, err = parseShard(*shardSpec); err != nil {
+				fmt.Fprintln(stderr, "scpm-serve:", err)
+				return 2
+			}
+			if n != man.Shards {
+				fmt.Fprintf(stderr, "scpm-serve: -shard %s against a %d-shard manifest %s\n", *shardSpec, man.Shards, *manifest)
+				return 2
+			}
+		} else if man.Shards != 1 {
+			fmt.Fprintf(stderr, "scpm-serve: manifest %s plans %d shards; pick one with -shard k/%d\n", *manifest, man.Shards, man.Shards)
+			return 2
+		}
+		opts = append(opts, scpm.WithShardManifest(man, k))
+		if man.Level1 != nil {
+			fmt.Fprintf(stdout, "scpm-serve: serving shard %d/%d from manifest %s (%d sealed level-1 verdicts)\n",
+				k, man.Shards, *manifest, len(man.Level1.Verdicts))
+		} else {
+			fmt.Fprintf(stdout, "scpm-serve: serving shard %d/%d from manifest %s\n", k, man.Shards, *manifest)
+		}
+	case *shardSpec != "":
 		k, n, err := parseShard(*shardSpec)
 		if err != nil {
 			fmt.Fprintln(stderr, "scpm-serve:", err)

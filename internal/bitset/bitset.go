@@ -48,6 +48,43 @@ func NewSlab(n, k int) []Set {
 	return sets
 }
 
+// Slab is a reusable arena of equal-capacity sets. The zero value is
+// ready to use; Carve reinitializes it, recycling the word storage and
+// the set headers across calls, so a caller that repeatedly builds
+// slabs of varying dimensions — the quasi-clique engine does, once per
+// induced graph — amortizes the two NewSlab allocations away entirely.
+type Slab struct {
+	arena []uint64
+	sets  []Set
+}
+
+// Carve returns k empty sets of capacity n backed by the slab. It
+// invalidates the sets handed out by every previous Carve on the same
+// slab: their storage is cleared and re-partitioned in place.
+func (sl *Slab) Carve(n, k int) []Set {
+	if n < 0 || k < 0 {
+		panic(fmt.Sprintf("bitset: negative slab dimensions %d x %d", n, k))
+	}
+	words := (n + wordBits - 1) / wordBits
+	if need := words * k; cap(sl.arena) < need {
+		sl.arena = make([]uint64, need)
+	} else {
+		sl.arena = sl.arena[:need]
+		for i := range sl.arena {
+			sl.arena[i] = 0
+		}
+	}
+	if cap(sl.sets) < k {
+		sl.sets = make([]Set, k)
+	} else {
+		sl.sets = sl.sets[:k]
+	}
+	for i := range sl.sets {
+		sl.sets[i] = Set{words: sl.arena[i*words : (i+1)*words : (i+1)*words], n: n}
+	}
+	return sl.sets
+}
+
 // FromSlice returns a set of capacity n containing every value of vs.
 func FromSlice(n int, vs []int32) *Set {
 	s := New(n)
@@ -293,6 +330,47 @@ func (s *Set) AppendTo(dst []int32) []int32 {
 // Slice returns the elements of s in ascending order.
 func (s *Set) Slice() []int32 {
 	return s.AppendTo(make([]int32, 0, s.Count()))
+}
+
+// Bytes renders the set's words little-endian with trailing zero bytes
+// trimmed — a canonical, capacity-independent encoding of the content:
+// two sets with the same elements produce the same bytes. The shard
+// manifest seals covered-set hand-downs with it.
+func (s *Set) Bytes() []byte {
+	out := make([]byte, len(s.words)*8)
+	for i, w := range s.words {
+		for b := 0; b < 8; b++ {
+			out[i*8+b] = byte(w >> uint(8*b))
+		}
+	}
+	n := len(out)
+	for n > 0 && out[n-1] == 0 {
+		n--
+	}
+	return out[:n]
+}
+
+// FromBytes rebuilds a set of capacity n from a Bytes encoding. It
+// rejects encodings that carry bits at or beyond n — a truncated-
+// capacity decode would silently drop elements.
+func FromBytes(n int, b []byte) (*Set, error) {
+	s := New(n)
+	for i, x := range b {
+		if x == 0 {
+			continue
+		}
+		if i/8 >= len(s.words) {
+			return nil, fmt.Errorf("bitset: %d-byte encoding overflows capacity %d", len(b), n)
+		}
+		s.words[i/8] |= uint64(x) << uint(8*(i%8))
+	}
+	// Bits in the last in-range word may still exceed n.
+	if last := len(s.words) - 1; last >= 0 && n%wordBits != 0 {
+		if s.words[last]>>uint(n%wordBits) != 0 {
+			return nil, fmt.Errorf("bitset: encoding has bits ≥ capacity %d", n)
+		}
+	}
+	return s, nil
 }
 
 // NextSet returns the smallest element ≥ i, or -1 if none exists.

@@ -90,6 +90,74 @@ func TestCertSharingEquivalence(t *testing.T) {
 	}
 }
 
+// modOwner is parityOwner generalized to n shards: shard k owns the
+// roots whose id ≡ k (mod n) — complete and disjoint, which is all the
+// merge needs.
+func modOwner(k, n int) func(*graph.Graph, int32) bool {
+	return func(_ *graph.Graph, root int32) bool { return int(root)%n == k }
+}
+
+// TestGlobalStoreDeterminism pins the merge-ordered global certificate
+// store's determinism contract: with sharing on or off, in exact and
+// sampled ε modes, the output AND the SearchNodes counter are
+// identical at any worker count (1/4/8) and any shard count (1/2/4).
+// Level-1 stores absorb into the global store in extension order —
+// an order every process derives identically — so the certificates a
+// level-2+ search can hit no longer depend on scheduling or
+// partitioning.
+func TestGlobalStoreDeterminism(t *testing.T) {
+	ctx := context.Background()
+	for mode, base := range remineParams() {
+		for _, sharing := range []bool{true, false} {
+			t.Run(fmt.Sprintf("%s-sharing=%t", mode, sharing), func(t *testing.T) {
+				g := remineGraph(t, 2600)
+				var want *Result
+				check := func(label string, res *Result) {
+					t.Helper()
+					if want == nil {
+						want = res
+						return
+					}
+					requireEqualResults(t, label, res, want)
+					if res.Stats.SearchNodes != want.Stats.SearchNodes {
+						t.Fatalf("%s: %d search nodes, baseline %d — store contents drifted",
+							label, res.Stats.SearchNodes, want.Stats.SearchNodes)
+					}
+				}
+				for _, workers := range []int{1, 4, 8} {
+					p := base
+					p.Parallelism = workers
+					p.DisableCertSharing = !sharing
+					res, err := Mine(ctx, g, p, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					check(fmt.Sprintf("parallel=%d", workers), res)
+				}
+				for _, n := range []int{1, 2, 4} {
+					p := base
+					p.Parallelism = 4
+					p.DisableCertSharing = !sharing
+					parts := make([]*Result, n)
+					for k := 0; k < n; k++ {
+						sp := p
+						sp.ShardOwner = modOwner(k, n)
+						var err error
+						if parts[k], err = Mine(ctx, g, sp, nil); err != nil {
+							t.Fatal(err)
+						}
+					}
+					merged, err := MergeResults(parts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					check(fmt.Sprintf("shards=%d", n), merged)
+				}
+			})
+		}
+	}
+}
+
 // TestCertSharingReducesSearch pins that the store actually does
 // something: on a graph with overlapping attribute-correlated cliques,
 // the shared-certificate run must spend strictly fewer search nodes

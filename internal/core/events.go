@@ -72,6 +72,7 @@ type emitter struct {
 	nodes     atomic.Int64
 	sampled   atomic.Int64
 	reused    atomic.Int64
+	verdicts  atomic.Int64
 
 	mu sync.Mutex
 }
@@ -94,6 +95,7 @@ func (e *emitter) snapshot() Stats {
 		SampledVertices: e.sampled.Load(),
 		ReusedSets:      e.reused.Load(),
 		RecomputedSets:  evaluated,
+		ReusedVerdicts:  e.verdicts.Load(),
 		Duration:        time.Since(e.start),
 	}
 }
@@ -101,6 +103,10 @@ func (e *emitter) snapshot() Stats {
 // noteReused records one attribute set carried over from a previous
 // run's lattice instead of being recomputed.
 func (e *emitter) noteReused() { e.reused.Add(1) }
+
+// noteVerdictReplayed records one level-1 single served from sealed
+// verdicts instead of searched.
+func (e *emitter) noteVerdictReplayed() { e.verdicts.Add(1) }
 
 // tally is a per-worker counter block for the scheduling-sensitive run
 // totals: search nodes and membership samples, the columns the bench

@@ -111,6 +111,19 @@ type Params struct {
 	// leave nil to mine the whole lattice.
 	ShardOwner func(g *graph.Graph, root int32) bool
 
+	// Level1Verdicts, when non-nil, injects sealed level-1 evaluations:
+	// every frequent single covered by a verdict is replayed —
+	// bit-identically, sibling lists, hand-downs, emission, recorded
+	// lattice and merged stats included — instead of searched, which is
+	// what lets a shard worker skip the level-1 work every shard would
+	// otherwise duplicate. Verdicts sealed at a different graph version
+	// are silently ignored (the run falls back to live evaluation, so
+	// live updates keep working); verdicts sealed under a different
+	// parameter fingerprint (Level1Fingerprint) fail the run loudly.
+	// internal/shard computes (ComputeLevel1) and ships these in the
+	// scpm-manifest/v2 format; leave nil to evaluate level 1 live.
+	Level1Verdicts *Level1Verdicts
+
 	// RecordLattice makes the run memoize every evaluated attribute set
 	// (ε, covered-set hand-downs, mined patterns) into the Result, so a
 	// later Remine can carry clean evaluations over instead of
@@ -176,6 +189,25 @@ func (p Params) Validate() error {
 		return fmt.Errorf("core: SampleDelta %v must be in (0,1), or 0 for the default", p.SampleDelta)
 	}
 	return nil
+}
+
+// Level1Fingerprint canonically renders every parameter that can
+// influence a level-1 single-attribute verdict: the thresholds, the
+// quasi-clique definition, the ε-estimation configuration and the
+// ablation switches. Sealed Level1Verdicts carry the fingerprint of the
+// parameters they were computed under, and a run refuses verdicts whose
+// fingerprint differs from its own.
+//
+// Deliberately excluded: Model (it only affects the δ-normalization and
+// εexp, both recomputed at replay, so verdicts are null-model
+// independent), Parallelism, ShardOwner, Level1Verdicts, RecordLattice
+// and ProgressEvery (none change any evaluation outcome).
+func (p Params) Level1Fingerprint() string {
+	return fmt.Sprintf("σ=%d γ=%g ms=%d ε=%g δ=%g k=%d all=%t amin=%d amax=%d ord=%d mode=%d seps=%g sdelta=%g seed=%d budget=%d vp=%t sp=%t cs=%t lk=%t dp=%t j=%t",
+		p.SigmaMin, p.Gamma, p.MinSize, p.EpsMin, p.DeltaMin, p.K, p.AllPatterns,
+		p.MinAttrs, p.MaxAttrs, p.Order, p.EpsilonMode, p.SampleEps, p.SampleDelta,
+		p.Seed, p.SearchBudget, p.DisableVertexPruning, p.DisableSetPruning,
+		p.DisableCertSharing, p.DisableLookahead, p.DisableDiameterPruning, p.DisableJumps)
 }
 
 // QuasiCliqueParams returns the embedded quasi-clique definition.

@@ -164,6 +164,13 @@ type Stats struct {
 	// computed — for a full Mine it equals SetsEvaluated; for a Remine
 	// the ReusedSets/RecomputedSets split is the incremental saving.
 	RecomputedSets int64
+	// ReusedVerdicts counts level-1 singles replayed from sealed
+	// verdicts (Params.Level1Verdicts) instead of searched. Such singles
+	// still count as evaluated — their sealed search-node bill is
+	// credited to SearchNodes — so every other counter stays
+	// bit-identical to a verdict-free run; like Duration, this counter
+	// is excluded from the merge-equivalence contract.
+	ReusedVerdicts int64
 	// Duration is the wall-clock mining time.
 	Duration time.Duration
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"slices"
 	"sort"
 	"sync"
@@ -69,6 +70,18 @@ func mine(ctx context.Context, g *graph.Graph, p Params, sink Sink, reuse *Latti
 	if p.ShardOwner != nil {
 		m.owner = func(root int32) bool { return p.ShardOwner(g, root) }
 	}
+	// Sealed level-1 verdicts replay every single-attribute evaluation
+	// without touching the engine. A verdict set sealed at a different
+	// graph version is silently ignored (live updates fall back to the
+	// legacy path, which re-evaluates level 1); a verdict set sealed
+	// under different mining parameters is a configuration error and
+	// refuses loudly rather than replaying subtly wrong state.
+	if p.Level1Verdicts != nil && reuse == nil && p.Level1Verdicts.GraphVersion() == g.Version() {
+		if got, want := p.Level1Verdicts.ParamsKey(), p.Level1Fingerprint(); got != want {
+			return nil, fmt.Errorf("core: level-1 verdicts sealed under parameters %q, run uses %q", got, want)
+		}
+		m.verdicts = p.Level1Verdicts
+	}
 	// Theorem 5's pruning bound needs εexp(σmin) once.
 	m.expSigmaMin = m.model.Exp(p.SigmaMin)
 
@@ -90,6 +103,12 @@ func mine(ctx context.Context, g *graph.Graph, p Params, sink Sink, reuse *Latti
 		out, handled, err := m.replay(attrs, muted, store, tl)
 		if err != nil {
 			return err
+		}
+		if !handled && m.verdicts != nil {
+			out, handled, err = m.replayVerdict(singles[i], attrs, muted, store, tl)
+			if err != nil {
+				return err
+			}
 		}
 		if !handled {
 			members := g.AttrMembers(singles[i])
@@ -125,6 +144,38 @@ func mine(ctx context.Context, g *graph.Graph, p Params, sink Sink, reuse *Latti
 		return survivors[i].attrs[0] < survivors[j].attrs[0]
 	})
 
+	// Promote the level-1 certificate discoveries to one global base:
+	// every single's private store is absorbed in extension order — the
+	// same canonical order at any Parallelism and shard count, since
+	// every run evaluates (or verdict-replays) every frequent single —
+	// and each surviving subtree walks over a private copy-on-write
+	// layer. Subtree-local discoveries still never cross a scheduling
+	// boundary, so per-set search-node counts stay deterministic, while
+	// all subtrees now start from all siblings' certificates instead of
+	// only their own root's.
+	if !m.p.DisableCertSharing && len(survivors) > 0 {
+		order := make([]int, len(level1))
+		counts := make([]int, len(level1))
+		for i := range level1 {
+			order[i] = i
+			counts[i] = level1[i].item.members.Count()
+		}
+		sort.Slice(order, func(a, b int) bool {
+			ia, ib := order[a], order[b]
+			if counts[ia] != counts[ib] {
+				return counts[ia] < counts[ib]
+			}
+			return level1[ia].item.attrs[0] < level1[ib].item.attrs[0]
+		})
+		global := epsilon.NewCertStore()
+		for _, i := range order {
+			global.Absorb(level1[i].item.certs)
+		}
+		for i := range survivors {
+			survivors[i].certs = epsilon.NewCertStoreFrom(global)
+		}
+	}
+
 	// enumerate-patterns (Algorithm 3): each top-level subtree is
 	// independent given its right-sibling list, so subtrees parallelize.
 	// A sharded run descends only the subtrees it owns; every attribute
@@ -138,6 +189,19 @@ func mine(ctx context.Context, g *graph.Graph, p Params, sink Sink, reuse *Latti
 		buckets[i] = &Result{}
 		return m.extendSubtree(ctx, survivors[i], survivors[i+1:], buckets[i], tl)
 	})
+	// Pre-size the merged slices from the per-subtree counts: appending
+	// bucket by bucket into growing slices re-copies the whole result
+	// O(log) times, a visible slice of the allocation tail on runs
+	// emitting tens of thousands of sets.
+	nSets, nPats := len(res.Sets), len(res.Patterns)
+	for _, b := range buckets {
+		if b != nil {
+			nSets += len(b.Sets)
+			nPats += len(b.Patterns)
+		}
+	}
+	res.Sets = append(make([]AttributeSet, 0, nSets), res.Sets...)
+	res.Patterns = append(make([]Pattern, 0, nPats), res.Patterns...)
 	for _, b := range buckets {
 		if b == nil {
 			continue
@@ -179,6 +243,12 @@ type miner struct {
 	// owner, when non-nil, claims the top-level roots this run owns
 	// (Params.ShardOwner bound to the mined graph); nil owns everything.
 	owner func(root int32) bool
+
+	// verdicts, when non-nil, replays level-1 single-attribute
+	// evaluations from sealed state instead of searching
+	// (Params.Level1Verdicts, validated against the graph version and
+	// the parameter fingerprint).
+	verdicts *Level1Verdicts
 
 	// Incremental re-mining state: reuse is the previous run's lattice
 	// and changes the graph update it is valid across (both nil for a

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestLevel1VerdictReplay is the sealed-verdict equivalence property:
+// mining with precomputed level-1 verdicts injected produces output —
+// sets, ε, δ, patterns, stable ids, recorded lattice AND every stats
+// counter including SearchNodes — bit-identical to evaluating level 1
+// live, in exact and sampled ε modes, unsharded and sharded, while
+// actually replaying (ReusedVerdicts > 0).
+func TestLevel1VerdictReplay(t *testing.T) {
+	ctx := context.Background()
+	for mode, base := range remineParams() {
+		t.Run(mode, func(t *testing.T) {
+			for trial := 0; trial < 3; trial++ {
+				g := remineGraph(t, int64(2700+trial))
+				label := fmt.Sprintf("%s trial %d", mode, trial)
+				want, err := Mine(ctx, g, base, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				verdicts, err := ComputeLevel1(ctx, g, base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p := base
+				p.Level1Verdicts = verdicts
+				got, err := Mine(ctx, g, p, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireEqualResults(t, label+" unsharded", got, want)
+				if got.Stats.ReusedVerdicts == 0 {
+					t.Fatalf("%s: verdict run replayed nothing", label)
+				}
+				gs, ws := got.Stats, want.Stats
+				gs.Duration, ws.Duration = 0, 0
+				gs.ReusedVerdicts, ws.ReusedVerdicts = 0, 0
+				if gs != ws {
+					t.Fatalf("%s: stats diverge\ngot:  %+v\nwant: %+v", label, gs, ws)
+				}
+
+				// Sharded: every shard replays the shared verdicts; the
+				// merged counters still sum to the single-process run.
+				const n = 2
+				parts := make([]*Result, n)
+				for k := 0; k < n; k++ {
+					sp := p
+					sp.ShardOwner = parityOwner(k)
+					if parts[k], err = Mine(ctx, g, sp, nil); err != nil {
+						t.Fatal(err)
+					}
+				}
+				merged, err := MergeResults(parts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireEqualResults(t, label+" sharded", merged, want)
+				ms := merged.Stats
+				ms.Duration, ms.ReusedVerdicts = 0, 0
+				if ms != ws {
+					t.Fatalf("%s: merged stats diverge\ngot:  %+v\nwant: %+v", label, ms, ws)
+				}
+			}
+		})
+	}
+}
+
+// TestLevel1VerdictGuards pins the two injection guards: a parameter-
+// fingerprint mismatch fails loudly (silently mining the wrong numbers
+// is the one unacceptable outcome), while a graph-version mismatch —
+// the expected state after live updates — silently falls back to live
+// level-1 evaluation.
+func TestLevel1VerdictGuards(t *testing.T) {
+	ctx := context.Background()
+	base := remineParams()["exact"]
+	g := remineGraph(t, 2800)
+	verdicts, err := ComputeLevel1(ctx, g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fingerprint mismatch: loud.
+	p := base
+	p.EpsMin = base.EpsMin + 0.01
+	p.Level1Verdicts = verdicts
+	if _, err := Mine(ctx, g, p, nil); err == nil || !strings.Contains(err.Error(), "level-1 verdicts sealed under") {
+		t.Fatalf("mismatched fingerprint not rejected (err=%v)", err)
+	}
+
+	// Graph-version mismatch: silent fallback, correct output.
+	d := g.NewDelta()
+	victim := g.VertexName(0)
+	if err := d.UnsetAttr(victim, "a0"); err != nil {
+		d = g.NewDelta()
+		if err := d.SetAttr(victim, "a0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ng, _, err := g.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = base
+	p.Level1Verdicts = verdicts
+	got, err := Mine(ctx, ng, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Mine(ctx, ng, base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualResults(t, "stale verdicts", got, want)
+	if got.Stats.ReusedVerdicts != 0 {
+		t.Fatalf("stale verdicts were replayed %d times", got.Stats.ReusedVerdicts)
+	}
+}

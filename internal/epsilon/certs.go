@@ -25,12 +25,22 @@ const maxCerts = 4096
 // garbage. A hash collision silently drops the newer certificate —
 // harmless, since the store only ever removes work.
 //
-// A CertStore is NOT safe for concurrent use. The miner confines each
-// store to one level-1 evaluation and the sequential walk of the
-// subtree rooted there, which keeps every search's certificate context
-// — and with it the search-node count — independent of worker
-// scheduling.
+// A CertStore is NOT safe for concurrent use, with one exception: a
+// frozen store may serve as the shared read-only base of any number of
+// layered stores (NewCertStoreFrom), each confined to its own
+// goroutine. The miner builds one global base from every level-1
+// evaluation — absorbed in canonical extension order, so the base is
+// identical for every worker schedule and shard count — and hands each
+// level-1 subtree a private layer over it, which keeps every search's
+// certificate context — and with it the search-node count — independent
+// of worker scheduling.
 type CertStore struct {
+	// base, when non-nil, is a frozen lower layer: its certificates
+	// count toward Len, seed searches and dedup additions, but it is
+	// never written through this store. Many layered stores may share
+	// one base concurrently as long as nobody writes the base itself.
+	base *CertStore
+
 	arena []int32  // all certificates, concatenated
 	ends  []int32  // ends[i] = end offset of certificate i in arena
 	seen  []uint64 // fixed-size open-addressing dedup table; 0 = empty
@@ -54,19 +64,48 @@ func NewCertStore() *CertStore {
 	return &CertStore{}
 }
 
-// Len reports the number of stored certificates.
+// NewCertStoreFrom returns a copy-on-write layer over base: reads see
+// base's certificates plus the layer's own additions; writes only ever
+// touch the layer. base must be frozen — never written again — for as
+// long as any layer over it is in use; under that contract, layers over
+// one base are safe to use from different goroutines. A nil or empty
+// base yields an independent empty store.
+func NewCertStoreFrom(base *CertStore) *CertStore {
+	if base.Len() == 0 {
+		return &CertStore{}
+	}
+	return &CertStore{base: base}
+}
+
+// Len reports the number of stored certificates, base layer included.
 func (c *CertStore) Len() int {
 	if c == nil {
 		return 0
 	}
-	return len(c.ends)
+	return c.base.Len() + len(c.ends)
+}
+
+// contains probes the store's own dedup table (not the base's) for h.
+func (c *CertStore) contains(h uint64) bool {
+	if c == nil || c.seen == nil {
+		return false
+	}
+	slot := h & (seenSlots - 1)
+	for c.seen[slot] != 0 {
+		if c.seen[slot] == h {
+			return true
+		}
+		slot = (slot + 1) & (seenSlots - 1)
+	}
+	return false
 }
 
 // Add records the quasi-clique certificate q (parent-graph ids, sorted
-// ascending; the values are copied). Duplicates and additions beyond
-// the capacity are dropped allocation-free.
+// ascending; the values are copied). Duplicates — against the base
+// layer too — and additions beyond the capacity are dropped
+// allocation-free.
 func (c *CertStore) Add(q []int32) {
-	if c == nil || len(c.ends) >= maxCerts || len(q) == 0 {
+	if c == nil || c.Len() >= maxCerts || len(q) == 0 {
 		return
 	}
 	// FNV-1a over the id stream; sorted input makes the hash canonical.
@@ -76,6 +115,9 @@ func (c *CertStore) Add(q []int32) {
 	}
 	if h == 0 {
 		h = 1 // 0 marks an empty slot
+	}
+	if c.base.contains(h) {
+		return
 	}
 	if c.seen == nil {
 		c.seen = make([]uint64, seenSlots)
@@ -94,14 +136,45 @@ func (c *CertStore) Add(q []int32) {
 	c.ends = append(c.ends, int32(len(c.arena)))
 }
 
-// forEach calls fn with each stored certificate (views into the arena;
-// callers must not retain or modify them).
+// forEach calls fn with each stored certificate in canonical order —
+// base layer first, then own additions in insertion order (views into
+// the arena; callers must not retain or modify them).
 func (c *CertStore) forEach(fn func(q []int32)) {
+	if c == nil {
+		return
+	}
+	c.base.forEach(fn)
 	start := int32(0)
 	for _, end := range c.ends {
 		fn(c.arena[start:end])
 		start = end
 	}
+}
+
+// Absorb appends every certificate of o, in o's canonical order, to c
+// (dedup and capacity rules apply). The miner merges the per-single
+// level-1 stores into one global base with it, always in extension
+// order, so the merged store is identical for every worker schedule.
+func (c *CertStore) Absorb(o *CertStore) {
+	if c == nil || o == nil {
+		return
+	}
+	o.forEach(func(q []int32) { c.Add(q) })
+}
+
+// Certificates returns a copy of every stored certificate in canonical
+// order. The shard manifest seals level-1 certificates with it;
+// replaying the returned slices through Add in order rebuilds an
+// equivalent store.
+func (c *CertStore) Certificates() [][]int32 {
+	if c.Len() == 0 {
+		return nil
+	}
+	out := make([][]int32, 0, c.Len())
+	c.forEach(func(q []int32) {
+		out = append(out, append([]int32(nil), q...))
+	})
+	return out
 }
 
 // seedLocal builds the set of local-id vertices of sub that the stored

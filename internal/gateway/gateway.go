@@ -16,11 +16,11 @@
 // version vector and flags skew; /healthz reports per-shard
 // reachability.
 //
-// A slow or dead replica degrades, not fails, scatter queries: its
-// slice is dropped from the merge and the response carries the
-// PartialHeader header naming the missing shards (see
-// docs/FILE_FORMATS.md). Only a single-owner query whose owning shard
-// is down answers 503.
+// A slow or dead replica degrades, not fails, scatter queries: after
+// one bounded retry (Config.RetryBackoff) its slice is dropped from
+// the merge and the response carries the PartialHeader header naming
+// the missing shards (see docs/FILE_FORMATS.md). Only a single-owner
+// query whose owning shard is down answers 503.
 package gateway
 
 import (
@@ -51,6 +51,10 @@ const PartialHeader = "X-Scpm-Partial-Shards"
 // Config.Timeout is unset.
 const DefaultTimeout = 10 * time.Second
 
+// DefaultRetryBackoff is the pause before the single retry of a
+// transiently-failed GET subrequest when Config.RetryBackoff is unset.
+const DefaultRetryBackoff = 50 * time.Millisecond
+
 // maxUpdateBody bounds one forwarded POST /updates body, matching the
 // shard servers' own limit.
 const maxUpdateBody = 32 << 20
@@ -65,6 +69,13 @@ type Config struct {
 	Shards []string
 	// Timeout bounds each per-shard subrequest; 0 means DefaultTimeout.
 	Timeout time.Duration
+	// RetryBackoff is the pause before the one retry a transiently-
+	// failed GET subrequest gets (unreachable, timed out, or 5xx)
+	// before its shard is declared down; 0 means DefaultRetryBackoff,
+	// negative disables retries. POSTs never retry — a replay of an
+	// /updates batch whose first attempt died mid-flight could apply it
+	// twice.
+	RetryBackoff time.Duration
 	// Client issues the subrequests; nil uses http.DefaultClient (the
 	// per-shard timeout still applies through request contexts).
 	Client *http.Client
@@ -79,6 +90,7 @@ type Gateway struct {
 	shards  []string
 	client  *http.Client
 	timeout time.Duration
+	backoff time.Duration
 	logger  *log.Logger
 	mux     *http.ServeMux
 	attrID  map[string]int32
@@ -100,6 +112,7 @@ func New(cfg Config) (*Gateway, error) {
 		shards:  make([]string, len(cfg.Shards)),
 		client:  cfg.Client,
 		timeout: cfg.Timeout,
+		backoff: cfg.RetryBackoff,
 		logger:  cfg.Logger,
 		mux:     http.NewServeMux(),
 		attrID:  make(map[string]int32),
@@ -112,6 +125,9 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	if gw.timeout <= 0 {
 		gw.timeout = DefaultTimeout
+	}
+	if gw.backoff == 0 {
+		gw.backoff = DefaultRetryBackoff
 	}
 	for _, r := range cfg.Manifest.Roots {
 		gw.attrID[r.Attr] = r.ID
@@ -157,8 +173,26 @@ func (r shardResp) ok() bool { return r.err == nil && r.status == http.StatusOK 
 // timed out, or 5xx.
 func (r shardResp) down() bool { return r.err != nil || r.status >= 500 }
 
-// fetch issues one subrequest to one shard under the gateway timeout.
+// fetch issues one subrequest to one shard. A transiently-failed GET
+// (unreachable, timed out, 5xx) gets exactly one retry after a short
+// backoff before its shard is declared down — a replica mid-restart or
+// shedding one overloaded request answers the retry, so the client
+// never sees a partial response for a blip. POSTs are never replayed.
 func (gw *Gateway) fetch(ctx context.Context, k int, method, pathAndQuery string, body []byte) shardResp {
+	resp := gw.fetchOnce(ctx, k, method, pathAndQuery, body)
+	if !resp.down() || method != http.MethodGet || gw.backoff < 0 {
+		return resp
+	}
+	select {
+	case <-ctx.Done():
+		return resp
+	case <-time.After(gw.backoff):
+	}
+	return gw.fetchOnce(ctx, k, method, pathAndQuery, body)
+}
+
+// fetchOnce issues one subrequest attempt under the gateway timeout.
+func (gw *Gateway) fetchOnce(ctx context.Context, k int, method, pathAndQuery string, body []byte) shardResp {
 	ctx, cancel := context.WithTimeout(ctx, gw.timeout)
 	defer cancel()
 	var rd io.Reader

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -311,6 +312,98 @@ func TestGatewayPartialDegradation(t *testing.T) {
 	}
 	if !strings.Contains(body, `"status": "degraded"`) {
 		t.Fatalf("/healthz does not report degraded: %s", body)
+	}
+}
+
+// TestGatewayRetriesTransientFailure fronts one replica with a flaky
+// proxy failing each GET's first attempt with a 503. The gateway's
+// single bounded retry must hide the blip: scatter reads stay complete
+// (no partial header) and byte-identical to the single-process answer,
+// and single-owner routes through the flaky shard still answer 200.
+func TestGatewayRetriesTransientFailure(t *testing.T) {
+	p := testParams()
+	g := testGraph(t, 53)
+	const n = 2
+	man, err := shard.BuildManifest(g, p.SigmaMin, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := make([]string, n)
+	for k := 0; k < n; k++ {
+		ts := bootServer(t, g, shard.Params(p, k, n))
+		urls[k] = ts.URL
+	}
+	single := bootServer(t, g, p)
+
+	// The flaky proxy in front of shard 1: every distinct GET fails its
+	// first attempt, then forwards to the real replica.
+	var mu sync.Mutex
+	firstAttempts := 0
+	seen := map[string]bool{}
+	target := urls[1]
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := r.Method + " " + r.URL.RequestURI()
+		mu.Lock()
+		first := !seen[key]
+		seen[key] = true
+		if first {
+			firstAttempts++
+		}
+		mu.Unlock()
+		if first {
+			http.Error(w, "transient overload", http.StatusServiceUnavailable)
+			return
+		}
+		resp, err := http.Get(target + r.URL.RequestURI())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body) //nolint:errcheck
+	}))
+	t.Cleanup(flaky.Close)
+	urls[1] = flaky.URL
+
+	h, err := New(Config{Manifest: man, Shards: urls, Timeout: 10 * time.Second, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := httptest.NewServer(h)
+	t.Cleanup(gw.Close)
+
+	for _, path := range []string{"/sets", "/patterns", "/sets?rank=epsilon&k=3"} {
+		status, hdr, body := get(t, gw.URL, path)
+		if status != http.StatusOK {
+			t.Fatalf("GET %s through flaky shard: %d (%s)", path, status, body)
+		}
+		if got := hdr.Get(PartialHeader); got != "" {
+			t.Fatalf("GET %s: partial header %q despite the retry", path, got)
+		}
+		_, _, want := get(t, single.URL, path)
+		if body != want {
+			t.Fatalf("GET %s: retried answer differs from single-process\ngateway:\n%s\nsingle:\n%s", path, body, want)
+		}
+	}
+
+	// A single-owner route through the flaky shard recovers too.
+	for _, r := range man.Roots {
+		if r.Shard != 1 {
+			continue
+		}
+		status, _, body := get(t, gw.URL, "/epsilon?attrs="+r.Attr)
+		if status != http.StatusOK {
+			t.Fatalf("/epsilon via flaky shard: %d (%s)", status, body)
+		}
+		break
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if firstAttempts == 0 {
+		t.Fatal("flaky proxy never saw a first attempt; test exercised nothing")
 	}
 }
 

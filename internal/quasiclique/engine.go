@@ -1,6 +1,9 @@
 package quasiclique
 
 import (
+	"slices"
+	"sync"
+
 	"github.com/scpm/scpm/internal/bitset"
 )
 
@@ -81,23 +84,69 @@ type engine struct {
 	arena []int32
 	kids  []node
 	front []node
+
+	// Pooled backing, reused across reset: one engine is built per
+	// induced graph — per evaluated attribute set — so the fixed setup
+	// allocations (scratch slabs, degree arrays, adjacency and
+	// distance-2 indexes, peel/component scratch) dominate the
+	// allocation profile of a whole mine unless they are recycled.
+	aliveSet   bitset.Set
+	setsSlab   bitset.Slab
+	adjSlab    bitset.Slab
+	n2Slab     bitset.Slab
+	intsBuf    []int32
+	peelQueue  []int32
+	rootBuf    []int32
+	compSeen   bitset.Set
+	compArena  []int32
+	compBounds []int
+	compStack  []int32
+	comps      [][]int32
 }
 
+// enginePool recycles engines (and all their scratch) across searches.
+// Short-lived callers — TopK, EnumerateMaximal, the coverage search —
+// release their engine when done; retained engines (anchored queries)
+// simply never return to the pool.
+var enginePool = sync.Pool{New: func() any { return new(engine) }}
+
 func newEngine(g *Graph, p Params, o Options) *engine {
-	e := &engine{
-		g:     g,
-		p:     p,
-		o:     o,
-		alive: g.Peel(p.MinDegree(p.MinSize)),
-		degs:  make([]int, g.n),
+	e := enginePool.Get().(*engine)
+	e.reset(g, p, o)
+	return e
+}
+
+// release returns e to the engine pool. The caller must be done with
+// every structure the engine owns — component slices, distance-2 rows,
+// the node arena — since the next newEngine may overwrite them all.
+func (e *engine) release() {
+	e.g = nil
+	e.o = Options{}
+	enginePool.Put(e)
+}
+
+// grown returns s resized to n, reusing its backing array when large
+// enough. The contents are unspecified; callers overwrite before use.
+func grown[S ~[]E, E any](s S, n int) S {
+	if cap(s) < n {
+		return make(S, n)
 	}
-	// All four scratch bitsets come from one slab, and the five int32
-	// scratch/table arrays from one block: engines are built once per
-	// induced graph, so their fixed setup allocations are a measurable
-	// slice of a whole mine's allocation count.
-	sets := bitset.NewSlab(g.n, 4)
+	return s[:n]
+}
+
+// reset (re)initializes the engine for one search over g, recycling
+// whatever backing its previous use left behind. Every buffer is either
+// fully overwritten here or zeroed by its carve, so a recycled engine
+// is bit-for-bit equivalent to a freshly allocated one.
+func (e *engine) reset(g *Graph, p Params, o Options) {
+	e.g, e.p, e.o = g, p, o
+	e.nodes = 0
+	e.degs = grown(e.degs, g.n)
+	e.peel(p.MinDegree(p.MinSize))
+	sets := e.setsSlab.Carve(g.n, 4)
 	e.inX, e.inC, e.inU = &sets[0], &sets[1], &sets[2]
-	ints := make([]int32, 5*g.n+4)
+	ints := grown(e.intsBuf, 5*g.n+4)
+	e.intsBuf = ints
 	e.degIn, ints = ints[:g.n:g.n], ints[g.n:]
 	e.degEx, ints = ints[:g.n:g.n], ints[g.n:]
 	e.hist, ints = ints[:g.n+1:g.n+1], ints[g.n+1:]
@@ -112,12 +161,14 @@ func newEngine(g *Graph, p Params, o Options) *engine {
 	for avail := range e.maxSizeTab {
 		e.maxSizeTab[avail] = int32(p.MaxSizeFor(avail))
 	}
+	e.n2, e.d2buf = nil, nil
 	if p.Gamma >= 0.5 && !o.DisableDiameterPruning {
-		e.n2 = g.distance2(e.alive)
+		e.buildDistance2()
 		e.d2buf = &sets[3]
 	}
+	e.adj = nil
 	if g.n > 0 && g.n <= adjBitsetMaxN {
-		e.adj = bitset.NewSlab(g.n, g.n)
+		e.adj = e.adjSlab.Carve(g.n, g.n)
 		for v := 0; v < g.n; v++ {
 			row := &e.adj[v]
 			for _, u := range g.neighbors(int32(v)) {
@@ -125,7 +176,118 @@ func newEngine(g *Graph, p Params, o Options) *engine {
 			}
 		}
 	}
-	return e
+}
+
+// peel is Graph.Peel running on the engine's recycled scratch.
+func (e *engine) peel(minDeg int) {
+	g := e.g
+	e.aliveSet.Reset(g.n)
+	e.alive = &e.aliveSet
+	deg := e.degs
+	for v := 0; v < g.n; v++ {
+		e.alive.Add(v)
+		deg[v] = g.Degree(int32(v))
+	}
+	if minDeg <= 0 {
+		return
+	}
+	queue := e.peelQueue[:0]
+	for v := 0; v < g.n; v++ {
+		if deg[v] < minDeg {
+			queue = append(queue, int32(v))
+			e.alive.Remove(v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, u := range g.neighbors(v) {
+			if !e.alive.Contains(int(u)) {
+				continue
+			}
+			deg[u]--
+			if deg[u] < minDeg {
+				e.alive.Remove(int(u))
+				queue = append(queue, u)
+			}
+		}
+	}
+	e.peelQueue = queue[:0]
+}
+
+// buildDistance2 is Graph.distance2 writing into the engine's recycled
+// row slab and pointer table.
+func (e *engine) buildDistance2() {
+	g := e.g
+	rows := e.n2Slab.Carve(g.n, e.alive.Count())
+	e.n2 = grown(e.n2, g.n)
+	for i := range e.n2 {
+		e.n2[i] = nil
+	}
+	next := 0
+	for v := 0; v < g.n; v++ {
+		if !e.alive.Contains(v) {
+			continue
+		}
+		s := &rows[next]
+		next++
+		s.Add(v)
+		for _, u := range g.neighbors(int32(v)) {
+			if !e.alive.Contains(int(u)) {
+				continue
+			}
+			s.Add(int(u))
+			for _, w := range g.neighbors(u) {
+				if e.alive.Contains(int(w)) {
+					s.Add(int(w))
+				}
+			}
+		}
+		e.n2[v] = s
+	}
+}
+
+// components is Graph.components running on the engine's recycled
+// scratch. The returned slices are views into engine-owned storage,
+// valid until the next reset.
+func (e *engine) components() [][]int32 {
+	g, alive := e.g, e.alive
+	e.compSeen.Reset(g.n)
+	seen := &e.compSeen
+	arena := e.compArena[:0]
+	bounds := e.compBounds[:0]
+	stack := e.compStack[:0]
+	for s := alive.NextSet(0); s >= 0; s = alive.NextSet(s + 1) {
+		if seen.Contains(s) {
+			continue
+		}
+		bounds = append(bounds, len(arena))
+		stack = append(stack[:0], int32(s))
+		seen.Add(s)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			arena = append(arena, v)
+			for _, u := range g.neighbors(v) {
+				if alive.Contains(int(u)) && !seen.Contains(int(u)) {
+					seen.Add(int(u))
+					stack = append(stack, u)
+				}
+			}
+		}
+		slices.Sort(arena[bounds[len(bounds)-1]:])
+	}
+	e.compArena, e.compBounds, e.compStack = arena, bounds, stack
+	out := e.comps[:0]
+	for i, b := range bounds {
+		end := len(arena)
+		if i+1 < len(bounds) {
+			end = bounds[i+1]
+		}
+		out = append(out, arena[b:end:end])
+	}
+	e.comps = out
+	return out
 }
 
 // NodesVisited reports how many candidate nodes the last run processed
@@ -144,18 +306,16 @@ func (e *engine) run(h hooks) error {
 	if e.alive.Count() < e.p.MinSize {
 		return nil
 	}
-	var roots [][]int32
 	if e.o.DisableComponentSplit || e.p.Gamma < 0.5 {
-		roots = [][]int32{e.alive.Slice()}
-	} else {
-		for _, comp := range e.g.components(e.alive) {
-			if len(comp) >= e.p.MinSize {
-				roots = append(roots, comp)
-			}
-		}
+		e.rootBuf = e.alive.AppendTo(e.rootBuf[:0])
+		_, err := e.runFrontier(node{x: nil, cands: e.rootBuf, ext: -1}, h)
+		return err
 	}
-	for _, root := range roots {
-		stop, err := e.runFrontier(node{x: nil, cands: root, ext: -1}, h)
+	for _, comp := range e.components() {
+		if len(comp) < e.p.MinSize {
+			continue
+		}
+		stop, err := e.runFrontier(node{x: nil, cands: comp, ext: -1}, h)
 		if err != nil || stop {
 			return err
 		}

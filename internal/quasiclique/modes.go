@@ -23,7 +23,9 @@ func EnumerateMaximal(g *Graph, p Params, o Options) ([]Pattern, error) {
 			return true
 		},
 	}
-	if err := e.run(h); err != nil {
+	err := e.run(h)
+	e.release()
+	if err != nil {
 		return nil, err
 	}
 	maximal := filterContained(g.n, found)
@@ -72,7 +74,7 @@ func CoverageSeeded(g *Graph, p Params, o Options, seed *bitset.Set, emit func(q
 	if err := p.Validate(); err != nil {
 		return CoverageResult{}, err
 	}
-	ov := newOrderedView(g)
+	ov := getOrderedView(g)
 	e := newEngine(ov.g, p, o)
 	covered := bitset.New(g.n) // new-id space during the search
 	total := e.alive.Count()
@@ -89,7 +91,7 @@ func CoverageSeeded(g *Graph, p Params, o Options, seed *bitset.Set, emit func(q
 			}
 		}
 	}
-	var emitBuf []int32
+	emitBuf := ov.coverBuf
 	h := hooks{
 		prune: func(x []int32, ext int32, cands []int32) bool {
 			for _, v := range x {
@@ -127,16 +129,23 @@ func CoverageSeeded(g *Graph, p Params, o Options, seed *bitset.Set, emit func(q
 	}
 	// When the seed already covers every surviving vertex the search
 	// would prune everything node by node; skip it outright.
+	var runErr error
 	if nCovered < total {
-		if err := e.run(h); err != nil {
-			return CoverageResult{}, err
-		}
+		runErr = e.run(h)
+	}
+	nodes := e.nodes
+	ov.coverBuf = emitBuf
+	e.release()
+	if runErr != nil {
+		ov.release()
+		return CoverageResult{}, runErr
 	}
 	out := bitset.New(g.n)
 	for v := covered.NextSet(0); v >= 0; v = covered.NextSet(v + 1) {
 		out.Add(int(ov.origOf[v]))
 	}
-	return CoverageResult{Covered: out, Nodes: e.nodes}, nil
+	ov.release()
+	return CoverageResult{Covered: out, Nodes: nodes}, nil
 }
 
 // TopK mines the k most relevant patterns of g: largest size first,
@@ -186,7 +195,9 @@ func TopK(g *Graph, p Params, k int, o Options) ([]Pattern, error) {
 			return true
 		},
 	}
-	if err := e.run(h); err != nil {
+	err := e.run(h)
+	e.release()
+	if err != nil {
 		return nil, err
 	}
 	out := col.finalize()

@@ -1,18 +1,31 @@
 package shard
 
 import (
+	"context"
+	"encoding/base64"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"os"
 	"sort"
 
+	"github.com/scpm/scpm/internal/bitset"
+	"github.com/scpm/scpm/internal/core"
 	"github.com/scpm/scpm/internal/graph"
 )
 
-// ManifestFormat identifies the shard manifest file format; see
-// docs/FILE_FORMATS.md for the full spec.
-const ManifestFormat = "scpm-manifest/v1"
+// Manifest formats; see docs/FILE_FORMATS.md for the full spec.
+// v1 carries the plan only (loaders re-evaluate level 1 themselves);
+// v2 additionally seals every level-1 verdict so shard workers skip
+// those coverage searches. Both load; BuildManifestSealed writes v2.
+const (
+	ManifestFormatV1 = "scpm-manifest/v1"
+	ManifestFormatV2 = "scpm-manifest/v2"
+
+	// ManifestFormat is the legacy name of the v1 format marker.
+	ManifestFormat = ManifestFormatV1
+)
 
 // RootAssignment records one frequent root attribute's place in the
 // plan: its name, id and support in the planned graph, its rank in
@@ -49,9 +62,59 @@ type Manifest struct {
 	// Snapshots holds one per-shard snapshot path, indexed by shard;
 	// empty strings mean "mine at boot".
 	Snapshots []string `json:"snapshots,omitempty"`
+	// Level1 carries the sealed level-1 verdicts of a v2 manifest —
+	// nil exactly when Format is v1. Verdicts align with Roots by index
+	// (rank order).
+	Level1 *SealedLevel1 `json:"level1,omitempty"`
 	// Checksum is the FNV-1a/64 hex digest of the manifest JSON with
 	// this field empty; Load refuses a manifest whose digest mismatches.
 	Checksum string `json:"checksum"`
+}
+
+// SealedLevel1 is the v2 manifest's verdict payload: every frequent
+// single's complete level-1 evaluation, pinned to the parameter
+// fingerprint it was computed under. Shard workers loading it skip all
+// level-1 coverage searches while producing bit-identical output.
+type SealedLevel1 struct {
+	// ParamsKey is core.Params.Level1Fingerprint of the sealing run; a
+	// consumer mining under different parameters must refuse the seal.
+	ParamsKey string `json:"params_key"`
+	// Verdicts holds one sealed verdict per manifest root, aligned with
+	// Roots by index (rank order).
+	Verdicts []SealedVerdict `json:"verdicts"`
+}
+
+// SealedVerdict is one root's serialized core.Level1Verdict. Member
+// sets are not sealed (they are the graph's own attribute postings);
+// bitsets serialize as base64 of their canonical little-endian byte
+// form, certificates as base64 of little-endian int32s. HasHanddown /
+// HasExact / HasPatterns distinguish "absent" from "present but empty"
+// — the distinction changes replay behavior, so it must survive the
+// round trip.
+type SealedVerdict struct {
+	Epsilon         float64         `json:"epsilon"`
+	Covered         int             `json:"covered"`
+	KMass           float64         `json:"kmass"`
+	Estimated       bool            `json:"estimated,omitempty"`
+	ErrBound        float64         `json:"err_bound,omitempty"`
+	SampledVertices int             `json:"sampled_vertices,omitempty"`
+	Nodes           int64           `json:"nodes"`
+	HasHanddown     bool            `json:"has_handdown,omitempty"`
+	Handdown        string          `json:"handdown,omitempty"`
+	HasExact        bool            `json:"has_exact,omitempty"`
+	Exact           string          `json:"exact,omitempty"`
+	HasPatterns     bool            `json:"has_patterns,omitempty"`
+	Patterns        []SealedPattern `json:"patterns,omitempty"`
+	Certs           []string        `json:"certs,omitempty"`
+}
+
+// SealedPattern is one sealed top-k pattern of a root. The attribute
+// identity (and its name) is the root itself, so only the quasi-clique
+// body is stored.
+type SealedPattern struct {
+	Vertices []int32 `json:"vertices"`
+	MinDeg   int     `json:"min_deg"`
+	Edges    int     `json:"edges"`
 }
 
 // BuildManifest plans g into n shards and renders the plan as a sealed
@@ -99,10 +162,27 @@ func (m *Manifest) Seal() {
 	m.Checksum = m.digest()
 }
 
-// Verify checks the format marker and the checksum.
+// Verify checks the format marker, the checksum and — for v2 — the
+// shape of the sealed level-1 payload. Both v1 (plan only) and v2
+// (plan + sealed verdicts) manifests pass.
 func (m *Manifest) Verify() error {
-	if m.Format != ManifestFormat {
-		return fmt.Errorf("shard: manifest format %q, want %q", m.Format, ManifestFormat)
+	switch m.Format {
+	case ManifestFormatV1:
+		if m.Level1 != nil {
+			return fmt.Errorf("shard: %s manifest carries a level-1 seal (v2 payload under a v1 marker)", m.Format)
+		}
+	case ManifestFormatV2:
+		if m.Level1 == nil {
+			return fmt.Errorf("shard: %s manifest has no level-1 seal", m.Format)
+		}
+		if m.Level1.ParamsKey == "" {
+			return fmt.Errorf("shard: %s manifest seals verdicts without a parameter fingerprint", m.Format)
+		}
+		if len(m.Level1.Verdicts) != len(m.Roots) {
+			return fmt.Errorf("shard: manifest seals %d verdicts for %d roots", len(m.Level1.Verdicts), len(m.Roots))
+		}
+	default:
+		return fmt.Errorf("shard: manifest format %q, want %q or %q", m.Format, ManifestFormatV1, ManifestFormatV2)
 	}
 	if m.Shards < 1 {
 		return fmt.Errorf("shard: manifest declares %d shards", m.Shards)
@@ -218,4 +298,193 @@ func (m *Manifest) Route(attrs []string) int {
 		fmt.Fprintf(h, "%s\x00", a)
 	}
 	return int(h.Sum64() % uint64(m.Shards))
+}
+
+// BuildManifestSealed plans g into n shards and seals every level-1
+// verdict into a v2 manifest: one ComputeLevel1 pass, paid once at plan
+// time, that every shard worker loading the manifest skips thereafter.
+// p is the full mining parameter block the shard workers will run
+// under; its SigmaMin drives the plan.
+func BuildManifestSealed(ctx context.Context, g *graph.Graph, p core.Params, n int, snapshots []string) (*Manifest, error) {
+	m, err := BuildManifest(g, p.SigmaMin, n, snapshots)
+	if err != nil {
+		return nil, err
+	}
+	verdicts, err := core.ComputeLevel1(ctx, g, p)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.SealLevel1(verdicts); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SealLevel1 installs a verdict set into the manifest, upgrading it to
+// v2 and re-sealing the checksum. The verdicts must cover every root
+// and match the manifest's graph version.
+func (m *Manifest) SealLevel1(v *core.Level1Verdicts) error {
+	if v.GraphVersion() != m.GraphVersion {
+		return fmt.Errorf("shard: verdicts at graph version %d, manifest at %d", v.GraphVersion(), m.GraphVersion)
+	}
+	sealed := &SealedLevel1{ParamsKey: v.ParamsKey(), Verdicts: make([]SealedVerdict, len(m.Roots))}
+	for i, r := range m.Roots {
+		d := v.Lookup(r.ID)
+		if d == nil {
+			return fmt.Errorf("shard: no verdict for root %q (id %d)", r.Attr, r.ID)
+		}
+		sv := SealedVerdict{
+			Epsilon:         d.Epsilon,
+			Covered:         d.Covered,
+			KMass:           d.KMass,
+			Estimated:       d.Estimated,
+			ErrBound:        d.ErrBound,
+			SampledVertices: d.SampledVertices,
+			Nodes:           d.Nodes,
+			HasPatterns:     d.HasPatterns,
+		}
+		if d.Handdown != nil {
+			sv.HasHanddown = true
+			sv.Handdown = base64.StdEncoding.EncodeToString(d.Handdown.Bytes())
+		}
+		if d.Exact != nil {
+			sv.HasExact = true
+			sv.Exact = base64.StdEncoding.EncodeToString(d.Exact.Bytes())
+		}
+		for _, p := range d.Patterns {
+			sv.Patterns = append(sv.Patterns, SealedPattern{Vertices: p.Vertices, MinDeg: p.MinDeg, Edges: p.Edges})
+		}
+		for _, c := range d.Certs {
+			sv.Certs = append(sv.Certs, sealInts(c))
+		}
+		sealed.Verdicts[i] = sv
+	}
+	m.Level1 = sealed
+	m.Format = ManifestFormatV2
+	m.Seal()
+	return nil
+}
+
+// Level1Verdicts reconstructs the sealed verdicts for injection into
+// core.Params.Level1Verdicts. It returns (nil, nil) when the manifest
+// carries no seal (v1) or when g has moved past the sealed graph
+// version — live updates silently fall back to evaluating level 1,
+// matching core's own version guard. Bitsets are rebuilt at g's vertex
+// capacity; pattern attribute identity is the root itself.
+func (m *Manifest) Level1Verdicts(g *graph.Graph) (*core.Level1Verdicts, error) {
+	if m.Level1 == nil || g.Version() != m.GraphVersion {
+		return nil, nil
+	}
+	if g.NumVertices() != m.Vertices || g.NumAttributes() != m.Attributes {
+		return nil, fmt.Errorf("shard: graph shape %dv/%da does not match manifest %dv/%da at the same version",
+			g.NumVertices(), g.NumAttributes(), m.Vertices, m.Attributes)
+	}
+	out := core.NewLevel1Verdicts(m.GraphVersion, m.Level1.ParamsKey)
+	n := g.NumVertices()
+	for i, sv := range m.Roots {
+		s := m.Level1.Verdicts[i]
+		d := &core.Level1Verdict{
+			Attr:            sv.ID,
+			Epsilon:         s.Epsilon,
+			Covered:         s.Covered,
+			KMass:           s.KMass,
+			Estimated:       s.Estimated,
+			ErrBound:        s.ErrBound,
+			SampledVertices: s.SampledVertices,
+			Nodes:           s.Nodes,
+			HasPatterns:     s.HasPatterns,
+		}
+		if s.HasHanddown {
+			set, err := unsealBitset(n, s.Handdown)
+			if err != nil {
+				return nil, fmt.Errorf("shard: root %q handdown: %w", sv.Attr, err)
+			}
+			d.Handdown = set
+		}
+		if s.HasExact {
+			set, err := unsealBitset(n, s.Exact)
+			if err != nil {
+				return nil, fmt.Errorf("shard: root %q exact handdown: %w", sv.Attr, err)
+			}
+			d.Exact = set
+		}
+		if s.HasPatterns {
+			attrs := []int32{sv.ID}
+			names := g.AttrSetNames(attrs)
+			d.Patterns = make([]core.Pattern, len(s.Patterns))
+			for j, p := range s.Patterns {
+				d.Patterns[j] = core.Pattern{Attrs: attrs, Names: names, Vertices: p.Vertices, MinDeg: p.MinDeg, Edges: p.Edges}
+			}
+		}
+		if len(s.Certs) > 0 {
+			d.Certs = make([][]int32, len(s.Certs))
+			for j, c := range s.Certs {
+				vs, err := unsealInts(c)
+				if err != nil {
+					return nil, fmt.Errorf("shard: root %q certificate %d: %w", sv.Attr, j, err)
+				}
+				d.Certs[j] = vs
+			}
+		}
+		out.Add(d)
+	}
+	return out, nil
+}
+
+// Owner returns a core.Params.ShardOwner routing by the manifest's own
+// root assignments while the graph sits at the sealed version, falling
+// back to a freshly derived plan (Owner) once live updates move past
+// it — the same deterministic re-partition every replica derives.
+func (m *Manifest) Owner(k int) func(*graph.Graph, int32) bool {
+	if m.Shards < 1 || k < 0 || k >= m.Shards {
+		panic(fmt.Sprintf("shard: invalid shard %d/%d", k, m.Shards))
+	}
+	owns := make(map[int32]bool)
+	for _, r := range m.Roots {
+		if r.Shard == k {
+			owns[r.ID] = true
+		}
+	}
+	fallback := Owner(m.SigmaMin, k, m.Shards)
+	return func(g *graph.Graph, root int32) bool {
+		if g.Version() == m.GraphVersion {
+			return owns[root]
+		}
+		return fallback(g, root)
+	}
+}
+
+// sealInts renders int32s as base64 of their little-endian bytes.
+func sealInts(vs []int32) string {
+	b := make([]byte, 4*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(v))
+	}
+	return base64.StdEncoding.EncodeToString(b)
+}
+
+// unsealInts reverses sealInts.
+func unsealInts(enc string) ([]int32, error) {
+	b, err := base64.StdEncoding.DecodeString(enc)
+	if err != nil {
+		return nil, err
+	}
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("shard: %d-byte int32 run is not a multiple of 4", len(b))
+	}
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out, nil
+}
+
+// unsealBitset reverses the base64-of-Bytes bitset encoding at
+// capacity n.
+func unsealBitset(n int, enc string) (*bitset.Set, error) {
+	b, err := base64.StdEncoding.DecodeString(enc)
+	if err != nil {
+		return nil, err
+	}
+	return bitset.FromBytes(n, b)
 }

@@ -1,11 +1,14 @@
 package shard
 
 import (
+	"bytes"
 	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/scpm/scpm/internal/core"
 )
 
 func TestManifestRoundTrip(t *testing.T) {
@@ -108,6 +111,215 @@ func TestManifestRouting(t *testing.T) {
 	s2 := m.Route([]string{"no-such-attr"})
 	if s1 != s2 || s1 < 0 || s1 >= n {
 		t.Fatalf("hash routing unstable or out of range: %d, %d", s1, s2)
+	}
+}
+
+// TestManifestSealedRoundTrip covers the v2 format end to end, in
+// exact and sampled ε modes: Write→Load→Write is byte-identical (the
+// seal is canonical), the reconstructed verdicts drive a sharded mine
+// to the bit-identical single-process answer through the manifest's
+// own Owner, and the run reports the replayed level-1 evaluations.
+func TestManifestSealedRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	for mode, p := range testParams() {
+		t.Run(mode, func(t *testing.T) {
+			g := testGraph(t, 2401)
+			const n = 2
+			m, err := BuildManifestSealed(ctx, g, p, n, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Format != ManifestFormatV2 {
+				t.Fatalf("sealed manifest format %q, want %q", m.Format, ManifestFormatV2)
+			}
+			if m.Level1 == nil || len(m.Level1.Verdicts) != len(m.Roots) {
+				t.Fatalf("sealed manifest carries %d verdicts for %d roots", len(m.Level1.Verdicts), len(m.Roots))
+			}
+			if want := p.Level1Fingerprint(); m.Level1.ParamsKey != want {
+				t.Fatalf("sealed params key %q, want %q", m.Level1.ParamsKey, want)
+			}
+
+			dir := t.TempDir()
+			p1 := filepath.Join(dir, "m1.json")
+			p2 := filepath.Join(dir, "m2.json")
+			if err := WriteManifest(m, p1); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := LoadManifest(p1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteManifest(loaded, p2); err != nil {
+				t.Fatal(err)
+			}
+			b1, err := os.ReadFile(p1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b2, err := os.ReadFile(p2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b1, b2) {
+				t.Fatal("Write→Load→Write is not byte-identical")
+			}
+
+			verdicts, err := loaded.Level1Verdicts(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if verdicts == nil || verdicts.Len() != len(m.Roots) {
+				t.Fatalf("reconstructed %v verdicts, want %d", verdicts, len(m.Roots))
+			}
+
+			want, err := core.Mine(ctx, g, p, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts := make([]*core.Result, n)
+			for k := 0; k < n; k++ {
+				pk := p
+				pk.ShardOwner = loaded.Owner(k)
+				pk.Level1Verdicts = verdicts
+				if parts[k], err = core.Mine(ctx, g, pk, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			merged, err := Merge(parts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireEqualResults(t, mode, merged, want)
+			requireEqualStats(t, mode, merged.Stats, want.Stats)
+			if merged.Stats.ReusedVerdicts == 0 {
+				t.Fatal("sharded mine with sealed verdicts replayed nothing")
+			}
+		})
+	}
+}
+
+// TestManifestV1Compat pins the legacy path: a v1 manifest still
+// loads, reconstructs no verdicts, and its Owner routes a sharded mine
+// that re-evaluates level 1 to the identical single-process answer.
+func TestManifestV1Compat(t *testing.T) {
+	ctx := context.Background()
+	g := testGraph(t, 2402)
+	p := testParams()["exact"]
+	const n = 2
+	m, err := BuildManifest(g, p.SigmaMin, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Format != ManifestFormatV1 {
+		t.Fatalf("BuildManifest format %q, want %q", m.Format, ManifestFormatV1)
+	}
+	path := filepath.Join(t.TempDir(), "v1.json")
+	if err := WriteManifest(m, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := loaded.Level1Verdicts(g); err != nil || v != nil {
+		t.Fatalf("v1 manifest reconstructed verdicts %v (err=%v), want none", v, err)
+	}
+	want, err := core.Mine(ctx, g, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([]*core.Result, n)
+	for k := 0; k < n; k++ {
+		pk := p
+		pk.ShardOwner = loaded.Owner(k)
+		if parts[k], err = core.Mine(ctx, g, pk, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := Merge(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualResults(t, "v1", merged, want)
+	requireEqualStats(t, "v1", merged.Stats, want.Stats)
+	if merged.Stats.ReusedVerdicts != 0 {
+		t.Fatalf("v1 path claims %d replayed verdicts", merged.Stats.ReusedVerdicts)
+	}
+}
+
+// TestManifestCorruptedSealRejected covers the v2 integrity guards: a
+// bit flipped inside the sealed payload fails the checksum, and the
+// structural invariants (marker vs payload, verdict count) are each
+// enforced.
+func TestManifestCorruptedSealRejected(t *testing.T) {
+	ctx := context.Background()
+	g := testGraph(t, 2403)
+	p := testParams()["exact"]
+	m, err := BuildManifestSealed(ctx, g, p, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "v2.json")
+	if err := WriteManifest(m, path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(b), `"params_key": "`, `"params_key": "X`, 1)
+	if tampered == string(b) {
+		t.Fatal("no params_key found to tamper with")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(path); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("LoadManifest accepted a corrupted seal (err=%v)", err)
+	}
+
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Manifest)
+	}{
+		{"v2 without payload", func(c *Manifest) { c.Level1 = nil }},
+		{"v1 with payload", func(c *Manifest) { c.Format = ManifestFormatV1 }},
+		{"verdict count mismatch", func(c *Manifest) {
+			c.Level1 = &SealedLevel1{ParamsKey: m.Level1.ParamsKey, Verdicts: m.Level1.Verdicts[:len(m.Level1.Verdicts)-1]}
+		}},
+	} {
+		c := *m
+		tc.mutate(&c)
+		c.Seal()
+		if err := c.Verify(); err == nil {
+			t.Errorf("%s: Verify accepted it", tc.name)
+		}
+	}
+}
+
+// TestSealRejectsForeignVerdicts pins SealLevel1's version guard.
+func TestSealRejectsForeignVerdicts(t *testing.T) {
+	ctx := context.Background()
+	g := testGraph(t, 2404)
+	p := testParams()["exact"]
+	m, err := BuildManifest(g, p.SigmaMin, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := core.ComputeLevel1(ctx, g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.GraphVersion++
+	if err := m.SealLevel1(v); err == nil {
+		t.Fatal("SealLevel1 accepted verdicts from another graph version")
+	}
+	m.GraphVersion--
+	if err := m.SealLevel1(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("freshly sealed manifest fails verification: %v", err)
 	}
 }
 

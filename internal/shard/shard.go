@@ -50,14 +50,20 @@
 //
 // # Balance
 //
-// Plan weighs the subtree rooted at rank i by its candidate 1-sets —
-// the root plus its len(roots)−1−i right siblings, the size of the
-// extension candidate list Algorithm 2 hands that subtree — and
-// assigns roots to shards greedily, heaviest first onto the currently
-// lightest shard. The weights are known before mining (they depend
-// only on level-1 supports), the assignment is deterministic, and on
-// the committed datasets it lands within 2× of ideal balance
-// (TestPlanBalance).
+// Plan weighs the subtree rooted at rank i by 2^min(c,24), where c is
+// the number of right siblings j whose pairwise intersection with the
+// root stays frequent (|V(i)∩V(j)| ≥ σmin). Only those siblings can
+// ever extend the subtree, and in the densest case every subset of the
+// root plus its frequent siblings survives — so the subtree holds up
+// to 2^c sets, and the measured per-root set counts on the committed
+// datasets track that exponential almost exactly (the earlier linear
+// candidate-count weight misjudged them by orders of magnitude, which
+// is why 2-shard walls split 77%/23%). The pair counts cost one bitset
+// intersection count per root pair — tens of milliseconds on the
+// committed datasets, paid once per plan and cached per graph version
+// by Owner. Roots are assigned heaviest-first onto the currently
+// lightest shard; the assignment is deterministic and lands within 2×
+// of ideal balance on the committed datasets (TestPlanBalance).
 package shard
 
 import (
@@ -79,8 +85,8 @@ type Partition struct {
 	N int
 	// Roots lists the owned root attribute ids, in extension order.
 	Roots []int32
-	// Weight sums the owned subtrees' candidate 1-sets — the balance
-	// measure Plan optimizes.
+	// Weight sums the owned subtrees' estimated set counts (2^frequent-
+	// sibling-pairs, capped) — the balance measure Plan optimizes.
 	Weight int
 
 	owns map[int32]bool
@@ -96,10 +102,10 @@ func (p *Partition) Owns(root int32) bool { return p.owns[root] }
 // order — support ascending, id ascending — matching the order the
 // miner sorts surviving roots into, so a set's first attribute in
 // extension order is well defined whether or not every single survives
-// Theorem-4/5 pruning. The root at rank i weighs len(roots)−i
-// (its candidate 1-set list: itself plus its right siblings); roots
-// are assigned heaviest-first to the currently lightest shard, ties to
-// the lowest shard index, which is deterministic for a given graph.
+// Theorem-4/5 pruning. Each root is weighed by its estimated subtree
+// set count (see the package doc's Balance section) and assigned
+// heaviest-first to the currently lightest shard, ties to the lowest
+// shard index, which is deterministic for a given graph.
 //
 // Every frequent single lands in exactly one partition. Shards may own
 // zero roots when n exceeds the number of frequent singles; they mine
@@ -112,23 +118,68 @@ func Plan(g *graph.Graph, sigmaMin, n int) ([]Partition, error) {
 		return nil, fmt.Errorf("shard: plan needs sigmaMin ≥ 1, got %d", sigmaMin)
 	}
 	roots := rankedRoots(g, sigmaMin)
+	weights := subtreeWeights(g, roots, sigmaMin)
 	parts := make([]Partition, n)
 	for s := range parts {
 		parts[s] = Partition{Shard: s, N: n, owns: make(map[int32]bool)}
 	}
-	for rank, r := range roots {
-		weight := len(roots) - rank
+	// Greedy heaviest-first. The weight order must be explicit now that
+	// weights are no longer monotone in rank; rank breaks ties so the
+	// assignment stays deterministic.
+	order := make([]int, len(roots))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if weights[order[a]] != weights[order[b]] {
+			return weights[order[a]] > weights[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	shardOf := make([]int, len(roots))
+	for _, rank := range order {
 		best := 0
 		for s := 1; s < n; s++ {
 			if parts[s].Weight < parts[best].Weight {
 				best = s
 			}
 		}
-		parts[best].Roots = append(parts[best].Roots, r.attr)
-		parts[best].Weight += weight
-		parts[best].owns[r.attr] = true
+		shardOf[rank] = best
+		parts[best].Weight += weights[rank]
+	}
+	// Partition.Roots lists owned roots in extension order regardless of
+	// the assignment order above.
+	for rank, r := range roots {
+		s := shardOf[rank]
+		parts[s].Roots = append(parts[s].Roots, r.attr)
+		parts[s].owns[r.attr] = true
 	}
 	return parts, nil
+}
+
+// subtreeWeights estimates each root subtree's share of the mining
+// work: 2^min(c,24), where c counts the right siblings whose pairwise
+// intersection with the root stays frequent — the only siblings that
+// can ever extend the subtree, and in the densest (and empirically
+// typical) case all 2^c of their subsets survive. The cap keeps the
+// greedy sums well inside int range; relative order among capped roots
+// is what the balance needs, not their absolute magnitude.
+func subtreeWeights(g *graph.Graph, roots []rankedRoot, sigmaMin int) []int {
+	w := make([]int, len(roots))
+	for i := range roots {
+		mi := g.AttrMembers(roots[i].attr)
+		c := 0
+		for j := i + 1; j < len(roots); j++ {
+			if mi.IntersectCount(g.AttrMembers(roots[j].attr)) >= sigmaMin {
+				c++
+			}
+		}
+		if c > 24 {
+			c = 24
+		}
+		w[i] = 1 << c
+	}
+	return w
 }
 
 // rankedRoot is one frequent single in extension order.
@@ -212,12 +263,20 @@ func Mine(ctx context.Context, g *graph.Graph, p core.Params, k, n int) (*core.R
 
 // MineAll mines all n shards concurrently (one goroutine per shard,
 // each with p.Parallelism workers inside) and merges the slices. The
-// output is bit-identical to core.Mine(ctx, g, p, nil) apart from
-// Stats.Duration, which reports the slowest shard.
+// level-1 verdicts are computed once up front and injected into every
+// shard, so the per-shard walls contain no duplicated level-1 work.
+// The output is bit-identical to core.Mine(ctx, g, p, nil) apart from
+// Stats.Duration (the slowest shard) and Stats.ReusedVerdicts (the
+// replayed level-1 singles, 0 in an unsharded run).
 func MineAll(ctx context.Context, g *graph.Graph, p core.Params, n int) (*core.Result, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("shard: MineAll needs n ≥ 1 shards, got %d", n)
 	}
+	verdicts, err := core.ComputeLevel1(ctx, g, p)
+	if err != nil {
+		return nil, err
+	}
+	p.Level1Verdicts = verdicts
 	parts := make([]*core.Result, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup

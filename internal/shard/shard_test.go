@@ -121,13 +121,18 @@ func requireEqualResults(t *testing.T, label string, got, want *core.Result) {
 	}
 }
 
-// requireEqualStats asserts every counter except Duration matches —
-// the per-shard stats must SUM to the single-process counters, which
-// Merge produces, so sharding hides no work and double-counts none.
+// requireEqualStats asserts every counter except Duration and
+// ReusedVerdicts matches — the per-shard stats must SUM to the
+// single-process counters, which Merge produces, so sharding hides no
+// work and double-counts none. ReusedVerdicts is pure accounting (how
+// the level-1 numbers were obtained, not what they are), so it is
+// excluded like Duration.
 func requireEqualStats(t *testing.T, label string, got, want core.Stats) {
 	t.Helper()
 	got.Duration = 0
 	want.Duration = 0
+	got.ReusedVerdicts = 0
+	want.ReusedVerdicts = 0
 	if got != want {
 		t.Fatalf("%s: stats\ngot:  %+v\nwant: %+v", label, got, want)
 	}

@@ -46,10 +46,11 @@ var ErrBudget = core.ErrBudget
 //
 // All three honor context cancellation mid-search.
 type Miner struct {
-	p      core.Params
-	naive  bool
-	shardK int
-	shardN int
+	p        core.Params
+	naive    bool
+	shardK   int
+	shardN   int
+	manifest *ShardManifest
 }
 
 // Option configures a Miner.
@@ -66,7 +67,19 @@ func NewMiner(opts ...Option) (*Miner, error) {
 	if err := m.p.Validate(); err != nil {
 		return nil, err
 	}
-	if m.shardN > 1 {
+	switch {
+	case m.manifest != nil:
+		if m.naive {
+			return nil, fmt.Errorf("scpm: WithShardManifest cannot be combined with WithNaive (the baseline has no partitioned path)")
+		}
+		if m.shardK < 0 || m.shardK >= m.manifest.Shards {
+			return nil, fmt.Errorf("scpm: WithShardManifest shard %d of %d: shard index must be in 0…%d",
+				m.shardK, m.manifest.Shards, m.manifest.Shards-1)
+		}
+		if m.manifest.Shards > 1 {
+			m.p.ShardOwner = m.manifest.Owner(m.shardK)
+		}
+	case m.shardN > 1:
 		// Resolved after all options so the owner sees the final σmin.
 		if m.shardK < 0 || m.shardK >= m.shardN {
 			return nil, fmt.Errorf("scpm: WithShard(%d, %d): shard index must be in 0…%d", m.shardK, m.shardN, m.shardN-1)
@@ -132,6 +145,30 @@ func WithParallelism(n int) Option {
 		}
 		m.p.Parallelism = n
 	}
+}
+
+// ShardManifest is the checksummed shard map written by scpm-gateway
+// -plan (internal/shard's Manifest): which shard owns which lattice
+// prefix, against which dataset — and, in its v2 form, every sealed
+// level-1 verdict. Load one with LoadShardManifest and boot a replica
+// from it with WithShardManifest.
+type ShardManifest = shard.Manifest
+
+// LoadShardManifest reads and verifies a shard manifest file (v1 or
+// v2).
+func LoadShardManifest(path string) (*ShardManifest, error) { return shard.LoadManifest(path) }
+
+// WithShardManifest boots shard k of the deployment the manifest
+// plans: lattice ownership comes from the manifest's root assignments
+// (re-derived deterministically once live updates move the graph past
+// the planned version), and — when the manifest is v2 — the sealed
+// level-1 verdicts are injected so the boot mine replays every level-1
+// evaluation instead of re-searching it. Mining parameters must match
+// the fingerprint the verdicts were sealed under; Mine fails loudly
+// otherwise. A v1 manifest behaves exactly like WithShard(k,
+// man.Shards).
+func WithShardManifest(man *ShardManifest, k int) Option {
+	return func(m *Miner) { m.manifest, m.shardK, m.shardN = man, k, man.Shards }
 }
 
 // WithShard restricts the run to shard k of an n-way partition of the
@@ -235,7 +272,11 @@ func (m *Miner) Remine(ctx context.Context, g *Graph, old *Result, changes *Chan
 	if m.naive {
 		return core.MineNaive(ctx, g, m.p, nil)
 	}
-	return core.Remine(ctx, g, m.p, old, changes, nil)
+	p, err := m.paramsFor(g)
+	if err != nil {
+		return nil, err
+	}
+	return core.Remine(ctx, g, p, old, changes, nil)
 }
 
 // Stream mines g, pushing every qualifying attribute set and pattern to
@@ -292,7 +333,28 @@ func (m *Miner) run(ctx context.Context, g *Graph, sink Sink) (*Result, error) {
 	if m.naive {
 		return core.MineNaive(ctx, g, m.p, sink)
 	}
-	return core.Mine(ctx, g, m.p, sink)
+	p, err := m.paramsFor(g)
+	if err != nil {
+		return nil, err
+	}
+	return core.Mine(ctx, g, p, sink)
+}
+
+// paramsFor resolves the run's parameter block for one concrete graph:
+// when a v2 manifest is attached and g still sits at the sealed graph
+// version, the sealed level-1 verdicts are reconstructed and injected.
+// Past the sealed version (live updates) the verdicts silently expire
+// and level 1 is evaluated live.
+func (m *Miner) paramsFor(g *Graph) (core.Params, error) {
+	p := m.p
+	if m.manifest != nil && p.Level1Verdicts == nil {
+		v, err := m.manifest.Level1Verdicts(g)
+		if err != nil {
+			return core.Params{}, fmt.Errorf("scpm: %w", err)
+		}
+		p.Level1Verdicts = v
+	}
+	return p, nil
 }
 
 // IsCanceled reports whether err is a mining cancellation — shorthand

@@ -1,9 +1,17 @@
 // Command benchcheck compares a candidate BENCH_<dataset>.json against
-// a committed baseline and enforces the search-node regression gate:
-// any run whose search_nodes grew more than -tolerance (default 5%)
-// over the baseline run with the same (scale, epsilon_mode) fails the
-// check. search_nodes is deterministic — same input, same count, on
-// any machine at any -parallel value — so the gate has no noise floor.
+// a committed baseline and enforces the regression gates:
+//
+//   - search nodes: any run whose search_nodes grew more than
+//     -tolerance (default 5%) over the baseline run with the same
+//     (scale, epsilon_mode) fails. search_nodes is deterministic —
+//     same input, same count, on any machine at any -parallel value —
+//     so this gate has no noise floor.
+//   - shard speedup (BENCH_shard.json only): the 2-shard critical-path
+//     speedup must stay above the hard floor of 1.0 — sharding that
+//     does not divide wall time is a regression by definition — and no
+//     row's speedup may fall more than -shard-tolerance (default 25%,
+//     loose because speedups are wall-clock ratios and carry timing
+//     noise) below its baseline.
 //
 // Wall-clock and allocation columns are advisory only: CI machines are
 // too noisy to gate on, so deltas are printed benchstat-style for the
@@ -12,6 +20,7 @@
 // Usage:
 //
 //	benchcheck -baseline BENCH_dense.json -candidate out/BENCH_dense.json
+//	benchcheck -baseline BENCH_shard.json -candidate out/BENCH_shard.json
 package main
 
 import (
@@ -32,22 +41,37 @@ type run struct {
 	Allocs      uint64  `json:"allocs"`
 }
 
+// shardRun mirrors the shard-section mining columns the speedup gate
+// consumes.
+type shardRun struct {
+	Dataset string  `json:"dataset"`
+	Scale   float64 `json:"scale"`
+	Shards  int     `json:"shards"`
+	Speedup float64 `json:"speedup"`
+}
+
+type shardSection struct {
+	Mining []shardRun `json:"mining"`
+}
+
 type report struct {
-	Schema  string `json:"schema"`
-	Dataset string `json:"dataset"`
-	Runs    []run  `json:"runs"`
+	Schema  string        `json:"schema"`
+	Dataset string        `json:"dataset"`
+	Runs    []run         `json:"runs"`
+	Shard   *shardSection `json:"shard"`
 }
 
 func main() {
 	baseline := flag.String("baseline", "", "committed baseline BENCH_*.json")
 	candidate := flag.String("candidate", "", "freshly generated BENCH_*.json to check")
 	tolerance := flag.Float64("tolerance", 0.05, "allowed fractional search_nodes growth over baseline")
+	shardTolerance := flag.Float64("shard-tolerance", 0.25, "allowed fractional shard-speedup decline below baseline")
 	flag.Parse()
 	if *baseline == "" || *candidate == "" {
 		fmt.Fprintln(os.Stderr, "benchcheck: -baseline and -candidate are required")
 		os.Exit(2)
 	}
-	if err := check(*baseline, *candidate, *tolerance, os.Stdout); err != nil {
+	if err := check(*baseline, *candidate, *tolerance, *shardTolerance, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(1)
 	}
@@ -62,7 +86,7 @@ func load(path string) (report, error) {
 	if err := json.Unmarshal(raw, &r); err != nil {
 		return report{}, fmt.Errorf("%s: %w", path, err)
 	}
-	if len(r.Runs) == 0 {
+	if len(r.Runs) == 0 && (r.Shard == nil || len(r.Shard.Mining) == 0) {
 		return report{}, fmt.Errorf("%s: no runs", path)
 	}
 	return r, nil
@@ -71,7 +95,7 @@ func load(path string) (report, error) {
 // key identifies the baseline run a candidate run is compared against.
 func key(r run) string { return fmt.Sprintf("%g/%s", r.Scale, r.EpsilonMode) }
 
-func check(basePath, candPath string, tolerance float64, out io.Writer) error {
+func check(basePath, candPath string, tolerance, shardTolerance float64, out io.Writer) error {
 	base, err := load(basePath)
 	if err != nil {
 		return err
@@ -82,6 +106,11 @@ func check(basePath, candPath string, tolerance float64, out io.Writer) error {
 	}
 	if base.Dataset != cand.Dataset {
 		return fmt.Errorf("dataset mismatch: baseline %q vs candidate %q", base.Dataset, cand.Dataset)
+	}
+	if cand.Shard != nil {
+		if err := checkShard(base, cand, shardTolerance, out); err != nil {
+			return err
+		}
 	}
 	byKey := make(map[string]run, len(base.Runs))
 	for _, r := range base.Runs {
@@ -111,6 +140,50 @@ func check(basePath, candPath string, tolerance float64, out io.Writer) error {
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d run(s) regressed search_nodes beyond %.0f%% on %s", failures, tolerance*100, base.Dataset)
+	}
+	return nil
+}
+
+// shardKey identifies the baseline shard row a candidate row is
+// compared against.
+func shardKey(r shardRun) string { return fmt.Sprintf("%s@%g/n=%d", r.Dataset, r.Scale, r.Shards) }
+
+// checkShard enforces the shard-speedup gate: every 2-shard row must
+// beat the 1.0 hard floor (speedup is single_ms over the critical-path
+// wall, so ≤ 1.0 means sharding did not divide wall time at the
+// canonical deployment width), and no row may fall more than tolerance
+// below its baseline speedup. Rows without a baseline face only the
+// floor.
+func checkShard(base, cand report, tolerance float64, out io.Writer) error {
+	byKey := make(map[string]shardRun)
+	if base.Shard != nil {
+		for _, r := range base.Shard.Mining {
+			byKey[shardKey(r)] = r
+		}
+	}
+	var failures int
+	for _, c := range cand.Shard.Mining {
+		verdict := "ok"
+		b, hasBase := byKey[shardKey(c)]
+		switch {
+		case c.Shards == 2 && c.Speedup <= 1.0:
+			verdict = "FAIL (floor: 2-shard speedup must exceed 1.0)"
+			failures++
+		case hasBase && c.Speedup < b.Speedup*(1-tolerance):
+			verdict = fmt.Sprintf("FAIL (> -%.0f%% vs baseline)", tolerance*100)
+			failures++
+		case !hasBase:
+			verdict = "ok (new row, floor only)"
+		}
+		if hasBase {
+			fmt.Fprintf(out, "%-20s  speedup %5.2fx → %5.2fx (%+7.2f%%)  %s\n",
+				shardKey(c), b.Speedup, c.Speedup, delta(b.Speedup, c.Speedup), verdict)
+		} else {
+			fmt.Fprintf(out, "%-20s  speedup          %5.2fx           %s\n", shardKey(c), c.Speedup, verdict)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d shard row(s) failed the speedup gate", failures)
 	}
 	return nil
 }

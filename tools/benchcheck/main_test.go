@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,13 +13,35 @@ func writeReport(t *testing.T, dir, name, dataset string, nodes int64) string {
 	t.Helper()
 	path := filepath.Join(dir, name)
 	content := `{
-  "schema": "scpm-bench/v6",
+  "schema": "scpm-bench/v7",
   "dataset": "` + dataset + `",
   "runs": [
     {"scale": 0.1, "epsilon_mode": "exact", "wall_ms": 50.0, "search_nodes": ` +
 		itoa(nodes) + `, "allocs": 9000}
   ]
 }`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// writeShardReport writes a shard-section-only report whose three rows
+// (n=1,2,4 on dblp@0.2) carry the given speedups.
+func writeShardReport(t *testing.T, dir, name string, speedups [3]float64) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	content := fmt.Sprintf(`{
+  "schema": "scpm-bench/v7",
+  "dataset": "shard",
+  "shard": {
+    "mining": [
+      {"dataset": "dblp", "scale": 0.2, "shards": 1, "speedup": %g},
+      {"dataset": "dblp", "scale": 0.2, "shards": 2, "speedup": %g},
+      {"dataset": "dblp", "scale": 0.2, "shards": 4, "speedup": %g}
+    ]
+  }
+}`, speedups[0], speedups[1], speedups[2])
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +65,7 @@ func TestCheckPassesWithinTolerance(t *testing.T) {
 	base := writeReport(t, dir, "base.json", "dense", 10000)
 	cand := writeReport(t, dir, "cand.json", "dense", 10400) // +4%
 	var out bytes.Buffer
-	if err := check(base, cand, 0.05, &out); err != nil {
+	if err := check(base, cand, 0.05, 0.25, &out); err != nil {
 		t.Fatalf("within-tolerance growth rejected: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "ok") {
@@ -55,7 +78,7 @@ func TestCheckFailsOnRegression(t *testing.T) {
 	base := writeReport(t, dir, "base.json", "dense", 10000)
 	cand := writeReport(t, dir, "cand.json", "dense", 10600) // +6%
 	var out bytes.Buffer
-	err := check(base, cand, 0.05, &out)
+	err := check(base, cand, 0.05, 0.25, &out)
 	if err == nil {
 		t.Fatalf("+6%% search_nodes accepted:\n%s", out.String())
 	}
@@ -69,7 +92,7 @@ func TestCheckImprovementPasses(t *testing.T) {
 	base := writeReport(t, dir, "base.json", "dense", 10000)
 	cand := writeReport(t, dir, "cand.json", "dense", 4000)
 	var out bytes.Buffer
-	if err := check(base, cand, 0.05, &out); err != nil {
+	if err := check(base, cand, 0.05, 0.25, &out); err != nil {
 		t.Fatalf("improvement rejected: %v", err)
 	}
 }
@@ -78,7 +101,76 @@ func TestCheckDatasetMismatch(t *testing.T) {
 	dir := t.TempDir()
 	base := writeReport(t, dir, "base.json", "dense", 10000)
 	cand := writeReport(t, dir, "cand.json", "dblp", 10000)
-	if err := check(base, cand, 0.05, &bytes.Buffer{}); err == nil {
+	if err := check(base, cand, 0.05, 0.25, &bytes.Buffer{}); err == nil {
 		t.Fatal("dataset mismatch accepted")
+	}
+}
+
+func TestShardGatePassesWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeShardReport(t, dir, "base.json", [3]float64{0.95, 1.60, 2.10})
+	cand := writeShardReport(t, dir, "cand.json", [3]float64{0.90, 1.30, 1.80}) // −19% at n=2
+	var out bytes.Buffer
+	if err := check(base, cand, 0.05, 0.25, &out); err != nil {
+		t.Fatalf("within-tolerance speedup decline rejected: %v\n%s", err, out.String())
+	}
+}
+
+func TestShardGateFailsBelowFloor(t *testing.T) {
+	dir := t.TempDir()
+	base := writeShardReport(t, dir, "base.json", [3]float64{0.95, 1.60, 2.10})
+	// n=2 at 0.98 is within 25% of baseline 1.60? No — but even if the
+	// baseline itself were low, the hard floor alone must reject ≤ 1.0.
+	floorBase := writeShardReport(t, dir, "floorbase.json", [3]float64{0.95, 1.01, 1.10})
+	cand := writeShardReport(t, dir, "cand.json", [3]float64{0.95, 0.98, 1.05})
+	var out bytes.Buffer
+	if err := check(base, cand, 0.05, 0.25, &out); err == nil {
+		t.Fatalf("2-shard speedup 0.98 accepted:\n%s", out.String())
+	}
+	out.Reset()
+	if err := check(floorBase, cand, 0.05, 0.99, &out); err == nil {
+		t.Fatalf("floor not enforced independently of tolerance:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "floor") {
+		t.Fatalf("missing floor verdict:\n%s", out.String())
+	}
+}
+
+func TestShardGateFailsOnSpeedupRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeShardReport(t, dir, "base.json", [3]float64{0.95, 1.60, 2.10})
+	cand := writeShardReport(t, dir, "cand.json", [3]float64{0.95, 1.10, 2.00}) // −31% at n=2
+	var out bytes.Buffer
+	err := check(base, cand, 0.05, 0.25, &out)
+	if err == nil {
+		t.Fatalf("−31%% 2-shard speedup accepted:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("missing FAIL verdict:\n%s", out.String())
+	}
+}
+
+func TestShardGateNewRowFloorOnly(t *testing.T) {
+	dir := t.TempDir()
+	base := writeShardReport(t, dir, "base.json", [3]float64{0.95, 1.60, 2.10})
+	path := filepath.Join(dir, "cand.json")
+	content := `{
+  "schema": "scpm-bench/v7",
+  "dataset": "shard",
+  "shard": {
+    "mining": [
+      {"dataset": "dense", "scale": 0.3, "shards": 2, "speedup": 1.4}
+    ]
+  }
+}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := check(base, path, 0.05, 0.25, &out); err != nil {
+		t.Fatalf("new shard row above floor rejected: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "new row") {
+		t.Fatalf("missing new-row note:\n%s", out.String())
 	}
 }
