@@ -51,6 +51,7 @@ import (
 
 	scpm "github.com/scpm/scpm"
 	"github.com/scpm/scpm/internal/experiments"
+	"github.com/scpm/scpm/internal/obs"
 	"github.com/scpm/scpm/internal/version"
 )
 
@@ -84,6 +85,7 @@ func runMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		shardDatasets = fs.String("shard-datasets", "dblp,dense", "comma-separated datasets for -exp shard")
 		shardScale    = fs.Float64("shard-scale", 0.2, "dataset scale for -exp shard")
 
+		metrics = fs.String("metrics-addr", "", "serve /metrics and /debug/pprof from this address while experiments run (e.g. 127.0.0.1:9090)")
 		showVer = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -92,6 +94,15 @@ func runMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *showVer {
 		fmt.Fprintln(stdout, version.String("scpm-bench"))
 		return 0
+	}
+	if *metrics != "" {
+		maddr, stopMetrics, err := obs.Start(*metrics, scpm.NewMetricsRegistry())
+		if err != nil {
+			fmt.Fprintln(stderr, "scpm-bench:", err)
+			return 1
+		}
+		defer stopMetrics()
+		fmt.Fprintf(stderr, "scpm-bench: metrics on %s\n", maddr)
 	}
 
 	run := func(id string) error {

@@ -39,7 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -48,6 +48,7 @@ import (
 
 	scpm "github.com/scpm/scpm"
 	"github.com/scpm/scpm/internal/gateway"
+	"github.com/scpm/scpm/internal/obs"
 	"github.com/scpm/scpm/internal/server"
 	"github.com/scpm/scpm/internal/shard"
 	"github.com/scpm/scpm/internal/version"
@@ -66,6 +67,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		manifestPath = fs.String("manifest", "", "shard manifest file (serving mode; write one with -plan)")
 		shardsList   = fs.String("shards", "", "comma-separated shard base URLs, one per shard in manifest order")
 		addr         = fs.String("addr", ":8080", "listen address")
+		metrics      = fs.String("metrics-addr", "", "additional listen address serving only /metrics and /debug/pprof (the main listener serves them too)")
 		timeout      = fs.Duration("timeout", gateway.DefaultTimeout, "per-shard subrequest timeout")
 		quiet        = fs.Bool("quiet", false, "disable request logging")
 		planN        = fs.Int("plan", 0, "plan mode: partition the dataset into N shards and write the manifest to -out")
@@ -146,14 +148,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			len(urls), *manifestPath, man.Shards)
 		return 2
 	}
-	cfg := gateway.Config{Manifest: man, Shards: urls, Timeout: *timeout}
+	reg := scpm.NewMetricsRegistry()
+	cfg := gateway.Config{Manifest: man, Shards: urls, Timeout: *timeout, Metrics: reg}
 	if !*quiet {
-		cfg.Logger = log.New(stderr, "scpm-gateway: ", log.LstdFlags)
+		cfg.Logger = slog.New(slog.NewTextHandler(stderr, nil))
 	}
 	h, err := gateway.New(cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, "scpm-gateway:", err)
 		return 2
+	}
+	if *metrics != "" {
+		maddr, stopMetrics, err := obs.Start(*metrics, reg)
+		if err != nil {
+			fmt.Fprintln(stderr, "scpm-gateway:", err)
+			return 1
+		}
+		defer stopMetrics()
+		fmt.Fprintf(stdout, "scpm-gateway: metrics on %s\n", maddr)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -55,16 +55,19 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	scpm "github.com/scpm/scpm"
+	"github.com/scpm/scpm/internal/obs"
 	"github.com/scpm/scpm/internal/server"
 	"github.com/scpm/scpm/internal/version"
 )
@@ -84,6 +87,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		example   = fs.String("example", "", `serve a built-in dataset instead of files ("paper": the 11-vertex worked example)`)
 		snapshot  = fs.String("snapshot", "", "index snapshot path: loaded when present, written after mining otherwise")
 		addr      = fs.String("addr", ":8080", "listen address")
+		metrics   = fs.String("metrics-addr", "", "additional listen address serving only /metrics and /debug/pprof (the main listener serves them too)")
 		cacheSize = fs.Int("cache", server.DefaultCacheSize, "epsilon cache capacity (entries)")
 		quiet     = fs.Bool("quiet", false, "disable request logging")
 		sigmaMin  = fs.Int("sigma", 100, "minimum support σmin")
@@ -191,7 +195,46 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	idx, res, err := buildIndex(ctx, miner, g, *snapshot, stdout)
+	// One registry for the whole process: boot mining, the server's
+	// request/cache/remine instruments and the runtime gauges all land
+	// on it, served from the main listener and any -metrics-addr side
+	// listener.
+	reg := scpm.NewMetricsRegistry()
+	mm := obs.NewMiningMetrics(reg)
+	if *metrics != "" {
+		maddr, stopMetrics, err := obs.Start(*metrics, reg)
+		if err != nil {
+			fmt.Fprintln(stderr, "scpm-serve:", err)
+			return 1
+		}
+		defer stopMetrics()
+		fmt.Fprintf(stdout, "scpm-serve: metrics on %s\n", maddr)
+	}
+
+	// Bind and serve before the (possibly long) boot mine: /metrics and
+	// /debug/pprof answer immediately — so a boot mine can be watched
+	// and profiled — while every other path returns a JSON 503 until
+	// the real handler swaps in. The "listening on" line is printed only
+	// after the swap; it remains the readiness signal.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "scpm-serve:", err)
+		return 1
+	}
+	boot := obs.NewMux(reg)
+	boot.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"ready": false, "reason": "booting: mining or restoring the index"}`)
+	})
+	var root swapHandler
+	root.Store(boot)
+	srvCtx, cancelSrv := context.WithCancel(ctx)
+	defer cancelSrv()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- server.Serve(srvCtx, ln, &root) }()
+
+	idx, res, err := buildIndex(ctx, miner, g, *snapshot, stdout, mm)
 	if err != nil {
 		if scpm.IsCanceled(err) {
 			return 130
@@ -202,8 +245,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	var cfg scpm.ServerConfig
 	cfg.CacheSize = *cacheSize
+	cfg.Metrics = reg
 	if !*quiet {
-		cfg.Logger = log.New(stderr, "scpm-serve: ", log.LstdFlags)
+		logger := slog.New(slog.NewTextHandler(stderr, nil))
+		if *shardSpec != "" {
+			logger = logger.With(slog.String("shard", *shardSpec))
+		}
+		cfg.Logger = logger
 	}
 	if !*noUpdates {
 		cfg.Result = res
@@ -238,22 +286,30 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	// Listen before announcing, so "listening on" is a reliable
-	// readiness signal (and resolves :0 to the bound port).
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fmt.Fprintln(stderr, "scpm-serve:", err)
-		return 1
-	}
+	root.Store(handler)
 	st := idx.Stats()
 	fmt.Fprintf(stdout, "scpm-serve: serving %d sets, %d patterns\n", st.Sets, st.Patterns)
 	fmt.Fprintf(stdout, "scpm-serve: listening on %s\n", ln.Addr())
-	if err := server.Serve(ctx, ln, handler); err != nil {
+	if err := <-serveDone; err != nil {
 		fmt.Fprintln(stderr, "scpm-serve:", err)
 		return 1
 	}
 	fmt.Fprintln(stdout, "scpm-serve: shut down cleanly")
 	return 0
+}
+
+// swapHandler dispatches to an atomically replaceable handler — the
+// boot 503 handler until the index is ready, the real server after.
+type swapHandler struct {
+	h atomic.Pointer[http.Handler]
+}
+
+// Store publishes h as the serving handler.
+func (s *swapHandler) Store(h http.Handler) { s.h.Store(&h) }
+
+// ServeHTTP dispatches to the current handler.
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	(*s.h.Load()).ServeHTTP(w, r)
 }
 
 // parseShard parses the -shard "k/N" spec.
@@ -319,8 +375,9 @@ func readDatasetFiles(attrsPath, edgesPath string) (*scpm.Graph, error) {
 // graph and (when a snapshot path is configured) persists the result
 // for the next boot. It also returns the mining result backing the
 // index — reconstructed from the snapshot tables when one was restored
-// — which is what the live-update path re-mines from.
-func buildIndex(ctx context.Context, miner *scpm.Miner, g *scpm.Graph, snapshot string, stdout io.Writer) (*scpm.Index, *scpm.Result, error) {
+// — which is what the live-update path re-mines from. A boot mine
+// streams its progress into mm, so /metrics shows it advancing.
+func buildIndex(ctx context.Context, miner *scpm.Miner, g *scpm.Graph, snapshot string, stdout io.Writer, mm *obs.MiningMetrics) (*scpm.Index, *scpm.Result, error) {
 	if snapshot != "" {
 		if f, err := os.Open(snapshot); err == nil {
 			defer f.Close()
@@ -349,7 +406,13 @@ func buildIndex(ctx context.Context, miner *scpm.Miner, g *scpm.Graph, snapshot 
 		}
 	}
 	start := time.Now()
-	res, err := miner.Mine(ctx, g)
+	mm.Active.Set(1)
+	res, err := miner.MineWithProgress(ctx, g, scpm.SinkFuncs{Progress: func(st scpm.Stats) {
+		mm.ObserveProgress(st.SetsEvaluated, st.SetsEmitted, st.PatternsEmitted,
+			st.SearchNodes, st.SampledVertices, st.ReusedSets, st.RecomputedSets,
+			st.ReusedVerdicts)
+	}})
+	mm.Active.Set(0)
 	if err != nil {
 		return nil, nil, err
 	}

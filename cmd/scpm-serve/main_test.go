@@ -469,7 +469,77 @@ func TestServeRequestLogging(t *testing.T) {
 	resp.Body.Close()
 	cancel()
 	<-code
-	if !strings.Contains(stderr.String(), "GET /healthz 200") {
-		t.Fatalf("request log missing:\n%s", stderr.String())
+	// Structured key=value access log: one line per request carrying the
+	// method, path, status, size, duration and serving generation.
+	for _, want := range []string{"msg=request", "method=GET", "path=/healthz", "status=200", "bytes=", "duration=", "generation="} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Fatalf("request log missing %q:\n%s", want, stderr.String())
+		}
+	}
+}
+
+// TestServeMetricsAndReadyz: the main listener serves the metrics
+// exposition, the pprof index and the readiness probe, and
+// -metrics-addr opens a second listener carrying the same registry.
+func TestServeMetricsAndReadyz(t *testing.T) {
+	base, stdout, shutdown := startServe(t, append([]string{"-metrics-addr", "127.0.0.1:0"}, paperArgs...)...)
+	defer shutdown()
+
+	var ready struct {
+		Ready         bool   `json:"ready"`
+		ServedVersion uint64 `json:"served_version"`
+	}
+	getJSON(t, base+"/readyz", &ready)
+	if !ready.Ready || ready.ServedVersion != 1 {
+		t.Fatalf("readyz = %+v", ready)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d: %s", resp.StatusCode, body)
+	}
+	// The serving series, the boot-time mining gauges and the runtime
+	// gauges all land in the one process-wide registry.
+	for _, want := range []string{
+		`scpm_http_requests_total{endpoint="/readyz",class="2xx"} 1`,
+		"scpm_mining_sets_evaluated",
+		"scpm_go_goroutines",
+		"scpm_ready 1",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	resp, err = http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/cmdline = %d", resp.StatusCode)
+	}
+
+	// The -metrics-addr side listener scrapes the same registry.
+	m := regexp.MustCompile(`metrics on (\S+)`).FindStringSubmatch(stdout.String())
+	if m == nil {
+		t.Fatalf("no metrics-addr announcement in stdout:\n%s", stdout.String())
+	}
+	resp, err = http.Get("http://" + m[1] + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	side, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("side listener /metrics = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(side), "scpm_http_requests_total") {
+		t.Fatalf("side listener exposition missing serving series:\n%s", side)
 	}
 }

@@ -42,6 +42,7 @@ import (
 	"syscall"
 
 	scpm "github.com/scpm/scpm"
+	"github.com/scpm/scpm/internal/obs"
 	"github.com/scpm/scpm/internal/version"
 )
 
@@ -80,6 +81,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		jsonPath  = fs.String("json", "", "write the full result as JSON to this file")
 		csvPrefix = fs.String("csv", "", "write <prefix>-sets.csv and <prefix>-patterns.csv")
 		quiet     = fs.Bool("quiet", false, "suppress per-pattern output")
+		metrics   = fs.String("metrics-addr", "", "serve /metrics and /debug/pprof from this address while mining (e.g. 127.0.0.1:9090)")
 		showVer   = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -160,6 +162,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// -metrics-addr side-serves /metrics + pprof for the run's lifetime:
+	// the mining gauges advance with every progress snapshot, so a long
+	// mine can be watched and CPU-profiled from outside.
+	var mm *obs.MiningMetrics
+	if *metrics != "" {
+		reg := scpm.NewMetricsRegistry()
+		mm = obs.NewMiningMetrics(reg)
+		maddr, stopMetrics, err := obs.Start(*metrics, reg)
+		if err != nil {
+			fmt.Fprintln(stderr, "scpm:", err)
+			return 1
+		}
+		defer stopMetrics()
+		fmt.Fprintf(stderr, "scpm: metrics on %s\n", maddr)
+	}
+
 	if *ndjson {
 		// The batch-only output flags would be silently dead in
 		// streaming mode; refuse the combination loudly instead of
@@ -168,10 +186,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "scpm: -ndjson cannot be combined with -json, -csv or -rank")
 			return 2
 		}
-		return streamNDJSON(ctx, miner, g, stdout, stderr)
+		return streamNDJSON(ctx, miner, g, mm, stdout, stderr)
 	}
 
-	res, err := miner.Mine(ctx, g)
+	var sink scpm.Sink
+	if mm != nil {
+		mm.Active.Set(1)
+		defer mm.Active.Set(0)
+		sink = scpm.SinkFuncs{Progress: func(st scpm.Stats) { observeProgress(mm, st) }}
+	}
+	res, err := miner.MineWithProgress(ctx, g, sink)
 	canceled := errors.Is(err, scpm.ErrCanceled)
 	budgeted := errors.Is(err, scpm.ErrBudget)
 	if err != nil && !canceled && !budgeted {
@@ -254,9 +278,17 @@ type ndjsonEvent struct {
 	Error           string  `json:"error,omitempty"`
 }
 
+// observeProgress maps one progress snapshot onto the mining gauges
+// (nil-safe: mm may be nil when -metrics-addr is unset).
+func observeProgress(mm *obs.MiningMetrics, st scpm.Stats) {
+	mm.ObserveProgress(st.SetsEvaluated, st.SetsEmitted, st.PatternsEmitted,
+		st.SearchNodes, st.SampledVertices, st.ReusedSets, st.RecomputedSets,
+		st.ReusedVerdicts)
+}
+
 // streamNDJSON mines g pushing one JSON line per event to stdout as the
 // search proceeds.
-func streamNDJSON(ctx context.Context, miner *scpm.Miner, g *scpm.Graph, stdout, stderr io.Writer) int {
+func streamNDJSON(ctx context.Context, miner *scpm.Miner, g *scpm.Graph, mm *obs.MiningMetrics, stdout, stderr io.Writer) int {
 	// A failed write (closed pipe, full disk) makes further mining
 	// pointless: record the first encode error and cancel the search.
 	ctx, cancel := context.WithCancelCause(ctx)
@@ -278,6 +310,10 @@ func streamNDJSON(ctx context.Context, miner *scpm.Miner, g *scpm.Graph, stdout,
 	// contract), so lastStats holds the final counters for the done
 	// event.
 	var lastStats scpm.Stats
+	if mm != nil {
+		mm.Active.Set(1)
+		defer mm.Active.Set(0)
+	}
 	err := miner.Stream(ctx, g, scpm.SinkFuncs{
 		AttributeSet: func(s scpm.AttributeSet) {
 			ev := ndjsonEvent{
@@ -300,6 +336,7 @@ func streamNDJSON(ctx context.Context, miner *scpm.Miner, g *scpm.Graph, stdout,
 		},
 		Progress: func(st scpm.Stats) {
 			lastStats = st
+			observeProgress(mm, st)
 			emit(ndjsonEvent{
 				Type: "progress", SetsEvaluated: st.SetsEvaluated,
 				SetsEmitted: st.SetsEmitted, PatternsEmitted: st.PatternsEmitted,

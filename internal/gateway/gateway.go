@@ -29,7 +29,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"sort"
@@ -38,6 +38,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/scpm/scpm/internal/obs"
 	"github.com/scpm/scpm/internal/server"
 	"github.com/scpm/scpm/internal/shard"
 )
@@ -79,8 +80,12 @@ type Config struct {
 	// Client issues the subrequests; nil uses http.DefaultClient (the
 	// per-shard timeout still applies through request contexts).
 	Client *http.Client
-	// Logger, when set, receives one line per gateway request.
-	Logger *log.Logger
+	// Logger, when set, receives one structured key=value line per
+	// gateway request (method, path, status, bytes, duration).
+	Logger *slog.Logger
+	// Metrics is the registry the gateway's instruments register on and
+	// GET /metrics serves from; nil means a private registry.
+	Metrics *obs.Registry
 }
 
 // Gateway is the scatter-gather handler. Build one with New; it is an
@@ -91,8 +96,10 @@ type Gateway struct {
 	client  *http.Client
 	timeout time.Duration
 	backoff time.Duration
-	logger  *log.Logger
+	logger  *slog.Logger
 	mux     *http.ServeMux
+	root    http.Handler // mux wrapped in request instrumentation
+	metrics *gwMetrics
 	attrID  map[string]int32
 }
 
@@ -132,7 +139,13 @@ func New(cfg Config) (*Gateway, error) {
 	for _, r := range cfg.Manifest.Roots {
 		gw.attrID[r.Attr] = r.ID
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	gw.metrics = newGwMetrics(reg)
 	gw.mux.HandleFunc("GET /healthz", gw.handleHealthz)
+	gw.mux.HandleFunc("GET /readyz", gw.handleReadyz)
 	gw.mux.HandleFunc("GET /stats", gw.handleStats)
 	gw.mux.HandleFunc("GET /sets", gw.handleSets)
 	gw.mux.HandleFunc("GET /sets/{id}", gw.handleSetByID)
@@ -141,21 +154,33 @@ func New(cfg Config) (*Gateway, error) {
 	gw.mux.HandleFunc("GET /epsilon", gw.handleEpsilon)
 	gw.mux.HandleFunc("GET /version", gw.handleVersion)
 	gw.mux.HandleFunc("POST /updates", gw.handleUpdates)
+	obs.Mount(gw.mux, reg)
 	gw.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown path %q", r.URL.Path))
 	})
+	gw.root = gw.metrics.http.Instrument(gw.mux, gw.observe)
 	return gw, nil
 }
 
-// ServeHTTP implements http.Handler with optional logging.
+// ServeHTTP implements http.Handler. Every request flows through the
+// obs middleware before reaching the route table.
 func (gw *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	gw.root.ServeHTTP(w, r)
+}
+
+// observe receives every completed request from the instrumentation
+// middleware and emits the structured access-log line.
+func (gw *Gateway) observe(r *http.Request, o obs.RequestObservation) {
 	if gw.logger == nil {
-		gw.mux.ServeHTTP(w, r)
 		return
 	}
-	start := time.Now()
-	gw.mux.ServeHTTP(w, r)
-	gw.logger.Printf("%s %s %s", r.Method, r.URL.RequestURI(), time.Since(start).Round(time.Microsecond))
+	gw.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.RequestURI()),
+		slog.Int("status", o.Status),
+		slog.Int("bytes", o.Bytes),
+		slog.Duration("duration", o.Duration),
+	)
 }
 
 // shardResp is one shard's answer to a scattered subrequest.
@@ -188,11 +213,20 @@ func (gw *Gateway) fetch(ctx context.Context, k int, method, pathAndQuery string
 		return resp
 	case <-time.After(gw.backoff):
 	}
-	return gw.fetchOnce(ctx, k, method, pathAndQuery, body)
+	gw.metrics.retryAttempts.With(shardLabel(k)).Inc()
+	resp = gw.fetchOnce(ctx, k, method, pathAndQuery, body)
+	if resp.down() {
+		gw.metrics.retryGaveUp.With(shardLabel(k)).Inc()
+	}
+	return resp
 }
 
 // fetchOnce issues one subrequest attempt under the gateway timeout.
 func (gw *Gateway) fetchOnce(ctx context.Context, k int, method, pathAndQuery string, body []byte) shardResp {
+	start := time.Now()
+	defer func() {
+		gw.metrics.shardDuration.With(shardLabel(k)).Observe(time.Since(start).Seconds())
+	}()
 	ctx, cancel := context.WithTimeout(ctx, gw.timeout)
 	defer cancel()
 	var rd io.Reader
@@ -253,14 +287,17 @@ func partition(resps []shardResp) (served []shardResp, down []int, clientErr *sh
 }
 
 // degrade annotates a partial scatter answer: the PartialHeader names
-// the shards whose slice is missing.
-func degrade(w http.ResponseWriter, down []int) {
+// the shards whose slice is missing, the partial-response counter
+// ticks once, and each missing shard's dead-shard counter ticks.
+func (gw *Gateway) degrade(w http.ResponseWriter, down []int) {
 	if len(down) == 0 {
 		return
 	}
+	gw.metrics.partialResponses.Inc()
 	strs := make([]string, len(down))
 	for i, k := range down {
 		strs[i] = strconv.Itoa(k)
+		gw.metrics.deadShards.With(shardLabel(k)).Inc()
 	}
 	w.Header().Set(PartialHeader, strings.Join(strs, ","))
 }
@@ -405,7 +442,7 @@ func (gw *Gateway) handleSets(w http.ResponseWriter, r *http.Request) {
 		all = all[:k]
 	}
 
-	degrade(w, down)
+	gw.degrade(w, down)
 	if wantNDJSON(r) {
 		writeNDJSON(w, len(all), func(i int) any { return all[i].dto })
 		return
@@ -474,7 +511,7 @@ func (gw *Gateway) handleSetByID(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(down) > 0 {
 		// The id might live on a dead shard; absence is not provable.
-		degrade(w, down)
+		gw.degrade(w, down)
 		writeErr(w, http.StatusServiceUnavailable,
 			fmt.Sprintf("set not found on any reachable shard, and shard(s) %v did not answer", down))
 		return
@@ -524,7 +561,7 @@ func (gw *Gateway) handlePatterns(w http.ResponseWriter, r *http.Request) {
 	if limit, err := strconv.Atoi(r.URL.Query().Get("limit")); err == nil && limit > 0 && len(all) > limit {
 		all = all[:limit]
 	}
-	degrade(w, down)
+	gw.degrade(w, down)
 	if wantNDJSON(r) {
 		writeNDJSON(w, len(all), func(i int) any { return all[i].dto })
 		return
@@ -544,7 +581,7 @@ func (gw *Gateway) handleVertex(w http.ResponseWriter, r *http.Request) {
 	served, down, _ := partition(resps)
 	if len(served) == 0 {
 		if len(down) > 0 {
-			degrade(w, down)
+			gw.degrade(w, down)
 			writeErr(w, http.StatusServiceUnavailable,
 				fmt.Sprintf("no reachable shard knows vertex %q, and shard(s) %v did not answer", label, down))
 			return
@@ -591,7 +628,7 @@ func (gw *Gateway) handleVertex(w http.ResponseWriter, r *http.Request) {
 	if setIDs == nil {
 		setIDs = []string{}
 	}
-	degrade(w, down)
+	gw.degrade(w, down)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"vertex":   label,
 		"patterns": pats,
@@ -660,7 +697,7 @@ func (gw *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	degrade(w, down)
+	gw.degrade(w, down)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"index":  map[string]any{"sets": totalSets, "patterns": totalPatterns},
 		"shards": perShard,
@@ -719,13 +756,18 @@ func (gw *Gateway) versionVector(ctx context.Context) ([]shardVersion, bool, []i
 		}
 		vec[resp.shard] = sv
 	}
+	if skew {
+		gw.metrics.versionSkew.Set(1)
+	} else {
+		gw.metrics.versionSkew.Set(0)
+	}
 	return vec, skew, down
 }
 
 // handleVersion is GET /version: the aggregated version vector.
 func (gw *Gateway) handleVersion(w http.ResponseWriter, r *http.Request) {
 	vec, skew, down := gw.versionVector(r.Context())
-	degrade(w, down)
+	gw.degrade(w, down)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"shards": vec,
 		"skew":   skew,
@@ -796,7 +838,7 @@ func (gw *Gateway) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		// /version will flag the skew) — clients must not retry blindly.
 		status = http.StatusBadGateway
 	}
-	degrade(w, down)
+	gw.degrade(w, down)
 	writeJSON(w, status, map[string]any{
 		"forwarded": len(gw.shards),
 		"accepted":  accepted,

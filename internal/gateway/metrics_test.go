@@ -1,0 +1,123 @@
+package gateway
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// scrapeGateway fetches the gateway's own /metrics exposition.
+func scrapeGateway(t *testing.T, gw *httptest.Server) string {
+	t.Helper()
+	status, _, body := get(t, gw.URL, "/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("GET /metrics = %d; body: %s", status, body)
+	}
+	return body
+}
+
+// metricValue extracts the value of an exact series (name plus label
+// block) from an exposition body.
+func metricValue(t *testing.T, body, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("series %s: bad value %q", series, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s not found in exposition:\n%s", series, body)
+	return 0
+}
+
+// TestGatewayMetricsKeySeries drives a scatter read and a version
+// aggregation through a healthy cluster and asserts the per-endpoint
+// and per-shard series.
+func TestGatewayMetricsKeySeries(t *testing.T) {
+	gw, _, _, _ := bootCluster(t, 61, 2)
+
+	if status, _, body := get(t, gw.URL, "/sets"); status != http.StatusOK {
+		t.Fatalf("/sets = %d: %s", status, body)
+	}
+	if status, _, body := get(t, gw.URL, "/version"); status != http.StatusOK {
+		t.Fatalf("/version = %d: %s", status, body)
+	}
+
+	body := scrapeGateway(t, gw)
+	if v := metricValue(t, body, `scpm_gateway_http_requests_total{endpoint="/sets",class="2xx"}`); v != 1 {
+		t.Fatalf("/sets request count = %v, want 1", v)
+	}
+	if v := metricValue(t, body, `scpm_gateway_http_request_duration_seconds_bucket{endpoint="/sets",le="+Inf"}`); v != 1 {
+		t.Fatalf("/sets latency histogram count = %v, want 1", v)
+	}
+	// Both shards answered the scatter, so each has subrequest timings.
+	for _, shard := range []string{"0", "1"} {
+		series := `scpm_gateway_shard_request_duration_seconds_count{shard="` + shard + `"}`
+		if v := metricValue(t, body, series); v < 1 {
+			t.Fatalf("shard %s subrequest count = %v, want >= 1", shard, v)
+		}
+	}
+	// Replicas serve the same graph version: no skew.
+	if v := metricValue(t, body, "scpm_gateway_version_skew"); v != 0 {
+		t.Fatalf("version skew = %v, want 0", v)
+	}
+	if v := metricValue(t, body, "scpm_gateway_partial_responses_total"); v != 0 {
+		t.Fatalf("partial responses on a healthy cluster = %v, want 0", v)
+	}
+}
+
+// TestGatewayMetricsPartialDegradation kills a replica and asserts the
+// degradation counters: a partial scatter response, the dead shard
+// attribution, and the bounded retry that tried and gave up.
+func TestGatewayMetricsPartialDegradation(t *testing.T) {
+	gw, _, _, replicas := bootCluster(t, 43, 2)
+	replicas[1].Close()
+
+	if status, hdr, body := get(t, gw.URL, "/sets"); status != http.StatusOK {
+		t.Fatalf("/sets with a dead shard = %d: %s", status, body)
+	} else if hdr.Get(PartialHeader) != "1" {
+		t.Fatalf("/sets partial header = %q, want \"1\"", hdr.Get(PartialHeader))
+	}
+
+	body := scrapeGateway(t, gw)
+	if v := metricValue(t, body, "scpm_gateway_partial_responses_total"); v != 1 {
+		t.Fatalf("partial responses = %v, want 1", v)
+	}
+	if v := metricValue(t, body, `scpm_gateway_dead_shards_total{shard="1"}`); v != 1 {
+		t.Fatalf("dead shard count = %v, want 1", v)
+	}
+	if v := metricValue(t, body, `scpm_gateway_retry_attempts_total{shard="1"}`); v < 1 {
+		t.Fatalf("retry attempts = %v, want >= 1", v)
+	}
+	if v := metricValue(t, body, `scpm_gateway_retry_gaveup_total{shard="1"}`); v < 1 {
+		t.Fatalf("retries given up = %v, want >= 1", v)
+	}
+}
+
+// TestGatewayReadyz: the gateway aggregates shard readiness — 200
+// while every replica reports ready, 503 once one goes away.
+func TestGatewayReadyz(t *testing.T) {
+	gw, _, _, replicas := bootCluster(t, 47, 2)
+
+	status, _, body := get(t, gw.URL, "/readyz")
+	if status != http.StatusOK {
+		t.Fatalf("/readyz on a healthy cluster = %d: %s", status, body)
+	}
+	if !strings.Contains(body, `"ready": true`) {
+		t.Fatalf("/readyz body not ready: %s", body)
+	}
+
+	replicas[0].Close()
+	status, _, body = get(t, gw.URL, "/readyz")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with a dead shard = %d: %s", status, body)
+	}
+	if !strings.Contains(body, `"ready": false`) {
+		t.Fatalf("/readyz body after shard death: %s", body)
+	}
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// LatencyBuckets is the default bucket layout for request and
+// subrequest latency histograms: 100µs to 10s, roughly ×2.5 per step —
+// wide enough for both a sub-millisecond cache hit and a coverage
+// search that ran long.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// DurationBuckets is the default bucket layout for background-work
+// durations (remines, full mines): 1ms to 2 minutes.
+var DurationBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// Histogram counts observations into fixed buckets. Observe is
+// lock-free: one atomic add into the right bucket plus a CAS loop on
+// the float sum, so the serving hot path pays no mutex. Rendering
+// reads the same atomics, so a scrape racing an Observe sees either
+// the update or not — never a torn value. A nil Histogram discards
+// observations.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds; +Inf implicit
+	counts []atomic.Int64 // len(bounds)+1; non-cumulative per bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// newHistogram builds a histogram over the given upper bounds.
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// cumulative returns the per-bound cumulative counts (exposition
+// order), ending with the +Inf total.
+func (h *Histogram) cumulative() []int64 {
+	out := make([]int64, len(h.counts))
+	var run int64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		out[i] = run
+	}
+	return out
+}

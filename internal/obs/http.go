@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mount installs the observability endpoints on mux: GET /metrics
+// serving the registry, and the net/http/pprof handlers under
+// /debug/pprof/ (index, cmdline, profile, symbol, trace) so any binary
+// serving the mux can be CPU- and heap-profiled under load.
+func Mount(mux *http.ServeMux, reg *Registry) {
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// NewMux returns a mux serving only the observability endpoints —
+// the side-listener handler behind every binary's -metrics-addr flag.
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	Mount(mux, reg)
+	return mux
+}
+
+// Start binds addr and serves /metrics + pprof from it in the
+// background, returning the bound address (resolving ":0") and a stop
+// function. It backs the -metrics-addr flag of binaries whose primary
+// job is not HTTP serving (scpm, scpm-bench) and gives the servers a
+// side channel that stays responsive when the main listener is
+// saturated.
+func Start(addr string, reg *Registry) (net.Addr, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: NewMux(reg), ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // closed by the stop func
+	return ln.Addr(), func() { srv.Close() }, nil
+}
+
+// AddRuntimeMetrics registers process-level gauges (goroutines, heap,
+// GC cycles, uptime) evaluated at scrape time.
+func AddRuntimeMetrics(reg *Registry) {
+	start := time.Now()
+	reg.GaugeFunc("scpm_go_goroutines", "Number of live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	reg.GaugeFunc("scpm_go_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+	reg.GaugeFunc("scpm_go_gc_cycles", "Completed GC cycles.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.NumGC)
+	})
+	reg.GaugeFunc("scpm_process_uptime_seconds", "Seconds since the process registered its metrics.", func() float64 {
+		return time.Since(start).Seconds()
+	})
+}
+
+// HTTPMetrics is the standard per-endpoint request instrumentation:
+// request counts by endpoint and status class, a latency histogram and
+// a response-size counter per endpoint, and an in-flight gauge.
+type HTTPMetrics struct {
+	// Requests counts completed requests, labeled {endpoint, class}
+	// where class is "2xx".."5xx".
+	Requests *CounterVec
+	// Duration is the per-endpoint request latency histogram (seconds).
+	Duration *HistogramVec
+	// ResponseBytes counts response body bytes per endpoint.
+	ResponseBytes *CounterVec
+
+	// inFlight backs the in-flight gauge function: a plain atomic
+	// add/sub per request instead of a float CAS loop on a Gauge.
+	inFlight atomic.Int64
+
+	// writers recycles statusWriter wrappers across requests.
+	writers sync.Pool
+
+	// endpoints caches the instruments resolved per route pattern
+	// (endpoint label → *perEndpoint), so the per-request path is a
+	// lock-free load plus atomic adds instead of label-key joins and
+	// family lookups. The cache is bounded because the label is.
+	endpoints sync.Map
+}
+
+// perEndpoint holds one endpoint's resolved instruments. Class
+// counters fill in lazily so the exposition only carries status
+// classes that actually occurred.
+type perEndpoint struct {
+	duration *Histogram
+	bytes    *Counter
+	classes  [6]atomic.Pointer[Counter] // index status/100; 0 = "other"
+}
+
+// forEndpoint resolves (once) and caches the endpoint's instruments.
+func (m *HTTPMetrics) forEndpoint(endpoint string) *perEndpoint {
+	if e, ok := m.endpoints.Load(endpoint); ok {
+		return e.(*perEndpoint)
+	}
+	e := &perEndpoint{
+		duration: m.Duration.With(endpoint),
+		bytes:    m.ResponseBytes.With(endpoint),
+	}
+	actual, _ := m.endpoints.LoadOrStore(endpoint, e)
+	return actual.(*perEndpoint)
+}
+
+// class resolves the endpoint's counter for one status class.
+func (m *HTTPMetrics) class(e *perEndpoint, endpoint string, status int) *Counter {
+	i := status / 100
+	if i < 1 || i > 5 {
+		i = 0
+	}
+	if c := e.classes[i].Load(); c != nil {
+		return c
+	}
+	c := m.Requests.With(endpoint, statusClass(status))
+	e.classes[i].Store(c)
+	return c
+}
+
+// NewHTTPMetrics registers the request series under the namespace
+// prefix (e.g. "scpm" → scpm_http_requests_total).
+func NewHTTPMetrics(reg *Registry, namespace string) *HTTPMetrics {
+	m := &HTTPMetrics{
+		Requests: reg.CounterVec(namespace+"_http_requests_total",
+			"Completed HTTP requests by route pattern and status class.", "endpoint", "class"),
+		Duration: reg.HistogramVec(namespace+"_http_request_duration_seconds",
+			"HTTP request latency by route pattern.", LatencyBuckets, "endpoint"),
+		ResponseBytes: reg.CounterVec(namespace+"_http_response_bytes_total",
+			"HTTP response body bytes by route pattern.", "endpoint"),
+	}
+	m.writers.New = func() any { return &statusWriter{} }
+	reg.GaugeFunc(namespace+"_http_in_flight_requests",
+		"HTTP requests currently being served.",
+		func() float64 { return float64(m.inFlight.Load()) })
+	return m
+}
+
+// InFlight reports the number of requests currently being served.
+func (m *HTTPMetrics) InFlight() int64 { return m.inFlight.Load() }
+
+// RequestObservation is what Instrument measured about one completed
+// request, handed to the observe callback for structured logging.
+type RequestObservation struct {
+	// Endpoint is the matched route pattern with the method stripped
+	// ("/sets", "/epsilon"); unmatched requests report "other".
+	Endpoint string
+	// Status is the response status code (200 when the handler never
+	// called WriteHeader).
+	Status int
+	// Bytes is the response body size.
+	Bytes int
+	// Duration is the wall time spent in the handler.
+	Duration time.Duration
+}
+
+// Instrument wraps next with the request metrics; observe (optional)
+// receives every completed request for logging. The endpoint label
+// comes from http.Request.Pattern, which ServeMux fills in on the
+// request it matched — so the label space is bounded by the route
+// table, never by attacker-chosen paths.
+func (m *HTTPMetrics) Instrument(next http.Handler, observe func(*http.Request, RequestObservation)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.inFlight.Add(1)
+		sw := m.writers.Get().(*statusWriter)
+		sw.ResponseWriter, sw.status, sw.bytes = w, http.StatusOK, 0
+		next.ServeHTTP(sw, r)
+		m.inFlight.Add(-1)
+		o := RequestObservation{
+			Endpoint: endpointLabel(r.Pattern),
+			Status:   sw.status,
+			Bytes:    sw.bytes,
+			Duration: time.Since(start),
+		}
+		sw.ResponseWriter = nil
+		m.writers.Put(sw)
+		e := m.forEndpoint(o.Endpoint)
+		m.class(e, o.Endpoint, o.Status).Inc()
+		e.duration.Observe(o.Duration.Seconds())
+		e.bytes.Add(int64(o.Bytes))
+		if observe != nil {
+			observe(r, o)
+		}
+	})
+}
+
+// endpointLabel maps a ServeMux pattern to the endpoint label:
+// method prefixes are stripped, and unmatched requests (empty pattern
+// or the "/" catch-all) collapse into "other" so the label space stays
+// bounded.
+func endpointLabel(pattern string) string {
+	if i := strings.IndexByte(pattern, ' '); i >= 0 {
+		pattern = pattern[i+1:]
+	}
+	if pattern == "" || pattern == "/" {
+		return "other"
+	}
+	return pattern
+}
+
+// statusClass buckets a status code as "2xx".."5xx" ("other" below
+// 200).
+func statusClass(status int) string {
+	switch {
+	case status >= 500:
+		return "5xx"
+	case status >= 400:
+		return "4xx"
+	case status >= 300:
+		return "3xx"
+	case status >= 200:
+		return "2xx"
+	}
+	return "other"
+}
+
+// statusWriter captures the status and body size a handler produced.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+// WriteHeader captures the status code.
+func (s *statusWriter) WriteHeader(status int) {
+	s.status = status
+	s.ResponseWriter.WriteHeader(status)
+}
+
+// Write counts the response bytes.
+func (s *statusWriter) Write(b []byte) (int, error) {
+	n, err := s.ResponseWriter.Write(b)
+	s.bytes += n
+	return n, err
+}
+
+// Flush forwards to the wrapped writer when it supports streaming, so
+// NDJSON responses keep flushing through the instrumentation.
+func (s *statusWriter) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestInstrument drives requests through the middleware and checks the
+// per-endpoint series, status classes, in-flight accounting and the
+// observe callback payload.
+func TestInstrument(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, "t")
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /sets", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("12345")) //nolint:errcheck
+	})
+	mux.HandleFunc("/boom", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	})
+	var seen []RequestObservation
+	h := m.Instrument(mux, func(r *http.Request, o RequestObservation) {
+		seen = append(seen, o)
+	})
+
+	for _, path := range []string{"/sets", "/sets", "/boom", "/nope"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	}
+
+	if got := m.Requests.With("/sets", "2xx").Value(); got != 2 {
+		t.Fatalf("/sets 2xx = %d, want 2", got)
+	}
+	if got := m.Requests.With("/boom", "5xx").Value(); got != 1 {
+		t.Fatalf("/boom 5xx = %d, want 1", got)
+	}
+	// ServeMux's 404 fallback has no registered pattern → "other".
+	if got := m.Requests.With("other", "4xx").Value(); got != 1 {
+		t.Fatalf("other 4xx = %d, want 1", got)
+	}
+	if got := m.Duration.With("/sets").Count(); got != 2 {
+		t.Fatalf("/sets duration count = %d, want 2", got)
+	}
+	if got := m.ResponseBytes.With("/sets").Value(); got != 10 {
+		t.Fatalf("/sets bytes = %d, want 10", got)
+	}
+	if got := m.InFlight(); got != 0 {
+		t.Fatalf("in-flight after completion = %d, want 0", got)
+	}
+	if len(seen) != 4 {
+		t.Fatalf("observe called %d times, want 4", len(seen))
+	}
+	if seen[0].Endpoint != "/sets" || seen[0].Status != 200 || seen[0].Bytes != 5 {
+		t.Fatalf("observation 0 = %+v", seen[0])
+	}
+	if seen[2].Status != 500 {
+		t.Fatalf("observation 2 status = %d, want 500", seen[2].Status)
+	}
+}
+
+// TestMountServesMetricsAndPprof: the mounted mux answers /metrics in
+// the exposition content type and serves the pprof index.
+func TestMountServesMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("t_ok_total", "OK.").Inc()
+	mux := NewMux(reg)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "t_ok_total 1") {
+		t.Fatalf("/metrics body missing series:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/metrics", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics status = %d, want 405", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/cmdline", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status = %d", rec.Code)
+	}
+}
+
+// TestStart binds an ephemeral side listener and scrapes it over TCP.
+func TestStart(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("t_side_total", "Side.").Add(3)
+	addr, stop, err := Start("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "t_side_total 3") {
+		t.Fatalf("side scrape missing series:\n%s", buf[:n])
+	}
+}

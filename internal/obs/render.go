@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition media type the
+// /metrics handler serves.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteTo renders every family in the Prometheus text exposition
+// format v0.0.4, families in name order and series in label order, so
+// the output is deterministic for golden tests and diffable between
+// scrapes.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	for _, f := range r.sortedFamilies() {
+		if err := f.render(cw); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+// Render returns the exposition as a string (test helper).
+func (r *Registry) Render() string {
+	var sb strings.Builder
+	r.WriteTo(&sb) //nolint:errcheck // strings.Builder cannot fail
+	return sb.String()
+}
+
+// Handler serves GET /metrics from the registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed (GET only)", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		r.WriteTo(w) //nolint:errcheck // client gone; nothing to do
+	})
+}
+
+// countingWriter tracks bytes written for the WriteTo contract.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+// Write forwards to the wrapped writer, counting.
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// render writes one family: HELP and TYPE lines, then every series.
+func (f *family) render(w io.Writer) error {
+	children := f.sortedChildren()
+	if f.kind == gaugeFuncKind {
+		// Function gauges have no children; they always render.
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+			f.name, escapeHelp(f.help), f.name, f.name, formatFloat(f.fn())); err != nil {
+			return err
+		}
+		return nil
+	}
+	if len(children) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+		f.name, escapeHelp(f.help), f.name, f.kind.typeName()); err != nil {
+		return err
+	}
+	for _, c := range children {
+		if err := f.renderChild(w, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// renderChild writes the series of one label-value combination.
+func (f *family) renderChild(w io.Writer, c *child) error {
+	labels := formatLabels(f.labels, c.values)
+	switch inst := c.inst.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labels, inst.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labels, formatFloat(inst.Value()))
+		return err
+	case *Histogram:
+		cum := inst.cumulative()
+		// Fresh slices per render: appending to the shared f.labels
+		// backing array would race concurrent scrapes.
+		ln := append(append(make([]string, 0, len(f.labels)+1), f.labels...), "le")
+		lv := append(append(make([]string, 0, len(c.values)+1), c.values...), "")
+		for i, bound := range inst.bounds {
+			lv[len(lv)-1] = formatFloat(bound)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, formatLabels(ln, lv), cum[i]); err != nil {
+				return err
+			}
+		}
+		lv[len(lv)-1] = "+Inf"
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, formatLabels(ln, lv), cum[len(cum)-1]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+			f.name, labels, formatFloat(inst.Sum()), f.name, labels, inst.Count()); err != nil {
+			return err
+		}
+		return nil
+	}
+	return nil
+}
+
+// formatLabels renders a {k="v",...} block, or "" when unlabeled.
+func formatLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// formatFloat renders a metric value per the exposition format.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeHelp escapes a help string per the exposition format.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"github.com/scpm/scpm/internal/bitset"
+	"github.com/scpm/scpm/internal/obs"
 )
 
 // epsCache is a bounded LRU cache with singleflight admission: when
@@ -29,6 +30,11 @@ type epsCache struct {
 	ll       *list.List               // front = most recently used
 	entries  map[string]*list.Element // key → element holding *cacheEntry
 	inflight map[string]*inflightCall
+
+	// Metric hooks, wired by the server after construction; nil-safe
+	// no-ops until then.
+	evictions *obs.Counter // entries dropped by the LRU capacity bound
+	shared    *obs.Counter // callers that joined an in-flight computation
 }
 
 // cacheEntry is one cached answer with its provenance: the attribute
@@ -94,6 +100,7 @@ func (c *epsCache) do(key string, attrs []int32, version uint64, fn func() (Epsi
 	}
 	if call, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
+		c.shared.Inc()
 		<-call.done
 		return call.val, false, call.err
 	}
@@ -137,6 +144,7 @@ func (c *epsCache) insert(key string, attrs []int32, version uint64, val Epsilon
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions.Inc()
 	}
 }
 

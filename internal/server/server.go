@@ -17,10 +17,11 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"sort"
@@ -28,13 +29,13 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"github.com/scpm/scpm/internal/core"
 	"github.com/scpm/scpm/internal/epsilon"
 	"github.com/scpm/scpm/internal/graph"
 	"github.com/scpm/scpm/internal/index"
 	"github.com/scpm/scpm/internal/nullmodel"
+	"github.com/scpm/scpm/internal/obs"
 )
 
 // DefaultCacheSize bounds the /epsilon LRU when Config.CacheSize is
@@ -76,8 +77,16 @@ type Config struct {
 	OnSwap func(SwapEvent)
 	// CacheSize bounds the /epsilon LRU; ≤ 0 means DefaultCacheSize.
 	CacheSize int
-	// Logger, when set, receives one line per request.
-	Logger *log.Logger
+	// Logger, when set, receives one structured key=value line per
+	// request (method, path, status, bytes, duration, generation) plus
+	// remine lifecycle events.
+	Logger *slog.Logger
+	// Metrics is the registry the server's instruments register on and
+	// GET /metrics serves from. Nil means a private registry, so the
+	// endpoints work (and the request path pays the same instrumentation
+	// cost) without any wiring. Share one registry across layers — e.g.
+	// with boot-time mining — to scrape them together.
+	Metrics *obs.Registry
 }
 
 // generation is one immutable serving state: a graph version with the
@@ -95,11 +104,13 @@ type generation struct {
 // Server is the HTTP query layer over a pattern index. Build one with
 // New; it is an http.Handler safe for concurrent use.
 type Server struct {
-	gen    atomic.Pointer[generation]
-	est    epsilon.Estimator
-	cache  *epsCache
-	logger *log.Logger
-	mux    *http.ServeMux
+	gen     atomic.Pointer[generation]
+	est     epsilon.Estimator
+	cache   *epsCache
+	logger  *slog.Logger
+	mux     *http.ServeMux
+	root    http.Handler // mux wrapped in request instrumentation
+	metrics *serverMetrics
 
 	// Live-update state; see updates.go. updateMu guards the data head
 	// (headG, pending, remining) — never held while serving reads.
@@ -151,7 +162,33 @@ func New(cfg Config) (*Server, error) {
 		s.params = &p
 		s.headG = cfg.Graph
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.metrics = newServerMetrics(reg)
+	s.cache.evictions = s.metrics.cacheEvictions
+	s.cache.shared = s.metrics.cacheShared
+	reg.GaugeFunc("scpm_generation_served",
+		"Graph version the served generation was mined at.",
+		func() float64 { return float64(s.gen.Load().version) })
+	reg.GaugeFunc("scpm_generation_data",
+		"Graph version at the data head (accepted updates included).",
+		func() float64 { return float64(s.dataVersion()) })
+	reg.GaugeFunc("scpm_epsilon_cache_entries",
+		"Current /epsilon LRU cache population.",
+		func() float64 { return float64(s.cache.len()) })
+	reg.GaugeFunc("scpm_ready",
+		"1 when GET /readyz answers 200, 0 otherwise.",
+		func() float64 {
+			if ok, _ := s.readiness(); ok {
+				return 1
+			}
+			return 0
+		})
+
 	s.get("/healthz", s.handleHealthz)
+	s.get("/readyz", s.handleReadyz)
 	s.get("/stats", s.handleStats)
 	s.get("/sets", s.handleSets)
 	s.get("/sets/{id}", s.handleSetByID)
@@ -160,12 +197,60 @@ func New(cfg Config) (*Server, error) {
 	s.get("/epsilon", s.handleEpsilon)
 	s.get("/version", s.handleVersion)
 	s.mux.HandleFunc("/updates", s.handleUpdates)
+	obs.Mount(s.mux, reg)
 	// Unknown paths get the JSON error envelope too, not ServeMux's
 	// plain-text 404.
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown path %q", r.URL.Path))
 	})
+	s.root = s.metrics.http.Instrument(s.mux, s.observe)
 	return s, nil
+}
+
+// dataVersion reports the graph version at the data head (the served
+// version when live updates are disabled).
+func (s *Server) dataVersion() uint64 {
+	if s.params == nil {
+		return s.gen.Load().version
+	}
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	return s.headG.Version()
+}
+
+// readiness reports whether the server should receive traffic.
+// Liveness (/healthz) it always has once New returns; readiness drops
+// only when a failed remine leaves the served generation behind the
+// data head — results are then stale relative to acknowledged updates,
+// and a load balancer should prefer a replica that caught up.
+func (s *Server) readiness() (bool, string) {
+	msg := s.lastRemineErr.Load()
+	if msg == nil {
+		return true, ""
+	}
+	if s.dataVersion() == s.gen.Load().version {
+		return true, ""
+	}
+	return false, "serving stale generation after failed remine: " + *msg
+}
+
+// handleReadyz is GET /readyz: 200 when ready, 503 with the reason
+// otherwise. Distinct from /healthz, which only proves the process is
+// up and serving its index.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	gen := s.gen.Load()
+	out := map[string]any{
+		"ready":          true,
+		"served_version": gen.version,
+		"data_version":   s.dataVersion(),
+	}
+	status := http.StatusOK
+	if ok, reason := s.readiness(); !ok {
+		out["ready"] = false
+		out["reason"] = reason
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, out)
 }
 
 // get registers a GET/HEAD-only route that answers other methods with
@@ -190,38 +275,36 @@ func cmpOr(v, def int) int {
 	return def
 }
 
-// ServeHTTP implements http.Handler with request counting and optional
-// logging.
+// ServeHTTP implements http.Handler. Every request flows through the
+// obs middleware (per-endpoint counters, latency histogram, in-flight
+// gauge) before reaching the route table.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	s.root.ServeHTTP(w, r)
+}
+
+// observe receives every completed request from the instrumentation
+// middleware and emits the structured access-log line.
+func (s *Server) observe(r *http.Request, o obs.RequestObservation) {
 	if s.logger == nil {
-		s.mux.ServeHTTP(w, r)
 		return
 	}
-	start := time.Now()
-	lw := &loggingWriter{ResponseWriter: w, status: http.StatusOK}
-	s.mux.ServeHTTP(lw, r)
-	s.logger.Printf("%s %s %d %dB %s", r.Method, r.URL.RequestURI(), lw.status, lw.bytes, time.Since(start).Round(time.Microsecond))
+	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.RequestURI()),
+		slog.Int("status", o.Status),
+		slog.Int("bytes", o.Bytes),
+		slog.Duration("duration", o.Duration),
+		slog.Uint64("generation", s.gen.Load().version),
+	)
 }
 
-// loggingWriter records the status and size a handler produced.
-type loggingWriter struct {
-	http.ResponseWriter
-	status int
-	bytes  int
-}
-
-// WriteHeader captures the status code.
-func (l *loggingWriter) WriteHeader(status int) {
-	l.status = status
-	l.ResponseWriter.WriteHeader(status)
-}
-
-// Write counts the response bytes.
-func (l *loggingWriter) Write(b []byte) (int, error) {
-	n, err := l.ResponseWriter.Write(b)
-	l.bytes += n
-	return n, err
+// logf emits one structured event line when logging is enabled.
+func (s *Server) logf(msg string, attrs ...slog.Attr) {
+	if s.logger == nil {
+		return
+	}
+	s.logger.LogAttrs(context.Background(), slog.LevelInfo, msg, attrs...)
 }
 
 // Stats is a point-in-time snapshot of the server counters. The
@@ -665,9 +748,11 @@ func (s *Server) handleEpsilon(w http.ResponseWriter, r *http.Request) {
 	s.epsilonQueries.Add(1)
 	if cached {
 		s.cacheHits.Add(1)
+		s.metrics.cacheHits.Inc()
 		ans.Source = "cache"
 	} else {
 		s.cacheMisses.Add(1)
+		s.metrics.cacheMisses.Inc()
 		ans.Source = "computed"
 	}
 	writeJSON(w, http.StatusOK, ans)

@@ -45,7 +45,7 @@ func (c *countingEstimator) Name() string { return c.inner.Name() }
 
 // newTestServer mines the paper example and serves it with a counting
 // exact estimator and the analytical null model.
-func newTestServer(t *testing.T, cacheSize int) (*Server, *graph.Graph, *core.Result, *countingEstimator) {
+func newTestServer(t testing.TB, cacheSize int) (*Server, *graph.Graph, *core.Result, *countingEstimator) {
 	t.Helper()
 	g := graph.PaperExample()
 	p := core.Params{SigmaMin: 3, Gamma: 0.6, MinSize: 4, EpsMin: 0.5, K: 10}

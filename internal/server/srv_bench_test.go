@@ -1,0 +1,20 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// BenchmarkHealthz measures the full instrumented request path on the
+// cheapest endpoint, where per-request metric overhead is most
+// visible relative to handler work.
+func BenchmarkHealthz(b *testing.B) {
+	s, _, _, _ := newTestServer(b, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
@@ -159,6 +160,7 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	s.updateMu.Unlock()
 
 	s.updatesAccepted.Add(1)
+	s.metrics.updatesAccepted.Inc()
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"accepted":         len(ops),
 		"data_version":     dataVersion,
@@ -194,9 +196,10 @@ func (s *Server) remineLoop() {
 		if err := s.remineOnce(g, cs); err != nil {
 			msg := err.Error()
 			s.lastRemineErr.Store(&msg)
-			if s.logger != nil {
-				s.logger.Printf("remine v%d failed: %v", cs.ToVersion, err)
-			}
+			s.metrics.remines.With("error").Inc()
+			s.logf("remine failed",
+				slog.Uint64("to_version", cs.ToVersion),
+				slog.String("error", err.Error()))
 			// Put the change set back so the next accepted update (whose
 			// ChangeSet starts at cs.ToVersion and merges cleanly) retries
 			// the whole span; without new updates the server keeps
@@ -207,8 +210,8 @@ func (s *Server) remineLoop() {
 			} else {
 				newer := s.pending
 				s.pending = cs
-				if err := s.pending.Merge(newer); err != nil && s.logger != nil {
-					s.logger.Printf("merging pending changes: %v", err)
+				if err := s.pending.Merge(newer); err != nil {
+					s.logf("merging pending changes failed", slog.String("error", err.Error()))
 				}
 				// New updates arrived while we failed: retry now.
 				s.updateMu.Unlock()
@@ -222,14 +225,19 @@ func (s *Server) remineLoop() {
 	}
 }
 
-// remineOnce runs one incremental remine + index rebuild + swap.
+// remineOnce runs one incremental remine + index rebuild + swap. The
+// remine streams its progress into the mining gauges, so a /metrics
+// scrape mid-remine shows search nodes and reuse rates advancing.
 func (s *Server) remineOnce(g *graph.Graph, cs *graph.ChangeSet) error {
 	gen := s.gen.Load()
 	start := time.Now()
-	res, err := core.Remine(context.Background(), g, *s.params, gen.res, cs, nil)
+	s.metrics.mining.Active.Set(1)
+	defer s.metrics.mining.Active.Set(0)
+	res, err := core.Remine(context.Background(), g, *s.params, gen.res, cs, s.miningSink())
 	if err != nil {
 		return err
 	}
+	observeMiningStats(s.metrics.mining, res.Stats)
 	idx := gen.idx.Rebuild(res, g)
 	ngen := &generation{
 		version: g.Version(),
@@ -241,12 +249,15 @@ func (s *Server) remineOnce(g *graph.Graph, cs *graph.ChangeSet) error {
 	s.gen.Store(ngen)
 	s.cache.invalidate(cs.DirtyAttrs, ngen.version)
 	s.remines.Add(1)
-	if s.logger != nil {
-		s.logger.Printf("remine v%d→v%d: %d sets (%d reused, %d recomputed) in %s",
-			cs.FromVersion, cs.ToVersion, len(res.Sets),
-			res.Stats.ReusedSets, res.Stats.RecomputedSets,
-			time.Since(start).Round(time.Millisecond))
-	}
+	s.metrics.remines.With("ok").Inc()
+	s.metrics.remineDuration.Observe(time.Since(start).Seconds())
+	s.logf("remine published",
+		slog.Uint64("from_version", cs.FromVersion),
+		slog.Uint64("to_version", cs.ToVersion),
+		slog.Int("sets", len(res.Sets)),
+		slog.Int64("reused", res.Stats.ReusedSets),
+		slog.Int64("recomputed", res.Stats.RecomputedSets),
+		slog.Duration("duration", time.Since(start).Round(time.Millisecond)))
 	if s.onSwap != nil {
 		s.onSwap(SwapEvent{
 			Version:        ngen.version,

@@ -254,6 +254,14 @@ func (m *Miner) Mine(ctx context.Context, g *Graph) (*Result, error) {
 	return m.run(ctx, g, nil)
 }
 
+// MineWithProgress is Mine with a Sink attached: the batch result is
+// returned as usual while sink receives the run's events in flight —
+// the hook scpm-serve uses to keep the mining gauges on /metrics live
+// during a boot mine. sink may be nil.
+func (m *Miner) MineWithProgress(ctx context.Context, g *Graph, sink Sink) (*Result, error) {
+	return m.run(ctx, g, sink)
+}
+
 // Remine incrementally re-mines g — a graph produced from a previous
 // version by Graph.Apply — reusing old (the previous version's result,
 // mined by this same Miner with WithLiveUpdates) wherever changes

@@ -3,11 +3,12 @@ package scpm
 import (
 	"context"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 
 	"github.com/scpm/scpm/internal/index"
+	"github.com/scpm/scpm/internal/obs"
 	"github.com/scpm/scpm/internal/server"
 )
 
@@ -56,8 +57,15 @@ type ServerConfig struct {
 	// CacheSize bounds the /epsilon LRU cache (entries); 0 means the
 	// server default (1024).
 	CacheSize int
-	// Logger, when set, receives one line per request.
-	Logger *log.Logger
+	// Logger, when set, receives one structured key=value line per
+	// request plus remine lifecycle events.
+	Logger *slog.Logger
+	// Metrics, when set, is the registry the handler's instruments
+	// register on and its GET /metrics endpoint serves. Nil means a
+	// private registry — the endpoint still works, it just only sees
+	// this handler's series. Share one registry (NewMetricsRegistry)
+	// across layers to scrape them together.
+	Metrics *MetricsRegistry
 	// Result, when set together with a non-nil graph, enables the live
 	// update path: POST /updates applies NDJSON graph operations and a
 	// background incremental remine (Miner.Remine semantics) republishes
@@ -69,6 +77,22 @@ type ServerConfig struct {
 	// publishes a new generation — write the snapshot there to keep it
 	// warm behind the served data.
 	OnSwap func(SwapEvent)
+}
+
+// MetricsRegistry collects Prometheus-style metric families (counters,
+// gauges, histograms) and renders them in the text exposition format on
+// GET /metrics. Every server handler mounts one (private unless
+// ServerConfig.Metrics shares it); embedders can register their own
+// series on it. All methods are safe for concurrent use with hot-path
+// atomic updates.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry builds an empty metrics registry and pre-registers
+// the process runtime gauges (goroutines, heap, GC, uptime).
+func NewMetricsRegistry() *MetricsRegistry {
+	reg := obs.NewRegistry()
+	obs.AddRuntimeMetrics(reg)
+	return reg
 }
 
 // NewServerHandler builds the HTTP query layer over an index: JSON and
@@ -89,6 +113,7 @@ func NewServerHandler(idx *Index, g *Graph, p Params, cfg ServerConfig) (http.Ha
 		Index:     idx,
 		CacheSize: cfg.CacheSize,
 		Logger:    cfg.Logger,
+		Metrics:   cfg.Metrics,
 		OnSwap:    cfg.OnSwap,
 	}
 	if g != nil {
