@@ -36,8 +36,10 @@ import (
 // verdict_ms + max(shard_walls_ms) + merge_ms, with the per-run
 // replayed-verdict count in reused_verdicts — so speedups reflect
 // shards on separate machines rather than goroutines contending for
-// one CPU.
-const benchSchema = "scpm-bench/v7"
+// one CPU; v8 added the optional boot section written by -exp boot
+// (v3 snapshot cold-boot wall and heap for materialize vs mmap mode,
+// contents cross-checked).
+const benchSchema = "scpm-bench/v8"
 
 // benchRun is one (dataset, scale, estimator mode) measurement.
 type benchRun struct {
@@ -76,7 +78,7 @@ type benchRun struct {
 
 // benchReport is the full content of one BENCH_<dataset>.json file.
 // Mining suites fill Runs; -exp serve fills Serve; -exp update fills
-// Update; -exp shard fills Shard.
+// Update; -exp shard fills Shard; -exp boot fills Boot.
 type benchReport struct {
 	Schema  string        `json:"schema"`
 	Dataset string        `json:"dataset"`
@@ -87,6 +89,7 @@ type benchReport struct {
 	Serve   *serveReport  `json:"serve,omitempty"`
 	Update  *updateReport `json:"update,omitempty"`
 	Shard   *shardReport  `json:"shard,omitempty"`
+	Boot    *bootReport   `json:"boot,omitempty"`
 }
 
 // runBenchSuite generates each dataset at every scale, mines it with

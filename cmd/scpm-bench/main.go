@@ -31,6 +31,11 @@
 //     (merge verified against the single-process result) and the
 //     scatter-gather gateway's throughput fronting two replicas versus
 //     a direct server, into BENCH_shard.json;
+//   - "boot" measures the v3 snapshot cold-boot path: each dataset
+//     (-boot-datasets) is mined, written as a v3 snapshot and opened in
+//     materialize versus mmap mode (best of -repeats, loaded contents
+//     cross-checked), recording wall, heap and resident bytes per mode
+//     into BENCH_boot.json;
 //   - "bench" mines the synthetic datasets at several scales — once per
 //     ε-estimator mode (exact and sampled) — and writes one
 //     BENCH_<dataset>.json per dataset with wall time, search nodes,
@@ -65,7 +70,7 @@ func runMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("scpm-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp     = fs.String("exp", "all", "experiment id (table1..table4, fig4, fig7, fig8, fig9, fig10, ablation, approx, bench, serve, update, shard, all)")
+		exp     = fs.String("exp", "all", "experiment id (table1..table4, fig4, fig7, fig8, fig9, fig10, ablation, approx, bench, serve, update, shard, boot, all)")
 		scale   = fs.Float64("scale", 1.0, "dataset scale factor")
 		repeats = fs.Int("repeats", 3, "timing repetitions for fig8 (best-of)")
 		samples = fs.Int("samples", 100, "simulation samples per support value for fig4/7/9")
@@ -84,6 +89,9 @@ func runMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 		shardDatasets = fs.String("shard-datasets", "dblp,dense", "comma-separated datasets for -exp shard")
 		shardScale    = fs.Float64("shard-scale", 0.2, "dataset scale for -exp shard")
+
+		bootDatasets = fs.String("boot-datasets", "dblp,dense", "comma-separated datasets for -exp boot")
+		bootScale    = fs.Float64("boot-scale", 0.2, "dataset scale for -exp boot")
 
 		metrics = fs.String("metrics-addr", "", "serve /metrics and /debug/pprof from this address while experiments run (e.g. 127.0.0.1:9090)")
 		showVer = fs.Bool("version", false, "print version and exit")
@@ -200,6 +208,8 @@ func runMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return runUpdateBench(ctx, *updateDatasets, *updateScale, *repeats, *benchOut, stdout)
 		case "shard":
 			return runShardBench(ctx, *shardDatasets, *shardScale, *repeats, *benchOut, stdout)
+		case "boot":
+			return runBootBench(ctx, *bootDatasets, *bootScale, *repeats, *benchOut, stdout)
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}

@@ -283,6 +283,48 @@ func TestBenchShard(t *testing.T) {
 	}
 }
 
+// TestBenchBoot runs the boot experiment on one small dataset and
+// validates the report shape: both modes timed, contents cross-checked
+// and mmap never slower than a full materialized load.
+func TestBenchBoot(t *testing.T) {
+	dir := t.TempDir()
+	code, out, errOut := runBench(t, "-exp", "boot", "-out", dir,
+		"-boot-datasets", "dense", "-boot-scale", "0.1", "-repeats", "2")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "speedup=") {
+		t.Fatalf("summary missing:\n%s", out)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_boot.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("invalid BENCH_boot.json: %v", err)
+	}
+	if report.Schema != benchSchema || report.Boot == nil {
+		t.Fatalf("report envelope: %s", raw)
+	}
+	if report.Boot.Repeats != 2 || len(report.Boot.Runs) != 1 {
+		t.Fatalf("boot section: %+v", report.Boot)
+	}
+	run := report.Boot.Runs[0]
+	if run.Dataset != "dense" || run.SnapshotBytes == 0 || run.Sets == 0 || !run.Verified {
+		t.Fatalf("run: %+v", run)
+	}
+	if run.MaterializeMS <= 0 || run.MmapMS <= 0 {
+		t.Fatalf("non-positive boot walls: %+v", run)
+	}
+	// The lazy path skips the full read, the per-section checksums and
+	// every O(sets) table build — being slower than a materialized load
+	// means the deferral regressed outright.
+	if run.Speedup <= 1.0 {
+		t.Fatalf("mmap boot slower than materialize: %+v", run)
+	}
+}
+
 // TestBenchServe runs the serve experiment end to end (a reduced check:
 // the full request volume runs in CI) and validates the report shape.
 func TestBenchServe(t *testing.T) {

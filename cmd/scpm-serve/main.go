@@ -43,13 +43,25 @@
 //
 // With -snapshot the index is loaded from the file when it exists;
 // otherwise the dataset is mined and the snapshot written there, so the
-// second boot skips mining entirely. The process serves until SIGINT/
-// SIGTERM, then shuts down gracefully (in-flight requests get a bounded
-// grace period). Requests are logged to stderr unless -quiet is set.
+// second boot skips mining entirely. New snapshots use the v3 format,
+// which embeds the graph alongside the index in an mmap-able layout:
+// a v3 boot needs no -attrs/-edges at all and restores both in
+// milliseconds by wrapping typed views over the mapped file.
+// -snapshot-mode picks the strategy — mmap pages the file in lazily on
+// first touch, materialize reads it fully into memory up front, auto
+// (the default) maps when the platform supports it. Both modes serve
+// byte-identical responses. Old v2 (index-only) snapshots still load,
+// paired with the dataset files as before. Boot phase timings are
+// exported as scpm_boot_ms{phase=...} on /metrics, alongside
+// scpm_snapshot_mapped_bytes and (on Linux, mapped boots)
+// scpm_snapshot_resident_bytes.
+//
+// The process serves until SIGINT/SIGTERM, then shuts down gracefully
+// (in-flight requests get a bounded grace period). Requests are logged
+// to stderr unless -quiet is set.
 package main
 
 import (
-	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -60,6 +72,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync/atomic"
@@ -67,6 +80,7 @@ import (
 	"time"
 
 	scpm "github.com/scpm/scpm"
+	"github.com/scpm/scpm/internal/mmapio"
 	"github.com/scpm/scpm/internal/obs"
 	"github.com/scpm/scpm/internal/server"
 	"github.com/scpm/scpm/internal/version"
@@ -85,7 +99,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		attrsPath = fs.String("attrs", "", "vertex attribute file")
 		edgesPath = fs.String("edges", "", "edge list file")
 		example   = fs.String("example", "", `serve a built-in dataset instead of files ("paper": the 11-vertex worked example)`)
-		snapshot  = fs.String("snapshot", "", "index snapshot path: loaded when present, written after mining otherwise")
+		snapshot  = fs.String("snapshot", "", "snapshot path: loaded when present, written (v3, graph included) after mining otherwise")
+		snapMode  = fs.String("snapshot-mode", "auto", "v3 snapshot boot strategy: mmap (page in lazily), materialize (read fully into memory) or auto")
 		addr      = fs.String("addr", ":8080", "listen address")
 		metrics   = fs.String("metrics-addr", "", "additional listen address serving only /metrics and /debug/pprof (the main listener serves them too)")
 		cacheSize = fs.Int("cache", server.DefaultCacheSize, "epsilon cache capacity (entries)")
@@ -117,13 +132,85 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	g, resumed, err := loadGraph(*attrsPath, *edgesPath, *example, *snapshot)
+	mode, err := scpm.ParseSnapshotMode(*snapMode)
 	if err != nil {
 		fmt.Fprintln(stderr, "scpm-serve:", err)
 		return 2
 	}
-	if resumed {
-		fmt.Fprintf(stdout, "scpm-serve: resumed updated dataset from %s.{attrs,edges}\n", *snapshot)
+
+	// One registry for the whole process: boot phase timings, boot
+	// mining, the server's request/cache/remine instruments and the
+	// runtime gauges all land on it, served from the main listener and
+	// any -metrics-addr side listener.
+	reg := scpm.NewMetricsRegistry()
+	mm := obs.NewMiningMetrics(reg)
+	bootMS := reg.GaugeVec("scpm_boot_ms", "Wall time of each boot phase in milliseconds.", "phase")
+	if *metrics != "" {
+		maddr, stopMetrics, err := obs.Start(*metrics, reg)
+		if err != nil {
+			fmt.Fprintln(stderr, "scpm-serve:", err)
+			return 1
+		}
+		defer stopMetrics()
+		fmt.Fprintf(stdout, "scpm-serve: metrics on %s\n", maddr)
+	}
+
+	bootStart := time.Now()
+	var (
+		g  *scpm.Graph
+		v3 *scpm.SnapshotBoot
+	)
+	if *snapshot != "" {
+		switch v, err := scpm.SniffSnapshot(*snapshot); {
+		case errors.Is(err, os.ErrNotExist):
+			// Fresh boot: mine below and write the first v3 snapshot.
+		case err != nil:
+			fmt.Fprintln(stderr, "scpm-serve:", err)
+			return 2
+		case v == 3:
+			t0 := time.Now()
+			v3, err = scpm.OpenSnapshot(*snapshot, scpm.SnapshotOptions{Mode: mode})
+			if err != nil {
+				fmt.Fprintln(stderr, "scpm-serve:", err)
+				return 1
+			}
+			// Views over the mapping serve for the whole process
+			// lifetime; unmap only on the way out.
+			defer v3.Close()
+			bootMS.With("open_snapshot").Set(float64(time.Since(t0).Milliseconds()))
+			reg.Gauge("scpm_snapshot_mapped_bytes",
+				"Bytes of the v3 snapshot mapped or materialized at boot.").Set(float64(v3.MappedBytes()))
+			if base := filepath.Base(*snapshot); v3.OSMapped() {
+				reg.GaugeFunc("scpm_snapshot_resident_bytes",
+					"Resident (faulted-in) bytes of the mapped snapshot, from /proc/self/smaps; -1 when unreadable.",
+					func() float64 {
+						n, ok := mmapio.ResidentBytes(base)
+						if !ok {
+							return -1
+						}
+						return float64(n)
+					})
+			}
+			g = v3.Graph
+			if *attrsPath != "" || *edgesPath != "" || *example != "" {
+				fmt.Fprintln(stdout, "scpm-serve: v3 snapshot embeds its graph; -attrs/-edges/-example ignored")
+			}
+			// v == 2 falls through: the index loads below via the v2
+			// loader, paired with the dataset files.
+		}
+	}
+	if g == nil {
+		t0 := time.Now()
+		var resumed bool
+		g, resumed, err = loadGraph(*attrsPath, *edgesPath, *example, *snapshot)
+		if err != nil {
+			fmt.Fprintln(stderr, "scpm-serve:", err)
+			return 2
+		}
+		bootMS.With("graph_load").Set(float64(time.Since(t0).Milliseconds()))
+		if resumed {
+			fmt.Fprintf(stdout, "scpm-serve: resumed updated dataset from %s.{attrs,edges}\n", *snapshot)
+		}
 	}
 
 	opts := []scpm.Option{
@@ -195,22 +282,6 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	// One registry for the whole process: boot mining, the server's
-	// request/cache/remine instruments and the runtime gauges all land
-	// on it, served from the main listener and any -metrics-addr side
-	// listener.
-	reg := scpm.NewMetricsRegistry()
-	mm := obs.NewMiningMetrics(reg)
-	if *metrics != "" {
-		maddr, stopMetrics, err := obs.Start(*metrics, reg)
-		if err != nil {
-			fmt.Fprintln(stderr, "scpm-serve:", err)
-			return 1
-		}
-		defer stopMetrics()
-		fmt.Fprintf(stdout, "scpm-serve: metrics on %s\n", maddr)
-	}
-
 	// Bind and serve before the (possibly long) boot mine: /metrics and
 	// /debug/pprof answer immediately — so a boot mine can be watched
 	// and profiled — while every other path returns a JSON 503 until
@@ -234,7 +305,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- server.Serve(srvCtx, ln, &root) }()
 
-	idx, res, err := buildIndex(ctx, miner, g, *snapshot, stdout, mm)
+	idx, res, err := buildIndex(ctx, miner, g, v3, *snapshot, stdout, mm, bootMS)
 	if err != nil {
 		if scpm.IsCanceled(err) {
 			return 130
@@ -265,16 +336,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			if snapshotPath == "" {
 				return
 			}
-			// Write-behind: refresh the snapshot AND the dataset
-			// sidecars, so a restart resumes the updated data instead of
-			// refusing a snapshot that no longer matches the original
-			// dataset files.
-			if err := saveSnapshot(e.Index, snapshotPath); err != nil {
+			// Write-behind: refresh the snapshot so a restart resumes
+			// the updated data. v3 embeds the graph, so no dataset
+			// sidecars are needed — even when this boot came from a v2
+			// snapshot, the refresh upgrades it to v3 in place.
+			if err := scpm.WriteSnapshot(snapshotPath, e.Graph, e.Index); err != nil {
 				fmt.Fprintln(stderr, "scpm-serve: snapshot write-behind:", err)
-				return
-			}
-			if err := saveDataset(e.Graph, snapshotPath); err != nil {
-				fmt.Fprintln(stderr, "scpm-serve: dataset write-behind:", err)
 				return
 			}
 			fmt.Fprintf(stdout, "scpm-serve: refreshed snapshot %s (v%d)\n", snapshotPath, e.Version)
@@ -286,6 +353,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	bootMS.With("total").Set(float64(time.Since(bootStart).Milliseconds()))
 	root.Store(handler)
 	st := idx.Stats()
 	fmt.Fprintf(stdout, "scpm-serve: serving %d sets, %d patterns\n", st.Sets, st.Patterns)
@@ -373,11 +441,30 @@ func readDatasetFiles(attrsPath, edgesPath string) (*scpm.Graph, error) {
 
 // buildIndex restores the snapshot when it exists, otherwise mines the
 // graph and (when a snapshot path is configured) persists the result
-// for the next boot. It also returns the mining result backing the
-// index — reconstructed from the snapshot tables when one was restored
-// — which is what the live-update path re-mines from. A boot mine
-// streams its progress into mm, so /metrics shows it advancing.
-func buildIndex(ctx context.Context, miner *scpm.Miner, g *scpm.Graph, snapshot string, stdout io.Writer, mm *obs.MiningMetrics) (*scpm.Index, *scpm.Result, error) {
+// as a v3 snapshot for the next boot. It also returns the mining
+// result backing the index — reconstructed from the snapshot tables
+// when one was restored — which is what the live-update path re-mines
+// from. A boot mine streams its progress into mm, so /metrics shows it
+// advancing; phase wall times land on bootMS.
+func buildIndex(ctx context.Context, miner *scpm.Miner, g *scpm.Graph, v3 *scpm.SnapshotBoot, snapshot string, stdout io.Writer, mm *obs.MiningMetrics, bootMS *obs.GaugeVec) (*scpm.Index, *scpm.Result, error) {
+	if v3 != nil {
+		// The graph and index both came out of the same v3 file, so the
+		// dataset-shape cross-check of the v2 path is true by
+		// construction.
+		idx := v3.Index
+		mapped := "materialized"
+		if v3.OSMapped() {
+			mapped = "mapped"
+		}
+		fmt.Fprintf(stdout, "scpm-serve: restored graph+index from v3 snapshot %s (%s, %d bytes)\n",
+			snapshot, mapped, v3.MappedBytes())
+		fmt.Fprintln(stdout, "scpm-serve: indexed results reflect the snapshot's mining run; current mining flags apply to on-demand /epsilon only")
+		// A snapshot carries no search lattice, so the first update
+		// triggers a full (rather than incremental) remine; later ones
+		// chain incrementally.
+		res := &scpm.Result{Sets: idx.Sets(), Patterns: idx.Patterns(), Stats: idx.MiningStats()}
+		return idx, res, nil
+	}
 	if snapshot != "" {
 		if f, err := os.Open(snapshot); err == nil {
 			defer f.Close()
@@ -416,62 +503,18 @@ func buildIndex(ctx context.Context, miner *scpm.Miner, g *scpm.Graph, snapshot 
 	if err != nil {
 		return nil, nil, err
 	}
+	bootMS.With("mine").Set(float64(time.Since(start).Milliseconds()))
 	fmt.Fprintf(stdout, "scpm-serve: mined %d sets, %d patterns in %s\n",
 		len(res.Sets), len(res.Patterns), res.Stats.Duration.Round(time.Millisecond))
+	t0 := time.Now()
 	idx := scpm.NewIndex(res, g)
+	bootMS.With("index_build").Set(float64(time.Since(t0).Milliseconds()))
 	fmt.Fprintf(stdout, "scpm-serve: index built in %s\n", time.Since(start).Round(time.Millisecond))
 	if snapshot != "" {
-		if err := saveSnapshot(idx, snapshot); err != nil {
+		if err := scpm.WriteSnapshot(snapshot, g, idx); err != nil {
 			return nil, nil, err
 		}
-		fmt.Fprintf(stdout, "scpm-serve: wrote snapshot %s\n", snapshot)
+		fmt.Fprintf(stdout, "scpm-serve: wrote v3 snapshot %s\n", snapshot)
 	}
 	return idx, res, nil
-}
-
-// saveDataset writes the updated graph's dataset sidecars next to the
-// snapshot (tmp + rename per file), so a restart can resume the data
-// the snapshot was mined from.
-func saveDataset(g *scpm.Graph, snapshot string) error {
-	var attrs, edges bytes.Buffer
-	if err := scpm.WriteDataset(g, &attrs, &edges); err != nil {
-		return err
-	}
-	for _, f := range []struct {
-		path string
-		data []byte
-	}{
-		{snapshot + ".attrs", attrs.Bytes()},
-		{snapshot + ".edges", edges.Bytes()},
-	} {
-		tmp := f.path + ".tmp"
-		if err := os.WriteFile(tmp, f.data, 0o644); err != nil {
-			return err
-		}
-		if err := os.Rename(tmp, f.path); err != nil {
-			os.Remove(tmp)
-			return err
-		}
-	}
-	return nil
-}
-
-// saveSnapshot writes the index atomically (tmp file + rename), so a
-// crash mid-write never leaves a truncated snapshot for the next boot.
-func saveSnapshot(idx *scpm.Index, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := idx.Save(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
 }

@@ -160,17 +160,21 @@ func TestServeSnapshotRoundTrip(t *testing.T) {
 	if code := shutdown(); code != 0 {
 		t.Fatalf("first boot exit %d", code)
 	}
-	if !strings.Contains(stdout.String(), "wrote snapshot") {
+	if !strings.Contains(stdout.String(), "wrote v3 snapshot") {
 		t.Fatalf("snapshot not written:\n%s", stdout.String())
 	}
 	if _, err := os.Stat(snap); err != nil {
 		t.Fatal(err)
 	}
 
-	// Second boot restores it (and still answers queries).
+	// Second boot restores it (and still answers queries). A v3
+	// snapshot embeds the graph, so the dataset flags are ignored.
 	base, stdout2, shutdown2 := startServe(t, append([]string{"-snapshot", snap}, paperArgs...)...)
-	if !strings.Contains(stdout2.String(), "restored index") {
+	if !strings.Contains(stdout2.String(), "restored graph+index from v3 snapshot") {
 		t.Fatalf("snapshot not restored:\n%s", stdout2.String())
+	}
+	if !strings.Contains(stdout2.String(), "-attrs/-edges/-example ignored") {
+		t.Fatalf("dataset-flags-ignored note missing:\n%s", stdout2.String())
 	}
 	var health struct {
 		Sets int `json:"sets"`
@@ -184,15 +188,14 @@ func TestServeSnapshotRoundTrip(t *testing.T) {
 	}
 }
 
-// TestServeSnapshotDatasetMismatch pairs a snapshot mined from the
-// paper example with a different dataset: the boot must refuse instead
-// of serving inconsistent answers.
+// TestServeSnapshotDatasetMismatch pairs a v2 (index-only) snapshot
+// mined from the paper example with a different dataset: the boot must
+// refuse instead of serving inconsistent answers. (A v3 snapshot embeds
+// its graph, so the mismatch is impossible there by construction; this
+// pins the v2 compat path.)
 func TestServeSnapshotDatasetMismatch(t *testing.T) {
 	snap := filepath.Join(t.TempDir(), "paper.scpmidx")
-	_, _, shutdown := startServe(t, append([]string{"-snapshot", snap}, paperArgs...)...)
-	if code := shutdown(); code != 0 {
-		t.Fatalf("first boot exit %d", code)
-	}
+	writeV2Snapshot(t, snap)
 
 	// A different dataset: the example graph minus one edge.
 	dir := t.TempDir()
@@ -220,13 +223,112 @@ func TestServeSnapshotDatasetMismatch(t *testing.T) {
 	}
 }
 
+// writeV2Snapshot mines the paper example in-process and saves a
+// legacy v2 (index-only) snapshot at path.
+func writeV2Snapshot(t *testing.T, path string) {
+	t.Helper()
+	m, err := scpm.NewMiner(
+		scpm.WithSigmaMin(3), scpm.WithGamma(0.6), scpm.WithMinSize(4),
+		scpm.WithEpsMin(0.5), scpm.WithTopK(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Mine(context.Background(), scpm.PaperExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := scpm.NewIndex(res, scpm.PaperExample())
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeV2SnapshotCompat boots a legacy v2 snapshot paired with its
+// matching dataset: the old loader still serves it.
+func TestServeV2SnapshotCompat(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "paper.scpmidx")
+	writeV2Snapshot(t, snap)
+	base, stdout, shutdown := startServe(t, append([]string{"-snapshot", snap}, paperArgs...)...)
+	if !strings.Contains(stdout.String(), "restored index from") {
+		t.Fatalf("v2 snapshot not restored:\n%s", stdout.String())
+	}
+	var health struct {
+		Sets int `json:"sets"`
+	}
+	getJSON(t, base+"/healthz", &health)
+	if health.Sets != 3 {
+		t.Fatalf("v2 healthz = %+v", health)
+	}
+	if code := shutdown(); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+}
+
+// TestServeSnapshotModes boots one v3 snapshot in both explicit modes
+// — no dataset flags at all — and requires every response byte to
+// match: mmap and materialize must be observationally identical.
+func TestServeSnapshotModes(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "paper.scpmidx")
+	_, _, shutdown := startServe(t, append([]string{"-snapshot", snap}, paperArgs...)...)
+	if code := shutdown(); code != 0 {
+		t.Fatalf("mining boot exit %d", code)
+	}
+
+	// The same query sequence per boot; /epsilon?attrs=C twice checks
+	// the computed and the cached answer both match across modes.
+	paths := []string{
+		"/sets?rank=epsilon", "/sets?attrs=A", "/patterns", "/healthz",
+		"/epsilon?attrs=A,B", "/epsilon?attrs=C", "/epsilon?attrs=C",
+		"/vertices/1", "/stats",
+	}
+	fetch := func(mode string) []string {
+		base, stdout, shutdown := startServe(t, "-snapshot", snap, "-snapshot-mode", mode, "-no-updates")
+		defer shutdown()
+		if !strings.Contains(stdout.String(), "restored graph+index from v3 snapshot") {
+			t.Fatalf("mode %s did not boot from the snapshot:\n%s", mode, stdout.String())
+		}
+		bodies := make([]string, len(paths))
+		for i, p := range paths {
+			resp, err := http.Get(base + p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("mode %s: GET %s = %d: %s", mode, p, resp.StatusCode, b)
+			}
+			bodies[i] = string(b)
+		}
+		return bodies
+	}
+
+	mmap := fetch("mmap")
+	mat := fetch("materialize")
+	for i, p := range paths {
+		if mmap[i] != mat[i] {
+			t.Fatalf("GET %s differs between modes:\nmmap:        %s\nmaterialize: %s", p, mmap[i], mat[i])
+		}
+	}
+}
+
 // TestServeLiveUpdates drives the dynamic path over real HTTP: POST an
 // update batch, wait for the background remine to swap, check the
 // version endpoints and the re-served set, then restart from the
 // write-behind snapshot and confirm the updated data survived.
 func TestServeLiveUpdates(t *testing.T) {
 	snap := filepath.Join(t.TempDir(), "paper.scpmidx")
-	base, _, shutdown := startServe(t, append([]string{"-snapshot", snap}, paperArgs...)...)
+	base, stdout, shutdown := startServe(t, append([]string{"-snapshot", snap}, paperArgs...)...)
 
 	var ver struct {
 		Served  float64 `json:"served_version"`
@@ -289,27 +391,28 @@ func TestServeLiveUpdates(t *testing.T) {
 	}
 
 	// Wait for the write-behind to land before shutting down (the swap
-	// publishes before the snapshot refresh is logged).
-	sidecarDeadline := time.After(30 * time.Second)
-	for {
-		if _, err := os.Stat(snap + ".attrs"); err == nil {
-			break
-		}
+	// publishes before the snapshot refresh is logged). v3 embeds the
+	// updated graph in the snapshot itself — no dataset sidecars.
+	refreshDeadline := time.After(30 * time.Second)
+	for !strings.Contains(stdout.String(), "refreshed snapshot") {
 		select {
-		case <-sidecarDeadline:
-			t.Fatal("dataset sidecars never written")
+		case <-refreshDeadline:
+			t.Fatal("snapshot write-behind never ran")
 		case <-time.After(50 * time.Millisecond):
 		}
 	}
 	if code := shutdown(); code != 0 {
 		t.Fatalf("exit %d", code)
 	}
+	if _, err := os.Stat(snap + ".attrs"); err == nil {
+		t.Fatal("v3 write-behind left dataset sidecars")
+	}
 
-	// Restart: the boot must resume the UPDATED dataset + snapshot pair
-	// and serve the post-update support immediately.
+	// Restart: the boot must restore the UPDATED graph+index from the
+	// refreshed v3 snapshot and serve the post-update support at once.
 	base2, stdout2, shutdown2 := startServe(t, append([]string{"-snapshot", snap}, paperArgs...)...)
-	if !strings.Contains(stdout2.String(), "resumed updated dataset") {
-		t.Fatalf("restart did not resume sidecars:\n%s", stdout2.String())
+	if !strings.Contains(stdout2.String(), "restored graph+index from v3 snapshot") {
+		t.Fatalf("restart did not restore the refreshed snapshot:\n%s", stdout2.String())
 	}
 	var again struct {
 		Sets []struct {

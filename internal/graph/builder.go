@@ -185,6 +185,7 @@ func (b *Builder) Build() (*Graph, error) {
 		attrArena:   attrArena,
 		attrNames:   append([]string(nil), b.attrNames...),
 		attrIndex:   attrIndex,
+		numVertices: n,
 		vertexNames: append([]string(nil), b.vertexNames...),
 		nameIndex:   nameIndex,
 		numEdges:    int(w / 2),

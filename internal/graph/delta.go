@@ -511,7 +511,14 @@ func (g *Graph) Apply(d *Delta) (*Graph, *ChangeSet, error) {
 	for i, name := range attrNames {
 		attrIndex[name] = int32(i)
 	}
-	vertexNames := append(append(make([]string, 0, nNew), g.vertexNames...), d.newNames...)
+	// The base graph may be view-backed (lazy labels), so go through
+	// VertexName rather than its eager table; the new generation is
+	// always eager and independent of any snapshot mapping.
+	vertexNames := make([]string, 0, nNew)
+	for v := int32(0); int(v) < n; v++ {
+		vertexNames = append(vertexNames, g.VertexName(v))
+	}
+	vertexNames = append(vertexNames, d.newNames...)
 	nameIndex := make(map[string]int32, nNew)
 	for i, name := range vertexNames {
 		nameIndex[name] = int32(i)
@@ -524,6 +531,7 @@ func (g *Graph) Apply(d *Delta) (*Graph, *ChangeSet, error) {
 		attrArena:   attrArena,
 		attrNames:   attrNames,
 		attrIndex:   attrIndex,
+		numVertices: nNew,
 		vertexNames: vertexNames,
 		nameIndex:   nameIndex,
 		numEdges:    g.numEdges + addedEdges - removedEdges,

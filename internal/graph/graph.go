@@ -20,8 +20,10 @@ package graph
 import (
 	"fmt"
 	"slices"
+	"sync"
 
 	"github.com/scpm/scpm/internal/bitset"
+	"github.com/scpm/scpm/internal/mmapio"
 	"github.com/scpm/scpm/internal/stats"
 )
 
@@ -41,11 +43,27 @@ type Graph struct {
 	attrOff   []int64
 	attrArena []int32
 
-	attrNames   []string
-	attrIndex   map[string]int32
+	attrNames []string
+	attrIndex map[string]int32
+
+	numVertices int
+
+	// Vertex labels come in one of two shapes. Built graphs carry the
+	// eager vertexNames table. View-backed graphs (FromParts over a
+	// mapped snapshot) leave it nil and serve VertexName as zero-copy
+	// string views over nameBlob, delimited by nameOffs (len |V|+1) —
+	// so booting never touches the label region at all.
 	vertexNames []string
-	nameIndex   map[string]int32
-	numEdges    int
+	nameBlob    []byte
+	nameOffs    []int64
+
+	// nameIndex is the label→id map behind VertexID. View-backed
+	// graphs build it lazily on first lookup (nameOnce) to keep boot
+	// cost independent of |V|; built graphs fill it eagerly.
+	nameIndex map[string]int32
+	nameOnce  sync.Once
+
+	numEdges int
 
 	// attrMembers[a] is the set of vertices carrying attribute a
 	// (the vertical index used for induced subgraphs and Eclat).
@@ -64,7 +82,7 @@ type Graph struct {
 func (g *Graph) Version() uint64 { return g.version }
 
 // NumVertices returns |V|.
-func (g *Graph) NumVertices() int { return len(g.vertexNames) }
+func (g *Graph) NumVertices() int { return g.numVertices }
 
 // NumEdges returns |E| (each undirected edge counted once).
 func (g *Graph) NumEdges() int { return g.numEdges }
@@ -87,6 +105,12 @@ func (g *Graph) Neighbors(v int32) []int32 {
 // structural miners can wrap the graph without copying it. The caller
 // must not modify either slice.
 func (g *Graph) CSR() (offsets []int64, neighbors []int32) { return g.off, g.nbrs }
+
+// AttrCSR exposes the raw attribute backbone by reference — the
+// offsets array (len |V|+1) and the flat attribute-id arena — the
+// attribute-side mirror of CSR. The snapshot writer serializes the
+// graph through it; the caller must not modify either slice.
+func (g *Graph) AttrCSR() (offsets []int64, attrs []int32) { return g.attrOff, g.attrArena }
 
 // VertexAttrs returns the sorted attribute ids of v as a view into the
 // graph's attribute arena. The caller must not modify the returned
@@ -115,16 +139,37 @@ func (g *Graph) AttrID(name string) (int32, bool) {
 	return id, true
 }
 
-// VertexName returns the external label of vertex v.
-func (g *Graph) VertexName(v int32) string { return g.vertexNames[v] }
+// VertexName returns the external label of vertex v. For view-backed
+// graphs the result is a zero-copy view into the snapshot mapping and
+// stays valid for the mapping's lifetime.
+func (g *Graph) VertexName(v int32) string {
+	if g.vertexNames != nil {
+		return g.vertexNames[v]
+	}
+	return mmapio.ViewString(g.nameBlob[g.nameOffs[v]:g.nameOffs[v+1]])
+}
 
-// VertexID returns the id of the named vertex, or (-1, false).
+// VertexID returns the id of the named vertex, or (-1, false). On a
+// view-backed graph the first call pays the one-time O(|V|) index
+// build that boot deferred.
 func (g *Graph) VertexID(name string) (int32, bool) {
+	g.nameOnce.Do(g.initNameIndex)
 	id, ok := g.nameIndex[name]
 	if !ok {
 		return -1, false
 	}
 	return id, true
+}
+
+func (g *Graph) initNameIndex() {
+	if g.nameIndex != nil {
+		return
+	}
+	idx := make(map[string]int32, g.numVertices)
+	for v := int32(0); int(v) < g.numVertices; v++ {
+		idx[g.VertexName(v)] = v
+	}
+	g.nameIndex = idx
 }
 
 // AttrSupport returns σ({a}): the number of vertices carrying a.

@@ -15,6 +15,7 @@ package index
 
 import (
 	"sort"
+	"sync"
 
 	"github.com/scpm/scpm/internal/bitset"
 	"github.com/scpm/scpm/internal/core"
@@ -26,12 +27,21 @@ import (
 // concurrent use.
 type Index struct {
 	// Canonical tables, in Result order (sets by size then
-	// lexicographic attribute ids; patterns grouped per set).
-	sets     []core.AttributeSet
-	patterns []core.Pattern
+	// lexicographic attribute ids; patterns grouped per set). When
+	// hydrate is non-nil they start empty and are filled exactly once,
+	// on first access — route every read through tables(). nSets and
+	// nPatterns always hold the table sizes, hydrated or not.
+	sets      []core.AttributeSet
+	patterns  []core.Pattern
+	nSets     int
+	nPatterns int
 	// patVerts[i] holds the resolved vertex labels of patterns[i],
 	// aligned with Pattern.Vertices.
 	patVerts [][]string
+	// hydrate defers the row-table fill for lazily assembled indexes
+	// (Parts.Rows); nil everywhere else.
+	hydrate  func() Rows
+	rowsOnce sync.Once
 	// mining carries the run counters of the producing Result.
 	mining core.Stats
 	// dsVertices/dsEdges/dsAttributes record the shape of the graph the
@@ -42,18 +52,26 @@ type Index struct {
 	dsAttributes int
 
 	// Derived structures, rebuilt deterministically on Build and Load.
-	setIDs    []string         // setIDs[i] = sets[i].ID()
-	patIDs    []string         // patIDs[i] = patterns[i].ID()
-	patSetIDs []string         // patSetIDs[i] = patterns[i].SetID()
-	byID      map[string]int32 // set id → sets index
-	patByID   map[string]int32 // pattern id → patterns index
-	patsOf    [][]int32        // sets index → patterns indices, in order
-	root      *trieNode        // attribute-set trie over sorted attr ids
+	setIDs    []string // setIDs[i] = sets[i].ID()
+	patIDs    []string // patIDs[i] = patterns[i].ID()
+	patSetIDs []string // patSetIDs[i] = patterns[i].SetID()
+
+	// Pointer-shaped lookup structures, built from the canonical tables
+	// by buildDerived. Build and Load pay for them up front; a lazily
+	// assembled index (FromParts without EagerDerived, the mmap boot
+	// path) defers them to the first query that needs one, so opening a
+	// snapshot stays O(sections) instead of O(sets). Access only through
+	// derived().
+	derivedOnce sync.Once
+	byID        map[string]int32 // set id → sets index
+	patByID     map[string]int32 // pattern id → patterns index
+	patsOf      [][]int32        // sets index → patterns indices, in order
+	root        *trieNode        // attribute-set trie over sorted attr ids
+	attrIDs     map[string]int32 // attribute name → id (for trie walks)
 
 	// Inverted postings on the shared bitset machinery.
 	attrPost map[string]*bitset.Set // attribute name → set indices
 	vertPost map[string]*bitset.Set // vertex label → pattern indices
-	attrIDs  map[string]int32       // attribute name → id (for trie walks)
 }
 
 // Build constructs an Index from a mining result. The graph must be the
@@ -83,23 +101,21 @@ func Build(res *core.Result, g *graph.Graph) *Index {
 // every index answers queries identically however it was constructed.
 // Pre-filled (non-empty) id entries are kept — that is how Rebuild
 // carries interned ids over — and only missing ones are hashed.
+// freeze may only run on a freshly constructed Index (its derivedOnce
+// must not have fired).
 func (x *Index) freeze() {
+	x.nSets = len(x.sets)
+	x.nPatterns = len(x.patterns)
 	if x.setIDs == nil {
 		x.setIDs = make([]string, len(x.sets))
 	}
-	x.byID = make(map[string]int32, len(x.sets))
-	x.root = &trieNode{set: -1}
 	x.attrPost = make(map[string]*bitset.Set)
-	x.attrIDs = make(map[string]int32)
 	for i := range x.sets {
 		s := &x.sets[i]
 		if x.setIDs[i] == "" {
 			x.setIDs[i] = s.ID()
 		}
-		x.byID[x.setIDs[i]] = int32(i)
-		x.root.insert(s.Attrs, int32(i))
-		for j, name := range s.Names {
-			x.attrIDs[name] = s.Attrs[j]
+		for _, name := range s.Names {
 			post := x.attrPost[name]
 			if post == nil {
 				post = bitset.New(len(x.sets))
@@ -115,8 +131,6 @@ func (x *Index) freeze() {
 	if x.patSetIDs == nil {
 		x.patSetIDs = make([]string, len(x.patterns))
 	}
-	x.patByID = make(map[string]int32, len(x.patterns))
-	x.patsOf = make([][]int32, len(x.sets))
 	x.vertPost = make(map[string]*bitset.Set)
 	for i := range x.patterns {
 		p := &x.patterns[i]
@@ -125,10 +139,6 @@ func (x *Index) freeze() {
 		}
 		if x.patSetIDs[i] == "" {
 			x.patSetIDs[i] = p.SetID()
-		}
-		x.patByID[x.patIDs[i]] = int32(i)
-		if si, ok := x.byID[x.patSetIDs[i]]; ok {
-			x.patsOf[si] = append(x.patsOf[si], int32(i))
 		}
 		for _, label := range x.patVerts[i] {
 			post := x.vertPost[label]
@@ -139,13 +149,62 @@ func (x *Index) freeze() {
 			post.Add(i)
 		}
 	}
+	x.derived()
+}
+
+// derived builds the pointer-shaped lookup structures (id maps, trie,
+// per-set pattern lists) exactly once. Build and Load call it eagerly;
+// a lazily assembled index pays on the first lookup that needs one.
+// Safe for concurrent use — callers may race on a cold index and block
+// behind one build.
+func (x *Index) derived() { x.derivedOnce.Do(x.buildDerived) }
+
+// tables fills the canonical row tables of a lazily assembled index on
+// first use. A no-op (one nil check) everywhere else. Safe for
+// concurrent use.
+func (x *Index) tables() {
+	if x.hydrate == nil {
+		return
+	}
+	x.rowsOnce.Do(func() {
+		r := x.hydrate()
+		x.sets = r.Sets
+		x.patterns = r.Patterns
+		x.patVerts = r.PatVerts
+		x.setIDs = r.SetIDs
+		x.patIDs = r.PatIDs
+		x.patSetIDs = r.PatSetIDs
+	})
+}
+
+func (x *Index) buildDerived() {
+	x.tables()
+	x.byID = make(map[string]int32, len(x.sets))
+	x.root = &trieNode{set: -1}
+	x.attrIDs = make(map[string]int32)
+	for i := range x.sets {
+		s := &x.sets[i]
+		x.byID[x.setIDs[i]] = int32(i)
+		x.root.insert(s.Attrs, int32(i))
+		for j, name := range s.Names {
+			x.attrIDs[name] = s.Attrs[j]
+		}
+	}
+	x.patByID = make(map[string]int32, len(x.patterns))
+	x.patsOf = make([][]int32, len(x.sets))
+	for i := range x.patterns {
+		x.patByID[x.patIDs[i]] = int32(i)
+		if si, ok := x.byID[x.patSetIDs[i]]; ok {
+			x.patsOf[si] = append(x.patsOf[si], int32(i))
+		}
+	}
 }
 
 // NumSets returns the number of indexed attribute sets.
-func (x *Index) NumSets() int { return len(x.sets) }
+func (x *Index) NumSets() int { return x.nSets }
 
 // NumPatterns returns the number of indexed patterns.
-func (x *Index) NumPatterns() int { return len(x.patterns) }
+func (x *Index) NumPatterns() int { return x.nPatterns }
 
 // MiningStats returns the run counters of the producing mining run.
 func (x *Index) MiningStats() core.Stats { return x.mining }
@@ -160,26 +219,42 @@ func (x *Index) DatasetShape() (vertices, edges, attributes int) {
 
 // Sets returns the indexed attribute sets in canonical order. The
 // caller must not modify the returned slice.
-func (x *Index) Sets() []core.AttributeSet { return x.sets }
+func (x *Index) Sets() []core.AttributeSet {
+	x.tables()
+	return x.sets
+}
 
 // Patterns returns the indexed patterns in canonical order. The caller
 // must not modify the returned slice.
-func (x *Index) Patterns() []core.Pattern { return x.patterns }
+func (x *Index) Patterns() []core.Pattern {
+	x.tables()
+	return x.patterns
+}
 
 // SetID returns the stable id of the i-th indexed set.
-func (x *Index) SetID(i int) string { return x.setIDs[i] }
+func (x *Index) SetID(i int) string {
+	x.tables()
+	return x.setIDs[i]
+}
 
 // PatternID returns the stable id of the i-th indexed pattern.
-func (x *Index) PatternID(i int) string { return x.patIDs[i] }
+func (x *Index) PatternID(i int) string {
+	x.tables()
+	return x.patIDs[i]
+}
 
 // PatternSetID returns the stable id of the set owning the i-th
 // indexed pattern, precomputed at build time so render paths never
 // re-hash per request.
-func (x *Index) PatternSetID(i int) string { return x.patSetIDs[i] }
+func (x *Index) PatternSetID(i int) string {
+	x.tables()
+	return x.patSetIDs[i]
+}
 
 // SetIndexByID returns the index of the set with the given stable id,
 // or -1.
 func (x *Index) SetIndexByID(id string) int {
+	x.derived()
 	i, ok := x.byID[id]
 	if !ok {
 		return -1
@@ -190,15 +265,22 @@ func (x *Index) SetIndexByID(id string) int {
 // PatternsOfSetByIndex returns the pattern indices of the i-th indexed
 // set, in canonical order. The caller must not modify the returned
 // slice.
-func (x *Index) PatternsOfSetByIndex(i int) []int32 { return x.patsOf[i] }
+func (x *Index) PatternsOfSetByIndex(i int) []int32 {
+	x.derived()
+	return x.patsOf[i]
+}
 
 // PatternVertexNames returns the resolved vertex labels of the i-th
 // indexed pattern, aligned with its Vertices. The caller must not
 // modify the returned slice.
-func (x *Index) PatternVertexNames(i int) []string { return x.patVerts[i] }
+func (x *Index) PatternVertexNames(i int) []string {
+	x.tables()
+	return x.patVerts[i]
+}
 
 // SetByID finds an attribute set by its stable id.
 func (x *Index) SetByID(id string) (core.AttributeSet, bool) {
+	x.derived()
 	i, ok := x.byID[id]
 	if !ok {
 		return core.AttributeSet{}, false
@@ -208,6 +290,7 @@ func (x *Index) SetByID(id string) (core.AttributeSet, bool) {
 
 // PatternByID finds a pattern by its stable id.
 func (x *Index) PatternByID(id string) (core.Pattern, bool) {
+	x.derived()
 	i, ok := x.patByID[id]
 	if !ok {
 		return core.Pattern{}, false
@@ -219,6 +302,7 @@ func (x *Index) PatternByID(id string) (core.Pattern, bool) {
 // with the given stable id, in canonical order. The caller must not
 // modify the returned slice.
 func (x *Index) PatternsOfSet(id string) []int32 {
+	x.derived()
 	i, ok := x.byID[id]
 	if !ok {
 		return nil
@@ -230,6 +314,7 @@ func (x *Index) PatternsOfSet(id string) []int32 {
 // false when any name never occurs in an indexed set — no indexed set
 // can match it, whatever the relation.
 func (x *Index) attrSet(names []string) (attrs []int32, ok bool) {
+	x.derived()
 	attrs = make([]int32, 0, len(names))
 	for _, n := range names {
 		id, found := x.attrIDs[n]
@@ -269,6 +354,7 @@ func (x *Index) Supersets(names []string) []int {
 // Subsets returns the indices of every indexed set whose attributes are
 // all among the given names (S ⊆ query), ascending.
 func (x *Index) Subsets(names []string) []int {
+	x.derived()
 	attrs := make([]int32, 0, len(names))
 	for _, n := range names {
 		// Names the index has never seen simply cannot contribute
@@ -316,6 +402,7 @@ func (x *Index) HasVertex(label string) bool { return x.vertPost[label] != nil }
 // TopSets returns the n best indexed sets under the given ranking
 // (σ, ε or δ), like the paper's case-study tables.
 func (x *Index) TopSets(r core.Ranking, n int) []core.AttributeSet {
+	x.tables()
 	return core.TopSets(x.sets, r, n)
 }
 
@@ -335,8 +422,8 @@ type Stats struct {
 // Stats returns the index shape summary.
 func (x *Index) Stats() Stats {
 	return Stats{
-		Sets:            len(x.sets),
-		Patterns:        len(x.patterns),
+		Sets:            x.nSets,
+		Patterns:        x.nPatterns,
 		Attributes:      len(x.attrPost),
 		PatternVertices: len(x.vertPost),
 		Mining:          x.mining,

@@ -22,6 +22,7 @@ import (
 // keeps the same id. g must be the graph res was mined from; the
 // receiver is not modified.
 func (x *Index) Rebuild(res *core.Result, g *graph.Graph) *Index {
+	x.derived() // reuse walks the trie and patsOf; also hydrates lazy row tables
 	nx := &Index{
 		sets:         append([]core.AttributeSet(nil), res.Sets...),
 		patterns:     append([]core.Pattern(nil), res.Patterns...),

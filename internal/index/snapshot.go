@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"os"
 	"time"
 
 	"github.com/scpm/scpm/internal/core"
@@ -36,6 +37,7 @@ const (
 // deterministic: the same index always produces the same bytes, and a
 // Load followed by another Save reproduces them bit-identically.
 func (x *Index) Save(w io.Writer) error {
+	x.tables()
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriter(io.MultiWriter(w, crc))
 	e := &encoder{w: bw}
@@ -114,7 +116,7 @@ func (x *Index) Save(w io.Writer) error {
 // Load reads a snapshot written by Save and rebuilds the full index,
 // verifying the magic, version and checksum.
 func Load(r io.Reader) (*Index, error) {
-	data, err := io.ReadAll(r)
+	data, err := readSnapshotBytes(r)
 	if err != nil {
 		return nil, fmt.Errorf("index: loading snapshot: %w", err)
 	}
@@ -215,6 +217,42 @@ func Load(r io.Reader) (*Index, error) {
 	}
 	x.freeze()
 	return x, nil
+}
+
+// readSnapshotBytes slurps the snapshot into one exactly-sized buffer.
+// io.ReadAll would repeatedly grow-and-copy, ~2× the snapshot size in
+// transient garbage; for readers of knowable size (*os.File and
+// friends) the remaining length is computed from Stat and the current
+// offset, the buffer pre-sized, and one io.ReadFull pass fills it —
+// which also bounds a crafted file's allocation before any decoding.
+func readSnapshotBytes(r io.Reader) ([]byte, error) {
+	f, ok := r.(interface {
+		io.ReadSeeker
+		Stat() (os.FileInfo, error)
+	})
+	if !ok {
+		return io.ReadAll(r)
+	}
+	st, err := f.Stat()
+	if err != nil || !st.Mode().IsRegular() {
+		return io.ReadAll(r)
+	}
+	cur, err := f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return io.ReadAll(r)
+	}
+	size := st.Size() - cur
+	if size < 0 {
+		size = 0
+	}
+	if size > maxSnapshotLen {
+		return nil, fmt.Errorf("snapshot is %d bytes (cap %d)", size, maxSnapshotLen)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
 }
 
 // encoder writes the snapshot primitives, latching the first error.

@@ -1,0 +1,92 @@
+//go:build linux
+
+package mmapio
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// Supported reports whether this build can create OS file mappings.
+func Supported() bool { return true }
+
+// OpenMapped maps path read-only with mmap(2). An empty file yields a
+// valid zero-length heap-mode Mapping (mmap rejects length 0).
+func OpenMapped(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &Mapping{}, nil
+	}
+	if size < 0 || size > int64(int(^uint(0)>>1)) {
+		return nil, fmt.Errorf("mmapio: file %s size %d out of range", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmapio: mmap %s: %w", path, err)
+	}
+	return &Mapping{data: data, mapped: true}, nil
+}
+
+func munmap(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	return syscall.Munmap(data)
+}
+
+// ResidentBytes returns a best-effort count of the process's
+// file-backed resident pages from /proc/self/smaps, summing the Rss of
+// every mapping whose pathname contains substr (all file mappings when
+// substr is empty). The second result is false when the accounting is
+// unavailable.
+func ResidentBytes(substr string) (int64, bool) {
+	f, err := os.Open("/proc/self/smaps")
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	var total int64
+	match := false
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		// Mapping headers look like "7f3a..-7f3b.. r--p off dev ino /path";
+		// every other line is a "Key:  value kB" field of the current
+		// mapping. Headers are distinguished by their hex-range first field.
+		if f := strings.IndexByte(line, ' '); f > 0 && strings.ContainsRune(line[:f], '-') {
+			path := ""
+			if i := strings.LastIndexByte(line, ' '); i >= 0 {
+				path = line[i+1:]
+			}
+			match = strings.HasPrefix(path, "/") && (substr == "" || strings.Contains(path, substr))
+			continue
+		}
+		if !match || !strings.HasPrefix(line, "Rss:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) >= 2 {
+			if kb, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+				total += kb * 1024
+			}
+		}
+	}
+	if sc.Err() != nil {
+		return 0, false
+	}
+	return total, true
+}

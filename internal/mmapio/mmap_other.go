@@ -1,0 +1,19 @@
+//go:build !linux
+
+package mmapio
+
+import "errors"
+
+// Supported reports whether this build can create OS file mappings.
+func Supported() bool { return false }
+
+// OpenMapped is unavailable on this platform; callers fall back to
+// OpenHeap (Open does so automatically).
+func OpenMapped(path string) (*Mapping, error) {
+	return nil, errors.New("mmapio: mmap not supported on this platform")
+}
+
+func munmap(data []byte) error { return nil }
+
+// ResidentBytes is unavailable on this platform.
+func ResidentBytes(substr string) (int64, bool) { return 0, false }

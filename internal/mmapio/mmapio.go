@@ -1,0 +1,188 @@
+// Package mmapio maps files into memory and reinterprets the mapped
+// bytes as typed Go slices without copying.
+//
+// It is the substrate of the v3 snapshot boot path (see
+// docs/FILE_FORMATS.md): a snapshot file is opened as one contiguous
+// read-only byte region — via mmap(2) on platforms that support it, or
+// read into an 8-byte-aligned heap buffer anywhere else — and the
+// graph/index packages build their CSR arenas, bitset arenas and string
+// tables as views over that region. The package keeps the unsafe
+// surface narrow: every reinterpretation helper (Uint64s, Int64s,
+// Int32s, ViewString) validates length and 8-byte alignment before the
+// single unsafe.Slice/unsafe.String call it wraps, and the rest of the
+// codebase never touches package unsafe.
+//
+// Mapped regions are read-only; writing through a view faults (mmap)
+// or corrupts shared state (heap), so all view consumers must treat
+// the slices as immutable. Views stay valid until Mapping.Close.
+package mmapio
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"unsafe"
+)
+
+// ErrMisaligned reports a typed-view request over bytes whose base
+// address or length does not meet the view's alignment contract.
+var ErrMisaligned = errors.New("mmapio: misaligned view")
+
+// Mapping is one open read-only byte region backed either by an mmap
+// of a file or by a heap buffer holding the file's contents. The zero
+// value is an empty, closed mapping.
+type Mapping struct {
+	data   []byte
+	mapped bool // true when data is an OS mapping, false for heap
+	closed bool
+}
+
+// Open opens path as a read-only Mapping, preferring an OS file
+// mapping and silently falling back to a heap read when mapping is
+// unsupported (non-linux builds) or fails (e.g. special files). Use
+// OpenMapped or OpenHeap to force one path.
+func Open(path string) (*Mapping, error) {
+	if Supported() {
+		if m, err := OpenMapped(path); err == nil {
+			return m, nil
+		}
+	}
+	return OpenHeap(path)
+}
+
+// OpenHeap reads path fully into an 8-byte-aligned heap buffer and
+// wraps it as a Mapping. It is the portable fallback: views carved
+// from it obey the same alignment contract as true mappings.
+func OpenHeap(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < 0 || size > int64(int(^uint(0)>>1)) {
+		return nil, fmt.Errorf("mmapio: file %s size %d out of range", path, size)
+	}
+	// Allocate uint64 backing so the base address is 8-aligned even
+	// though the region is addressed as bytes.
+	words := make([]uint64, (size+7)/8)
+	var buf []byte
+	if len(words) > 0 {
+		buf = unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), size)
+	}
+	if _, err := readFull(f, buf); err != nil {
+		return nil, fmt.Errorf("mmapio: read %s: %w", path, err)
+	}
+	return &Mapping{data: buf}, nil
+}
+
+func readFull(f *os.File, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		k, err := f.ReadAt(buf[n:], int64(n))
+		n += k
+		if err != nil {
+			if n == len(buf) {
+				break
+			}
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Data returns the mapped bytes. The caller must not modify them and
+// must not retain the slice past Close.
+func (m *Mapping) Data() []byte { return m.data }
+
+// Len returns the size of the region in bytes.
+func (m *Mapping) Len() int { return len(m.data) }
+
+// Mapped reports whether the region is an OS file mapping (true) or a
+// heap copy (false).
+func (m *Mapping) Mapped() bool { return m.mapped }
+
+// Close releases the region: munmap for OS mappings, a reference drop
+// for heap buffers. Views over the mapping become invalid; Close is
+// idempotent.
+func (m *Mapping) Close() error {
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	data := m.data
+	m.data = nil
+	if m.mapped {
+		m.mapped = false
+		return munmap(data)
+	}
+	return nil
+}
+
+// Uint64s reinterprets b as a []uint64 view. b must be 8-byte aligned
+// and a multiple of 8 bytes long; the returned slice aliases b.
+func Uint64s(b []byte) ([]uint64, error) {
+	if err := checkAlign(b, 8); err != nil {
+		return nil, err
+	}
+	if len(b) == 0 {
+		return nil, nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8), nil
+}
+
+// Int64s reinterprets b as a []int64 view under the Uint64s contract.
+func Int64s(b []byte) ([]int64, error) {
+	if err := checkAlign(b, 8); err != nil {
+		return nil, err
+	}
+	if len(b) == 0 {
+		return nil, nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8), nil
+}
+
+// Int32s reinterprets b as a []int32 view. b must be 4-byte aligned
+// and a multiple of 4 bytes long; the returned slice aliases b.
+func Int32s(b []byte) ([]int32, error) {
+	if err := checkAlign(b, 4); err != nil {
+		return nil, err
+	}
+	if len(b) == 0 {
+		return nil, nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4), nil
+}
+
+// ViewString reinterprets b as a string without copying. The bytes
+// must stay immutable and outlive every use of the string — true for
+// mapping-backed regions until Close.
+func ViewString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+func checkAlign(b []byte, align int) error {
+	if len(b)%align != 0 {
+		return fmt.Errorf("%w: length %d not a multiple of %d", ErrMisaligned, len(b), align)
+	}
+	if len(b) > 0 && uintptr(unsafe.Pointer(&b[0]))%uintptr(align) != 0 {
+		return fmt.Errorf("%w: base address not %d-byte aligned", ErrMisaligned, align)
+	}
+	return nil
+}
+
+// LittleEndianHost reports whether the host stores multi-byte integers
+// little-endian. The v3 snapshot format is little-endian on disk, so
+// zero-copy views are only valid on little-endian hosts; big-endian
+// hosts must refuse view-based loads.
+func LittleEndianHost() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}

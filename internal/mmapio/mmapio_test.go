@@ -1,0 +1,181 @@
+package mmapio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func writeTemp(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "region.bin")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func testRegion() []byte {
+	buf := make([]byte, 0, 64)
+	for i := 0; i < 8; i++ {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(i)*0x0101010101010101)
+	}
+	return buf
+}
+
+func TestOpenHeapMatchesFile(t *testing.T) {
+	want := testRegion()
+	m, err := OpenHeap(writeTemp(t, want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Mapped() {
+		t.Fatal("heap mapping reports Mapped()=true")
+	}
+	if !bytes.Equal(m.Data(), want) {
+		t.Fatalf("heap data mismatch: got %x want %x", m.Data(), want)
+	}
+}
+
+func TestOpenPrefersMappingWhenSupported(t *testing.T) {
+	want := testRegion()
+	m, err := Open(writeTemp(t, want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if Supported() && !m.Mapped() {
+		t.Fatal("Open did not map on a platform with mmap support")
+	}
+	if !bytes.Equal(m.Data(), want) {
+		t.Fatalf("mapped data mismatch")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len after Close = %d, want 0", m.Len())
+	}
+}
+
+func TestOpenEmptyFile(t *testing.T) {
+	m, err := Open(writeTemp(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Len() != 0 {
+		t.Fatalf("empty file mapped to %d bytes", m.Len())
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("Open of a missing file succeeded")
+	}
+}
+
+func TestViewsRoundTrip(t *testing.T) {
+	m, err := Open(writeTemp(t, testRegion()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	b := m.Data()
+
+	u64, err := Uint64s(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u64) != 8 || u64[3] != 3*0x0101010101010101 {
+		t.Fatalf("Uint64s view wrong: %v", u64)
+	}
+	i64, err := Int64s(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i64[1] != 0x0101010101010101 {
+		t.Fatalf("Int64s view wrong: %v", i64[1])
+	}
+	i32, err := Int32s(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(i32) != 16 || uint32(i32[2]) != 0x01010101 {
+		t.Fatalf("Int32s view wrong: len=%d v=%x", len(i32), i32[2])
+	}
+	if s := ViewString(b[8:12]); s != "\x01\x01\x01\x01" {
+		t.Fatalf("ViewString wrong: %q", s)
+	}
+	if s := ViewString(nil); s != "" {
+		t.Fatalf("ViewString(nil) = %q", s)
+	}
+}
+
+func TestViewAlignmentErrors(t *testing.T) {
+	m, err := Open(writeTemp(t, testRegion()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	b := m.Data()
+
+	if _, err := Uint64s(b[4:]); !errors.Is(err, ErrMisaligned) {
+		t.Fatalf("Uint64s on +4 base: err = %v, want ErrMisaligned", err)
+	}
+	if _, err := Uint64s(b[:12]); !errors.Is(err, ErrMisaligned) {
+		t.Fatalf("Uint64s on 12-byte region: err = %v, want ErrMisaligned", err)
+	}
+	if _, err := Int32s(b[2:]); !errors.Is(err, ErrMisaligned) {
+		t.Fatalf("Int32s on +2 base: err = %v, want ErrMisaligned", err)
+	}
+	if _, err := Int32s(b[:7]); !errors.Is(err, ErrMisaligned) {
+		t.Fatalf("Int32s on 7-byte region: err = %v, want ErrMisaligned", err)
+	}
+	if v, err := Uint64s(nil); err != nil || v != nil {
+		t.Fatalf("Uint64s(nil) = %v, %v", v, err)
+	}
+}
+
+func TestHeapBufferIsAligned(t *testing.T) {
+	// 9 bytes forces a partial trailing word in the heap backing; the
+	// base must still be 8-aligned so offset-table views work.
+	m, err := OpenHeap(writeTemp(t, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := Uint64s(m.Data()[:8]); err != nil {
+		t.Fatalf("heap base misaligned: %v", err)
+	}
+}
+
+func TestResidentBytesBestEffort(t *testing.T) {
+	// Only the contract is testable portably: no panic, and a false
+	// second result when the accounting is unavailable.
+	n, ok := ResidentBytes("")
+	if ok && n < 0 {
+		t.Fatalf("ResidentBytes = %d with ok=true", n)
+	}
+}
+
+func TestLittleEndianHostConsistent(t *testing.T) {
+	switch runtime.GOARCH {
+	case "amd64", "arm64", "386", "arm", "riscv64", "loong64", "wasm":
+		if !LittleEndianHost() {
+			t.Fatalf("LittleEndianHost() = false on %s", runtime.GOARCH)
+		}
+	case "s390x":
+		if LittleEndianHost() {
+			t.Fatalf("LittleEndianHost() = true on %s", runtime.GOARCH)
+		}
+	}
+}

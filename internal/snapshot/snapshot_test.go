@@ -1,0 +1,455 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	scpm "github.com/scpm/scpm"
+	"github.com/scpm/scpm/internal/snapshot"
+)
+
+// minedPair mines the paper example and returns the graph/index pair
+// every test round-trips.
+func minedPair(t *testing.T) (*scpm.Graph, *scpm.Index) {
+	t.Helper()
+	g := scpm.PaperExample()
+	m, err := scpm.NewMiner(
+		scpm.WithSigmaMin(3),
+		scpm.WithGamma(0.6),
+		scpm.WithMinSize(4),
+		scpm.WithEpsMin(0.5),
+		scpm.WithTopK(10),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Mine(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, scpm.NewIndex(res, g)
+}
+
+func writeV3(t *testing.T, g *scpm.Graph, x *scpm.Index) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "pair.scpmidx")
+	if err := snapshot.Write(path, g, x); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func checkPair(t *testing.T, boot *snapshot.Boot, g *scpm.Graph, x *scpm.Index) {
+	t.Helper()
+	lg, lx := boot.Graph, boot.Index
+
+	if lg.NumVertices() != g.NumVertices() || lg.NumEdges() != g.NumEdges() ||
+		lg.NumAttributes() != g.NumAttributes() || lg.Version() != g.Version() {
+		t.Fatalf("graph shape mismatch: %v vs %v", lg, g)
+	}
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		if lg.VertexName(v) != g.VertexName(v) {
+			t.Fatalf("vertex %d name %q, want %q", v, lg.VertexName(v), g.VertexName(v))
+		}
+		if !reflect.DeepEqual(lg.Neighbors(v), g.Neighbors(v)) {
+			t.Fatalf("vertex %d neighbors %v, want %v", v, lg.Neighbors(v), g.Neighbors(v))
+		}
+		if !reflect.DeepEqual(lg.VertexAttrs(v), g.VertexAttrs(v)) {
+			t.Fatalf("vertex %d attrs %v, want %v", v, lg.VertexAttrs(v), g.VertexAttrs(v))
+		}
+		if id, ok := lg.VertexID(g.VertexName(v)); !ok || id != v {
+			t.Fatalf("vertex %q resolves to (%d,%v), want %d", g.VertexName(v), id, ok, v)
+		}
+	}
+	for a := int32(0); int(a) < g.NumAttributes(); a++ {
+		if lg.AttrName(a) != g.AttrName(a) {
+			t.Fatalf("attr %d name %q, want %q", a, lg.AttrName(a), g.AttrName(a))
+		}
+		if !lg.AttrMembers(a).Equal(g.AttrMembers(a)) {
+			t.Fatalf("attr %d members %v, want %v", a, lg.AttrMembers(a), g.AttrMembers(a))
+		}
+	}
+
+	if !reflect.DeepEqual(lx.Sets(), x.Sets()) {
+		t.Fatalf("sets mismatch:\n%v\nvs\n%v", lx.Sets(), x.Sets())
+	}
+	if !reflect.DeepEqual(lx.Patterns(), x.Patterns()) {
+		t.Fatalf("patterns mismatch")
+	}
+	if lx.MiningStats() != x.MiningStats() {
+		t.Fatalf("stats %+v, want %+v", lx.MiningStats(), x.MiningStats())
+	}
+	for i := range x.Sets() {
+		if lx.SetID(i) != x.SetID(i) {
+			t.Fatalf("set %d id %q, want %q", i, lx.SetID(i), x.SetID(i))
+		}
+		if !reflect.DeepEqual(lx.PatternsOfSet(x.SetID(i)), x.PatternsOfSet(x.SetID(i))) {
+			t.Fatalf("set %d patterns-of mismatch", i)
+		}
+	}
+	for i := range x.Patterns() {
+		if lx.PatternID(i) != x.PatternID(i) || lx.PatternSetID(i) != x.PatternSetID(i) {
+			t.Fatalf("pattern %d ids mismatch", i)
+		}
+		if !reflect.DeepEqual(lx.PatternVertexNames(i), x.PatternVertexNames(i)) {
+			t.Fatalf("pattern %d vertex names mismatch", i)
+		}
+		for _, label := range x.PatternVertexNames(i) {
+			if !reflect.DeepEqual(lx.PatternsWithVertex(label), x.PatternsWithVertex(label)) {
+				t.Fatalf("vertex posting %q mismatch", label)
+			}
+		}
+	}
+	for _, s := range x.Sets() {
+		for _, name := range s.Names {
+			if !reflect.DeepEqual(lx.WithAttr(name), x.WithAttr(name)) {
+				t.Fatalf("attr posting %q mismatch", name)
+			}
+			if !reflect.DeepEqual(lx.Supersets([]string{name}), x.Supersets([]string{name})) {
+				t.Fatalf("supersets(%q) mismatch", name)
+			}
+		}
+		if lx.Exact(s.Names) != x.Exact(s.Names) {
+			t.Fatalf("exact(%v) mismatch", s.Names)
+		}
+	}
+}
+
+func TestRoundTripBothModes(t *testing.T) {
+	g, x := minedPair(t)
+	path := writeV3(t, g, x)
+	for _, mode := range []snapshot.Mode{snapshot.ModeMmap, snapshot.ModeMaterialize, snapshot.ModeAuto} {
+		boot, err := snapshot.Open(path, snapshot.Options{Mode: mode})
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		checkPair(t, boot, g, x)
+		if err := boot.Close(); err != nil {
+			t.Fatalf("mode %v close: %v", mode, err)
+		}
+	}
+}
+
+func TestFullVerifyOnMmap(t *testing.T) {
+	g, x := minedPair(t)
+	path := writeV3(t, g, x)
+	boot, err := snapshot.Open(path, snapshot.Options{Mode: snapshot.ModeMmap, Verify: snapshot.VerifyFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer boot.Close()
+	checkPair(t, boot, g, x)
+}
+
+func TestEncodeDeterministicAndRewriteStable(t *testing.T) {
+	g, x := minedPair(t)
+	a, err := snapshot.Encode(g, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := snapshot.Encode(g, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two Encodes of the same pair differ")
+	}
+	// Write → Open → Encode must reproduce the file bit-identically:
+	// the format stores the exact in-memory representation, so a load
+	// loses nothing.
+	path := writeV3(t, g, x)
+	boot, err := snapshot.Open(path, snapshot.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer boot.Close()
+	c, err := snapshot.Encode(boot.Graph, boot.Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, c) {
+		t.Fatal("Encode after a load round-trip is not bit-identical")
+	}
+}
+
+func TestSniff(t *testing.T) {
+	g, x := minedPair(t)
+	path := writeV3(t, g, x)
+	if v, err := snapshot.Sniff(path); err != nil || v != 3 {
+		t.Fatalf("Sniff(v3) = %d, %v", v, err)
+	}
+
+	v2 := filepath.Join(t.TempDir(), "v2.scpmidx")
+	var buf bytes.Buffer
+	if err := x.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(v2, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := snapshot.Sniff(v2); err != nil || v != 2 {
+		t.Fatalf("Sniff(v2) = %d, %v", v, err)
+	}
+
+	junk := filepath.Join(t.TempDir(), "junk")
+	os.WriteFile(junk, []byte("not a snapshot at all"), 0o644)
+	if _, err := snapshot.Sniff(junk); !errors.Is(err, snapshot.ErrNotSnapshot) {
+		t.Fatalf("Sniff(junk) err = %v, want ErrNotSnapshot", err)
+	}
+	short := filepath.Join(t.TempDir(), "short")
+	os.WriteFile(short, []byte("SC"), 0o644)
+	if _, err := snapshot.Sniff(short); !errors.Is(err, snapshot.ErrNotSnapshot) {
+		t.Fatalf("Sniff(short) err = %v, want ErrNotSnapshot", err)
+	}
+}
+
+// patch rewrites one file with fn applied to its bytes.
+func patch(t *testing.T, src string, fn func([]byte) []byte) string {
+	t.Helper()
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "patched.scpmidx")
+	if err := os.WriteFile(out, fn(append([]byte(nil), data...)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// fixTableCRC recomputes the header/table checksum after a deliberate
+// table mutation, so the test reaches the deeper validation layer.
+func fixTableCRC(data []byte) {
+	const headerSize, entrySize, numKinds = 32, 24, 25
+	crc := crc32.NewIEEE()
+	crc.Write(data[:24])
+	crc.Write(data[headerSize : headerSize+numKinds*entrySize])
+	binary.LittleEndian.PutUint32(data[24:28], crc.Sum32())
+}
+
+func openBoth(path string, verify snapshot.Verify) []error {
+	var errs []error
+	for _, mode := range []snapshot.Mode{snapshot.ModeMmap, snapshot.ModeMaterialize} {
+		boot, err := snapshot.Open(path, snapshot.Options{Mode: mode, Verify: verify})
+		if err == nil {
+			boot.Close()
+		}
+		errs = append(errs, err)
+	}
+	return errs
+}
+
+func TestHostileTruncated(t *testing.T) {
+	g, x := minedPair(t)
+	path := writeV3(t, g, x)
+	data, _ := os.ReadFile(path)
+	for _, keep := range []int{4, 31, 200, len(data) / 2, len(data) - 1} {
+		cut := patch(t, path, func(b []byte) []byte { return b[:keep] })
+		for _, err := range openBoth(cut, snapshot.VerifyAuto) {
+			if err == nil {
+				t.Fatalf("truncated to %d bytes: open succeeded", keep)
+			}
+			if !errors.Is(err, snapshot.ErrTruncated) {
+				t.Fatalf("truncated to %d bytes: err = %v, want ErrTruncated", keep, err)
+			}
+		}
+	}
+}
+
+func TestHostileMisalignedSectionOffset(t *testing.T) {
+	g, x := minedPair(t)
+	path := writeV3(t, g, x)
+	bad := patch(t, path, func(b []byte) []byte {
+		// Nudge the adj-off section (table entry 1) off 8-byte alignment.
+		base := 32 + 1*24
+		off := binary.LittleEndian.Uint64(b[base+8 : base+16])
+		binary.LittleEndian.PutUint64(b[base+8:base+16], off+4)
+		fixTableCRC(b)
+		return b
+	})
+	for _, err := range openBoth(bad, snapshot.VerifyAuto) {
+		if !errors.Is(err, snapshot.ErrMisaligned) {
+			t.Fatalf("err = %v, want ErrMisaligned", err)
+		}
+	}
+}
+
+func TestHostileFlippedSectionChecksum(t *testing.T) {
+	g, x := minedPair(t)
+	path := writeV3(t, g, x)
+	bad := patch(t, path, func(b []byte) []byte {
+		// Flip one bit inside the adj-arena payload (table entry 2);
+		// the table CRC does not cover payloads, so only the section
+		// CRC can catch it.
+		base := 32 + 2*24
+		off := binary.LittleEndian.Uint64(b[base+8 : base+16])
+		b[off] ^= 0x40
+		return b
+	})
+	boot, err := snapshot.Open(bad, snapshot.Options{Mode: snapshot.ModeMaterialize})
+	if err == nil {
+		boot.Close()
+		t.Fatal("materialize open of a corrupted section succeeded")
+	}
+	if !errors.Is(err, snapshot.ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+	if _, err := snapshot.Open(bad, snapshot.Options{Mode: snapshot.ModeMmap, Verify: snapshot.VerifyFull}); !errors.Is(err, snapshot.ErrChecksum) {
+		t.Fatalf("mmap full-verify err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestHostileFlippedTableByte(t *testing.T) {
+	g, x := minedPair(t)
+	path := writeV3(t, g, x)
+	bad := patch(t, path, func(b []byte) []byte {
+		b[40] ^= 1 // inside the section table, CRC left stale
+		return b
+	})
+	for _, err := range openBoth(bad, snapshot.VerifyAuto) {
+		if !errors.Is(err, snapshot.ErrChecksum) {
+			t.Fatalf("err = %v, want ErrChecksum", err)
+		}
+	}
+}
+
+func TestHostileCorruptCounts(t *testing.T) {
+	g, x := minedPair(t)
+	path := writeV3(t, g, x)
+	bad := patch(t, path, func(b []byte) []byte {
+		// Inflate the vertex count in the meta section (first section,
+		// slot 0) to an absurd value.
+		base := 32 + 0*24
+		off := binary.LittleEndian.Uint64(b[base+8 : base+16])
+		binary.LittleEndian.PutUint64(b[off:off+8], 1<<40)
+		return b
+	})
+	// Table-only verify must still reject it structurally (before any
+	// count-sized allocation), without relying on the section CRC.
+	for _, err := range openBoth(bad, snapshot.VerifyTable) {
+		if !errors.Is(err, snapshot.ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	}
+}
+
+func TestHostileVersionAndMagic(t *testing.T) {
+	g, x := minedPair(t)
+	path := writeV3(t, g, x)
+	v9 := patch(t, path, func(b []byte) []byte { b[7] = 9; return b })
+	if _, err := snapshot.Open(v9, snapshot.Options{}); !errors.Is(err, snapshot.ErrVersion) {
+		t.Fatalf("version 9 err = %v, want ErrVersion", err)
+	}
+	junk := patch(t, path, func(b []byte) []byte { copy(b, "GARBAGE!"); return b })
+	if _, err := snapshot.Open(junk, snapshot.Options{}); !errors.Is(err, snapshot.ErrNotSnapshot) {
+		t.Fatalf("bad magic err = %v, want ErrNotSnapshot", err)
+	}
+}
+
+func TestV2CompatSignal(t *testing.T) {
+	_, x := minedPair(t)
+	var buf bytes.Buffer
+	if err := x.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v2 := filepath.Join(t.TempDir(), "v2.scpmidx")
+	if err := os.WriteFile(v2, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snapshot.Open(v2, snapshot.Options{}); !errors.Is(err, snapshot.ErrV2Snapshot) {
+		t.Fatalf("v2 open err = %v, want ErrV2Snapshot", err)
+	}
+	// The compat path: the same file loads through the v2 loader.
+	f, err := os.Open(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := scpm.LoadIndex(f); err != nil {
+		t.Fatalf("v2 compat load: %v", err)
+	}
+}
+
+// TestCrashConsistency simulates a writer killed at every interesting
+// point: a half-written temp file must never load under the target
+// name, and an existing good snapshot must survive a failed rewrite
+// attempt untouched.
+func TestCrashConsistency(t *testing.T) {
+	g, x := minedPair(t)
+	dir := t.TempDir()
+	target := filepath.Join(dir, "live.scpmidx")
+	if err := snapshot.Write(target, g, x); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A crashed writer leaves only a temp file (Write publishes with
+	// rename); whatever prefix it got to, the target stays intact.
+	for _, frac := range []float64{0.1, 0.5, 0.9} {
+		tmp := filepath.Join(dir, "live.scpmidx.tmp-crashed")
+		if err := os.WriteFile(tmp, good[:int(float64(len(good))*frac)], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		now, err := os.ReadFile(target)
+		if err != nil || !bytes.Equal(now, good) {
+			t.Fatalf("target changed by a crashed temp write (frac %.1f)", frac)
+		}
+		boot, err := snapshot.Open(target, snapshot.Options{Verify: snapshot.VerifyFull})
+		if err != nil {
+			t.Fatalf("target unloadable after crashed temp write: %v", err)
+		}
+		boot.Close()
+		// And the partial temp itself is typed-rejected, not a panic.
+		if _, err := snapshot.Open(tmp, snapshot.Options{}); err == nil {
+			t.Fatalf("half-written file (frac %.1f) loaded successfully", frac)
+		}
+		os.Remove(tmp)
+	}
+
+	// A successful Write leaves no temp files behind.
+	if err := snapshot.Write(target, g, x); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "live.scpmidx" {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("directory after Write: %v", names)
+	}
+}
+
+func TestWriteRejectsMismatchedPair(t *testing.T) {
+	_, x := minedPair(t)
+	b := scpm.NewBuilder()
+	if _, err := b.AddVertex("v0", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddVertex("v1", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	small, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snapshot.Write(filepath.Join(t.TempDir(), "bad.scpmidx"), small, x); err == nil {
+		t.Fatal("Write accepted an index paired with the wrong graph")
+	}
+}

@@ -1,0 +1,345 @@
+package snapshot
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/scpm/scpm/internal/bitset"
+	"github.com/scpm/scpm/internal/graph"
+	"github.com/scpm/scpm/internal/index"
+)
+
+// Write atomically writes a v3 snapshot of the graph/index pair to
+// path: the bytes go to a temp file in the same directory, are synced,
+// and replace path with one rename — a crashed writer can leave a
+// stray temp file but never a partial snapshot under the target name.
+// The pair must be consistent: the index must have been built from (or
+// rebuilt against) exactly this graph.
+func Write(path string, g *graph.Graph, x *index.Index) error {
+	data, err := Encode(g, x)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// WriteTo writes the encoded snapshot to w (non-atomically; prefer
+// Write for files).
+func WriteTo(w io.Writer, g *graph.Graph, x *index.Index) error {
+	data, err := Encode(g, x)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// Encode serializes the pair into one v3 snapshot byte image. The
+// encoding is deterministic: the same pair always produces the same
+// bytes.
+func Encode(g *graph.Graph, x *index.Index) ([]byte, error) {
+	secs, err := buildSections(g, x)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: encoding: %w", err)
+	}
+
+	// Lay out: header, table, 8-aligned payloads.
+	tableLen := numKinds * entrySize
+	off := int64(headerSize + tableLen)
+	offsets := make([]int64, numKinds)
+	for i, s := range secs {
+		off = (off + 7) &^ 7
+		offsets[i] = off
+		off += int64(len(s.payload))
+	}
+	total := (off + 7) &^ 7
+
+	buf := make([]byte, total)
+	copy(buf, magic)
+	buf[7] = version
+	putU64(buf, 8, uint64(total))
+	putU64(buf, 16, numKinds)
+	for i, s := range secs {
+		base := headerSize + i*entrySize
+		putU32(buf, base, s.kind)
+		putU32(buf, base+4, crc32.ChecksumIEEE(s.payload))
+		putU64(buf, base+8, uint64(offsets[i]))
+		putU64(buf, base+16, uint64(len(s.payload)))
+		copy(buf[offsets[i]:], s.payload)
+	}
+	// Table CRC covers the 24-byte prefix plus the whole table; the CRC
+	// field itself and its padding sit outside the covered ranges.
+	crc := crc32.NewIEEE()
+	crc.Write(buf[:24])
+	crc.Write(buf[headerSize : headerSize+tableLen])
+	putU32(buf, 24, crc.Sum32())
+	return buf, nil
+}
+
+type section struct {
+	kind    uint32
+	payload []byte
+}
+
+// buildSections renders every section payload in kind order, verifying
+// the graph/index pairing invariants the format relies on (set and
+// pattern names resolve through the graph's tables, ids are fixed
+// width) so a mismatched pair fails loudly at write time instead of
+// producing a snapshot that lies.
+func buildSections(g *graph.Graph, x *index.Index) ([]section, error) {
+	nV, nE, nA := g.NumVertices(), g.NumEdges(), g.NumAttributes()
+	if dv, de, da := x.DatasetShape(); dv != nV || de != nE || da != nA {
+		return nil, fmt.Errorf("index dataset shape (%d,%d,%d) does not match graph (%d,%d,%d)",
+			dv, de, da, nV, nE, nA)
+	}
+	sets, pats := x.Sets(), x.Patterns()
+	st := x.MiningStats()
+
+	meta := make([]uint64, metaSlots)
+	meta[metaVertices] = uint64(nV)
+	meta[metaEdges] = uint64(nE)
+	meta[metaAttributes] = uint64(nA)
+	meta[metaGraphVersion] = g.Version()
+	meta[metaSets] = uint64(len(sets))
+	meta[metaPatterns] = uint64(len(pats))
+	meta[metaSetsEvaluated] = uint64(st.SetsEvaluated)
+	meta[metaSetsEmitted] = uint64(st.SetsEmitted)
+	meta[metaPatternsEmitted] = uint64(st.PatternsEmitted)
+	meta[metaSearchNodes] = uint64(st.SearchNodes)
+	meta[metaSampledVertices] = uint64(st.SampledVertices)
+	meta[metaReusedSets] = uint64(st.ReusedSets)
+	meta[metaRecomputedSets] = uint64(st.RecomputedSets)
+	meta[metaReusedVerdicts] = uint64(st.ReusedVerdicts)
+	meta[metaDuration] = uint64(st.Duration)
+
+	adjOff, adjArena := g.CSR()
+	attrOff, attrArena := g.AttrCSR()
+
+	memberWords := make([]uint64, 0, nA*wordsPer(nV))
+	for a := int32(0); int(a) < nA; a++ {
+		w := g.AttrMembers(a).Words()
+		if len(w) != wordsPer(nV) {
+			return nil, fmt.Errorf("member set %d has %d words, want %d", a, len(w), wordsPer(nV))
+		}
+		memberWords = append(memberWords, w...)
+	}
+
+	vnameOffs, vnameBlob := stringTable(nV, func(i int) string { return g.VertexName(int32(i)) })
+	anameOffs, anameBlob := stringTable(nA, func(i int) string { return g.AttrName(int32(i)) })
+
+	// Set tables. Names must round-trip through the graph's attribute
+	// table — the format stores only ids and re-derives names on load.
+	setAttrOff := make([]int64, len(sets)+1)
+	var setAttrs []int32
+	setNum := make([]uint64, 0, len(sets)*setSlots)
+	setIDs := make([]byte, 0, len(sets)*idLen)
+	for i := range sets {
+		s := &sets[i]
+		if len(s.Names) != len(s.Attrs) {
+			return nil, fmt.Errorf("set %d has %d names for %d attrs", i, len(s.Names), len(s.Attrs))
+		}
+		for j, a := range s.Attrs {
+			if a < 0 || int(a) >= nA || g.AttrName(a) != s.Names[j] {
+				return nil, fmt.Errorf("set %d name %q does not resolve through graph attribute %d", i, s.Names[j], a)
+			}
+		}
+		setAttrs = append(setAttrs, s.Attrs...)
+		setAttrOff[i+1] = int64(len(setAttrs))
+		setNum = append(setNum,
+			uint64(s.Support), uint64(s.Covered), uint64(s.SampledVertices), boolU64(s.Estimated),
+			math.Float64bits(s.Epsilon), math.Float64bits(s.ExpEps),
+			math.Float64bits(s.Delta), math.Float64bits(s.EpsilonErr))
+		id := x.SetID(i)
+		if len(id) != idLen {
+			return nil, fmt.Errorf("set %d id %q is not %d bytes", i, id, idLen)
+		}
+		setIDs = append(setIDs, id...)
+	}
+
+	patAttrOff := make([]int64, len(pats)+1)
+	patVertOff := make([]int64, len(pats)+1)
+	var patAttrs, patVerts []int32
+	patNum := make([]uint64, 0, len(pats)*patSlots)
+	patIDs := make([]byte, 0, len(pats)*idLen)
+	patSetIDs := make([]byte, 0, len(pats)*idLen)
+	for i := range pats {
+		p := &pats[i]
+		if len(p.Names) != len(p.Attrs) {
+			return nil, fmt.Errorf("pattern %d has %d names for %d attrs", i, len(p.Names), len(p.Attrs))
+		}
+		for j, a := range p.Attrs {
+			if a < 0 || int(a) >= nA || g.AttrName(a) != p.Names[j] {
+				return nil, fmt.Errorf("pattern %d name %q does not resolve through graph attribute %d", i, p.Names[j], a)
+			}
+		}
+		labels := x.PatternVertexNames(i)
+		if len(labels) != len(p.Vertices) {
+			return nil, fmt.Errorf("pattern %d has %d labels for %d vertices", i, len(labels), len(p.Vertices))
+		}
+		for j, v := range p.Vertices {
+			if v < 0 || int(v) >= nV || g.VertexName(v) != labels[j] {
+				return nil, fmt.Errorf("pattern %d label %q does not resolve through graph vertex %d", i, labels[j], v)
+			}
+		}
+		patAttrs = append(patAttrs, p.Attrs...)
+		patAttrOff[i+1] = int64(len(patAttrs))
+		patVerts = append(patVerts, p.Vertices...)
+		patVertOff[i+1] = int64(len(patVerts))
+		patNum = append(patNum, uint64(p.MinDeg), uint64(p.Edges))
+		id, sid := x.PatternID(i), x.PatternSetID(i)
+		if len(id) != idLen || len(sid) != idLen {
+			return nil, fmt.Errorf("pattern %d ids %q/%q are not %d bytes", i, id, sid, idLen)
+		}
+		patIDs = append(patIDs, id...)
+		patSetIDs = append(patSetIDs, sid...)
+	}
+
+	// Postings, keyed by graph id in ascending order for determinism.
+	attrPost, vertPost := x.PostingTables()
+	attrKeys, attrPostArena, err := postingArena(attrPost, len(sets), "attribute", func(name string) (int32, bool) {
+		return g.AttrID(name)
+	})
+	if err != nil {
+		return nil, err
+	}
+	vertKeys, vertPostArena, err := postingArena(vertPost, len(pats), "vertex", func(label string) (int32, bool) {
+		return g.VertexID(label)
+	})
+	if err != nil {
+		return nil, err
+	}
+	meta[metaAttrPostKeys] = uint64(len(attrKeys))
+	meta[metaVertPostKeys] = uint64(len(vertKeys))
+
+	return []section{
+		{kindMeta, u64Bytes(meta)},
+		{kindAdjOff, i64Bytes(adjOff)},
+		{kindAdjArena, i32Bytes(adjArena)},
+		{kindAttrOff, i64Bytes(attrOff)},
+		{kindAttrArena, i32Bytes(attrArena)},
+		{kindMembers, u64Bytes(memberWords)},
+		{kindVNameOffs, i64Bytes(vnameOffs)},
+		{kindVNameBlob, vnameBlob},
+		{kindANameOffs, i64Bytes(anameOffs)},
+		{kindANameBlob, anameBlob},
+		{kindSetAttrOff, i64Bytes(setAttrOff)},
+		{kindSetAttrs, i32Bytes(setAttrs)},
+		{kindSetNumeric, u64Bytes(setNum)},
+		{kindSetIDs, setIDs},
+		{kindPatAttrOff, i64Bytes(patAttrOff)},
+		{kindPatAttrs, i32Bytes(patAttrs)},
+		{kindPatVertOff, i64Bytes(patVertOff)},
+		{kindPatVerts, i32Bytes(patVerts)},
+		{kindPatNumeric, u64Bytes(patNum)},
+		{kindPatIDs, patIDs},
+		{kindPatSetIDs, patSetIDs},
+		{kindAttrPostKeys, i32Bytes(attrKeys)},
+		{kindAttrPost, u64Bytes(attrPostArena)},
+		{kindVertPostKeys, i32Bytes(vertKeys)},
+		{kindVertPost, u64Bytes(vertPostArena)},
+	}, nil
+}
+
+// postingArena flattens a posting map into (sorted key ids, bitset
+// arena with stride ⌈capacity/64⌉), resolving each key string to its
+// graph id. Load rebuilds the map by resolving ids back to names, so
+// keys that do not resolve make the write fail.
+func postingArena(post map[string]*bitset.Set, capacity int, what string, resolve func(string) (int32, bool)) ([]int32, []uint64, error) {
+	type keyed struct {
+		id   int32
+		name string
+	}
+	keys := make([]keyed, 0, len(post))
+	for name := range post {
+		id, ok := resolve(name)
+		if !ok {
+			return nil, nil, fmt.Errorf("%s posting key %q does not resolve through the graph", what, name)
+		}
+		keys = append(keys, keyed{id, name})
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].id < keys[j].id })
+	stride := wordsPer(capacity)
+	ids := make([]int32, len(keys))
+	arena := make([]uint64, 0, len(keys)*stride)
+	for i, k := range keys {
+		ids[i] = k.id
+		w := post[k.name].Words()
+		if len(w) != stride {
+			return nil, nil, fmt.Errorf("%s posting %q has %d words, want %d", what, k.name, len(w), stride)
+		}
+		arena = append(arena, w...)
+	}
+	return ids, arena, nil
+}
+
+// stringTable renders n strings as (offsets, blob): string i occupies
+// blob[offsets[i]:offsets[i+1]].
+func stringTable(n int, get func(int) string) ([]int64, []byte) {
+	offs := make([]int64, n+1)
+	var size int64
+	for i := 0; i < n; i++ {
+		size += int64(len(get(i)))
+	}
+	blob := make([]byte, 0, size)
+	for i := 0; i < n; i++ {
+		blob = append(blob, get(i)...)
+		offs[i+1] = int64(len(blob))
+	}
+	return offs, blob
+}
+
+func boolU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// The little-endian byte renderings below are explicit loops rather
+// than views so the writer is portable to big-endian hosts (readers
+// are not — see ErrBigEndian).
+
+func u64Bytes(v []uint64) []byte {
+	out := make([]byte, len(v)*8)
+	for i, x := range v {
+		putU64(out, i*8, x)
+	}
+	return out
+}
+
+func i64Bytes(v []int64) []byte {
+	out := make([]byte, len(v)*8)
+	for i, x := range v {
+		putU64(out, i*8, uint64(x))
+	}
+	return out
+}
+
+func i32Bytes(v []int32) []byte {
+	out := make([]byte, len(v)*4)
+	for i, x := range v {
+		putU32(out, i*4, uint32(x))
+	}
+	return out
+}

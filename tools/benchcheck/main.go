@@ -12,6 +12,13 @@
 //     row's speedup may fall more than -shard-tolerance (default 25%,
 //     loose because speedups are wall-clock ratios and carry timing
 //     noise) below its baseline.
+//   - boot speedup (BENCH_boot.json only): every row's mmap-vs-
+//     materialize speedup must exceed 1.0 and carry a verified
+//     cross-check; the row with the largest snapshot (the
+//     representative dataset — small snapshots boot in microseconds
+//     either way, so their ratios are noise) must meet the -boot-floor
+//     (default 10, the lazy-boot acceptance criterion); and no row may
+//     fall more than -boot-tolerance below its baseline speedup.
 //
 // Wall-clock and allocation columns are advisory only: CI machines are
 // too noisy to gate on, so deltas are printed benchstat-style for the
@@ -21,6 +28,7 @@
 //
 //	benchcheck -baseline BENCH_dense.json -candidate out/BENCH_dense.json
 //	benchcheck -baseline BENCH_shard.json -candidate out/BENCH_shard.json
+//	benchcheck -baseline BENCH_boot.json -candidate out/BENCH_boot.json
 package main
 
 import (
@@ -54,11 +62,25 @@ type shardSection struct {
 	Mining []shardRun `json:"mining"`
 }
 
+// bootRun mirrors the boot-section columns the speedup gate consumes.
+type bootRun struct {
+	Dataset       string  `json:"dataset"`
+	Scale         float64 `json:"scale"`
+	SnapshotBytes int64   `json:"snapshot_bytes"`
+	Speedup       float64 `json:"speedup"`
+	Verified      bool    `json:"verified"`
+}
+
+type bootSection struct {
+	Runs []bootRun `json:"runs"`
+}
+
 type report struct {
 	Schema  string        `json:"schema"`
 	Dataset string        `json:"dataset"`
 	Runs    []run         `json:"runs"`
 	Shard   *shardSection `json:"shard"`
+	Boot    *bootSection  `json:"boot"`
 }
 
 func main() {
@@ -66,12 +88,19 @@ func main() {
 	candidate := flag.String("candidate", "", "freshly generated BENCH_*.json to check")
 	tolerance := flag.Float64("tolerance", 0.05, "allowed fractional search_nodes growth over baseline")
 	shardTolerance := flag.Float64("shard-tolerance", 0.25, "allowed fractional shard-speedup decline below baseline")
+	bootFloor := flag.Float64("boot-floor", 10, "minimum mmap-vs-materialize boot speedup for the largest-snapshot row")
+	bootTolerance := flag.Float64("boot-tolerance", 0.25, "allowed fractional boot-speedup decline below baseline")
 	flag.Parse()
 	if *baseline == "" || *candidate == "" {
 		fmt.Fprintln(os.Stderr, "benchcheck: -baseline and -candidate are required")
 		os.Exit(2)
 	}
-	if err := check(*baseline, *candidate, *tolerance, *shardTolerance, os.Stdout); err != nil {
+	if err := check(*baseline, *candidate, gates{
+		tolerance:      *tolerance,
+		shardTolerance: *shardTolerance,
+		bootFloor:      *bootFloor,
+		bootTolerance:  *bootTolerance,
+	}, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(1)
 	}
@@ -86,16 +115,25 @@ func load(path string) (report, error) {
 	if err := json.Unmarshal(raw, &r); err != nil {
 		return report{}, fmt.Errorf("%s: %w", path, err)
 	}
-	if len(r.Runs) == 0 && (r.Shard == nil || len(r.Shard.Mining) == 0) {
+	if len(r.Runs) == 0 && (r.Shard == nil || len(r.Shard.Mining) == 0) &&
+		(r.Boot == nil || len(r.Boot.Runs) == 0) {
 		return report{}, fmt.Errorf("%s: no runs", path)
 	}
 	return r, nil
 }
 
+// gates bundles the per-section thresholds.
+type gates struct {
+	tolerance      float64 // search_nodes growth
+	shardTolerance float64 // shard-speedup decline
+	bootFloor      float64 // boot-speedup hard floor (largest snapshot)
+	bootTolerance  float64 // boot-speedup decline
+}
+
 // key identifies the baseline run a candidate run is compared against.
 func key(r run) string { return fmt.Sprintf("%g/%s", r.Scale, r.EpsilonMode) }
 
-func check(basePath, candPath string, tolerance, shardTolerance float64, out io.Writer) error {
+func check(basePath, candPath string, g gates, out io.Writer) error {
 	base, err := load(basePath)
 	if err != nil {
 		return err
@@ -108,10 +146,16 @@ func check(basePath, candPath string, tolerance, shardTolerance float64, out io.
 		return fmt.Errorf("dataset mismatch: baseline %q vs candidate %q", base.Dataset, cand.Dataset)
 	}
 	if cand.Shard != nil {
-		if err := checkShard(base, cand, shardTolerance, out); err != nil {
+		if err := checkShard(base, cand, g.shardTolerance, out); err != nil {
 			return err
 		}
 	}
+	if cand.Boot != nil {
+		if err := checkBoot(base, cand, g.bootFloor, g.bootTolerance, out); err != nil {
+			return err
+		}
+	}
+	tolerance := g.tolerance
 	byKey := make(map[string]run, len(base.Runs))
 	for _, r := range base.Runs {
 		byKey[key(r)] = r
@@ -184,6 +228,63 @@ func checkShard(base, cand report, tolerance float64, out io.Writer) error {
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d shard row(s) failed the speedup gate", failures)
+	}
+	return nil
+}
+
+// bootKey identifies the baseline boot row a candidate row is compared
+// against.
+func bootKey(r bootRun) string { return fmt.Sprintf("%s@%g", r.Dataset, r.Scale) }
+
+// checkBoot enforces the lazy-boot gate: every row must be verified
+// (contents cross-checked between modes) and faster than a full
+// materialized load; the row with the largest snapshot must meet the
+// hard floor — that row is the one whose O(file) + O(sets) costs are
+// big enough for the ratio to be signal rather than noise — and no row
+// may fall more than tolerance below its baseline speedup.
+func checkBoot(base, cand report, floor, tolerance float64, out io.Writer) error {
+	byKey := make(map[string]bootRun)
+	if base.Boot != nil {
+		for _, r := range base.Boot.Runs {
+			byKey[bootKey(r)] = r
+		}
+	}
+	var biggest string
+	var maxBytes int64 = -1
+	for _, c := range cand.Boot.Runs {
+		if c.SnapshotBytes > maxBytes {
+			biggest, maxBytes = bootKey(c), c.SnapshotBytes
+		}
+	}
+	var failures int
+	for _, c := range cand.Boot.Runs {
+		verdict := "ok"
+		b, hasBase := byKey[bootKey(c)]
+		switch {
+		case !c.Verified:
+			verdict = "FAIL (modes not cross-checked)"
+			failures++
+		case c.Speedup <= 1.0:
+			verdict = "FAIL (floor: mmap boot must beat materialize)"
+			failures++
+		case bootKey(c) == biggest && c.Speedup < floor:
+			verdict = fmt.Sprintf("FAIL (floor: largest snapshot must boot ≥ %gx faster)", floor)
+			failures++
+		case hasBase && c.Speedup < b.Speedup*(1-tolerance):
+			verdict = fmt.Sprintf("FAIL (> -%.0f%% vs baseline)", tolerance*100)
+			failures++
+		case !hasBase:
+			verdict = "ok (new row, floors only)"
+		}
+		if hasBase {
+			fmt.Fprintf(out, "%-20s  boot speedup %6.1fx → %6.1fx (%+7.2f%%)  %s\n",
+				bootKey(c), b.Speedup, c.Speedup, delta(b.Speedup, c.Speedup), verdict)
+		} else {
+			fmt.Fprintf(out, "%-20s  boot speedup          %6.1fx           %s\n", bootKey(c), c.Speedup, verdict)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d boot row(s) failed the speedup gate", failures)
 	}
 	return nil
 }

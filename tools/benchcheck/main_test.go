@@ -48,6 +48,34 @@ func writeShardReport(t *testing.T, dir, name string, speedups [3]float64) strin
 	return path
 }
 
+// defGates returns the flag defaults, matching main.
+func defGates() gates {
+	return gates{tolerance: 0.05, shardTolerance: 0.25, bootFloor: 10, bootTolerance: 0.25}
+}
+
+// writeBootReport writes a boot-section-only report with two rows: a
+// large dblp snapshot (the one facing the hard floor) and a small
+// dense one.
+func writeBootReport(t *testing.T, dir, name string, dblpSpeedup, denseSpeedup float64, verified bool) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	content := fmt.Sprintf(`{
+  "schema": "scpm-bench/v8",
+  "dataset": "boot",
+  "boot": {
+    "repeats": 5,
+    "runs": [
+      {"dataset": "dblp", "scale": 0.2, "snapshot_bytes": 26000000, "speedup": %g, "verified": %t},
+      {"dataset": "dense", "scale": 0.2, "snapshot_bytes": 112000, "speedup": %g, "verified": %t}
+    ]
+  }
+}`, dblpSpeedup, verified, denseSpeedup, verified)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
 func itoa(n int64) string {
 	var b []byte
 	if n == 0 {
@@ -65,7 +93,7 @@ func TestCheckPassesWithinTolerance(t *testing.T) {
 	base := writeReport(t, dir, "base.json", "dense", 10000)
 	cand := writeReport(t, dir, "cand.json", "dense", 10400) // +4%
 	var out bytes.Buffer
-	if err := check(base, cand, 0.05, 0.25, &out); err != nil {
+	if err := check(base, cand, defGates(), &out); err != nil {
 		t.Fatalf("within-tolerance growth rejected: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "ok") {
@@ -78,7 +106,7 @@ func TestCheckFailsOnRegression(t *testing.T) {
 	base := writeReport(t, dir, "base.json", "dense", 10000)
 	cand := writeReport(t, dir, "cand.json", "dense", 10600) // +6%
 	var out bytes.Buffer
-	err := check(base, cand, 0.05, 0.25, &out)
+	err := check(base, cand, defGates(), &out)
 	if err == nil {
 		t.Fatalf("+6%% search_nodes accepted:\n%s", out.String())
 	}
@@ -92,7 +120,7 @@ func TestCheckImprovementPasses(t *testing.T) {
 	base := writeReport(t, dir, "base.json", "dense", 10000)
 	cand := writeReport(t, dir, "cand.json", "dense", 4000)
 	var out bytes.Buffer
-	if err := check(base, cand, 0.05, 0.25, &out); err != nil {
+	if err := check(base, cand, defGates(), &out); err != nil {
 		t.Fatalf("improvement rejected: %v", err)
 	}
 }
@@ -101,7 +129,7 @@ func TestCheckDatasetMismatch(t *testing.T) {
 	dir := t.TempDir()
 	base := writeReport(t, dir, "base.json", "dense", 10000)
 	cand := writeReport(t, dir, "cand.json", "dblp", 10000)
-	if err := check(base, cand, 0.05, 0.25, &bytes.Buffer{}); err == nil {
+	if err := check(base, cand, defGates(), &bytes.Buffer{}); err == nil {
 		t.Fatal("dataset mismatch accepted")
 	}
 }
@@ -111,7 +139,7 @@ func TestShardGatePassesWithinTolerance(t *testing.T) {
 	base := writeShardReport(t, dir, "base.json", [3]float64{0.95, 1.60, 2.10})
 	cand := writeShardReport(t, dir, "cand.json", [3]float64{0.90, 1.30, 1.80}) // −19% at n=2
 	var out bytes.Buffer
-	if err := check(base, cand, 0.05, 0.25, &out); err != nil {
+	if err := check(base, cand, defGates(), &out); err != nil {
 		t.Fatalf("within-tolerance speedup decline rejected: %v\n%s", err, out.String())
 	}
 }
@@ -124,11 +152,11 @@ func TestShardGateFailsBelowFloor(t *testing.T) {
 	floorBase := writeShardReport(t, dir, "floorbase.json", [3]float64{0.95, 1.01, 1.10})
 	cand := writeShardReport(t, dir, "cand.json", [3]float64{0.95, 0.98, 1.05})
 	var out bytes.Buffer
-	if err := check(base, cand, 0.05, 0.25, &out); err == nil {
+	if err := check(base, cand, defGates(), &out); err == nil {
 		t.Fatalf("2-shard speedup 0.98 accepted:\n%s", out.String())
 	}
 	out.Reset()
-	if err := check(floorBase, cand, 0.05, 0.99, &out); err == nil {
+	if err := check(floorBase, cand, gates{tolerance: 0.05, shardTolerance: 0.99, bootFloor: 10, bootTolerance: 0.25}, &out); err == nil {
 		t.Fatalf("floor not enforced independently of tolerance:\n%s", out.String())
 	}
 	if !strings.Contains(out.String(), "floor") {
@@ -141,12 +169,73 @@ func TestShardGateFailsOnSpeedupRegression(t *testing.T) {
 	base := writeShardReport(t, dir, "base.json", [3]float64{0.95, 1.60, 2.10})
 	cand := writeShardReport(t, dir, "cand.json", [3]float64{0.95, 1.10, 2.00}) // −31% at n=2
 	var out bytes.Buffer
-	err := check(base, cand, 0.05, 0.25, &out)
+	err := check(base, cand, defGates(), &out)
 	if err == nil {
 		t.Fatalf("−31%% 2-shard speedup accepted:\n%s", out.String())
 	}
 	if !strings.Contains(out.String(), "FAIL") {
 		t.Fatalf("missing FAIL verdict:\n%s", out.String())
+	}
+}
+
+func TestBootGatePassesAboveFloor(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBootReport(t, dir, "base.json", 100, 5, true)
+	cand := writeBootReport(t, dir, "cand.json", 85, 4.5, true) // −15%, above floor
+	var out bytes.Buffer
+	if err := check(base, cand, defGates(), &out); err != nil {
+		t.Fatalf("within-tolerance boot decline rejected: %v\n%s", err, out.String())
+	}
+}
+
+func TestBootGateFloorOnlyBindsLargestSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBootReport(t, dir, "base.json", 100, 5, true)
+	// dense at 4.5x is below the 10x floor but is the small snapshot —
+	// only dblp (the largest) faces the floor.
+	cand := writeBootReport(t, dir, "cand.json", 8, 4.5, true)
+	var out bytes.Buffer
+	if err := check(base, cand, gates{tolerance: 0.05, shardTolerance: 0.25, bootFloor: 10, bootTolerance: 0.95}, &out); err == nil {
+		t.Fatalf("largest snapshot below 10x floor accepted:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "floor") {
+		t.Fatalf("missing floor verdict:\n%s", out.String())
+	}
+}
+
+func TestBootGateFailsOnSpeedupRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBootReport(t, dir, "base.json", 100, 5, true)
+	cand := writeBootReport(t, dir, "cand.json", 40, 4.5, true) // −60% on dblp
+	var out bytes.Buffer
+	if err := check(base, cand, defGates(), &out); err == nil {
+		t.Fatalf("−60%% boot speedup accepted:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("missing FAIL verdict:\n%s", out.String())
+	}
+}
+
+func TestBootGateRequiresVerification(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBootReport(t, dir, "base.json", 100, 5, true)
+	cand := writeBootReport(t, dir, "cand.json", 100, 5, false)
+	var out bytes.Buffer
+	if err := check(base, cand, defGates(), &out); err == nil {
+		t.Fatalf("unverified boot rows accepted:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "cross-checked") {
+		t.Fatalf("missing verification verdict:\n%s", out.String())
+	}
+}
+
+func TestBootGateFailsWhenMmapSlower(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBootReport(t, dir, "base.json", 100, 5, true)
+	cand := writeBootReport(t, dir, "cand.json", 90, 0.8, true) // dense mmap slower
+	var out bytes.Buffer
+	if err := check(base, cand, defGates(), &out); err == nil {
+		t.Fatalf("mmap-slower-than-materialize row accepted:\n%s", out.String())
 	}
 }
 
@@ -167,7 +256,7 @@ func TestShardGateNewRowFloorOnly(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := check(base, path, 0.05, 0.25, &out); err != nil {
+	if err := check(base, path, defGates(), &out); err != nil {
 		t.Fatalf("new shard row above floor rejected: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "new row") {
